@@ -1,0 +1,52 @@
+//! Exact-solver scaling — Figure 15's shape at micro scale: exact A* time
+//! explodes with graph size and GED while the OT methods stay flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ged_baselines::astar::{astar_beam, astar_exact_with_limit};
+use ged_core::gedgw::Gedgw;
+use ged_core::pairs::GedPair;
+use ged_graph::generate;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn perturbed(n: usize, delta: usize, seed: u64) -> GedPair {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..29).map(|i| 1.0 / (1.0 + i as f64).powf(1.4)).collect();
+    let g = generate::random_connected(n, n / 4, &weights, &mut rng);
+    let p = generate::perturb_with_edits(&g, delta, 29, &mut rng);
+    GedPair::supervised(g, p.graph, p.applied as f64, p.mapping)
+}
+
+fn bench_exact_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_exact_scaling");
+    group.sample_size(10);
+    for &(n, delta) in &[(8usize, 3usize), (12, 3), (12, 5), (16, 5)] {
+        let pair = perturbed(n, delta, n as u64 * 100 + delta as u64);
+        group.bench_with_input(
+            BenchmarkId::new("astar_exact", format!("n{n}_d{delta}")),
+            &pair,
+            |b, p| {
+                b.iter(|| black_box(astar_exact_with_limit(&p.g1, &p.g2, 2_000_000)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("astar_beam100", format!("n{n}_d{delta}")),
+            &pair,
+            |b, p| {
+                b.iter(|| black_box(astar_beam(&p.g1, &p.g2, 100).ged));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gedgw", format!("n{n}_d{delta}")),
+            &pair,
+            |b, p| {
+                b.iter(|| black_box(Gedgw::new(&p.g1, &p.g2).solve().ged));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_scaling);
+criterion_main!(benches);

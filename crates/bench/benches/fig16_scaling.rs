@@ -1,0 +1,43 @@
+//! Power-law graph scaling — Figure 16's time panel at micro scale:
+//! GEDGW's conditional gradient and GEDIOT's forward pass on 25–100-node
+//! Barabási–Albert graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ged_core::gedgw::{Gedgw, GedgwOptions};
+use ged_core::gediot::{Gediot, GediotConfig};
+use ged_graph::generate;
+use ged_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn powerlaw_pair(n: usize, seed: u64) -> (Graph, Graph) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let g = generate::barabasi_albert(n, 2, &mut rng);
+    let p = generate::perturb_with_edits(&g, 6, 1, &mut rng);
+    (g, p.graph)
+}
+
+fn bench_powerlaw(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let gediot = Gediot::new(GediotConfig::small(1), &mut rng);
+
+    let mut group = c.benchmark_group("fig16_powerlaw");
+    group.sample_size(10);
+    for &n in &[25usize, 50, 100] {
+        let (g1, g2) = powerlaw_pair(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("gedgw_cg", n), &n, |b, _| {
+            b.iter(|| {
+                let opts = GedgwOptions { max_iter: 20, ..Default::default() };
+                black_box(Gedgw::new(&g1, &g2).with_options(opts).solve().ged)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("gediot_forward", n), &n, |b, _| {
+            b.iter(|| black_box(gediot.predict(&g1, &g2).ged));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_powerlaw);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Per-pair GED prediction time of each method — the `sec/100p` column of
+//! Table 3 at micro scale. Inputs are AIDS-like pairs (≤ 10 nodes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ged_baselines::astar::astar_beam;
+use ged_baselines::classic::{classic_ged, hungarian_ged, vj_ged};
+use ged_baselines::gedgnn::{Gedgnn, GedgnnConfig};
+use ged_core::gedgw::Gedgw;
+use ged_core::gediot::{Gediot, GediotConfig};
+use ged_graph::{generate, Graph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn aids_pairs(count: usize) -> Vec<(Graph, Graph)> {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let weights: Vec<f64> = (0..29).map(|i| 1.0 / (1.0 + i as f64).powf(1.4)).collect();
+    (0..count)
+        .map(|_| {
+            let g1 = generate::random_connected(8, 2, &weights, &mut rng);
+            let g2 = generate::random_connected(9, 2, &weights, &mut rng);
+            (g1, g2)
+        })
+        .collect()
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let pairs = aids_pairs(16);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let gediot = Gediot::new(GediotConfig::small(29), &mut rng);
+    let gedgnn = Gedgnn::new(GedgnnConfig::small(29), &mut rng);
+
+    let mut group = c.benchmark_group("table3_prediction");
+    group.bench_function("classic", |b| {
+        b.iter(|| {
+            for (g1, g2) in &pairs {
+                black_box(classic_ged(g1, g2).ged);
+            }
+        })
+    });
+    group.bench_function("hungarian", |b| {
+        b.iter(|| {
+            for (g1, g2) in &pairs {
+                black_box(hungarian_ged(g1, g2).ged);
+            }
+        })
+    });
+    group.bench_function("vj", |b| {
+        b.iter(|| {
+            for (g1, g2) in &pairs {
+                black_box(vj_ged(g1, g2).ged);
+            }
+        })
+    });
+    group.bench_function("astar_beam_100", |b| {
+        b.iter(|| {
+            for (g1, g2) in &pairs {
+                black_box(astar_beam(g1, g2, 100).ged);
+            }
+        })
+    });
+    group.bench_function("gedgw", |b| {
+        b.iter(|| {
+            for (g1, g2) in &pairs {
+                black_box(Gedgw::new(g1, g2).solve().ged);
+            }
+        })
+    });
+    group.bench_function("gediot_forward", |b| {
+        b.iter(|| {
+            for (g1, g2) in &pairs {
+                black_box(gediot.predict(g1, g2).ged);
+            }
+        })
+    });
+    group.bench_function("gedgnn_forward", |b| {
+        b.iter(|| {
+            for (g1, g2) in &pairs {
+                black_box(gedgnn.predict(g1, g2).ged);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

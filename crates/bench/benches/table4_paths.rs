@@ -1,0 +1,54 @@
+//! Edit-path generation time — the `sec/100p` column of Table 4 and the
+//! time panel of Figure 21 (varying `k` in k-best matching).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ged_core::gedgw::Gedgw;
+use ged_core::kbest::kbest_edit_path;
+use ged_graph::{generate, Graph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn pairs(count: usize) -> Vec<(Graph, Graph)> {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let weights: Vec<f64> = (0..29).map(|i| 1.0 / (1.0 + i as f64).powf(1.4)).collect();
+    (0..count)
+        .map(|_| {
+            (
+                generate::random_connected(8, 2, &weights, &mut rng),
+                generate::random_connected(10, 3, &weights, &mut rng),
+            )
+        })
+        .collect()
+}
+
+fn bench_kbest(c: &mut Criterion) {
+    let data = pairs(8);
+    // Precompute GEDGW couplings once — the bench isolates the path search.
+    let couplings: Vec<_> = data.iter().map(|(g1, g2)| Gedgw::new(g1, g2).solve().coupling).collect();
+
+    let mut group = c.benchmark_group("table4_kbest_paths");
+    for &k in &[1usize, 10, 50, 100] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| {
+                for ((g1, g2), pi) in data.iter().zip(&couplings) {
+                    black_box(kbest_edit_path(g1, g2, pi, k).ged);
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table4_gedgw_solve_plus_path");
+    group.bench_function("solve_with_path_k20", |b| {
+        b.iter(|| {
+            for (g1, g2) in &data {
+                black_box(Gedgw::new(g1, g2).solve_with_path(20).1.ged);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kbest);
+criterion_main!(benches);

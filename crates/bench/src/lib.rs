@@ -1,0 +1,5 @@
+//! Criterion micro-benchmarks for the `ot-ged` kernels.
+//!
+//! The benches regenerate the *time* columns of the paper's tables and
+//! figures at micro scale; run them with `cargo bench`. See DESIGN.md §3
+//! for the mapping from bench groups to tables/figures.

@@ -1,0 +1,35 @@
+//! The paper's contribution: approximate GED via optimal transport.
+//!
+//! * [`gediot`] — the supervised **GEDIOT** model (Section 4): GIN node
+//!   embeddings, a learnable cost-matrix layer, a learnable Sinkhorn layer
+//!   with the dummy supernode, and the NTN graph-discrepancy head, trained
+//!   with the bi-level inverse-OT objective (Eq. 7 / Eq. 15).
+//! * [`gedgw`] — the unsupervised **GEDGW** solver (Section 5): node edits
+//!   as optimal transport plus edge edits as Gromov–Wasserstein
+//!   discrepancy, solved with conditional gradient (Eq. 17, Algorithm 2).
+//! * [`ensemble`] — the **GEDHOT** ensemble (Section 5.2): the smaller GED
+//!   and the shorter edit path of the two.
+//! * [`kbest`] — GEP generation from any coupling matrix via the k-best
+//!   matching framework with lower-bound pruning (Section 4.5, Algorithm 4).
+//! * [`lower_bound`] — the label-set GED lower bound (Eq. 22).
+//! * [`pairs`] — training/evaluation pair plumbing shared by the models.
+
+#![warn(missing_docs)]
+
+pub mod edge_labeled;
+pub mod ensemble;
+pub mod gedgw;
+pub mod gediot;
+pub mod kbest;
+pub mod lower_bound;
+pub mod pairs;
+pub mod search;
+
+pub use edge_labeled::{gedgw_edge_labeled, EdgeLabeledGraph};
+pub use ensemble::{Gedhot, GedhotPrediction};
+pub use gedgw::{Gedgw, GedgwOptions, GedgwResult};
+pub use gediot::{Gediot, GediotConfig, GediotPrediction};
+pub use kbest::{kbest_edit_path, KBestResult};
+pub use lower_bound::{degree_sequence_lower_bound, label_set_lower_bound};
+pub use search::{bounded_exact_ged, similarity_search, SearchStats, Verdict};
+pub use pairs::{ordered, GedPair};

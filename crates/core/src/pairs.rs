@@ -1,0 +1,105 @@
+//! Graph-pair plumbing shared by all solvers.
+//!
+//! The paper assumes `n1 <= n2` throughout (GED is symmetric, so the pair is
+//! swapped otherwise). [`GedPair`] carries a normalized pair together with
+//! optional ground truth (exact GED and node matching) for training and
+//! evaluation.
+
+use ged_graph::{Graph, NodeMapping};
+
+/// Returns `(smaller, larger, swapped)` so that
+/// `smaller.num_nodes() <= larger.num_nodes()`.
+#[must_use]
+pub fn ordered<'a>(g1: &'a Graph, g2: &'a Graph) -> (&'a Graph, &'a Graph, bool) {
+    if g1.num_nodes() <= g2.num_nodes() {
+        (g1, g2, false)
+    } else {
+        (g2, g1, true)
+    }
+}
+
+/// A normalized graph pair (`g1.num_nodes() <= g2.num_nodes()`) with
+/// optional supervision.
+#[derive(Clone, Debug)]
+pub struct GedPair {
+    /// The smaller graph.
+    pub g1: Graph,
+    /// The larger graph.
+    pub g2: Graph,
+    /// Ground-truth GED, if known.
+    pub ged: Option<f64>,
+    /// Ground-truth node matching `V1 -> V2`, if known.
+    pub mapping: Option<NodeMapping>,
+}
+
+impl GedPair {
+    /// Builds an unsupervised pair, swapping so `n1 <= n2`.
+    #[must_use]
+    pub fn new(g1: Graph, g2: Graph) -> Self {
+        if g1.num_nodes() <= g2.num_nodes() {
+            GedPair { g1, g2, ged: None, mapping: None }
+        } else {
+            GedPair { g1: g2, g2: g1, ged: None, mapping: None }
+        }
+    }
+
+    /// Builds a supervised pair. The mapping must map the smaller graph into
+    /// the larger one; the caller is responsible for providing it in that
+    /// orientation (swap before calling if needed).
+    ///
+    /// # Panics
+    /// Panics if `g1` has more nodes than `g2` (supervised pairs cannot be
+    /// auto-swapped because the mapping orientation would silently break) or
+    /// if the mapping size is inconsistent.
+    #[must_use]
+    pub fn supervised(g1: Graph, g2: Graph, ged: f64, mapping: NodeMapping) -> Self {
+        assert!(
+            g1.num_nodes() <= g2.num_nodes(),
+            "supervised pairs must already be ordered (n1 <= n2)"
+        );
+        assert_eq!(mapping.len(), g1.num_nodes(), "mapping must cover g1");
+        GedPair { g1, g2, ged: Some(ged), mapping: Some(mapping) }
+    }
+
+    /// The normalized ground-truth GED (`nGED`, Section 4.4), if supervised.
+    #[must_use]
+    pub fn normalized_ged(&self) -> Option<f64> {
+        self.ged.map(|g| ged_graph::normalized_ged(g, &self.g1, &self.g2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ged_graph::Label;
+
+    #[test]
+    fn ordering() {
+        let small = Graph::from_edges(vec![Label(0)], &[]);
+        let big = Graph::from_edges(vec![Label(0), Label(1)], &[(0, 1)]);
+        let (a, b, swapped) = ordered(&big, &small);
+        assert!(swapped);
+        assert_eq!(a.num_nodes(), 1);
+        assert_eq!(b.num_nodes(), 2);
+
+        let pair = GedPair::new(big.clone(), small.clone());
+        assert!(pair.g1.num_nodes() <= pair.g2.num_nodes());
+    }
+
+    #[test]
+    fn normalized_ged_uses_max_ops() {
+        let g1 = Graph::from_edges(vec![Label(0), Label(1)], &[(0, 1)]);
+        let g2 = Graph::from_edges(vec![Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]);
+        let pair = GedPair::supervised(g1, g2, 2.0, NodeMapping::identity(2));
+        // max(n1,n2) + max(m1,m2) = 3 + 2 = 5.
+        assert!((pair.normalized_ged().unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "already be ordered")]
+    fn supervised_rejects_misordered() {
+        let g1 = Graph::from_edges(vec![Label(0), Label(1)], &[(0, 1)]);
+        let g2 = Graph::from_edges(vec![Label(0)], &[]);
+        let _ = GedPair::supervised(g1, g2, 1.0, NodeMapping::identity(2));
+    }
+}

@@ -1,0 +1,11 @@
+//! Evaluation metrics for GED computation and GEP generation
+//! (Section 6.3 of the paper).
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+
+pub use metrics::{
+    accuracy, feasibility, kendall_tau, mae, path_f1, path_precision_recall, precision_at_k,
+    spearman_rho, GroupedRanking, PairOutcome,
+};

@@ -1,0 +1,368 @@
+//! Metric implementations.
+//!
+//! Value metrics (MAE, Accuracy, Feasibility), ranking metrics (Spearman's
+//! ρ, Kendall's τ-b, p@k — computed per query group and averaged, matching
+//! the paper's graph-similarity-search protocol), and edit-path quality
+//! metrics (Recall / Precision / F1 over canonical operation multisets).
+
+use ged_graph::CanonicalOp;
+
+/// One evaluated pair: predicted vs. ground-truth GED.
+#[derive(Clone, Copy, Debug)]
+pub struct PairOutcome {
+    /// Predicted GED (possibly fractional).
+    pub pred: f64,
+    /// Ground-truth GED.
+    pub gt: f64,
+}
+
+/// Mean absolute error `mean(|pred - gt|)`.
+///
+/// # Panics
+/// Panics on empty input.
+#[must_use]
+pub fn mae(outcomes: &[PairOutcome]) -> f64 {
+    assert!(!outcomes.is_empty(), "mae of empty set");
+    outcomes.iter().map(|o| (o.pred - o.gt).abs()).sum::<f64>() / outcomes.len() as f64
+}
+
+/// Fraction of predictions that equal the ground truth after rounding to
+/// the nearest integer.
+///
+/// # Panics
+/// Panics on empty input.
+#[must_use]
+pub fn accuracy(outcomes: &[PairOutcome]) -> f64 {
+    assert!(!outcomes.is_empty(), "accuracy of empty set");
+    let hits = outcomes
+        .iter()
+        .filter(|o| (o.pred.round() - o.gt.round()).abs() < 0.5)
+        .count();
+    hits as f64 / outcomes.len() as f64
+}
+
+/// Fraction of predictions that are no less than the ground truth, i.e.
+/// an edit path of the predicted length can exist (Section 6.3).
+///
+/// # Panics
+/// Panics on empty input.
+#[must_use]
+pub fn feasibility(outcomes: &[PairOutcome]) -> f64 {
+    assert!(!outcomes.is_empty(), "feasibility of empty set");
+    let ok = outcomes.iter().filter(|o| o.pred + 1e-9 >= o.gt).count();
+    ok as f64 / outcomes.len() as f64
+}
+
+/// Average ranks with ties resolved to the mean rank of the tied run.
+fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman's rank correlation coefficient ρ (with tie-averaged ranks).
+///
+/// Returns 0 when either side is constant.
+///
+/// # Panics
+/// Panics if lengths differ or are < 2.
+#[must_use]
+pub fn spearman_rho(pred: &[f64], gt: &[f64]) -> f64 {
+    assert_eq!(pred.len(), gt.len());
+    assert!(pred.len() >= 2, "need at least two samples");
+    let rp = average_ranks(pred);
+    let rg = average_ranks(gt);
+    pearson(&rp, &rg)
+}
+
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Kendall's τ-b rank correlation (tie-corrected).
+///
+/// Returns 0 when either side is constant.
+///
+/// # Panics
+/// Panics if lengths differ or are < 2.
+#[must_use]
+pub fn kendall_tau(pred: &[f64], gt: &[f64]) -> f64 {
+    assert_eq!(pred.len(), gt.len());
+    let n = pred.len();
+    assert!(n >= 2, "need at least two samples");
+    let (mut concordant, mut discordant) = (0i64, 0i64);
+    let (mut ties_x, mut ties_y) = (0i64, 0i64);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = pred[i] - pred[j];
+            let dy = gt[i] - gt[j];
+            if dx == 0.0 && dy == 0.0 {
+                // tied in both: contributes to neither
+            } else if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if dx * dy > 0.0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom = (((n0 - ties_x) as f64) * ((n0 - ties_y) as f64)).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (concordant - discordant) as f64 / denom
+    }
+}
+
+/// Precision at `k`: overlap between the predicted and true top-`k` most
+/// similar items (smallest GED), divided by `k`.
+///
+/// # Panics
+/// Panics if lengths differ or `k == 0`.
+#[must_use]
+pub fn precision_at_k(pred: &[f64], gt: &[f64], k: usize) -> f64 {
+    assert_eq!(pred.len(), gt.len());
+    assert!(k >= 1, "k must be positive");
+    let k = k.min(pred.len());
+    let top = |vals: &[f64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..vals.len()).collect();
+        idx.sort_by(|&a, &b| {
+            vals[a].partial_cmp(&vals[b]).expect("finite").then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    };
+    let tp = top(pred);
+    let tg = top(gt);
+    let hits = tp.iter().filter(|i| tg.contains(i)).count();
+    hits as f64 / k as f64
+}
+
+/// Per-query ranking evaluation: each group is one query graph with its
+/// partner predictions, as in the paper's similarity-search protocol. The
+/// reported ρ / τ / p@k are averaged over groups.
+#[derive(Default)]
+pub struct GroupedRanking {
+    groups: Vec<(Vec<f64>, Vec<f64>)>,
+}
+
+impl GroupedRanking {
+    /// Creates an empty collection.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one query group (parallel prediction / ground-truth lists).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn push_group(&mut self, pred: Vec<f64>, gt: Vec<f64>) {
+        assert_eq!(pred.len(), gt.len());
+        if pred.len() >= 2 {
+            self.groups.push((pred, gt));
+        }
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no groups were added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Mean Spearman ρ over groups.
+    #[must_use]
+    pub fn mean_spearman(&self) -> f64 {
+        self.mean(spearman_rho)
+    }
+
+    /// Mean Kendall τ-b over groups.
+    #[must_use]
+    pub fn mean_kendall(&self) -> f64 {
+        self.mean(kendall_tau)
+    }
+
+    /// Mean p@k over groups.
+    #[must_use]
+    pub fn mean_precision_at(&self, k: usize) -> f64 {
+        self.mean(|p, g| precision_at_k(p, g, k))
+    }
+
+    fn mean(&self, f: impl Fn(&[f64], &[f64]) -> f64) -> f64 {
+        if self.groups.is_empty() {
+            return 0.0;
+        }
+        self.groups.iter().map(|(p, g)| f(p, g)).sum::<f64>() / self.groups.len() as f64
+    }
+}
+
+/// Multiset precision/recall of a generated edit path against the ground
+/// truth, over canonical operations: `recall = |GEP ∩ GEP*| / |GEP*|`,
+/// `precision = |GEP ∩ GEP*| / |GEP|` (Section 6.3). Identical empty paths
+/// count as perfect.
+#[must_use]
+pub fn path_precision_recall(
+    generated: &[CanonicalOp],
+    ground_truth: &[CanonicalOp],
+) -> (f64, f64) {
+    if generated.is_empty() && ground_truth.is_empty() {
+        return (1.0, 1.0);
+    }
+    let mut gen = generated.to_vec();
+    let mut gt = ground_truth.to_vec();
+    gen.sort_unstable();
+    gt.sort_unstable();
+    // Multiset intersection via merge.
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < gen.len() && j < gt.len() {
+        match gen[i].cmp(&gt[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let precision = if gen.is_empty() { 0.0 } else { inter as f64 / gen.len() as f64 };
+    let recall = if gt.is_empty() { 0.0 } else { inter as f64 / gt.len() as f64 };
+    (precision, recall)
+}
+
+/// F1 score of a precision/recall pair.
+#[must_use]
+pub fn path_f1(precision: f64, recall: f64) -> f64 {
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(pred: f64, gt: f64) -> PairOutcome {
+        PairOutcome { pred, gt }
+    }
+
+    #[test]
+    fn value_metrics() {
+        let xs = [o(4.0, 4.0), o(5.4, 5.0), o(2.0, 3.0)];
+        assert!((mae(&xs) - (0.0 + 0.4 + 1.0) / 3.0).abs() < 1e-12);
+        assert!((accuracy(&xs) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((feasibility(&xs) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_perfect_and_reversed() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman_rho(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 2.0, 3.0];
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-12);
+        let flat = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(spearman_rho(&flat, &b), 0.0);
+    }
+
+    #[test]
+    fn kendall_basics() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0];
+        assert!((kendall_tau(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [3.0, 2.0, 1.0];
+        assert!((kendall_tau(&a, &c) + 1.0).abs() < 1e-12);
+        // One swap out of three pairs: tau = (2 - 1) / 3.
+        let d = [1.0, 3.0, 2.0];
+        assert!((kendall_tau(&a, &d) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_at_k_overlap() {
+        let pred = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let gt = [1.0, 2.0, 5.0, 4.0, 3.0];
+        // Top-2 smallest: pred {0,1}, gt {0,1} -> 1.0
+        assert_eq!(precision_at_k(&pred, &gt, 2), 1.0);
+        // Top-3: pred {0,1,2}, gt {0,1,4} -> 2/3.
+        assert!((precision_at_k(&pred, &gt, 3) - 2.0 / 3.0).abs() < 1e-12);
+        // k larger than the list is clamped.
+        assert_eq!(precision_at_k(&pred, &gt, 50), 1.0);
+    }
+
+    #[test]
+    fn grouped_ranking_averages() {
+        let mut g = GroupedRanking::new();
+        g.push_group(vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]);
+        g.push_group(vec![3.0, 2.0, 1.0], vec![1.0, 2.0, 3.0]);
+        assert_eq!(g.len(), 2);
+        assert!((g.mean_spearman() - 0.0).abs() < 1e-12);
+        assert!((g.mean_kendall() - 0.0).abs() < 1e-12);
+        // Degenerate single-element groups are dropped.
+        g.push_group(vec![1.0], vec![1.0]);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn path_overlap_metrics() {
+        use CanonicalOp::*;
+        let gt = vec![Relabel(2), InsertNode(3), DeleteEdge(1, 2), InsertEdge(2, 3)];
+        let gen = vec![Relabel(2), InsertNode(3), DeleteEdge(0, 1), InsertEdge(2, 3)];
+        let (p, r) = path_precision_recall(&gen, &gt);
+        assert!((p - 0.75).abs() < 1e-12);
+        assert!((r - 0.75).abs() < 1e-12);
+        assert!((path_f1(p, r) - 0.75).abs() < 1e-12);
+
+        let (p2, r2) = path_precision_recall(&[], &[]);
+        assert_eq!((p2, r2), (1.0, 1.0));
+        let (p3, r3) = path_precision_recall(&[], &gt);
+        assert_eq!((p3, r3), (0.0, 0.0));
+    }
+}

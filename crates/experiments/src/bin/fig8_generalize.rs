@@ -1,0 +1,5 @@
+//! Regenerates the corresponding table/figure of the paper.
+fn main() {
+    let cfg = ged_experiments::ExpConfig::from_env();
+    print!("{}", ged_experiments::exp::run_fig8(&cfg));
+}

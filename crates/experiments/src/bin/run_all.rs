@@ -1,0 +1,10 @@
+//! Runs every experiment and writes the combined report to
+//! `experiments_output.txt` (and stdout).
+fn main() {
+    let cfg = ged_experiments::ExpConfig::from_env();
+    let report = ged_experiments::exp::run_all(&cfg);
+    print!("{report}");
+    if let Err(e) = std::fs::write("experiments_output.txt", &report) {
+        eprintln!("could not write experiments_output.txt: {e}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Edit operations and edit paths.
+//!
+//! The paper's GED uses five uniform-cost operations: node insertion, node
+//! deletion, node relabeling, edge insertion and edge deletion. An
+//! [`EditPath`] is an ordered sequence of operations; applying it to `G1`
+//! must yield (a graph isomorphic to) `G2`.
+
+use crate::graph::{Graph, Label};
+use serde::{Deserialize, Serialize};
+
+/// A single edit operation, interpreted against the *current* state of the
+/// graph being edited (node ids refer to that state).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EditOp {
+    /// Change the label of `node` to `label`.
+    RelabelNode {
+        /// Node to relabel.
+        node: u32,
+        /// New label.
+        label: Label,
+    },
+    /// Append a new isolated node with the given label.
+    InsertNode {
+        /// Label of the inserted node.
+        label: Label,
+    },
+    /// Delete `node` (must be isolated; ids above shift down by one).
+    DeleteNode {
+        /// Node to delete.
+        node: u32,
+    },
+    /// Insert the undirected edge `(u, v)`.
+    InsertEdge {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
+    /// Delete the undirected edge `(u, v)`.
+    DeleteEdge {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
+}
+
+/// A sequence of edit operations. Its [`len`](EditPath::len) is the edit
+/// cost under the paper's uniform cost model.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EditPath {
+    ops: Vec<EditOp>,
+}
+
+impl EditPath {
+    /// Creates an empty path.
+    #[must_use]
+    pub fn new() -> Self {
+        EditPath { ops: Vec::new() }
+    }
+
+    /// Wraps an operation list.
+    #[must_use]
+    pub fn from_ops(ops: Vec<EditOp>) -> Self {
+        EditPath { ops }
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: EditOp) {
+        self.ops.push(op);
+    }
+
+    /// The operations in order.
+    #[must_use]
+    pub fn ops(&self) -> &[EditOp] {
+        &self.ops
+    }
+
+    /// The number of operations — i.e. the edit cost of this path.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the path is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Applies the path to `g`, returning the edited graph.
+    ///
+    /// # Errors
+    /// Returns a description of the first inapplicable operation (e.g.
+    /// deleting a missing edge), leaving no partial result.
+    pub fn apply(&self, g: &Graph) -> Result<Graph, String> {
+        let mut out = g.clone();
+        for (i, &op) in self.ops.iter().enumerate() {
+            apply_op(&mut out, op).map_err(|e| format!("op #{i} ({op:?}): {e}"))?;
+        }
+        Ok(out)
+    }
+}
+
+impl FromIterator<EditOp> for EditPath {
+    fn from_iter<T: IntoIterator<Item = EditOp>>(iter: T) -> Self {
+        EditPath { ops: iter.into_iter().collect() }
+    }
+}
+
+fn apply_op(g: &mut Graph, op: EditOp) -> Result<(), String> {
+    let n = g.num_nodes() as u32;
+    let check = |u: u32| -> Result<(), String> {
+        if u < n {
+            Ok(())
+        } else {
+            Err(format!("node {u} out of range (n={n})"))
+        }
+    };
+    match op {
+        EditOp::RelabelNode { node, label } => {
+            check(node)?;
+            if g.label(node) == label {
+                return Err("relabel to identical label".into());
+            }
+            g.set_label(node, label);
+        }
+        EditOp::InsertNode { label } => {
+            g.add_node(label);
+        }
+        EditOp::DeleteNode { node } => {
+            check(node)?;
+            if g.degree(node) != 0 {
+                return Err(format!("node {node} not isolated (degree {})", g.degree(node)));
+            }
+            g.remove_node(node);
+        }
+        EditOp::InsertEdge { u, v } => {
+            check(u)?;
+            check(v)?;
+            if u == v {
+                return Err("self loop".into());
+            }
+            if g.has_edge(u, v) {
+                return Err(format!("edge ({u},{v}) already present"));
+            }
+            g.add_edge(u, v);
+        }
+        EditOp::DeleteEdge { u, v } => {
+            check(u)?;
+            check(v)?;
+            if !g.remove_edge(u, v) {
+                return Err(format!("edge ({u},{v}) not present"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        Graph::from_edges(labels.iter().map(|&l| Label(l)).collect(), edges)
+    }
+
+    #[test]
+    fn apply_full_path() {
+        // Figure 1 of the paper: G1 (3 nodes) -> G2 (4 nodes) with GED 4:
+        // relabel u3, insert node v4, delete edge (u2,u3), insert edge (u3,v4).
+        let g1 = path_graph(&[1, 1, 2], &[(0, 1), (0, 2), (1, 2)]);
+        let g2 = path_graph(&[1, 1, 3, 4], &[(0, 1), (0, 2), (2, 3)]);
+        let path = EditPath::from_ops(vec![
+            EditOp::RelabelNode { node: 2, label: Label(3) },
+            EditOp::InsertNode { label: Label(4) },
+            EditOp::DeleteEdge { u: 1, v: 2 },
+            EditOp::InsertEdge { u: 2, v: 3 },
+        ]);
+        assert_eq!(path.len(), 4);
+        let result = path.apply(&g1).unwrap();
+        result.validate();
+        assert_eq!(result, g2);
+    }
+
+    #[test]
+    fn delete_node_requires_isolation() {
+        let g = path_graph(&[0, 0], &[(0, 1)]);
+        let p = EditPath::from_ops(vec![EditOp::DeleteNode { node: 0 }]);
+        assert!(p.apply(&g).unwrap_err().contains("not isolated"));
+        let p2 = EditPath::from_ops(vec![
+            EditOp::DeleteEdge { u: 0, v: 1 },
+            EditOp::DeleteNode { node: 0 },
+        ]);
+        let out = p2.apply(&g).unwrap();
+        assert_eq!(out.num_nodes(), 1);
+    }
+
+    #[test]
+    fn invalid_ops_are_reported() {
+        let g = path_graph(&[0, 0], &[(0, 1)]);
+        for (op, msg) in [
+            (EditOp::InsertEdge { u: 0, v: 1 }, "already present"),
+            (EditOp::DeleteEdge { u: 0, v: 5 }, "out of range"),
+            (EditOp::InsertEdge { u: 1, v: 1 }, "self loop"),
+            (EditOp::RelabelNode { node: 0, label: Label(0) }, "identical label"),
+        ] {
+            let err = EditPath::from_ops(vec![op]).apply(&g).unwrap_err();
+            assert!(err.contains(msg), "{err} should contain {msg}");
+        }
+    }
+
+    #[test]
+    fn empty_path_is_identity() {
+        let g = path_graph(&[1, 2, 3], &[(0, 1)]);
+        assert_eq!(EditPath::new().apply(&g).unwrap(), g);
+    }
+}

@@ -1,0 +1,334 @@
+//! Random graph generation and ground-truth pair synthesis.
+//!
+//! Provides the generators behind the synthetic dataset stand-ins
+//! (connected sparse graphs for AIDS/LINUX, ego-nets for IMDB, power-law
+//! graphs for the scalability study) and the Δ-edit perturbation technique
+//! the paper uses to create ground truth for graph pairs that are too large
+//! for exact A* (Section 6.1, Appendix F.1).
+
+use crate::graph::{Graph, Label};
+use crate::mapping::NodeMapping;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A random connected graph with `n` nodes and approximately `extra_edges`
+/// edges beyond the spanning tree, labels drawn from `label_weights`
+/// (index = label id, value = relative frequency).
+///
+/// # Panics
+/// Panics if `n == 0` or `label_weights` is empty.
+pub fn random_connected<R: Rng>(
+    n: usize,
+    extra_edges: usize,
+    label_weights: &[f64],
+    rng: &mut R,
+) -> Graph {
+    assert!(n > 0, "graph must have at least one node");
+    let dist = WeightedIndex::new(label_weights).expect("non-empty positive weights");
+    let mut g = Graph::with_capacity(n);
+    for _ in 0..n {
+        let l = dist.sample(rng) as u32;
+        g.add_node(Label(l));
+    }
+    // Random spanning tree: connect node i to a random previous node.
+    for i in 1..n as u32 {
+        let j = rng.gen_range(0..i);
+        g.add_edge(i, j);
+    }
+    // Extra edges, skipping duplicates.
+    let max_extra = n * (n - 1) / 2 - (n - 1);
+    let target = extra_edges.min(max_extra);
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < target && attempts < 50 * (target + 1) {
+        attempts += 1;
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v && !g.has_edge(u, v) {
+            g.add_edge(u, v);
+            added += 1;
+        }
+    }
+    g
+}
+
+/// An unlabeled random connected graph (every node labeled
+/// [`Label::UNLABELED`]).
+pub fn random_connected_unlabeled<R: Rng>(n: usize, extra_edges: usize, rng: &mut R) -> Graph {
+    random_connected(n, extra_edges, &[1.0], rng)
+}
+
+/// A Barabási–Albert style preferential-attachment graph: each new node
+/// attaches to `m_attach` existing nodes chosen proportionally to degree.
+/// Produces the power-law degree distributions used in Figure 16 / G.4.
+///
+/// # Panics
+/// Panics if `n == 0` or `m_attach == 0`.
+pub fn barabasi_albert<R: Rng>(n: usize, m_attach: usize, rng: &mut R) -> Graph {
+    assert!(n > 0 && m_attach > 0);
+    let m0 = (m_attach + 1).min(n);
+    let mut g = Graph::with_capacity(n);
+    for _ in 0..n {
+        g.add_node(Label::UNLABELED);
+    }
+    // Seed clique among the first m0 nodes.
+    for u in 0..m0 as u32 {
+        for v in (u + 1)..m0 as u32 {
+            g.add_edge(u, v);
+        }
+    }
+    // `targets` holds one entry per edge endpoint => sampling from it is
+    // degree-proportional.
+    let mut targets: Vec<u32> = Vec::new();
+    for u in 0..m0 as u32 {
+        for _ in 0..g.degree(u) {
+            targets.push(u);
+        }
+    }
+    for u in m0 as u32..n as u32 {
+        let mut chosen: HashSet<u32> = HashSet::new();
+        let want = m_attach.min(u as usize);
+        let mut guard = 0;
+        while chosen.len() < want && guard < 1000 {
+            guard += 1;
+            let t = *targets.choose(rng).expect("non-empty targets");
+            if t != u {
+                chosen.insert(t);
+            }
+        }
+        for &t in &chosen {
+            g.add_edge(u, t);
+            targets.push(u);
+            targets.push(t);
+        }
+    }
+    g
+}
+
+/// An ego-network style graph (IMDB stand-in): a hub connected to everyone,
+/// plus `communities` dense clusters among the remaining nodes, plus a few
+/// random noise edges. Unlabeled and much denser than the AIDS/LINUX graphs.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn ego_net<R: Rng>(n: usize, communities: usize, rng: &mut R) -> Graph {
+    assert!(n >= 2, "ego net needs at least hub + one member");
+    let mut g = Graph::with_capacity(n);
+    for _ in 0..n {
+        g.add_node(Label::UNLABELED);
+    }
+    // Hub = node 0.
+    for v in 1..n as u32 {
+        g.add_edge(0, v);
+    }
+    // Assign members to communities; fully connect within each with
+    // probability 0.8 per pair.
+    let c = communities.max(1);
+    let mut assignment: Vec<usize> = (1..n).map(|_| rng.gen_range(0..c)).collect();
+    assignment.shuffle(rng);
+    for i in 1..n as u32 {
+        for j in (i + 1)..n as u32 {
+            if assignment[(i - 1) as usize] == assignment[(j - 1) as usize]
+                && rng.gen_bool(0.8)
+            {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    // Sparse cross-community noise.
+    let noise = n / 4;
+    for _ in 0..noise {
+        let u = rng.gen_range(1..n as u32);
+        let v = rng.gen_range(1..n as u32);
+        if u != v && !g.has_edge(u, v) {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// A synthetic graph pair with known (approximate) ground truth, produced by
+/// applying `delta` non-cancelling random edit operations to `g`.
+pub struct PerturbedPair {
+    /// The perturbed graph `G'`.
+    pub graph: Graph,
+    /// Number of edit operations actually applied (≤ requested `delta` only
+    /// when the graph runs out of editable material).
+    pub applied: usize,
+    /// Ground-truth matching from the *original* graph into the perturbed
+    /// one (identity on surviving nodes — perturbation never deletes nodes,
+    /// so this is always total and injective).
+    pub mapping: NodeMapping,
+}
+
+/// Applies `delta` random edit operations to `g`, returning the perturbed
+/// graph, the achieved edit count and the ground-truth node matching.
+///
+/// This reproduces the ground-truth generation technique of the paper
+/// (Appendix F.1) for graph pairs too large for exact A*: the edit count is
+/// treated as the (approximate) ground-truth GED and the identity matching
+/// as the ground-truth coupling. Operations are chosen to avoid trivial
+/// cancellation: a node is relabeled at most once, inserted edges are never
+/// re-deleted and vice versa, and node insertions (which consume 2 ops:
+/// the node plus one connecting edge) always attach to a pre-existing node.
+///
+/// `num_labels` is the label alphabet size (use 1 for unlabeled graphs,
+/// which disables relabeling).
+pub fn perturb_with_edits<R: Rng>(
+    g: &Graph,
+    delta: usize,
+    num_labels: u32,
+    rng: &mut R,
+) -> PerturbedPair {
+    let n0 = g.num_nodes();
+    let mut out = g.clone();
+    let mut applied = 0usize;
+    let mut relabeled: HashSet<u32> = HashSet::new();
+    let mut touched_edges: HashSet<(u32, u32)> = HashSet::new();
+    let key = |u: u32, v: u32| (u.min(v), u.max(v));
+
+    let mut guard = 0;
+    while applied < delta && guard < 200 * (delta + 1) {
+        guard += 1;
+        let n = out.num_nodes() as u32;
+        // 0: relabel, 1: insert node (+edge), 2: insert edge, 3: delete edge
+        let choice = rng.gen_range(0..4u32);
+        match choice {
+            0 if num_labels > 1 => {
+                let u = rng.gen_range(0..n);
+                // Only relabel original nodes (keeps ground truth exact) and
+                // only once each.
+                if (u as usize) < n0 && !relabeled.contains(&u) {
+                    let old = out.label(u);
+                    let new = Label(rng.gen_range(0..num_labels));
+                    if new != old {
+                        out.set_label(u, new);
+                        relabeled.insert(u);
+                        applied += 1;
+                    }
+                }
+            }
+            1 if applied + 2 <= delta => {
+                // Node insertion costs 2 ops: the node and a connecting edge
+                // to keep the graph connected (as real datasets are).
+                let label =
+                    if num_labels > 1 { Label(rng.gen_range(0..num_labels)) } else { Label::UNLABELED };
+                let v = out.add_node(label);
+                let anchor = rng.gen_range(0..n);
+                out.add_edge(v, anchor);
+                touched_edges.insert(key(v, anchor));
+                applied += 2;
+            }
+            2
+                if n >= 2 => {
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n);
+                    if u != v && !out.has_edge(u, v) && !touched_edges.contains(&key(u, v)) {
+                        out.add_edge(u, v);
+                        touched_edges.insert(key(u, v));
+                        applied += 1;
+                    }
+                }
+            3 => {
+                let edges: Vec<(u32, u32)> = out
+                    .edges()
+                    .filter(|&(u, v)| !touched_edges.contains(&key(u, v)))
+                    .collect();
+                if let Some(&(u, v)) = edges.choose(rng) {
+                    // Keep every node reachable: avoid isolating an endpoint.
+                    if out.degree(u) > 1 && out.degree(v) > 1 {
+                        out.remove_edge(u, v);
+                        touched_edges.insert(key(u, v));
+                        applied += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    PerturbedPair { graph: out, applied, mapping: NodeMapping::identity(n0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for n in 1..20 {
+            let g = random_connected(n, n / 2, &[0.5, 0.3, 0.2], &mut rng);
+            g.validate();
+            assert_eq!(g.num_nodes(), n);
+            assert!(g.is_connected(), "n={n} not connected");
+        }
+    }
+
+    #[test]
+    fn barabasi_albert_shapes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = barabasi_albert(60, 2, &mut rng);
+        g.validate();
+        assert_eq!(g.num_nodes(), 60);
+        assert!(g.is_connected());
+        // Power-law-ish: max degree should clearly exceed the median degree.
+        let mut degs: Vec<usize> = (0..60u32).map(|u| g.degree(u)).collect();
+        degs.sort_unstable();
+        assert!(degs[59] >= 2 * degs[30], "hub degree {} median {}", degs[59], degs[30]);
+    }
+
+    #[test]
+    fn ego_net_has_hub() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = ego_net(15, 3, &mut rng);
+        g.validate();
+        assert_eq!(g.degree(0), 14);
+        assert!(g.is_connected());
+        // Dense: well above tree edge count.
+        assert!(g.num_edges() > 20, "edges = {}", g.num_edges());
+    }
+
+    #[test]
+    fn perturbation_cost_matches_applied() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for trial in 0..50 {
+            let g = random_connected(8, 3, &[0.4, 0.3, 0.2, 0.1], &mut rng);
+            let delta = 1 + (trial % 6);
+            let pair = perturb_with_edits(&g, delta, 4, &mut rng);
+            pair.graph.validate();
+            assert!(pair.applied <= delta);
+            // The identity matching's induced cost must be exactly the number
+            // of applied operations (non-cancelling construction).
+            assert!(pair.graph.num_nodes() >= g.num_nodes());
+            let cost = pair.mapping.induced_cost(&g, &pair.graph);
+            assert_eq!(cost, pair.applied, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn perturbation_keeps_connectivity() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..30 {
+            let g = random_connected_unlabeled(10, 4, &mut rng);
+            let pair = perturb_with_edits(&g, 5, 1, &mut rng);
+            // Edge deletions avoid isolating nodes, node insertions connect:
+            // no isolated nodes remain.
+            for u in 0..pair.graph.num_nodes() as u32 {
+                assert!(pair.graph.degree(u) > 0, "node {u} isolated");
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_zero_delta_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = random_connected(6, 2, &[1.0, 1.0], &mut rng);
+        let pair = perturb_with_edits(&g, 0, 2, &mut rng);
+        assert_eq!(pair.graph, g);
+        assert_eq!(pair.applied, 0);
+    }
+}

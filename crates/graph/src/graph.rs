@@ -1,0 +1,397 @@
+//! Node-labeled undirected graphs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node label.
+///
+/// Labels are small integers; datasets map their label alphabet (e.g. the 29
+/// chemical symbols of AIDS) onto `0..num_labels`. Unlabeled graphs use the
+/// single label [`Label::UNLABELED`] on every node, which matches the paper's
+/// "constant initial node feature" convention for LINUX and IMDB.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The label carried by every node of an unlabeled graph.
+    pub const UNLABELED: Label = Label(0);
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<u32> for Label {
+    fn from(v: u32) -> Self {
+        Label(v)
+    }
+}
+
+/// A node-labeled, undirected, simple graph (no self loops, no multi-edges).
+///
+/// Nodes are identified by dense indices `0..n`. Adjacency lists are kept
+/// sorted so that edge membership tests are `O(log deg)` and iteration order
+/// is deterministic.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    labels: Vec<Label>,
+    adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={}, labels={:?}, edges={:?})",
+            self.num_nodes(),
+            self.num_edges,
+            self.labels,
+            self.edges().collect::<Vec<_>>()
+        )
+    }
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Graph { labels: Vec::new(), adj: Vec::new(), num_edges: 0 }
+    }
+
+    /// Creates an empty graph with capacity for `n` nodes.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Graph { labels: Vec::with_capacity(n), adj: Vec::with_capacity(n), num_edges: 0 }
+    }
+
+    /// Builds a graph from a label list and an edge list.
+    ///
+    /// # Panics
+    /// Panics if an edge references a node out of range, is a self loop, or
+    /// appears twice.
+    #[must_use]
+    pub fn from_edges(labels: Vec<Label>, edges: &[(u32, u32)]) -> Self {
+        let mut g = Graph { adj: vec![Vec::new(); labels.len()], labels, num_edges: 0 };
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Builds an unlabeled graph (every node gets [`Label::UNLABELED`]).
+    #[must_use]
+    pub fn unlabeled_from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        Self::from_edges(vec![Label::UNLABELED; n], edges)
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of (undirected) edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Adds a node with the given label; returns its index.
+    pub fn add_node(&mut self, label: Label) -> u32 {
+        self.labels.push(label);
+        self.adj.push(Vec::new());
+        (self.labels.len() - 1) as u32
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    ///
+    /// # Panics
+    /// Panics on self loops, out-of-range endpoints or duplicate edges.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert_ne!(u, v, "self loops are not allowed");
+        let n = self.num_nodes() as u32;
+        assert!(u < n && v < n, "edge ({u},{v}) out of range (n={n})");
+        let pos_u = self.adj[u as usize].binary_search(&v);
+        assert!(pos_u.is_err(), "duplicate edge ({u},{v})");
+        self.adj[u as usize].insert(pos_u.unwrap_err(), v);
+        let pos_v = self.adj[v as usize].binary_search(&u).unwrap_err();
+        self.adj[v as usize].insert(pos_v, u);
+        self.num_edges += 1;
+    }
+
+    /// Removes the undirected edge `(u, v)`; returns `true` if it existed.
+    pub fn remove_edge(&mut self, u: u32, v: u32) -> bool {
+        let Ok(pos_u) = self.adj[u as usize].binary_search(&v) else {
+            return false;
+        };
+        self.adj[u as usize].remove(pos_u);
+        let pos_v = self.adj[v as usize].binary_search(&u).expect("asymmetric adjacency");
+        self.adj[v as usize].remove(pos_v);
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Removes node `u` and all incident edges. Nodes after `u` are shifted
+    /// down by one (ids stay dense).
+    pub fn remove_node(&mut self, u: u32) {
+        let neighbors: Vec<u32> = self.adj[u as usize].clone();
+        for v in neighbors {
+            self.remove_edge(u, v);
+        }
+        self.labels.remove(u as usize);
+        self.adj.remove(u as usize);
+        for list in &mut self.adj {
+            for w in list.iter_mut() {
+                if *w > u {
+                    *w -= 1;
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the undirected edge `(u, v)` is present.
+    #[must_use]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj
+            .get(u as usize)
+            .is_some_and(|list| list.binary_search(&v).is_ok())
+    }
+
+    /// The label of node `u`.
+    #[must_use]
+    pub fn label(&self, u: u32) -> Label {
+        self.labels[u as usize]
+    }
+
+    /// Replaces the label of node `u`.
+    pub fn set_label(&mut self, u: u32, label: Label) {
+        self.labels[u as usize] = label;
+    }
+
+    /// All node labels, indexed by node id.
+    #[must_use]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The sorted neighbor list of node `u`.
+    #[must_use]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    /// The degree of node `u`.
+    #[must_use]
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Iterates over edges as `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, list)| {
+            let u = u as u32;
+            list.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Dense adjacency matrix as a flat row-major `n*n` vector of `0.0/1.0`.
+    #[must_use]
+    pub fn adjacency_matrix(&self) -> Vec<f64> {
+        let n = self.num_nodes();
+        let mut a = vec![0.0; n * n];
+        for (u, v) in self.edges() {
+            a[u as usize * n + v as usize] = 1.0;
+            a[v as usize * n + u as usize] = 1.0;
+        }
+        a
+    }
+
+    /// Dense adjacency matrix padded with isolated dummy nodes up to `size`.
+    ///
+    /// Used by GEDGW, which pads the smaller graph with label-less, edge-less
+    /// dummy nodes so both graphs have the same node count (Section 5.1).
+    ///
+    /// # Panics
+    /// Panics if `size < n`.
+    #[must_use]
+    pub fn adjacency_matrix_padded(&self, size: usize) -> Vec<f64> {
+        let n = self.num_nodes();
+        assert!(size >= n, "padded size {size} smaller than n={n}");
+        let mut a = vec![0.0; size * size];
+        for (u, v) in self.edges() {
+            a[u as usize * size + v as usize] = 1.0;
+            a[v as usize * size + u as usize] = 1.0;
+        }
+        a
+    }
+
+    /// Returns `true` if the graph is connected (the empty graph counts as
+    /// connected).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in self.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// The multiset of node labels as a sorted vector.
+    #[must_use]
+    pub fn label_multiset(&self) -> Vec<Label> {
+        let mut ls = self.labels.clone();
+        ls.sort_unstable();
+        ls
+    }
+
+    /// The number of distinct labels used by this graph.
+    #[must_use]
+    pub fn distinct_labels(&self) -> usize {
+        let mut ls = self.labels.clone();
+        ls.sort_unstable();
+        ls.dedup();
+        ls.len()
+    }
+
+    /// Checks internal invariants (sorted symmetric adjacency, edge count).
+    /// Intended for tests and debug assertions.
+    ///
+    /// # Panics
+    /// Panics if an invariant is violated.
+    pub fn validate(&self) {
+        assert_eq!(self.labels.len(), self.adj.len());
+        let mut m2 = 0usize;
+        for (u, list) in self.adj.iter().enumerate() {
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "adjacency of {u} not sorted/unique");
+            for &v in list {
+                assert_ne!(v as usize, u, "self loop at {u}");
+                assert!(
+                    self.adj[v as usize].binary_search(&(u as u32)).is_ok(),
+                    "edge ({u},{v}) not symmetric"
+                );
+            }
+            m2 += list.len();
+        }
+        assert_eq!(m2, 2 * self.num_edges, "edge count mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(vec![Label(1), Label(2), Label(3)], &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = triangle();
+        g.validate();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.label(2), Label(3));
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn add_remove_edge() {
+        let mut g = triangle();
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 2);
+        g.add_edge(0, 1);
+        assert_eq!(g.num_edges(), 3);
+        g.validate();
+    }
+
+    #[test]
+    fn remove_node_shifts_ids() {
+        let mut g = Graph::from_edges(
+            vec![Label(0), Label(1), Label(2), Label(3)],
+            &[(0, 1), (1, 2), (2, 3), (0, 3)],
+        );
+        g.remove_node(1);
+        g.validate();
+        assert_eq!(g.num_nodes(), 3);
+        // Old node 2 is now node 1, old node 3 is now node 2.
+        assert_eq!(g.labels(), &[Label(0), Label(2), Label(3)]);
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(0, 2));
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn adjacency_matrix_roundtrip() {
+        let g = triangle();
+        let a = g.adjacency_matrix();
+        assert_eq!(a, vec![0.0, 1.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 0.0]);
+        let ap = g.adjacency_matrix_padded(4);
+        assert_eq!(ap.len(), 16);
+        assert_eq!(ap[1], 1.0); // (0,1)
+        assert_eq!(ap[12], 0.0); // (3,0)
+        assert_eq!(ap[3], 0.0); // (0,3)
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = triangle();
+        assert!(g.is_connected());
+        let mut g2 = g.clone();
+        g2.add_node(Label(9));
+        assert!(!g2.is_connected());
+        assert!(Graph::new().is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "self loops")]
+    fn rejects_self_loop() {
+        let mut g = triangle();
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate_edge() {
+        let mut g = triangle();
+        g.add_edge(1, 0);
+    }
+
+    #[test]
+    fn label_multiset_sorted() {
+        let g = Graph::from_edges(vec![Label(5), Label(1), Label(5)], &[]);
+        assert_eq!(g.label_multiset(), vec![Label(1), Label(5), Label(5)]);
+        assert_eq!(g.distinct_labels(), 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Dataset and graph serialization.
+//!
+//! A small JSON-based format so that experiment runs can snapshot the exact
+//! synthetic datasets they used (graphs, splits, ground truth) and be
+//! replayed later. The format is intentionally simple: it is a direct serde
+//! image of the in-memory types.
+
+use crate::dataset::GraphDataset;
+use crate::graph::Graph;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Serializes a graph to a JSON string.
+///
+/// # Panics
+/// Never panics for valid graphs (serialization of plain vectors).
+#[must_use]
+pub fn graph_to_json(g: &Graph) -> String {
+    serde_json::to_string(g).expect("graph serialization cannot fail")
+}
+
+/// Parses a graph from a JSON string.
+///
+/// # Errors
+/// Returns an error if the JSON is malformed or violates graph invariants.
+pub fn graph_from_json(s: &str) -> Result<Graph, String> {
+    let g: Graph = serde_json::from_str(s).map_err(|e| e.to_string())?;
+    // Re-validate invariants: serde bypasses the builder API.
+    let labels = g.labels().to_vec();
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let rebuilt = Graph::from_edges(labels, &edges);
+    if rebuilt != g {
+        return Err("graph JSON violates adjacency invariants".into());
+    }
+    Ok(g)
+}
+
+/// Writes a dataset to a JSON file.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_dataset(ds: &GraphDataset, path: &Path) -> io::Result<()> {
+    let s = serde_json::to_string(ds).expect("dataset serialization cannot fail");
+    fs::write(path, s)
+}
+
+/// Reads a dataset from a JSON file.
+///
+/// # Errors
+/// Propagates I/O errors and reports malformed JSON.
+pub fn load_dataset(path: &Path) -> io::Result<GraphDataset> {
+    let s = fs::read_to_string(path)?;
+    serde_json::from_str(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GraphDataset;
+    use crate::graph::Label;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn graph_json_roundtrip() {
+        let g = Graph::from_edges(vec![Label(1), Label(2), Label(3)], &[(0, 1), (1, 2)]);
+        let s = graph_to_json(&g);
+        let g2 = graph_from_json(&s).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(graph_from_json("not json").is_err());
+    }
+
+    #[test]
+    fn dataset_file_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let ds = GraphDataset::linux_like(10, &mut rng);
+        let dir = std::env::temp_dir().join("ot_ged_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        save_dataset(&ds, &path).unwrap();
+        let ds2 = load_dataset(&path).unwrap();
+        assert_eq!(ds.graphs, ds2.graphs);
+        std::fs::remove_file(&path).ok();
+    }
+}

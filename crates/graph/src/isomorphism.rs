@@ -1,0 +1,130 @@
+//! A compact VF2-style graph isomorphism check.
+//!
+//! Used by tests and the edit-path verifier to confirm that applying a
+//! generated edit path to `G1` really produces `G2`. Exponential in the
+//! worst case, but the graphs in this project are small (tens of nodes) and
+//! the degree/label pruning makes it fast in practice.
+
+use crate::graph::Graph;
+
+/// Returns `true` if `g1` and `g2` are isomorphic as labeled graphs.
+#[must_use]
+pub fn are_isomorphic(g1: &Graph, g2: &Graph) -> bool {
+    if g1.num_nodes() != g2.num_nodes() || g1.num_edges() != g2.num_edges() {
+        return false;
+    }
+    if g1.label_multiset() != g2.label_multiset() {
+        return false;
+    }
+    let mut deg1: Vec<usize> = (0..g1.num_nodes() as u32).map(|u| g1.degree(u)).collect();
+    let mut deg2: Vec<usize> = (0..g2.num_nodes() as u32).map(|u| g2.degree(u)).collect();
+    deg1.sort_unstable();
+    deg2.sort_unstable();
+    if deg1 != deg2 {
+        return false;
+    }
+
+    let n = g1.num_nodes();
+    // Match nodes of g1 in descending-degree order for better pruning.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&u| std::cmp::Reverse(g1.degree(u)));
+
+    let mut mapping = vec![u32::MAX; n];
+    let mut used = vec![false; n];
+    backtrack(g1, g2, &order, 0, &mut mapping, &mut used)
+}
+
+fn backtrack(
+    g1: &Graph,
+    g2: &Graph,
+    order: &[u32],
+    depth: usize,
+    mapping: &mut [u32],
+    used: &mut [bool],
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    let u = order[depth];
+    'candidates: for v in 0..g2.num_nodes() as u32 {
+        if used[v as usize]
+            || g1.label(u) != g2.label(v)
+            || g1.degree(u) != g2.degree(v)
+        {
+            continue;
+        }
+        // Consistency with already-mapped neighbors (both directions).
+        for &w in g1.neighbors(u) {
+            let mw = mapping[w as usize];
+            if mw != u32::MAX && !g2.has_edge(v, mw) {
+                continue 'candidates;
+            }
+        }
+        for &x in g2.neighbors(v) {
+            // If x is the image of some mapped node w, then (u,w) must be an
+            // edge of g1. Scan mapped prefix (graphs are small).
+            for &w in order.iter().take(depth) {
+                if mapping[w as usize] == x && !g1.has_edge(u, w) {
+                    continue 'candidates;
+                }
+            }
+        }
+        mapping[u as usize] = v;
+        used[v as usize] = true;
+        if backtrack(g1, g2, order, depth + 1, mapping, used) {
+            return true;
+        }
+        mapping[u as usize] = u32::MAX;
+        used[v as usize] = false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Label;
+
+    #[test]
+    fn permuted_graphs_are_isomorphic() {
+        let g1 = Graph::from_edges(
+            vec![Label(1), Label(2), Label(3), Label(1)],
+            &[(0, 1), (1, 2), (2, 3), (3, 0)],
+        );
+        // Same cycle, nodes renamed by the rotation 0->2,1->3,2->0,3->1.
+        let g2 = Graph::from_edges(
+            vec![Label(3), Label(1), Label(1), Label(2)],
+            &[(2, 3), (3, 0), (0, 1), (1, 2)],
+        );
+        assert!(are_isomorphic(&g1, &g2));
+    }
+
+    #[test]
+    fn label_mismatch_detected() {
+        let g1 = Graph::from_edges(vec![Label(1), Label(2)], &[(0, 1)]);
+        let g2 = Graph::from_edges(vec![Label(1), Label(3)], &[(0, 1)]);
+        assert!(!are_isomorphic(&g1, &g2));
+    }
+
+    #[test]
+    fn structure_mismatch_detected() {
+        // Path P4 vs star K1,3: same degrees multiset? P4: 1,2,2,1; star: 3,1,1,1.
+        let p4 = Graph::unlabeled_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let star = Graph::unlabeled_from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert!(!are_isomorphic(&p4, &star));
+    }
+
+    #[test]
+    fn same_degree_sequence_different_structure() {
+        // C6 vs two triangles: all degrees 2, not isomorphic.
+        let c6 = Graph::unlabeled_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let tt = Graph::unlabeled_from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        assert!(!are_isomorphic(&c6, &tt));
+        assert!(are_isomorphic(&c6, &c6));
+    }
+
+    #[test]
+    fn empty_graphs() {
+        assert!(are_isomorphic(&Graph::new(), &Graph::new()));
+    }
+}

@@ -1,0 +1,54 @@
+//! Graph substrate for `ot-ged`.
+//!
+//! This crate provides everything the GED solvers need to know about graphs:
+//!
+//! * [`Graph`] — node-labeled undirected graphs with sorted adjacency lists;
+//! * [`EditOp`] / [`EditPath`] — the five edit operations of the paper
+//!   (node insertion/deletion/relabeling, edge insertion/deletion), path
+//!   application and verification;
+//! * [`NodeMapping`] — injective node matchings `V1 -> V2` together with
+//!   `EPGen` (Algorithm 3 of the paper), which realizes any matching as a
+//!   concrete edit path, and the induced-cost formula of Section 3.1;
+//! * random graph [`generate`]-ors and the synthetic stand-ins for the
+//!   AIDS / LINUX / IMDB [`dataset`]s used throughout the evaluation;
+//! * a small VF2-style [`isomorphism`] checker used by tests to prove that
+//!   generated edit paths really transform `G1` into `G2`.
+//!
+//! Everything here is dependency-light on purpose: the heavy numerical
+//! machinery lives in `ged-linalg`, `ged-ot` and `ged-nn`.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod edit;
+pub mod generate;
+pub mod graph;
+pub mod io;
+pub mod isomorphism;
+pub mod mapping;
+
+pub use dataset::{DatasetKind, GraphDataset, Split};
+pub use edit::{EditOp, EditPath};
+pub use graph::{Graph, Label};
+pub use mapping::{CanonicalOp, NodeMapping};
+
+/// The maximum number of edit operations that can possibly be needed to turn
+/// `g1` into `g2`: relabel/insert every node and rewrite every edge.
+///
+/// This is the denominator of the paper's normalized GED
+/// (`nGED = GED / (max(n1,n2) + max(m1,m2))`, Section 4.4).
+#[must_use]
+pub fn max_edit_ops(g1: &Graph, g2: &Graph) -> usize {
+    g1.num_nodes().max(g2.num_nodes()) + g1.num_edges().max(g2.num_edges())
+}
+
+/// Normalize a raw GED value to `[0, 1]` as in Section 4.4 of the paper.
+#[must_use]
+pub fn normalized_ged(ged: f64, g1: &Graph, g2: &Graph) -> f64 {
+    let denom = max_edit_ops(g1, g2) as f64;
+    if denom == 0.0 {
+        0.0
+    } else {
+        ged / denom
+    }
+}

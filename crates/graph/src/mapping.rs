@@ -1,0 +1,309 @@
+//! Node matchings between two graphs and edit path generation (`EPGen`).
+//!
+//! A [`NodeMapping`] is an injective total map `V1 -> V2` (the paper assumes
+//! `n1 <= n2`; with uniform edit costs this convention loses no optimality).
+//! Any mapping induces a concrete edit path via [`NodeMapping::edit_path`]
+//! (Algorithm 3 of the paper) whose length equals
+//! [`NodeMapping::induced_cost`]; the minimum over all mappings is the exact
+//! GED.
+
+use crate::edit::{EditOp, EditPath};
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// An injective total node matching from `G1` (size `n1`) into `G2`
+/// (size `n2 >= n1`). `map[u] = v` means node `u` of `G1` is matched to node
+/// `v` of `G2`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeMapping {
+    map: Vec<u32>,
+}
+
+/// A canonical, graph-pair-relative identity for one edit operation.
+///
+/// Edit paths emitted by [`NodeMapping::edit_path`] refer to node ids of the
+/// *working copy* of `G1`, which makes paths from different mappings hard to
+/// compare. `CanonicalOp` names each operation by stable `G1`/`G2` ids so
+/// that the path-overlap metrics of Section 6.3 (`|GEP ∩ GEP*|`) are well
+/// defined: two paths share an operation iff they share its canonical form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CanonicalOp {
+    /// Relabel `G1` node `u` to the label of its matched `G2` node.
+    Relabel(u32),
+    /// Insert a node matched to `G2` node `v`.
+    InsertNode(u32),
+    /// Delete the `G1` edge `(u, u')` (endpoints in `G1` ids, `u < u'`).
+    DeleteEdge(u32, u32),
+    /// Insert the edge matched to `G2` edge `(v, v')` (`v < v'`).
+    InsertEdge(u32, u32),
+}
+
+impl NodeMapping {
+    /// Wraps a raw mapping vector.
+    ///
+    /// # Panics
+    /// Panics if the map is not injective.
+    #[must_use]
+    pub fn new(map: Vec<u32>) -> Self {
+        let mut seen = map.clone();
+        seen.sort_unstable();
+        assert!(seen.windows(2).all(|w| w[0] != w[1]), "mapping not injective: {map:?}");
+        NodeMapping { map }
+    }
+
+    /// The identity mapping on `n` nodes.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        NodeMapping { map: (0..n as u32).collect() }
+    }
+
+    /// The image of `G1` node `u`.
+    #[must_use]
+    pub fn image(&self, u: u32) -> u32 {
+        self.map[u as usize]
+    }
+
+    /// The underlying map (`map[u] = v`).
+    #[must_use]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.map
+    }
+
+    /// The number of mapped nodes (`n1`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the mapping is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Inverse map of size `n2`: `inv[v] = Some(u)` iff `map[u] = v`.
+    #[must_use]
+    pub fn inverse(&self, n2: usize) -> Vec<Option<u32>> {
+        let mut inv = vec![None; n2];
+        for (u, &v) in self.map.iter().enumerate() {
+            inv[v as usize] = Some(u as u32);
+        }
+        inv
+    }
+
+    /// Converts the mapping into a binary coupling matrix (`n1 x n2`,
+    /// row-major), the ground-truth `π*` used to supervise GEDIOT.
+    #[must_use]
+    pub fn coupling_matrix(&self, n2: usize) -> Vec<f64> {
+        let n1 = self.map.len();
+        let mut pi = vec![0.0; n1 * n2];
+        for (u, &v) in self.map.iter().enumerate() {
+            pi[u * n2 + v as usize] = 1.0;
+        }
+        pi
+    }
+
+    /// The edit cost induced by this mapping (Section 3.1 of the paper):
+    /// label mismatches + `(n2 - n1)` node insertions + edge deletions
+    /// (edges of `G1` with no counterpart) + edge insertions (edges of `G2`
+    /// with no counterpart). Runs in `O(n2 + m1 + m2)` time.
+    ///
+    /// # Panics
+    /// Panics if the mapping does not cover exactly `G1`'s nodes or maps
+    /// outside `G2`.
+    #[must_use]
+    pub fn induced_cost(&self, g1: &Graph, g2: &Graph) -> usize {
+        let n1 = g1.num_nodes();
+        let n2 = g2.num_nodes();
+        assert_eq!(self.map.len(), n1, "mapping size != n1");
+        assert!(n1 <= n2, "mapping requires n1 <= n2");
+        let inv = self.inverse(n2);
+
+        let mut cost = n2 - n1; // node insertions
+        for u in 0..n1 as u32 {
+            let v = self.image(u);
+            assert!((v as usize) < n2, "mapping target {v} out of range");
+            if g1.label(u) != g2.label(v) {
+                cost += 1; // relabel
+            }
+        }
+        for (u, up) in g1.edges() {
+            if !g2.has_edge(self.image(u), self.image(up)) {
+                cost += 1; // edge deletion
+            }
+        }
+        for (v, vp) in g2.edges() {
+            let matched = match (inv[v as usize], inv[vp as usize]) {
+                (Some(u), Some(up)) => g1.has_edge(u, up),
+                _ => false,
+            };
+            if !matched {
+                cost += 1; // edge insertion
+            }
+        }
+        cost
+    }
+
+    /// `EPGen` (Algorithm 3): realizes the mapping as a concrete edit path.
+    ///
+    /// The returned path applies to `G1`: relabels first, then node
+    /// insertions (appended ids `n1, n1+1, ...` correspond to the unmatched
+    /// `G2` nodes in increasing id order), then edge deletions, then edge
+    /// insertions. Its length equals [`NodeMapping::induced_cost`], and
+    /// applying it to `G1` yields a graph isomorphic to `G2` (equal up to the
+    /// extended node correspondence).
+    #[must_use]
+    pub fn edit_path(&self, g1: &Graph, g2: &Graph) -> EditPath {
+        let (path, _) = self.edit_path_with_keys(g1, g2);
+        path
+    }
+
+    /// Like [`NodeMapping::edit_path`] but also returns the canonical
+    /// identity of each operation (same order), for path-overlap metrics.
+    #[must_use]
+    pub fn edit_path_with_keys(&self, g1: &Graph, g2: &Graph) -> (EditPath, Vec<CanonicalOp>) {
+        let n1 = g1.num_nodes();
+        let n2 = g2.num_nodes();
+        assert_eq!(self.map.len(), n1);
+        assert!(n1 <= n2);
+        let mut inv = self.inverse(n2);
+
+        let mut path = EditPath::new();
+        let mut keys = Vec::new();
+
+        // Node relabelings.
+        for u in 0..n1 as u32 {
+            let v = self.image(u);
+            if g1.label(u) != g2.label(v) {
+                path.push(EditOp::RelabelNode { node: u, label: g2.label(v) });
+                keys.push(CanonicalOp::Relabel(u));
+            }
+        }
+        // Node insertions: unmatched G2 nodes, extending the mapping. The
+        // working copy assigns them ids n1, n1+1, ... in increasing v order.
+        let mut next_id = n1 as u32;
+        for v in 0..n2 as u32 {
+            if inv[v as usize].is_none() {
+                path.push(EditOp::InsertNode { label: g2.label(v) });
+                keys.push(CanonicalOp::InsertNode(v));
+                inv[v as usize] = Some(next_id);
+                next_id += 1;
+            }
+        }
+        // Edge deletions: G1 edges without a counterpart.
+        for (u, up) in g1.edges() {
+            if !g2.has_edge(self.image(u), self.image(up)) {
+                path.push(EditOp::DeleteEdge { u, v: up });
+                keys.push(CanonicalOp::DeleteEdge(u.min(up), u.max(up)));
+            }
+        }
+        // Edge insertions: G2 edges without a counterpart, via the extended
+        // inverse mapping.
+        for (v, vp) in g2.edges() {
+            let u = inv[v as usize].expect("extended inverse is total");
+            let up = inv[vp as usize].expect("extended inverse is total");
+            let already = (u as usize) < n1 && (up as usize) < n1 && g1.has_edge(u, up);
+            if !already {
+                path.push(EditOp::InsertEdge { u, v: up });
+                keys.push(CanonicalOp::InsertEdge(v.min(vp), v.max(vp)));
+            }
+        }
+        (path, keys)
+    }
+
+    /// Canonical operation multiset of this mapping's edit path, sorted.
+    #[must_use]
+    pub fn canonical_ops(&self, g1: &Graph, g2: &Graph) -> Vec<CanonicalOp> {
+        let (_, mut keys) = self.edit_path_with_keys(g1, g2);
+        keys.sort_unstable();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Label;
+    use crate::isomorphism::are_isomorphic;
+
+    fn figure1() -> (Graph, Graph) {
+        // G1: triangle with labels (1,1,2); G2: path-ish with labels (1,1,3,4).
+        let g1 = Graph::from_edges(vec![Label(1), Label(1), Label(2)], &[(0, 1), (0, 2), (1, 2)]);
+        let g2 = Graph::from_edges(
+            vec![Label(1), Label(1), Label(3), Label(4)],
+            &[(0, 1), (0, 2), (2, 3)],
+        );
+        (g1, g2)
+    }
+
+    #[test]
+    fn induced_cost_matches_paper_example() {
+        let (g1, g2) = figure1();
+        // Identity-ish matching u1->v1, u2->v2, u3->v3: relabel u3 (+1),
+        // insert v4 (+1), delete (u2,u3) (+1), insert (v3,v4) (+1) = 4.
+        let m = NodeMapping::identity(3);
+        assert_eq!(m.induced_cost(&g1, &g2), 4);
+    }
+
+    #[test]
+    fn edit_path_realizes_cost_and_target() {
+        let (g1, g2) = figure1();
+        let m = NodeMapping::identity(3);
+        let path = m.edit_path(&g1, &g2);
+        assert_eq!(path.len(), m.induced_cost(&g1, &g2));
+        let result = path.apply(&g1).unwrap();
+        assert!(are_isomorphic(&result, &g2));
+    }
+
+    #[test]
+    fn every_mapping_path_is_valid() {
+        let (g1, g2) = figure1();
+        // All injective maps from 3 nodes into 4.
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                for c in 0..4u32 {
+                    if a != b && b != c && a != c {
+                        let m = NodeMapping::new(vec![a, b, c]);
+                        let path = m.edit_path(&g1, &g2);
+                        assert_eq!(path.len(), m.induced_cost(&g1, &g2));
+                        let out = path.apply(&g1).unwrap();
+                        assert!(are_isomorphic(&out, &g2), "mapping {m:?} broken");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coupling_matrix_layout() {
+        let m = NodeMapping::new(vec![2, 0]);
+        let pi = m.coupling_matrix(3);
+        assert_eq!(pi, vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not injective")]
+    fn rejects_non_injective() {
+        let _ = NodeMapping::new(vec![1, 1]);
+    }
+
+    #[test]
+    fn canonical_ops_are_mapping_invariant_for_equal_paths() {
+        let (g1, g2) = figure1();
+        let m = NodeMapping::identity(3);
+        let ops = m.canonical_ops(&g1, &g2);
+        assert_eq!(
+            ops,
+            vec![
+                CanonicalOp::Relabel(2),
+                CanonicalOp::InsertNode(3),
+                CanonicalOp::DeleteEdge(1, 2),
+                CanonicalOp::InsertEdge(2, 3),
+            ]
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect::<Vec<_>>()
+        );
+    }
+}

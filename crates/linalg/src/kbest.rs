@@ -1,0 +1,156 @@
+//! Best and second-best maximum-weight matchings within a constrained
+//! solution subspace.
+//!
+//! The k-best matching framework of the paper (Algorithm 4, after
+//! Chegireddy & Hamacher 1987) partitions the space of node matchings by
+//! (forced, forbidden) pair sets and needs, for every partition, the best
+//! and the second-best matching under the coupling-matrix weight. This
+//! module supplies both; the partition bookkeeping itself lives in
+//! `ged-core::kbest`.
+//!
+//! Weights are **maximized** (they are matching confidences from a coupling
+//! matrix); internally we negate and call the LSAP minimizers.
+
+use crate::lsap::{lsap_min_constrained, Assignment};
+use crate::matrix::Matrix;
+
+/// The best (maximum total weight) injective row-to-column matching subject
+/// to forced/forbidden pairs, or `None` if the subspace is empty.
+#[must_use]
+pub fn best_matching(
+    weights: &Matrix,
+    forced: &[(usize, usize)],
+    forbidden: &[(usize, usize)],
+) -> Option<Assignment> {
+    let neg = weights.scale(-1.0);
+    let a = lsap_min_constrained(&neg, forced, forbidden)?;
+    let w = a.cost_under(weights);
+    Some(Assignment { row_to_col: a.row_to_col, cost: w })
+}
+
+/// The second-best matching within the subspace `(forced, forbidden)`,
+/// given its `best` matching.
+///
+/// Implementation: for every free pair `e` of `best`, resolve with `e`
+/// additionally forbidden; the heaviest such solution that differs from
+/// `best` is the second best. `O(n)` constrained LSAP calls — `O(n⁴)`
+/// total, which is fine in this project's `n ≤ tens` regime (the paper's
+/// `O(n³)` variant is an optimization of the same enumeration).
+#[must_use]
+pub fn second_best_matching(
+    weights: &Matrix,
+    forced: &[(usize, usize)],
+    forbidden: &[(usize, usize)],
+    best: &Assignment,
+) -> Option<Assignment> {
+    let forced_rows: Vec<usize> = forced.iter().map(|&(r, _)| r).collect();
+    let mut result: Option<Assignment> = None;
+    let mut forb = forbidden.to_vec();
+    for (r, &c) in best.row_to_col.iter().enumerate() {
+        if forced_rows.contains(&r) {
+            continue;
+        }
+        forb.push((r, c));
+        if let Some(cand) = best_matching(weights, forced, &forb) {
+            if cand.row_to_col != best.row_to_col {
+                let better = match &result {
+                    Some(cur) => cand.cost > cur.cost,
+                    None => true,
+                };
+                if better {
+                    result = Some(cand);
+                }
+            }
+        }
+        forb.pop();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// All injective matchings with weights, sorted descending by weight.
+    fn enumerate_sorted(weights: &Matrix) -> Vec<(Vec<usize>, f64)> {
+        fn rec(
+            w: &Matrix,
+            r: usize,
+            used: &mut Vec<bool>,
+            cur: &mut Vec<usize>,
+            acc: f64,
+            out: &mut Vec<(Vec<usize>, f64)>,
+        ) {
+            if r == w.rows() {
+                out.push((cur.clone(), acc));
+                return;
+            }
+            for c in 0..w.cols() {
+                if !used[c] {
+                    used[c] = true;
+                    cur.push(c);
+                    rec(w, r + 1, used, cur, acc + w[(r, c)], out);
+                    cur.pop();
+                    used[c] = false;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        rec(weights, 0, &mut vec![false; weights.cols()], &mut Vec::new(), 0.0, &mut out);
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        out
+    }
+
+    #[test]
+    fn best_matches_enumeration() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let n = rng.gen_range(1..=5);
+            let m = rng.gen_range(n..=6);
+            let w = Matrix::from_fn(n, m, |_, _| rng.gen_range(0..100) as f64 / 10.0);
+            let all = enumerate_sorted(&w);
+            let best = best_matching(&w, &[], &[]).unwrap();
+            assert!((best.cost - all[0].1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn second_best_matches_enumeration() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for trial in 0..100 {
+            let n = rng.gen_range(2..=5);
+            let m = rng.gen_range(n..=6);
+            // Integer-ish weights risk weight ties between distinct matchings;
+            // the definition of "second best" is by weight, so compare weights.
+            let w = Matrix::from_fn(n, m, |_, _| rng.gen_range(0..1000) as f64 / 100.0);
+            let all = enumerate_sorted(&w);
+            let best = best_matching(&w, &[], &[]).unwrap();
+            let second = second_best_matching(&w, &[], &[], &best).unwrap();
+            assert!(
+                (second.cost - all[1].1).abs() < 1e-9,
+                "trial {trial}: got {} want {}",
+                second.cost,
+                all[1].1
+            );
+            assert_ne!(second.row_to_col, best.row_to_col);
+        }
+    }
+
+    #[test]
+    fn constrained_subspace() {
+        let w = Matrix::from_vec(2, 2, vec![10.0, 1.0, 1.0, 10.0]);
+        // Force the off-diagonal: subspace has exactly one matching.
+        let best = best_matching(&w, &[(0, 1)], &[]).unwrap();
+        assert_eq!(best.row_to_col, vec![1, 0]);
+        assert_eq!(best.cost, 2.0);
+        assert!(second_best_matching(&w, &[(0, 1)], &[], &best).is_none());
+    }
+
+    #[test]
+    fn fully_forbidden_is_empty() {
+        let w = Matrix::from_vec(1, 1, vec![1.0]);
+        assert!(best_matching(&w, &[], &[(0, 0)]).is_none());
+    }
+}

@@ -1,0 +1,22 @@
+//! Dense linear algebra and linear assignment for `ot-ged`.
+//!
+//! The matrices in this project are small (a few hundred rows at most) and
+//! dense, so [`Matrix`] is a plain row-major `f64` buffer with cache-friendly
+//! `ikj`-order multiplication — no BLAS, no unsafe.
+//!
+//! The [`lsap`] module provides two independent linear-sum-assignment
+//! solvers — a Jonker–Volgenant-style shortest-augmenting-path solver (the
+//! machinery behind the paper's "VJ" baseline) and a classical Munkres
+//! implementation (the "Hungarian" baseline) — plus a constrained variant
+//! (forced / forbidden pairs) that powers the k-best matching framework in
+//! [`kbest`].
+
+#![warn(missing_docs)]
+
+pub mod kbest;
+pub mod lsap;
+pub mod matrix;
+
+pub use kbest::{best_matching, second_best_matching};
+pub use lsap::{lsap_min, lsap_min_constrained, lsap_min_munkres, Assignment};
+pub use matrix::Matrix;

@@ -1,0 +1,57 @@
+//! Weight initialization.
+
+use ged_linalg::Matrix;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..a))
+}
+
+/// Zero initialization (biases).
+#[must_use]
+pub fn zeros(rows: usize, cols: usize) -> Matrix {
+    Matrix::zeros(rows, cols)
+}
+
+/// Inverse of softplus: returns `x` such that `softplus(x) = y`.
+///
+/// Used to initialize the learnable Sinkhorn ε parameter so that its
+/// softplus equals the requested `ε0` (e.g. 0.05).
+///
+/// # Panics
+/// Panics if `y <= 0`.
+#[must_use]
+pub fn softplus_inverse(y: f64) -> f64 {
+    assert!(y > 0.0, "softplus range is positive");
+    // softplus(x) = ln(1 + e^x)  =>  x = ln(e^y - 1)
+    (y.exp() - 1.0).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let w = xavier_uniform(10, 20, &mut rng);
+        let a = (6.0f64 / 30.0).sqrt();
+        assert!(w.max() <= a && w.min() >= -a);
+        // Should actually vary.
+        assert!(w.max() - w.min() > a * 0.5);
+    }
+
+    #[test]
+    fn softplus_inverse_roundtrip() {
+        for y in [0.01, 0.05, 0.5, 1.0, 3.0] {
+            let x = softplus_inverse(y);
+            let sp = x.max(0.0) + (-x.abs()).exp().ln_1p();
+            assert!((sp - y).abs() < 1e-12, "y={y} sp={sp}");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Optimizers.
+//!
+//! The paper trains with Adam (learning rate `1e-3`, weight decay `5e-4`,
+//! Appendix F.2); a plain SGD is included for tests and ablations.
+
+use crate::params::ParamStore;
+use ged_linalg::Matrix;
+
+/// The Adam optimizer with (decoupled-style additive) L2 weight decay.
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    weight_decay: f64,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates Adam with the paper's defaults (`lr = 1e-3`,
+    /// `weight_decay = 5e-4`).
+    #[must_use]
+    pub fn new(lr: f64, weight_decay: f64) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Current learning rate.
+    #[must_use]
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step given per-parameter gradients.
+    ///
+    /// # Panics
+    /// Panics if `grads.len()` differs from the number of parameters.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &[Matrix]) {
+        let params = store.values_mut();
+        assert_eq!(params.len(), grads.len(), "gradient count mismatch");
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.v = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+
+        for ((p, g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            assert_eq!(p.shape(), g.shape(), "gradient shape mismatch");
+            for i in 0..p.len() {
+                let grad = g.as_slice()[i] + self.weight_decay * p.as_slice()[i];
+                let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * grad;
+                let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * grad * grad;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                p.as_mut_slice()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Plain stochastic gradient descent.
+pub struct Sgd {
+    lr: f64,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    #[must_use]
+    pub fn new(lr: f64) -> Self {
+        Sgd { lr }
+    }
+
+    /// Applies one descent step.
+    ///
+    /// # Panics
+    /// Panics if `grads.len()` differs from the number of parameters.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &[Matrix]) {
+        let params = store.values_mut();
+        assert_eq!(params.len(), grads.len());
+        for (p, g) in params.iter_mut().zip(grads) {
+            p.add_scaled_assign(g, -self.lr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimizing (w - 3)² must converge to w = 3 for both optimizers.
+    fn run<F: FnMut(&mut ParamStore, &[Matrix])>(mut apply: F) -> f64 {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_vec(1, 1, vec![0.0]));
+        for _ in 0..2000 {
+            let tape = Tape::new();
+            let b = store.bind(&tape);
+            let target = tape.scalar(3.0);
+            let diff = tape.sub(b.var(w), target);
+            let loss = tape.mul(diff, diff);
+            tape.backward(loss);
+            let grads = store.gradients(&tape, &b);
+            apply(&mut store, &grads);
+        }
+        store.value(w).as_slice()[0]
+    }
+
+    #[test]
+    fn adam_converges() {
+        let mut opt = Adam::new(0.05, 0.0);
+        let w = run(|s, g| opt.step(s, g));
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let mut opt = Sgd::new(0.05);
+        let w = run(|s, g| opt.step(s, g));
+        assert!((w - 3.0).abs() < 1e-6, "w = {w}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_solution() {
+        let mut opt = Adam::new(0.05, 0.5);
+        let w = run(|s, g| opt.step(s, g));
+        assert!(w < 3.0 && w > 1.0, "decayed w = {w}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Exact optimal transport on the assignment polytope.
+//!
+//! With uniform unit marginals the transport polytope is the Birkhoff
+//! polytope (doubly-stochastic matrices), whose vertices are permutation
+//! matrices; a linear objective therefore attains its optimum at a
+//! permutation, and `min ⟨C, π⟩` reduces to a linear sum assignment problem.
+//! This is both the ε→0 limit of Sinkhorn and the linear-minimization oracle
+//! the conditional-gradient solver needs at every iteration.
+
+use ged_linalg::{lsap_min, Matrix};
+
+/// Solves `min_{π ∈ Π(1_n, 1_m)} ⟨cost, π⟩` exactly (`rows <= cols`;
+/// rows transport unit mass, columns receive at most unit mass when
+/// rectangular). Returns the optimal vertex as a 0/1 coupling matrix plus
+/// the optimal cost.
+///
+/// # Panics
+/// Panics if `rows > cols`.
+#[must_use]
+pub fn exact_ot_assignment(cost: &Matrix) -> (Matrix, f64) {
+    let (n, m) = cost.shape();
+    assert!(n <= m, "exact_ot_assignment requires rows <= cols");
+    let a = lsap_min(cost);
+    let mut pi = Matrix::zeros(n, m);
+    for (r, &c) in a.row_to_col.iter().enumerate() {
+        pi[(r, c)] = 1.0;
+    }
+    (pi, a.cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sinkhorn::sinkhorn_log;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn returns_permutation_vertex() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let c = Matrix::from_fn(5, 5, |_, _| rng.gen_range(0.0..1.0));
+        let (pi, cost) = exact_ot_assignment(&c);
+        for s in pi.row_sums() {
+            assert_eq!(s, 1.0);
+        }
+        for s in pi.col_sums() {
+            assert_eq!(s, 1.0);
+        }
+        assert!((pi.dot(&c) - cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bounds_sinkhorn() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..=6);
+            let c = Matrix::from_fn(n, n, |_, _| rng.gen_range(0.0..2.0));
+            let (_, exact) = exact_ot_assignment(&c);
+            let sk = sinkhorn_log(&c, &vec![1.0; n], &vec![1.0; n], 0.05, 500);
+            assert!(sk.cost >= exact - 1e-6, "sinkhorn {} below exact {exact}", sk.cost);
+            assert!((sk.cost - exact).abs() < 0.2);
+        }
+    }
+
+    #[test]
+    fn rectangular_leaves_columns_free() {
+        let c = Matrix::from_vec(1, 3, vec![3.0, 1.0, 2.0]);
+        let (pi, cost) = exact_ot_assignment(&c);
+        assert_eq!(cost, 1.0);
+        assert_eq!(pi.as_slice(), &[0.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Optimal transport kernels for `ot-ged`.
+//!
+//! * [`sinkhorn`] — entropic OT (Algorithm 1 of the paper) in plain and
+//!   log-domain form, plus the dummy-row extension of Section 4.2 that turns
+//!   the inequality-constrained node-matching polytope into a standard
+//!   transport polytope;
+//! * [`exact`] — exact OT on the assignment polytope via LSAP (with uniform
+//!   unit marginals the Birkhoff polytope has permutation vertices, so the
+//!   linear program reduces to an assignment problem);
+//! * [`gw`] — the Gromov–Wasserstein machinery: the 4th-order tensor product
+//!   `L(C1,C2) ⊗ π` evaluated in `O(n³)` via the Peyré–Cuturi–Solomon
+//!   decomposition;
+//! * [`cg`] — the conditional-gradient (Frank–Wolfe) solver used by GEDGW
+//!   (Algorithm 2), with exact line search for the quadratic objective.
+
+#![warn(missing_docs)]
+
+pub mod cg;
+pub mod exact;
+pub mod gw;
+pub mod sinkhorn;
+
+pub use cg::{conditional_gradient, CgOptions, CgResult};
+pub use exact::exact_ot_assignment;
+pub use gw::{gw_objective, gw_tensor_apply};
+pub use sinkhorn::{sinkhorn, sinkhorn_dummy_row, sinkhorn_log, SinkhornResult};

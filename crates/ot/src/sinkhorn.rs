@@ -1,0 +1,291 @@
+//! The Sinkhorn algorithm for entropy-regularized optimal transport.
+//!
+//! Solves `min_{π ∈ Π(μ,ν)} ⟨C, π⟩ + ε H(π)` by alternating dual updates
+//! (Algorithm 1 of the paper):
+//!
+//! ```text
+//! K = exp(-C/ε)
+//! ψ ← ν ⊘ (Kᵀ φ),   φ ← μ ⊘ (K ψ),   π = diag(φ) K diag(ψ)
+//! ```
+//!
+//! [`sinkhorn_dummy_row`] implements the paper's Section 4.2 construction:
+//! the node-matching constraint set has an *inequality* (`πᵀ1 ≤ 1`), which
+//! Sinkhorn cannot handle directly, so the cost matrix is extended with a
+//! zero-cost dummy row (a supernode of `G1` that absorbs the `n2 - n1`
+//! unmatched nodes of `G2`) and mass `μ̃ = [1,…,1, n2-n1]`, `ν̃ = 1`.
+
+use ged_linalg::Matrix;
+
+/// Smallest denominator allowed in the scaling updates; prevents division by
+/// zero when `exp(-C/ε)` underflows for very small `ε`.
+const TINY: f64 = 1e-300;
+
+/// Output of a Sinkhorn run.
+#[derive(Clone, Debug)]
+pub struct SinkhornResult {
+    /// The coupling matrix `π`.
+    pub coupling: Matrix,
+    /// The transport cost `⟨C, π⟩` (without the entropy term).
+    pub cost: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+}
+
+/// Plain Sinkhorn on cost matrix `cost` with marginals `mu` (rows) and `nu`
+/// (columns), regularization `epsilon` and `max_iter` iterations.
+///
+/// # Panics
+/// Panics if marginal lengths do not match the matrix shape, if
+/// `epsilon <= 0`, or if total row and column mass differ by more than 1e-6.
+#[must_use]
+pub fn sinkhorn(
+    cost: &Matrix,
+    mu: &[f64],
+    nu: &[f64],
+    epsilon: f64,
+    max_iter: usize,
+) -> SinkhornResult {
+    let (n, m) = cost.shape();
+    assert_eq!(mu.len(), n, "mu length");
+    assert_eq!(nu.len(), m, "nu length");
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let mass_mu: f64 = mu.iter().sum();
+    let mass_nu: f64 = nu.iter().sum();
+    assert!(
+        (mass_mu - mass_nu).abs() < 1e-6,
+        "marginal masses differ: {mass_mu} vs {mass_nu}"
+    );
+
+    let k = cost.map(|c| (-c / epsilon).exp());
+    let mut phi = vec![1.0; n];
+    let mut psi = vec![1.0; m];
+
+    for _ in 0..max_iter {
+        // ψ = ν ⊘ (Kᵀ φ)
+        for j in 0..m {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += k[(i, j)] * phi[i];
+            }
+            psi[j] = nu[j] / acc.max(TINY);
+        }
+        // φ = μ ⊘ (K ψ)
+        for i in 0..n {
+            let mut acc = 0.0;
+            let krow = k.row(i);
+            for (j, &kij) in krow.iter().enumerate() {
+                acc += kij * psi[j];
+            }
+            phi[i] = mu[i] / acc.max(TINY);
+        }
+    }
+
+    let coupling = Matrix::from_fn(n, m, |i, j| phi[i] * k[(i, j)] * psi[j]);
+    let cost_val = coupling.dot(cost);
+    SinkhornResult { coupling, cost: cost_val, iterations: max_iter }
+}
+
+/// Log-domain Sinkhorn: mathematically identical to [`sinkhorn`] but stable
+/// for small `epsilon` (no `exp` underflow). Used to cross-check the plain
+/// kernel and by the exact-OT convergence tests.
+///
+/// # Panics
+/// Same contract as [`sinkhorn`].
+#[must_use]
+pub fn sinkhorn_log(
+    cost: &Matrix,
+    mu: &[f64],
+    nu: &[f64],
+    epsilon: f64,
+    max_iter: usize,
+) -> SinkhornResult {
+    let (n, m) = cost.shape();
+    assert_eq!(mu.len(), n);
+    assert_eq!(nu.len(), m);
+    assert!(epsilon > 0.0);
+
+    // Dual potentials f (rows), g (cols); π_ij = exp((f_i + g_j - C_ij)/ε) m_i n_j
+    // with zero-mass marginals handled by -inf potentials.
+    let log_mu: Vec<f64> = mu.iter().map(|&x| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY }).collect();
+    let log_nu: Vec<f64> = nu.iter().map(|&x| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY }).collect();
+    let mut f = vec![0.0; n];
+    let mut g = vec![0.0; m];
+
+    let logsumexp = |vals: &mut dyn Iterator<Item = f64>| -> f64 {
+        let v: Vec<f64> = vals.collect();
+        let mx = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if mx == f64::NEG_INFINITY {
+            return f64::NEG_INFINITY;
+        }
+        mx + v.iter().map(|&x| (x - mx).exp()).sum::<f64>().ln()
+    };
+
+    for _ in 0..max_iter {
+        for j in 0..m {
+            let lse = logsumexp(&mut (0..n).map(|i| (f[i] - cost[(i, j)]) / epsilon));
+            g[j] = if log_nu[j].is_finite() { epsilon * (log_nu[j] / 1.0 - lse) } else { f64::NEG_INFINITY };
+        }
+        for i in 0..n {
+            let lse = logsumexp(&mut (0..m).map(|j| (g[j] - cost[(i, j)]) / epsilon));
+            f[i] = if log_mu[i].is_finite() { epsilon * (log_mu[i] - lse) } else { f64::NEG_INFINITY };
+        }
+    }
+
+    let coupling = Matrix::from_fn(n, m, |i, j| {
+        let e = (f[i] + g[j] - cost[(i, j)]) / epsilon;
+        if e.is_finite() {
+            e.exp()
+        } else {
+            0.0
+        }
+    });
+    let cost_val = coupling.dot(cost);
+    SinkhornResult { coupling, cost: cost_val, iterations: max_iter }
+}
+
+/// Sinkhorn with the paper's dummy-row extension (Section 4.2).
+///
+/// `cost` is the `n1 x n2` node-matching cost matrix with `n1 <= n2`. A
+/// zero-cost dummy row with mass `n2 - n1` is appended, standard Sinkhorn is
+/// run with unit column marginals, and the returned coupling has the dummy
+/// row removed — each real row sums to 1, each column to at most 1, exactly
+/// the relaxed node-matching polytope `U(1_{n1}, 1_{n2})` of Eq. (6).
+///
+/// # Panics
+/// Panics if `n1 > n2` or `epsilon <= 0`.
+#[must_use]
+pub fn sinkhorn_dummy_row(cost: &Matrix, epsilon: f64, max_iter: usize) -> SinkhornResult {
+    let (n1, n2) = cost.shape();
+    assert!(n1 <= n2, "sinkhorn_dummy_row requires n1 <= n2 (got {n1}x{n2})");
+    let extended = cost.with_appended_row(&vec![0.0; n2]);
+    let mut mu = vec![1.0; n1 + 1];
+    mu[n1] = (n2 - n1) as f64;
+    let nu = vec![1.0; n2];
+    let res = sinkhorn(&extended, &mu, &nu, epsilon, max_iter);
+    let coupling = res.coupling.without_last_row();
+    let cost_val = coupling.dot(cost);
+    SinkhornResult { coupling, cost: cost_val, iterations: res.iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ged_linalg::lsap_min;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_cost(n: usize, m: usize, seed: u64) -> Matrix {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Matrix::from_fn(n, m, |_, _| rng.gen_range(0.0..3.0))
+    }
+
+    #[test]
+    fn marginals_converge() {
+        let c = rand_cost(5, 5, 1);
+        let mu = vec![1.0; 5];
+        let nu = vec![1.0; 5];
+        let res = sinkhorn(&c, &mu, &nu, 0.5, 200);
+        let rs = res.coupling.row_sums();
+        let cs = res.coupling.col_sums();
+        for i in 0..5 {
+            assert!((rs[i] - 1.0).abs() < 1e-8, "row {i}: {}", rs[i]);
+            assert!((cs[i] - 1.0).abs() < 1e-8, "col {i}: {}", cs[i]);
+        }
+        assert!(res.coupling.min() >= 0.0);
+    }
+
+    #[test]
+    fn nonuniform_marginals() {
+        let c = rand_cost(3, 4, 2);
+        let mu = vec![0.5, 1.5, 2.0];
+        let nu = vec![1.0, 1.0, 1.0, 1.0];
+        let res = sinkhorn(&c, &mu, &nu, 0.3, 300);
+        let rs = res.coupling.row_sums();
+        for (i, &m) in mu.iter().enumerate() {
+            assert!((rs[i] - m).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn small_epsilon_approaches_lsap() {
+        let c = rand_cost(6, 6, 3);
+        let exact = lsap_min(&c).cost;
+        let res = sinkhorn_log(&c, &[1.0; 6], &[1.0; 6], 0.01, 500);
+        assert!(
+            (res.cost - exact).abs() < 0.05,
+            "sinkhorn {} vs lsap {exact}",
+            res.cost
+        );
+        // The finite-iteration coupling is only approximately feasible, so
+        // its cost may sit slightly below the exact optimum; it must not be
+        // substantially below it.
+        assert!(res.cost > exact - 0.05);
+    }
+
+    #[test]
+    fn log_domain_agrees_with_plain() {
+        let c = rand_cost(4, 6, 4);
+        let mu = vec![1.5; 4];
+        let nu = vec![1.0; 6];
+        let a = sinkhorn(&c, &mu, &nu, 0.4, 300);
+        let b = sinkhorn_log(&c, &mu, &nu, 0.4, 300);
+        assert!(a.coupling.max_abs_diff(&b.coupling) < 1e-6);
+    }
+
+    #[test]
+    fn dummy_row_marginals() {
+        let c = rand_cost(3, 5, 5);
+        let res = sinkhorn_dummy_row(&c, 0.2, 300);
+        assert_eq!(res.coupling.shape(), (3, 5));
+        for (i, r) in res.coupling.row_sums().iter().enumerate() {
+            assert!((r - 1.0).abs() < 1e-7, "row {i} sum {r}");
+        }
+        for (j, s) in res.coupling.col_sums().iter().enumerate() {
+            assert!(*s <= 1.0 + 1e-7, "col {j} sum {s} exceeds 1");
+        }
+        // Total mass transported from real rows is n1.
+        assert!((res.coupling.sum() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dummy_row_square_case() {
+        // n1 == n2: dummy mass is zero; behaves like plain balanced OT.
+        let c = rand_cost(4, 4, 6);
+        let res = sinkhorn_dummy_row(&c, 0.3, 300);
+        for s in res.coupling.col_sums() {
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matches_paper_toy_example() {
+        // Figure 3 of the paper: hand-crafted 3x3 cost matrix whose optimal
+        // couplings mix u1 -> {v1, v3}. Check the Sinkhorn cost approaches
+        // the LSAP optimum (= GED proxy 2) for small epsilon.
+        let c = Matrix::from_vec(
+            3,
+            3,
+            vec![1.5, 1.5, 0.0, 1.5, 0.5, 1.0, 1.5, 1.5, 0.0],
+        );
+        // LSAP optimum: rows {0,2} fight for col 2 (cost 0); best total: 2.0.
+        assert_eq!(lsap_min(&c).cost, 2.0);
+        let res = sinkhorn_log(&c, &[1.0; 3], &[1.0; 3], 0.02, 800);
+        assert!((res.cost - 2.0).abs() < 0.05, "cost {}", res.cost);
+        // The mass of row 1 concentrates on column 1 (the forced match).
+        assert!(res.coupling[(1, 1)] > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "marginal masses differ")]
+    fn rejects_unbalanced() {
+        let c = Matrix::zeros(2, 2);
+        let _ = sinkhorn(&c, &[1.0, 1.0], &[1.0, 2.0], 0.1, 10);
+    }
+
+    #[test]
+    fn tiny_epsilon_stays_finite() {
+        let c = rand_cost(5, 7, 8);
+        let res = sinkhorn_dummy_row(&c, 1e-4, 50);
+        assert!(res.coupling.is_finite(), "coupling has NaN/inf");
+    }
+}

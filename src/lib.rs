@@ -1,0 +1,55 @@
+//! # ot-ged — Approximate Graph Edit Distance via Optimal Transport
+//!
+//! A Rust reproduction of *"Computing Approximate Graph Edit Distance via
+//! Optimal Transport"* (SIGMOD 2025): the supervised **GEDIOT** model
+//! (inverse optimal transport with a learnable Sinkhorn layer), the
+//! unsupervised **GEDGW** solver (optimal transport + Gromov–Wasserstein
+//! discrepancy via conditional gradient), and the **GEDHOT** ensemble,
+//! together with classical and neural baselines, exact A* ground truth,
+//! edit-path generation via k-best bipartite matching, and a full
+//! experiment harness.
+//!
+//! This crate is a facade that re-exports the workspace's public API.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ot_ged::prelude::*;
+//!
+//! // Two labeled graphs (Figure 1 of the paper).
+//! let g1 = Graph::from_edges(vec![Label(1), Label(1), Label(2)],
+//!                            &[(0, 1), (0, 2), (1, 2)]);
+//! let g2 = Graph::from_edges(vec![Label(1), Label(1), Label(3), Label(4)],
+//!                            &[(0, 1), (0, 2), (2, 3)]);
+//!
+//! // Unsupervised GED via optimal transport + Gromov-Wasserstein:
+//! let result = Gedgw::new(&g1, &g2).solve();
+//! assert!(result.ged >= 2.0); // exact GED of this pair is 4
+//!
+//! // Exact GED for reference (A*, small graphs only):
+//! let exact = astar_exact(&g1, &g2);
+//! assert_eq!(exact.ged, 4);
+//! ```
+
+pub use ged_baselines as baselines;
+pub use ged_core as core;
+pub use ged_eval as eval;
+pub use ged_graph as graph;
+pub use ged_linalg as linalg;
+pub use ged_nn as nn;
+pub use ged_ot as ot;
+
+/// Convenient glob-import surface covering the common workflow.
+pub mod prelude {
+    pub use ged_baselines::astar::{astar_beam, astar_exact};
+    pub use ged_baselines::classic::{classic_ged, hungarian_ged, vj_ged};
+    pub use ged_core::ensemble::Gedhot;
+    pub use ged_core::gedgw::Gedgw;
+    pub use ged_core::gediot::{Gediot, GediotConfig};
+    pub use ged_core::kbest::kbest_edit_path;
+    pub use ged_eval::metrics;
+    pub use ged_graph::{
+        max_edit_ops, normalized_ged, DatasetKind, EditOp, EditPath, Graph, GraphDataset, Label,
+        NodeMapping, Split,
+    };
+}
