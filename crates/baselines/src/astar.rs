@@ -80,7 +80,9 @@ fn heuristic(g1: &Graph, g2: &Graph, mapping: &[u32]) -> usize {
     for &v in mapping {
         used[v as usize] = true;
     }
-    let mut rest1: Vec<_> = (depth..g1.num_nodes()).map(|u| g1.label(u as u32)).collect();
+    let mut rest1: Vec<_> = (depth..g1.num_nodes())
+        .map(|u| g1.label(u as u32))
+        .collect();
     let mut rest2: Vec<_> = (0..g2.num_nodes())
         .filter(|&v| !used[v])
         .map(|v| g2.label(v as u32))
@@ -142,7 +144,10 @@ pub fn astar_exact_with_limit(g1: &Graph, g2: &Graph, max_expanded: usize) -> Op
     // Open list keyed by f = g + h; tie-break on deeper states (faster
     // goal discovery) via Reverse ordering on (f, -depth).
     let mut heap: BinaryHeap<Reverse<(usize, usize, usize)>> = BinaryHeap::new();
-    let mut states: Vec<State> = vec![State { mapping: Vec::new(), g: 0 }];
+    let mut states: Vec<State> = vec![State {
+        mapping: Vec::new(),
+        g: 0,
+    }];
     let h0 = heuristic(a, b, &[]);
     heap.push(Reverse((h0, n1, 0)));
 
@@ -201,7 +206,10 @@ pub fn astar_beam(g1: &Graph, g2: &Graph, beam: usize) -> AstarResult {
     let n1 = a.num_nodes();
     let n2 = b.num_nodes();
 
-    let mut frontier: Vec<State> = vec![State { mapping: Vec::new(), g: 0 }];
+    let mut frontier: Vec<State> = vec![State {
+        mapping: Vec::new(),
+        g: 0,
+    }];
     let mut expanded = 0usize;
     for depth in 0..n1 {
         let mut next: Vec<(usize, State)> = Vec::with_capacity(frontier.len() * (n2 - depth));
@@ -252,7 +260,10 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn figure1() -> (Graph, Graph) {
-        let g1 = Graph::from_edges(vec![Label(1), Label(1), Label(2)], &[(0, 1), (0, 2), (1, 2)]);
+        let g1 = Graph::from_edges(
+            vec![Label(1), Label(1), Label(2)],
+            &[(0, 1), (0, 2), (1, 2)],
+        );
         let g2 = Graph::from_edges(
             vec![Label(1), Label(1), Label(3), Label(4)],
             &[(0, 1), (0, 2), (2, 3)],
@@ -285,7 +296,14 @@ mod tests {
             }
         }
         let mut best = usize::MAX;
-        rec(g1, g2, 0, &mut vec![false; g2.num_nodes()], &mut Vec::new(), &mut best);
+        rec(
+            g1,
+            g2,
+            0,
+            &mut vec![false; g2.num_nodes()],
+            &mut Vec::new(),
+            &mut best,
+        );
         best
     }
 

@@ -52,7 +52,11 @@ pub fn riesen_bunke_cost_matrix(g1: &Graph, g2: &Graph) -> Matrix {
         for j in 0..size {
             c[(i, j)] = match (i < n1, j < n2) {
                 (true, true) => {
-                    let label = if g1.label(i as u32) == g2.label(j as u32) { 0.0 } else { 1.0 };
+                    let label = if g1.label(i as u32) == g2.label(j as u32) {
+                        0.0
+                    } else {
+                        1.0
+                    };
                     let dd = g1.degree(i as u32).abs_diff(g2.degree(j as u32)) as f64;
                     label + dd / 2.0
                 }
@@ -106,7 +110,12 @@ fn solve(g1: &Graph, g2: &Graph, solver: fn(&Matrix) -> Assignment) -> ClassicRe
     let assignment = solver(&cost);
     let mapping = assignment_to_mapping(&assignment, a.num_nodes(), b.num_nodes());
     let path = mapping.edit_path(a, b);
-    ClassicResult { ged: path.len(), mapping, path, swapped }
+    ClassicResult {
+        ged: path.len(),
+        mapping,
+        path,
+        swapped,
+    }
 }
 
 /// Hungarian GED [Riesen & Bunke 2009]: extended cost matrix + the Munkres
@@ -144,7 +153,10 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn figure1() -> (Graph, Graph) {
-        let g1 = Graph::from_edges(vec![Label(1), Label(1), Label(2)], &[(0, 1), (0, 2), (1, 2)]);
+        let g1 = Graph::from_edges(
+            vec![Label(1), Label(1), Label(2)],
+            &[(0, 1), (0, 2), (1, 2)],
+        );
         let g2 = Graph::from_edges(
             vec![Label(1), Label(1), Label(3), Label(4)],
             &[(0, 1), (0, 2), (2, 3)],
@@ -156,9 +168,15 @@ mod tests {
     fn produces_feasible_paths() {
         let mut rng = SmallRng::seed_from_u64(81);
         for _ in 0..25 {
-            let g1 = generate::random_connected(rng.gen_range(3..=7), 2, &[0.4, 0.3, 0.3], &mut rng);
-            let g2 = generate::random_connected(rng.gen_range(3..=8), 2, &[0.4, 0.3, 0.3], &mut rng);
-            for res in [hungarian_ged(&g1, &g2), vj_ged(&g1, &g2), classic_ged(&g1, &g2)] {
+            let g1 =
+                generate::random_connected(rng.gen_range(3..=7), 2, &[0.4, 0.3, 0.3], &mut rng);
+            let g2 =
+                generate::random_connected(rng.gen_range(3..=8), 2, &[0.4, 0.3, 0.3], &mut rng);
+            for res in [
+                hungarian_ged(&g1, &g2),
+                vj_ged(&g1, &g2),
+                classic_ged(&g1, &g2),
+            ] {
                 assert_eq!(res.ged, res.path.len());
                 let (a, b, _) = ordered(&g1, &g2);
                 let out = res.path.apply(a).unwrap();

@@ -51,15 +51,36 @@ pub struct Encoder {
 
 impl Encoder {
     /// Registers the encoder's parameters in `store`.
-    pub fn new<R: Rng>(store: &mut ParamStore, name: &str, config: EncoderConfig, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        config: EncoderConfig,
+        rng: &mut R,
+    ) -> Self {
         let mut convs = Vec::new();
-        let mut in_dim = if config.num_labels <= 1 { 1 } else { config.num_labels };
+        let mut in_dim = if config.num_labels <= 1 {
+            1
+        } else {
+            config.num_labels
+        };
         let feat_dim = in_dim;
         for (i, &out) in config.conv_dims.iter().enumerate() {
             let conv = if config.use_gcn {
-                Conv::Gcn(Linear::new(store, &format!("{name}.gcn{i}"), in_dim, out, rng))
+                Conv::Gcn(Linear::new(
+                    store,
+                    &format!("{name}.gcn{i}"),
+                    in_dim,
+                    out,
+                    rng,
+                ))
             } else {
-                Conv::Gin(GinLayer::new(store, &format!("{name}.gin{i}"), in_dim, out, rng))
+                Conv::Gin(GinLayer::new(
+                    store,
+                    &format!("{name}.gin{i}"),
+                    in_dim,
+                    out,
+                    rng,
+                ))
             };
             convs.push(conv);
             in_dim = out;
@@ -142,7 +163,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         for use_gcn in [false, true] {
             let mut store = ParamStore::new();
-            let cfg = EncoderConfig { use_gcn, ..EncoderConfig::small(3) };
+            let cfg = EncoderConfig {
+                use_gcn,
+                ..EncoderConfig::small(3)
+            };
             let enc = Encoder::new(&mut store, "e", cfg, &mut rng);
             let g = generate::random_connected(6, 2, &[0.5, 0.3, 0.2], &mut rng);
             let tape = Tape::new();

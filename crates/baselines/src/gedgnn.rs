@@ -102,7 +102,17 @@ impl Gedgnn {
             rng,
         );
         let adam = Adam::new(config.learning_rate, config.weight_decay);
-        Gedgnn { config, store, encoder, cost_w, match_w, pool, ntn, head, adam }
+        Gedgnn {
+            config,
+            store,
+            encoder,
+            cost_w,
+            match_w,
+            pool,
+            ntn,
+            head,
+            adam,
+        }
     }
 
     /// Returns `(matching Â, score)`.
@@ -235,7 +245,10 @@ mod tests {
         cfg.learning_rate = 5e-3;
         let mut model = Gedgnn::new(cfg, &mut rng);
         let losses = model.train(&data, 6, &mut rng);
-        assert!(losses.last().unwrap() < losses.first().unwrap(), "{losses:?}");
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "{losses:?}"
+        );
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! * [`noah`] — a Noah-like hybrid: beam search guided by a learned
 //!   coupling matrix (substituting the paper's GPN guidance; see DESIGN.md
 //!   §4).
+//! * [`solvers`] — `GedSolver` adapters putting every baseline behind the
+//!   uniform `ged_core::solver` interface.
 
 #![warn(missing_docs)]
 
@@ -23,6 +25,7 @@ pub mod encoder;
 pub mod gedgnn;
 pub mod noah;
 pub mod simgnn;
+pub mod solvers;
 pub mod tagsim;
 
 pub use astar::{astar_beam, astar_exact, astar_exact_with_limit, AstarResult};
@@ -30,4 +33,5 @@ pub use classic::{classic_ged, hungarian_ged, vj_ged, ClassicResult};
 pub use gedgnn::{Gedgnn, GedgnnConfig};
 pub use noah::noah_like;
 pub use simgnn::{Simgnn, SimgnnConfig, SimgnnVariant};
+pub use solvers::{ClassicSolver, GedgnnSolver, NoahSolver, SimgnnSolver, TagsimSolver};
 pub use tagsim::{TagSim, TagSimConfig};

@@ -38,7 +38,11 @@ pub fn noah_like(
     let (a, b, swapped) = ordered(g1, g2);
     let n1 = a.num_nodes();
     let n2 = b.num_nodes();
-    assert_eq!(coupling.shape(), (n1, n2), "coupling must be n1 x n2 (ordered)");
+    assert_eq!(
+        coupling.shape(),
+        (n1, n2),
+        "coupling must be n1 x n2 (ordered)"
+    );
 
     #[derive(Clone)]
     struct State {
@@ -46,7 +50,10 @@ pub fn noah_like(
         g: usize,
     }
 
-    let mut frontier = vec![State { mapping: Vec::new(), g: 0 }];
+    let mut frontier = vec![State {
+        mapping: Vec::new(),
+        g: 0,
+    }];
     let mut expanded = 0usize;
     for depth in 0..n1 {
         let mut next: Vec<(f64, State)> = Vec::new();
@@ -93,7 +100,12 @@ pub fn noah_like(
         })
         .min_by_key(|&(cost, _)| cost)
         .expect("beam retains at least one mapping");
-    AstarResult { ged: best.0, mapping: best.1, swapped, expanded }
+    AstarResult {
+        ged: best.0,
+        mapping: best.1,
+        swapped,
+        expanded,
+    }
 }
 
 #[cfg(test)]
@@ -127,11 +139,7 @@ mod tests {
             let exact = astar_exact(&g, &p.graph);
             // Oracle coupling from the exact mapping.
             let n2 = p.graph.num_nodes();
-            let pi = Matrix::from_vec(
-                g.num_nodes(),
-                n2,
-                exact.mapping.coupling_matrix(n2),
-            );
+            let pi = Matrix::from_vec(g.num_nodes(), n2, exact.mapping.coupling_matrix(n2));
             let res = noah_like(&g, &p.graph, &pi, 1, 10.0);
             assert_eq!(res.ged, exact.ged);
         }

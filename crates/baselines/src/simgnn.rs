@@ -93,7 +93,15 @@ impl Simgnn {
             rng,
         );
         let adam = Adam::new(config.learning_rate, config.weight_decay);
-        Simgnn { config, store, encoder, pool, ntn, head, adam }
+        Simgnn {
+            config,
+            store,
+            encoder,
+            pool,
+            ntn,
+            head,
+            adam,
+        }
     }
 
     fn score(&self, tape: &Tape, binds: &Bindings, g1: &Graph, g2: &Graph) -> Var {

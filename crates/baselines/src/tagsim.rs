@@ -59,7 +59,12 @@ impl TypeCounts {
                 )
             })
             .count();
-        TypeCounts { relabel, node_ins: n2 - n1, edge_del, edge_ins }
+        TypeCounts {
+            relabel,
+            node_ins: n2 - n1,
+            edge_del,
+            edge_ins,
+        }
     }
 
     /// Total edit count.
@@ -126,7 +131,14 @@ impl TagSim {
             })
             .collect();
         let adam = Adam::new(config.learning_rate, config.weight_decay);
-        TagSim { config, store, encoder, pool, heads, adam }
+        TagSim {
+            config,
+            store,
+            encoder,
+            pool,
+            heads,
+            adam,
+        }
     }
 
     /// Returns the four normalized type scores.
@@ -153,7 +165,10 @@ impl TagSim {
         };
         let abs = tape.matmul(pos, neg); // 1 x d
         let feat = tape.concat_cols(tape.concat_cols(e1, e2), abs); // 1 x 3d
-        self.heads.iter().map(|h| h.forward(tape, binds, feat)).collect()
+        self.heads
+            .iter()
+            .map(|h| h.forward(tape, binds, feat))
+            .collect()
     }
 
     fn pair_loss(&self, tape: &Tape, binds: &Bindings, pair: &GedPair) -> Var {
@@ -258,7 +273,10 @@ mod tests {
         cfg.learning_rate = 5e-3;
         let mut model = TagSim::new(cfg, &mut rng);
         let losses = model.train(&data, 6, &mut rng);
-        assert!(losses.last().unwrap() < losses.first().unwrap(), "{losses:?}");
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "{losses:?}"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ fn bench_powerlaw(c: &mut Criterion) {
         let (g1, g2) = powerlaw_pair(n, n as u64);
         group.bench_with_input(BenchmarkId::new("gedgw_cg", n), &n, |b, _| {
             b.iter(|| {
-                let opts = GedgwOptions { max_iter: 20, ..Default::default() };
+                let opts = GedgwOptions {
+                    max_iter: 20,
+                    ..Default::default()
+                };
                 black_box(Gedgw::new(&g1, &g2).with_options(opts).solve().ged)
             });
         });

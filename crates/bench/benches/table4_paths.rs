@@ -25,7 +25,10 @@ fn pairs(count: usize) -> Vec<(Graph, Graph)> {
 fn bench_kbest(c: &mut Criterion) {
     let data = pairs(8);
     // Precompute GEDGW couplings once — the bench isolates the path search.
-    let couplings: Vec<_> = data.iter().map(|(g1, g2)| Gedgw::new(g1, g2).solve().coupling).collect();
+    let couplings: Vec<_> = data
+        .iter()
+        .map(|(g1, g2)| Gedgw::new(g1, g2).solve().coupling)
+        .collect();
 
     let mut group = c.benchmark_group("table4_kbest_paths");
     for &k in &[1usize, 10, 50, 100] {

@@ -195,7 +195,11 @@ pub fn gedgw_edge_labeled(
     g2: &EdgeLabeledGraph,
     max_iter: usize,
 ) -> EdgeLabeledResult {
-    let (a, b) = if g1.num_nodes() <= g2.num_nodes() { (g1, g2) } else { (g2, g1) };
+    let (a, b) = if g1.num_nodes() <= g2.num_nodes() {
+        (g1, g2)
+    } else {
+        (g2, g1)
+    };
     let n1 = a.num_nodes();
     let n = b.num_nodes();
     assert!(n > 0, "empty graphs");
@@ -265,8 +269,17 @@ pub fn gedgw_edge_labeled(
     // A concrete (node-level) path for the rounded mapping; edge-label
     // relabels are represented as delete+insert at the EditOp level.
     let path = edge_labeled_path(a, b, &mapping);
-    let rounded = KBestResult { ged: cost, path, mapping, candidates: 1 };
-    EdgeLabeledResult { ged: obj, coupling, rounded }
+    let rounded = KBestResult {
+        ged: cost,
+        path,
+        mapping,
+        candidates: 1,
+    };
+    EdgeLabeledResult {
+        ged: obj,
+        coupling,
+        rounded,
+    }
 }
 
 /// Realizes the rounded mapping as node-level edit operations (an edge
@@ -286,10 +299,9 @@ fn edge_labeled_path(
         .filter_map(|(u, v)| {
             let (k, l) = (mapping.image(u), mapping.image(v));
             match (g1.edge_label(u, v), g2.edge_label(k, l)) {
-                (Some(l1), Some(l2)) if l1 != l2 => Some([
-                    EditOp::DeleteEdge { u, v },
-                    EditOp::InsertEdge { u, v },
-                ]),
+                (Some(l1), Some(l2)) if l1 != l2 => {
+                    Some([EditOp::DeleteEdge { u, v }, EditOp::InsertEdge { u, v }])
+                }
                 _ => None,
             }
         })
@@ -304,7 +316,11 @@ fn edge_labeled_path(
 /// Brute-force exact edge-labeled GED for tiny graphs (test reference).
 #[must_use]
 pub fn exact_edge_labeled(g1: &EdgeLabeledGraph, g2: &EdgeLabeledGraph) -> usize {
-    let (a, b) = if g1.num_nodes() <= g2.num_nodes() { (g1, g2) } else { (g2, g1) };
+    let (a, b) = if g1.num_nodes() <= g2.num_nodes() {
+        (g1, g2)
+    } else {
+        (g2, g1)
+    };
     fn rec(
         a: &EdgeLabeledGraph,
         b: &EdgeLabeledGraph,
@@ -329,7 +345,14 @@ pub fn exact_edge_labeled(g1: &EdgeLabeledGraph, g2: &EdgeLabeledGraph) -> usize
         }
     }
     let mut best = usize::MAX;
-    rec(a, b, 0, &mut vec![false; b.num_nodes()], &mut Vec::new(), &mut best);
+    rec(
+        a,
+        b,
+        0,
+        &mut vec![false; b.num_nodes()],
+        &mut Vec::new(),
+        &mut best,
+    );
     best
 }
 
@@ -354,7 +377,10 @@ mod tests {
             // one extra edge
             for u in 0..n as u32 {
                 for v in (u + 1)..n as u32 {
-                    if !edges.iter().any(|&(a, b, _)| (a.min(b), a.max(b)) == (u, v)) {
+                    if !edges
+                        .iter()
+                        .any(|&(a, b, _)| (a.min(b), a.max(b)) == (u, v))
+                    {
                         edges.push((u, v, bond(rng.gen_range(0..2))));
                         break;
                     }
@@ -456,7 +482,11 @@ mod tests {
             let exact = exact_edge_labeled(&g1, &g2);
             let res = gedgw_edge_labeled(&g1, &g2, 40);
             assert!(res.rounded.ged >= exact, "rounded below exact");
-            assert!(res.rounded.ged <= exact + 4, "rounded {} far from exact {exact}", res.rounded.ged);
+            assert!(
+                res.rounded.ged <= exact + 4,
+                "rounded {} far from exact {exact}",
+                res.rounded.ged
+            );
         }
     }
 

@@ -44,7 +44,10 @@ impl<'m> Gedhot<'m> {
     /// Wraps a trained GEDIOT model with default GEDGW options.
     #[must_use]
     pub fn new(model: &'m Gediot) -> Self {
-        Gedhot { model, gw_options: GedgwOptions::default() }
+        Gedhot {
+            model,
+            gw_options: GedgwOptions::default(),
+        }
     }
 
     /// Overrides the GEDGW solver options.
@@ -64,7 +67,12 @@ impl<'m> Gedhot<'m> {
         } else {
             (gw.ged, Source::Gedgw)
         };
-        GedhotPrediction { ged, gediot_ged: iot.ged, gedgw_ged: gw.ged, value_source }
+        GedhotPrediction {
+            ged,
+            gediot_ged: iot.ged,
+            gedgw_ged: gw.ged,
+            value_source,
+        }
     }
 
     /// Predicts and generates an edit path: both members' couplings go

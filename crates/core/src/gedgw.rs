@@ -36,7 +36,10 @@ pub struct GedgwOptions {
 
 impl Default for GedgwOptions {
     fn default() -> Self {
-        GedgwOptions { max_iter: 50, tol: 1e-9 }
+        GedgwOptions {
+            max_iter: 50,
+            tol: 1e-9,
+        }
     }
 }
 
@@ -68,7 +71,12 @@ impl<'a> Gedgw<'a> {
     #[must_use]
     pub fn new(g1: &'a Graph, g2: &'a Graph) -> Self {
         let (a, b, swapped) = ordered(g1, g2);
-        Gedgw { g1: a, g2: b, swapped, options: GedgwOptions::default() }
+        Gedgw {
+            g1: a,
+            g2: b,
+            swapped,
+            options: GedgwOptions::default(),
+        }
     }
 
     /// Overrides the solver options.
@@ -167,7 +175,10 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn figure1() -> (Graph, Graph) {
-        let g1 = Graph::from_edges(vec![Label(1), Label(1), Label(2)], &[(0, 1), (0, 2), (1, 2)]);
+        let g1 = Graph::from_edges(
+            vec![Label(1), Label(1), Label(2)],
+            &[(0, 1), (0, 2), (1, 2)],
+        );
         let g2 = Graph::from_edges(
             vec![Label(1), Label(1), Label(3), Label(4)],
             &[(0, 1), (0, 2), (2, 3)],
@@ -283,9 +294,18 @@ mod tests {
             let p = generate::perturb_with_edits(&g, 3, 3, &mut rng);
             let (_, path) = Gedgw::new(&g, &p.graph).solve_with_path(20);
             // Feasible estimate: path length >= true GED, and true GED <= applied.
-            assert!(path.ged <= p.applied + 4, "way off: {} vs {}", path.ged, p.applied);
+            assert!(
+                path.ged <= p.applied + 4,
+                "way off: {} vs {}",
+                path.ged,
+                p.applied
+            );
             total_err += (path.ged as f64 - p.applied as f64).abs();
         }
-        assert!(total_err / trials as f64 <= 1.5, "avg err {}", total_err / trials as f64);
+        assert!(
+            total_err / trials as f64 <= 1.5,
+            "avg err {}",
+            total_err / trials as f64
+        );
     }
 }

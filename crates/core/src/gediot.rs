@@ -155,18 +155,30 @@ impl Gediot {
         let mut in_dim = config.num_labels.max(1);
         for (i, &out) in config.conv_dims.iter().enumerate() {
             let conv = match config.conv {
-                ConvKind::Gin => {
-                    Conv::Gin(GinLayer::new(&mut store, &format!("gin{i}"), in_dim, out, rng))
-                }
-                ConvKind::Gcn => {
-                    Conv::Gcn(Linear::new(&mut store, &format!("gcn{i}"), in_dim, out, rng))
-                }
+                ConvKind::Gin => Conv::Gin(GinLayer::new(
+                    &mut store,
+                    &format!("gin{i}"),
+                    in_dim,
+                    out,
+                    rng,
+                )),
+                ConvKind::Gcn => Conv::Gcn(Linear::new(
+                    &mut store,
+                    &format!("gcn{i}"),
+                    in_dim,
+                    out,
+                    rng,
+                )),
             };
             convs.push(conv);
             in_dim = out;
         }
         // Concatenation of the input features and every conv output.
-        let feat_dim = if config.num_labels <= 1 { 1 } else { config.num_labels };
+        let feat_dim = if config.num_labels <= 1 {
+            1
+        } else {
+            config.num_labels
+        };
         let concat_dim = feat_dim + config.conv_dims.iter().sum::<usize>();
         let (mlp, d_out) = if config.use_mlp {
             let mlp = Mlp::new(
@@ -200,7 +212,18 @@ impl Gediot {
             rng,
         );
         let adam = Adam::new(config.learning_rate, config.weight_decay);
-        Gediot { config, store, convs, mlp, cost_w, eps_param, pool, ntn, head, adam }
+        Gediot {
+            config,
+            store,
+            convs,
+            mlp,
+            cost_w,
+            eps_param,
+            pool,
+            ntn,
+            head,
+            adam,
+        }
     }
 
     /// The model's hyperparameters.
@@ -356,9 +379,14 @@ impl Gediot {
     /// Loss of one supervised pair (Eq. 15).
     fn pair_loss(&self, tape: &Tape, binds: &Bindings, pair: &GedPair) -> Var {
         let (pi, _, score) = self.forward_pair(tape, binds, &pair.g1, &pair.g2);
-        let nged = pair.normalized_ged().expect("training pair needs ground-truth GED");
+        let nged = pair
+            .normalized_ged()
+            .expect("training pair needs ground-truth GED");
         let l_v = mse_scalar(tape, score, nged);
-        let mapping = pair.mapping.as_ref().expect("training pair needs ground-truth matching");
+        let mapping = pair
+            .mapping
+            .as_ref()
+            .expect("training pair needs ground-truth matching");
         let target = Matrix::from_vec(
             pair.g1.num_nodes(),
             pair.g2.num_nodes(),
@@ -418,7 +446,12 @@ impl Gediot {
         let (pi, _, score) = self.forward_pair(&tape, &binds, a, b);
         let nged = tape.scalar_value(score);
         let ged = nged * max_edit_ops(a, b) as f64;
-        GediotPrediction { ged, nged, coupling: tape.value(pi), swapped }
+        GediotPrediction {
+            ged,
+            nged,
+            coupling: tape.value(pi),
+            swapped,
+        }
     }
 
     /// Predicts and additionally generates a feasible edit path via k-best
@@ -549,7 +582,10 @@ mod tests {
         let eps0 = model.epsilon();
         assert!((eps0 - 0.05).abs() < 1e-9, "initial epsilon {eps0}");
         model.train(&pairs, 5, &mut rng);
-        assert!((model.epsilon() - eps0).abs() > 1e-6, "epsilon never updated");
+        assert!(
+            (model.epsilon() - eps0).abs() > 1e-6,
+            "epsilon never updated"
+        );
     }
 
     #[test]
@@ -568,7 +604,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(46);
         let g1 = generate::random_connected(4, 1, &[0.5, 0.5], &mut rng);
         let g2 = generate::random_connected(5, 1, &[0.5, 0.5], &mut rng);
-        for (gcn, mlp, cost) in [(true, true, true), (false, false, true), (false, true, false)] {
+        for (gcn, mlp, cost) in [
+            (true, true, true),
+            (false, false, true),
+            (false, true, false),
+        ] {
             let mut cfg = tiny_config(2);
             cfg.conv = if gcn { ConvKind::Gcn } else { ConvKind::Gin };
             cfg.use_mlp = mlp;
@@ -606,19 +646,25 @@ mod tests {
         cfg.learning_rate = 2e-2;
         let mut model = Gediot::new(cfg, &mut rng);
         let pairs = vec![pair];
-        model.train(&pairs, 60, &mut rng);
+        model.train(&pairs, 150, &mut rng);
         let pred = model.predict(&g, &p.graph);
         // The ground-truth entries should now carry high confidence.
         let n2 = p.graph.num_nodes();
         let mut hits = 0;
         for (u, &v) in mapping.as_slice().iter().enumerate() {
             let row = pred.coupling.row(u);
-            let best = (0..n2).max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap()).unwrap();
+            let best = (0..n2)
+                .max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
+                .unwrap();
             if best == v as usize {
                 hits += 1;
             }
         }
-        assert!(hits * 2 >= mapping.len(), "only {hits}/{} rows match", mapping.len());
+        assert!(
+            hits * 2 >= mapping.len(),
+            "only {hits}/{} rows match",
+            mapping.len()
+        );
     }
 
     #[test]

@@ -56,9 +56,9 @@ pub fn kbest_edit_path(g1: &Graph, g2: &Graph, pi: &Matrix, k: usize) -> KBestRe
     let mut best_pair: Option<(EditPath, NodeMapping)> = None;
 
     let consider = |assignment: &Assignment,
-                        candidates: &mut usize,
-                        best_len: &mut usize,
-                        best_pair: &mut Option<(EditPath, NodeMapping)>| {
+                    candidates: &mut usize,
+                    best_len: &mut usize,
+                    best_pair: &mut Option<(EditPath, NodeMapping)>| {
         *candidates += 1;
         let mapping = mapping_of(assignment);
         let cost = mapping.induced_cost(g1, g2);
@@ -81,7 +81,12 @@ pub fn kbest_edit_path(g1: &Graph, g2: &Graph, pi: &Matrix, k: usize) -> KBestRe
         // power-law graphs of Figure 16, where second-best is the
         // dominating cost.
         let (path, mapping) = best_pair.expect("one matching considered");
-        return KBestResult { ged: path.len(), path, mapping, candidates };
+        return KBestResult {
+            ged: path.len(),
+            path,
+            mapping,
+            candidates,
+        };
     }
     let m2 = second_best_matching(pi, &[], &[], &m1);
     if let Some(ref m2a) = m2 {
@@ -124,7 +129,10 @@ pub fn kbest_edit_path(g1: &Graph, g2: &Graph, pi: &Matrix, k: usize) -> KBestRe
                     break;
                 }
             }
-            (split_edge.expect("distinct matchings differ on a free pair"), second)
+            (
+                split_edge.expect("distinct matchings differ on a free pair"),
+                second,
+            )
         };
 
         // Child S': forced += e, keeps the old best; fresh second-best.
@@ -170,7 +178,12 @@ pub fn kbest_edit_path(g1: &Graph, g2: &Graph, pi: &Matrix, k: usize) -> KBestRe
     }
 
     let (path, mapping) = best_pair.expect("at least one matching considered");
-    KBestResult { ged: path.len(), path, mapping, candidates }
+    KBestResult {
+        ged: path.len(),
+        path,
+        mapping,
+        candidates,
+    }
 }
 
 #[cfg(test)]
@@ -182,7 +195,10 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn figure1() -> (Graph, Graph) {
-        let g1 = Graph::from_edges(vec![Label(1), Label(1), Label(2)], &[(0, 1), (0, 2), (1, 2)]);
+        let g1 = Graph::from_edges(
+            vec![Label(1), Label(1), Label(2)],
+            &[(0, 1), (0, 2), (1, 2)],
+        );
         let g2 = Graph::from_edges(
             vec![Label(1), Label(1), Label(3), Label(4)],
             &[(0, 1), (0, 2), (2, 3)],
@@ -216,7 +232,14 @@ mod tests {
             }
         }
         let mut best = usize::MAX;
-        rec(g1, g2, 0, &mut vec![false; g2.num_nodes()], &mut Vec::new(), &mut best);
+        rec(
+            g1,
+            g2,
+            0,
+            &mut vec![false; g2.num_nodes()],
+            &mut Vec::new(),
+            &mut best,
+        );
         best
     }
 
@@ -249,7 +272,11 @@ mod tests {
             let pi = Matrix::from_fn(n1, n2, |_, _| 0.5 + rng.gen_range(-0.05..0.05));
             let res = kbest_edit_path(&g1, &g2, &pi, 200);
             assert!(res.ged >= exact, "trial {trial}: found below exact");
-            assert_eq!(res.ged, exact, "trial {trial}: {} vs exact {exact}", res.ged);
+            assert_eq!(
+                res.ged, exact,
+                "trial {trial}: {} vs exact {exact}",
+                res.ged
+            );
         }
     }
 

@@ -13,6 +13,9 @@
 //!   matching framework with lower-bound pruning (Section 4.5, Algorithm 4).
 //! * [`lower_bound`] — the label-set GED lower bound (Eq. 22).
 //! * [`pairs`] — training/evaluation pair plumbing shared by the models.
+//! * [`solver`] — the [`solver::GedSolver`] trait every method implements,
+//!   the [`solver::SolverRegistry`] that names them, and the
+//!   [`solver::BatchRunner`] parallel batch engine.
 
 #![warn(missing_docs)]
 
@@ -24,6 +27,7 @@ pub mod kbest;
 pub mod lower_bound;
 pub mod pairs;
 pub mod search;
+pub mod solver;
 
 pub use edge_labeled::{gedgw_edge_labeled, EdgeLabeledGraph};
 pub use ensemble::{Gedhot, GedhotPrediction};
@@ -31,5 +35,9 @@ pub use gedgw::{Gedgw, GedgwOptions, GedgwResult};
 pub use gediot::{Gediot, GediotConfig, GediotPrediction};
 pub use kbest::{kbest_edit_path, KBestResult};
 pub use lower_bound::{degree_sequence_lower_bound, label_set_lower_bound};
-pub use search::{bounded_exact_ged, similarity_search, SearchStats, Verdict};
 pub use pairs::{ordered, GedPair};
+pub use search::{bounded_exact_ged, similarity_search, SearchStats, Verdict};
+pub use solver::{
+    BatchRunner, GedEstimate, GedSolver, GedgwSolver, GedhotSolver, GediotSolver, PathEstimate,
+    SolverRegistry,
+};

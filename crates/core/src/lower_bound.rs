@@ -57,11 +57,7 @@ pub fn label_set_lower_bound(g1: &Graph, g2: &Graph) -> usize {
 /// contribute their exact label mismatch; the label-set bound applies to the
 /// remaining nodes. Used by the k-best framework's subspace pruning.
 #[must_use]
-pub fn partial_matching_lower_bound(
-    g1: &Graph,
-    g2: &Graph,
-    forced: &[(usize, usize)],
-) -> usize {
+pub fn partial_matching_lower_bound(g1: &Graph, g2: &Graph, forced: &[(usize, usize)]) -> usize {
     let mut fixed_cost = 0usize;
     let mut used1 = vec![false; g1.num_nodes()];
     let mut used2 = vec![false; g2.num_nodes()];
@@ -163,7 +159,10 @@ mod tests {
     fn partial_bound_with_empty_forced_equals_base() {
         let a = g(&[1, 5, 2], &[(0, 1)]);
         let b = g(&[2, 1], &[(0, 1)]);
-        assert_eq!(partial_matching_lower_bound(&a, &b, &[]), label_set_lower_bound(&a, &b));
+        assert_eq!(
+            partial_matching_lower_bound(&a, &b, &[]),
+            label_set_lower_bound(&a, &b)
+        );
     }
 }
 
@@ -247,7 +246,14 @@ mod degree_bound_tests {
             }
         }
         let mut best = usize::MAX;
-        rec(g1, g2, 0, &mut vec![false; g2.num_nodes()], &mut Vec::new(), &mut best);
+        rec(
+            g1,
+            g2,
+            0,
+            &mut vec![false; g2.num_nodes()],
+            &mut Vec::new(),
+            &mut best,
+        );
         best
     }
 

@@ -37,9 +37,19 @@ impl GedPair {
     #[must_use]
     pub fn new(g1: Graph, g2: Graph) -> Self {
         if g1.num_nodes() <= g2.num_nodes() {
-            GedPair { g1, g2, ged: None, mapping: None }
+            GedPair {
+                g1,
+                g2,
+                ged: None,
+                mapping: None,
+            }
         } else {
-            GedPair { g1: g2, g2: g1, ged: None, mapping: None }
+            GedPair {
+                g1: g2,
+                g2: g1,
+                ged: None,
+                mapping: None,
+            }
         }
     }
 
@@ -58,13 +68,19 @@ impl GedPair {
             "supervised pairs must already be ordered (n1 <= n2)"
         );
         assert_eq!(mapping.len(), g1.num_nodes(), "mapping must cover g1");
-        GedPair { g1, g2, ged: Some(ged), mapping: Some(mapping) }
+        GedPair {
+            g1,
+            g2,
+            ged: Some(ged),
+            mapping: Some(mapping),
+        }
     }
 
     /// The normalized ground-truth GED (`nGED`, Section 4.4), if supervised.
     #[must_use]
     pub fn normalized_ged(&self) -> Option<f64> {
-        self.ged.map(|g| ged_graph::normalized_ged(g, &self.g1, &self.g2))
+        self.ged
+            .map(|g| ged_graph::normalized_ged(g, &self.g1, &self.g2))
     }
 }
 

@@ -74,7 +74,10 @@ pub fn bounded_exact_ged(g1: &Graph, g2: &Graph, tau: usize) -> Option<usize> {
         g: usize,
     }
     let mut heap: BinaryHeap<Reverse<(usize, usize, usize)>> = BinaryHeap::new();
-    let mut states = vec![State { mapping: Vec::new(), g: 0 }];
+    let mut states = vec![State {
+        mapping: Vec::new(),
+        g: 0,
+    }];
     heap.push(Reverse((0, n1, 0)));
 
     while let Some(Reverse((f, _, idx))) = heap.pop() {
@@ -146,7 +149,9 @@ fn remainder_bound(g1: &Graph, g2: &Graph, mapping: &[u32]) -> usize {
     for &v in mapping {
         used[v as usize] = true;
     }
-    let mut rest1: Vec<_> = (depth..g1.num_nodes()).map(|u| g1.label(u as u32)).collect();
+    let mut rest1: Vec<_> = (depth..g1.num_nodes())
+        .map(|u| g1.label(u as u32))
+        .collect();
     let mut rest2: Vec<_> = (0..g2.num_nodes())
         .filter(|&v| !used[v])
         .map(|v| g2.label(v as u32))
@@ -189,7 +194,10 @@ fn remainder_bound(g1: &Graph, g2: &Graph, mapping: &[u32]) -> usize {
 pub fn fast_upper_bound(g1: &Graph, g2: &Graph) -> usize {
     let (a, b, _) = ordered(g1, g2);
     let solve = Gedgw::new(a, b)
-        .with_options(crate::gedgw::GedgwOptions { max_iter: 15, tol: 1e-7 })
+        .with_options(crate::gedgw::GedgwOptions {
+            max_iter: 15,
+            tol: 1e-7,
+        })
         .solve();
     let neg = solve.coupling.scale(-1.0);
     let assignment = lsap_min(&neg);
@@ -208,8 +216,8 @@ pub fn similarity_search(
     let verdicts = database
         .iter()
         .map(|cand| {
-            let lb = label_set_lower_bound(query, cand)
-                .max(degree_sequence_lower_bound(query, cand));
+            let lb =
+                label_set_lower_bound(query, cand).max(degree_sequence_lower_bound(query, cand));
             if lb > tau {
                 stats.filtered += 1;
                 return Verdict::FilteredOut { bound: lb };
@@ -270,12 +278,17 @@ mod tests {
     fn search_agrees_with_exhaustive_verification() {
         let mut rng = SmallRng::seed_from_u64(203);
         let db: Vec<Graph> = (0..20)
-            .map(|_| generate::random_connected(rng.gen_range(4..=7), 1, &[0.5, 0.3, 0.2], &mut rng))
+            .map(|_| {
+                generate::random_connected(rng.gen_range(4..=7), 1, &[0.5, 0.3, 0.2], &mut rng)
+            })
             .collect();
         let query = generate::random_connected(5, 1, &[0.5, 0.3, 0.2], &mut rng);
         for tau in [1usize, 3, 5, 8] {
             let (verdicts, stats) = similarity_search(&db, &query, tau);
-            assert_eq!(stats.filtered + stats.accepted_early + stats.verified, db.len());
+            assert_eq!(
+                stats.filtered + stats.accepted_early + stats.verified,
+                db.len()
+            );
             for (cand, verdict) in db.iter().zip(&verdicts) {
                 let truth = exact(&query, cand) <= tau;
                 let claimed = matches!(
@@ -297,6 +310,9 @@ mod tests {
         let query = generate::random_connected(5, 1, &[0.2; 5], &mut rng);
         let (_, tight) = similarity_search(&db, &query, 1);
         let (_, loose) = similarity_search(&db, &query, 12);
-        assert!(tight.filtered > loose.filtered, "tight {tight:?} loose {loose:?}");
+        assert!(
+            tight.filtered > loose.filtered,
+            "tight {tight:?} loose {loose:?}"
+        );
     }
 }

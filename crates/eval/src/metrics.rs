@@ -160,7 +160,10 @@ pub fn precision_at_k(pred: &[f64], gt: &[f64], k: usize) -> f64 {
     let top = |vals: &[f64]| -> Vec<usize> {
         let mut idx: Vec<usize> = (0..vals.len()).collect();
         idx.sort_by(|&a, &b| {
-            vals[a].partial_cmp(&vals[b]).expect("finite").then(a.cmp(&b))
+            vals[a]
+                .partial_cmp(&vals[b])
+                .expect("finite")
+                .then(a.cmp(&b))
         });
         idx.truncate(k);
         idx
@@ -264,8 +267,16 @@ pub fn path_precision_recall(
             }
         }
     }
-    let precision = if gen.is_empty() { 0.0 } else { inter as f64 / gen.len() as f64 };
-    let recall = if gt.is_empty() { 0.0 } else { inter as f64 / gt.len() as f64 };
+    let precision = if gen.is_empty() {
+        0.0
+    } else {
+        inter as f64 / gen.len() as f64
+    };
+    let recall = if gt.is_empty() {
+        0.0
+    } else {
+        inter as f64 / gt.len() as f64
+    };
     (precision, recall)
 }
 
@@ -353,8 +364,18 @@ mod tests {
     #[test]
     fn path_overlap_metrics() {
         use CanonicalOp::*;
-        let gt = vec![Relabel(2), InsertNode(3), DeleteEdge(1, 2), InsertEdge(2, 3)];
-        let gen = vec![Relabel(2), InsertNode(3), DeleteEdge(0, 1), InsertEdge(2, 3)];
+        let gt = vec![
+            Relabel(2),
+            InsertNode(3),
+            DeleteEdge(1, 2),
+            InsertEdge(2, 3),
+        ];
+        let gen = vec![
+            Relabel(2),
+            InsertNode(3),
+            DeleteEdge(0, 1),
+            InsertEdge(2, 3),
+        ];
         let (p, r) = path_precision_recall(&gen, &gt);
         assert!((p - 0.75).abs() < 1e-12);
         assert!((r - 0.75).abs() < 1e-12);

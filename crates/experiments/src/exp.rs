@@ -3,7 +3,7 @@
 
 use crate::harness::{
     self, eval_path, eval_value, format_path_table, format_value_table, prepare, train_all,
-    ExpConfig, MethodKind, PreparedDataset, TrainedModels,
+    ExpConfig, MethodKind, PreparedDataset,
 };
 use ged_baselines::astar::{astar_beam, astar_exact_with_limit};
 use ged_baselines::classic::classic_ged;
@@ -13,6 +13,7 @@ use ged_core::gedgw::Gedgw;
 use ged_core::gediot::{ConvKind, Gediot, GediotConfig};
 use ged_core::kbest::kbest_edit_path;
 use ged_core::pairs::GedPair;
+use ged_core::solver::{BatchRunner, SolverRegistry};
 use ged_eval::metrics::{self, PairOutcome};
 use ged_graph::{generate, DatasetKind, GraphDataset};
 use rand::rngs::SmallRng;
@@ -26,7 +27,8 @@ const DATASETS: [DatasetKind; 3] = [DatasetKind::Aids, DatasetKind::Linux, Datas
 #[must_use]
 pub fn run_table2(cfg: &ExpConfig) -> String {
     let mut rng = cfg.rng();
-    let mut out = String::from("== Table 2: Statistics of Graph Datasets (synthetic stand-ins) ==\n");
+    let mut out =
+        String::from("== Table 2: Statistics of Graph Datasets (synthetic stand-ins) ==\n");
     let _ = writeln!(
         out,
         "{:<8} {:>5} {:>8} {:>8} {:>8} {:>8} {:>6}",
@@ -59,9 +61,11 @@ pub fn run_table3(cfg: &ExpConfig) -> String {
         let mut rng = cfg.rng();
         let prep = prepare(kind, cfg, false, &mut rng);
         let models = train_all(&prep, cfg, &mut rng);
+        let registry = models.registry(cfg.kbest_k);
+        let runner = BatchRunner::from_env();
         let rows: Vec<_> = MethodKind::table3()
             .into_iter()
-            .map(|m| eval_value(&models, &prep, m, cfg.kbest_k))
+            .map(|m| eval_value(&registry, &prep, m, &runner))
             .collect();
         out.push_str(&format_value_table(
             &format!("Table 3 ({}): GED computation", kind.name()),
@@ -80,9 +84,11 @@ pub fn run_table4(cfg: &ExpConfig) -> String {
         let mut rng = cfg.rng();
         let prep = prepare(kind, cfg, false, &mut rng);
         let models = train_all(&prep, cfg, &mut rng);
+        let registry = models.registry(cfg.kbest_k);
+        let runner = BatchRunner::from_env();
         let rows: Vec<_> = MethodKind::table4()
             .into_iter()
-            .map(|m| eval_path(&models, &prep, m, cfg.kbest_k))
+            .map(|m| eval_path(&registry, &prep, m, cfg.kbest_k, &runner))
             .collect();
         out.push_str(&format_path_table(
             &format!("Table 4 ({}): GEP generation", kind.name()),
@@ -109,9 +115,11 @@ pub fn run_table5(cfg: &ExpConfig) -> String {
         let mut rng = cfg.rng();
         let prep = prepare(kind, cfg, true, &mut rng);
         let models = train_all(&prep, cfg, &mut rng);
+        let registry = models.registry(cfg.kbest_k);
+        let runner = BatchRunner::from_env();
         let rows: Vec<_> = methods
             .iter()
-            .map(|&m| eval_value(&models, &prep, m, cfg.kbest_k))
+            .map(|&m| eval_value(&registry, &prep, m, &runner))
             .collect();
         out.push_str(&format_value_table(
             &format!("Table 5 ({}): unseen graph pairs", kind.name()),
@@ -232,7 +240,12 @@ fn imdb_small_train_large_test(cfg: &ExpConfig, rng: &mut SmallRng) -> PreparedD
             for _ in 0..cfg.partners {
                 let delta = 1 + rng.gen_range(0..10);
                 let p = generate::perturb_with_edits(g, delta, 1, rng);
-                group.push(GedPair::supervised(g.clone(), p.graph, p.applied as f64, p.mapping));
+                group.push(GedPair::supervised(
+                    g.clone(),
+                    p.graph,
+                    p.applied as f64,
+                    p.mapping,
+                ));
             }
             groups.push(group);
         }
@@ -253,16 +266,21 @@ pub fn run_fig8(cfg: &ExpConfig) -> String {
     // Full training set models.
     let prep_full = prepare(DatasetKind::Imdb, cfg, false, &mut rng);
     let models_full = train_all(&prep_full, cfg, &mut rng);
+    let registry_full = models_full.registry(cfg.kbest_k);
     // Small-graph training, large-graph test.
     let prep_small = imdb_small_train_large_test(cfg, &mut rng);
     let models_small = train_all(&prep_small, cfg, &mut rng);
+    let registry_small = models_small.registry(cfg.kbest_k);
 
-    let eval_on = |models: &TrainedModels, method: MethodKind, name: &str| -> String {
+    let eval_on = |registry: &SolverRegistry, method: MethodKind, name: &str| -> String {
         let mut outcomes = Vec::new();
         for group in &prep_small.test_groups {
             for pair in group {
-                let pred = harness::predict_value(models, method, pair, cfg.kbest_k);
-                outcomes.push(PairOutcome { pred, gt: pair.ged.expect("supervised") });
+                let pred = harness::predict_value(registry, method, pair);
+                outcomes.push(PairOutcome {
+                    pred,
+                    gt: pair.ged.expect("supervised"),
+                });
             }
         }
         format!(
@@ -275,14 +293,26 @@ pub fn run_fig8(cfg: &ExpConfig) -> String {
 
     let mut out = String::from("== Figure 8 (IMDB): generalizability to large unseen graphs ==\n");
     let _ = writeln!(out, "{:<14} {:>8} {:>9}", "Method", "MAE", "Accuracy");
-    out.push_str(&eval_on(&models_full, MethodKind::GedGnn, "GEDGNN"));
-    out.push_str(&eval_on(&models_full, MethodKind::Gediot, "GEDIOT"));
-    out.push_str(&eval_on(&models_full, MethodKind::Gedhot, "GEDHOT"));
-    out.push_str(&eval_on(&models_small, MethodKind::GedGnn, "GEDGNN-small"));
-    out.push_str(&eval_on(&models_small, MethodKind::Gediot, "GEDIOT-small"));
-    out.push_str(&eval_on(&models_small, MethodKind::Gedhot, "GEDHOT-small"));
-    out.push_str(&eval_on(&models_small, MethodKind::Classic, "Classic"));
-    out.push_str(&eval_on(&models_small, MethodKind::Gedgw, "GEDGW"));
+    out.push_str(&eval_on(&registry_full, MethodKind::GedGnn, "GEDGNN"));
+    out.push_str(&eval_on(&registry_full, MethodKind::Gediot, "GEDIOT"));
+    out.push_str(&eval_on(&registry_full, MethodKind::Gedhot, "GEDHOT"));
+    out.push_str(&eval_on(
+        &registry_small,
+        MethodKind::GedGnn,
+        "GEDGNN-small",
+    ));
+    out.push_str(&eval_on(
+        &registry_small,
+        MethodKind::Gediot,
+        "GEDIOT-small",
+    ));
+    out.push_str(&eval_on(
+        &registry_small,
+        MethodKind::Gedhot,
+        "GEDHOT-small",
+    ));
+    out.push_str(&eval_on(&registry_small, MethodKind::Classic, "Classic"));
+    out.push_str(&eval_on(&registry_small, MethodKind::Gedgw, "GEDGW"));
     out
 }
 
@@ -293,6 +323,7 @@ pub fn run_fig12(cfg: &ExpConfig) -> String {
     let mut rng = cfg.rng();
     let prep_small = imdb_small_train_large_test(cfg, &mut rng);
     let models = train_all(&prep_small, cfg, &mut rng);
+    let registry = models.registry(cfg.kbest_k);
 
     // Large test graphs to perturb.
     let large: Vec<usize> = prep_small
@@ -316,13 +347,18 @@ pub fn run_fig12(cfg: &ExpConfig) -> String {
             let g = &prep_small.dataset.graphs[i];
             let delta = ((g.num_nodes() as f64 * r).ceil() as usize).max(1);
             let p = generate::perturb_with_edits(g, delta, 1, &mut rng);
-            pairs.push(GedPair::supervised(g.clone(), p.graph, p.applied as f64, p.mapping));
+            pairs.push(GedPair::supervised(
+                g.clone(),
+                p.graph,
+                p.applied as f64,
+                p.mapping,
+            ));
         }
         let mae_of = |method: MethodKind| -> f64 {
             let outcomes: Vec<PairOutcome> = pairs
                 .iter()
                 .map(|pair| PairOutcome {
-                    pred: harness::predict_value(&models, method, pair, cfg.kbest_k),
+                    pred: harness::predict_value(&registry, method, pair),
                     gt: pair.ged.expect("supervised"),
                 })
                 .collect();
@@ -410,6 +446,7 @@ pub fn run_fig14(cfg: &ExpConfig) -> String {
         let mut rng = cfg.rng();
         let prep = prepare(kind, cfg, false, &mut rng);
         let models = train_all(&prep, cfg, &mut rng);
+        let registry = models.registry(cfg.kbest_k);
         let idx = &prep.split.test;
         let triples = 30.min(idx.len().saturating_sub(2) * 3);
         let mut rates = Vec::new();
@@ -420,10 +457,11 @@ pub fn run_fig14(cfg: &ExpConfig) -> String {
                 let a = &prep.dataset.graphs[idx[t % idx.len()]];
                 let b = &prep.dataset.graphs[idx[(t + 1) % idx.len()]];
                 let c = &prep.dataset.graphs[idx[(t + 2) % idx.len()]];
-                let make = |x: &ged_graph::Graph, y: &ged_graph::Graph| GedPair::new(x.clone(), y.clone());
-                let ab = harness::predict_value(&models, method, &make(a, b), cfg.kbest_k);
-                let bc = harness::predict_value(&models, method, &make(b, c), cfg.kbest_k);
-                let ac = harness::predict_value(&models, method, &make(a, c), cfg.kbest_k);
+                let make =
+                    |x: &ged_graph::Graph, y: &ged_graph::Graph| GedPair::new(x.clone(), y.clone());
+                let ab = harness::predict_value(&registry, method, &make(a, b));
+                let bc = harness::predict_value(&registry, method, &make(b, c));
+                let ac = harness::predict_value(&registry, method, &make(a, c));
                 total += 1;
                 if ac <= ab + bc + 1e-9 {
                     ok += 1;
@@ -530,7 +568,11 @@ pub fn run_fig15(cfg: &ExpConfig) -> String {
 #[must_use]
 pub fn run_fig16(cfg: &ExpConfig) -> String {
     let mut rng = cfg.rng();
-    let sizes: &[usize] = if cfg.dataset_size >= 100 { &[50, 100, 200, 400] } else { &[50, 100, 200] };
+    let sizes: &[usize] = if cfg.dataset_size >= 100 {
+        &[50, 100, 200, 400]
+    } else {
+        &[50, 100, 200]
+    };
     let pairs_per_size = 4usize;
 
     // Train GEDIOT and GEDGNN on power-law perturbation pairs (small size).
@@ -635,7 +677,10 @@ fn sweep_gediot(
         for group in &prep.test_groups {
             for pair in group {
                 let pred = model.predict(&pair.g1, &pair.g2).ged;
-                outcomes.push(PairOutcome { pred, gt: pair.ged.expect("supervised") });
+                outcomes.push(PairOutcome {
+                    pred,
+                    gt: pair.ged.expect("supervised"),
+                });
                 count += 1;
             }
         }
@@ -701,7 +746,13 @@ pub fn run_fig19(cfg: &ExpConfig) -> String {
 /// Figure 20: varying the training-set size (fraction of the pair pool).
 #[must_use]
 pub fn run_fig20(cfg: &ExpConfig) -> String {
-    sweep_gediot(cfg, "frac", &[0.1, 0.2, 0.4, 0.6, 0.8, 1.0], |c, _| c, |v| v)
+    sweep_gediot(
+        cfg,
+        "frac",
+        &[0.1, 0.2, 0.4, 0.6, 0.8, 1.0],
+        |c, _| c,
+        |v| v,
+    )
 }
 
 /// Figure 21: varying `k` in k-best matching for GEP generation.
@@ -726,7 +777,10 @@ pub fn run_fig21(cfg: &ExpConfig) -> String {
             for group in &prep.test_groups {
                 for pair in group {
                     let pred = f(pair) as f64;
-                    outcomes.push(PairOutcome { pred, gt: pair.ged.expect("supervised") });
+                    outcomes.push(PairOutcome {
+                        pred,
+                        gt: pair.ged.expect("supervised"),
+                    });
                     count += 1;
                 }
             }

@@ -2,21 +2,21 @@
 //! generation, model training, and the evaluation loops behind Tables 3-6.
 
 use ged_baselines::astar::astar_exact_with_limit;
-use ged_baselines::classic::classic_ged;
 use ged_baselines::gedgnn::{Gedgnn, GedgnnConfig};
-use ged_baselines::noah::noah_like;
 use ged_baselines::simgnn::{Simgnn, SimgnnConfig, SimgnnVariant};
+use ged_baselines::solvers::{ClassicSolver, GedgnnSolver, NoahSolver, SimgnnSolver, TagsimSolver};
 use ged_baselines::tagsim::{TagSim, TagSimConfig};
-use ged_core::ensemble::Gedhot;
-use ged_core::gedgw::Gedgw;
 use ged_core::gediot::{Gediot, GediotConfig};
-use ged_core::kbest::kbest_edit_path;
 use ged_core::pairs::GedPair;
+use ged_core::solver::{
+    BatchRunner, GedSolver, GedgwSolver, GedhotSolver, GediotSolver, SolverRegistry,
+};
 use ged_eval::metrics::{self, GroupedRanking, PairOutcome};
-use ged_graph::{generate, CanonicalOp, DatasetKind, GraphDataset, NodeMapping, Split};
+use ged_graph::{generate, CanonicalOp, DatasetKind, GraphDataset, Split};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A* expansion budget when labeling pairs exactly.
@@ -102,16 +102,18 @@ pub struct PreparedDataset {
 }
 
 /// Labels an (ordered) pair with exact A* ground truth when affordable.
-fn label_pair(
-    g1: &ged_graph::Graph,
-    g2: &ged_graph::Graph,
-) -> Option<GedPair> {
+fn label_pair(g1: &ged_graph::Graph, g2: &ged_graph::Graph) -> Option<GedPair> {
     let (a, b, _) = ged_core::pairs::ordered(g1, g2);
     if a.num_nodes() > 10 || b.num_nodes() > 10 {
         return None;
     }
     let res = astar_exact_with_limit(a, b, ASTAR_BUDGET)?;
-    Some(GedPair::supervised(a.clone(), b.clone(), res.ged as f64, res.mapping))
+    Some(GedPair::supervised(
+        a.clone(),
+        b.clone(),
+        res.ged as f64,
+        res.mapping,
+    ))
 }
 
 /// Builds a supervised pair from a graph and a Δ-perturbed copy (the
@@ -167,7 +169,11 @@ pub fn prepare(
     }
 
     // Test groups.
-    let pool: &[usize] = if partners_from_test { &split.test } else { &split.train };
+    let pool: &[usize] = if partners_from_test {
+        &split.test
+    } else {
+        &split.train
+    };
     let mut test_groups = Vec::new();
     for &q in split.test.iter().take(cfg.max_queries) {
         let qg = &dataset.graphs[q];
@@ -178,8 +184,10 @@ pub fn prepare(
                 .copied()
                 .filter(|&i| i != q && dataset.graphs[i].num_nodes() <= 10)
                 .collect();
-            let sample: Vec<usize> =
-                candidates.choose_multiple(rng, cfg.partners).copied().collect();
+            let sample: Vec<usize> = candidates
+                .choose_multiple(rng, cfg.partners)
+                .copied()
+                .collect();
             for i in sample {
                 if let Some(p) = label_pair(qg, &dataset.graphs[i]) {
                     group.push(p);
@@ -197,21 +205,57 @@ pub fn prepare(
         }
     }
 
-    PreparedDataset { kind, dataset, split, train_pairs, test_groups }
+    PreparedDataset {
+        kind,
+        dataset,
+        split,
+        train_pairs,
+        test_groups,
+    }
 }
 
 /// The trained model zoo shared by the evaluation tables.
+///
+/// Models sit behind [`Arc`] so [`TrainedModels::registry`] can hand the
+/// same trained weights to several solvers (GEDHOT reuses GEDIOT, Noah
+/// reuses GEDGNN) without retraining or cloning parameters.
 pub struct TrainedModels {
     /// SimGNN baseline.
-    pub simgnn: Simgnn,
+    pub simgnn: Arc<Simgnn>,
     /// GPN stand-in (GCN-flavored regressor).
-    pub gpn: Simgnn,
+    pub gpn: Arc<Simgnn>,
     /// TaGSim baseline.
-    pub tagsim: TagSim,
+    pub tagsim: Arc<TagSim>,
     /// GEDGNN baseline.
-    pub gedgnn: Gedgnn,
+    pub gedgnn: Arc<Gedgnn>,
     /// Our GEDIOT model.
-    pub gediot: Gediot,
+    pub gediot: Arc<Gediot>,
+}
+
+impl TrainedModels {
+    /// Builds the full Table-3 solver lineup — every [`MethodKind`] as a
+    /// boxed [`GedSolver`], registered in the paper's row order. `k` is
+    /// the search effort used where a method needs one for *value*
+    /// prediction (Noah's beam width).
+    #[must_use]
+    pub fn registry(&self, k: usize) -> SolverRegistry {
+        let mut reg = SolverRegistry::new();
+        reg.register(Box::new(SimgnnSolver::new(
+            "SimGNN",
+            Arc::clone(&self.simgnn),
+        )));
+        reg.register(Box::new(SimgnnSolver::new("GPN", Arc::clone(&self.gpn))));
+        reg.register(Box::new(TagsimSolver::new(Arc::clone(&self.tagsim))));
+        reg.register(Box::new(GedgnnSolver::new(Arc::clone(&self.gedgnn))));
+        reg.register(Box::new(GediotSolver::new(Arc::clone(&self.gediot))));
+        reg.register(Box::new(ClassicSolver));
+        reg.register(Box::new(GedgwSolver));
+        reg.register(Box::new(
+            NoahSolver::new(Arc::clone(&self.gedgnn)).with_beam(k),
+        ));
+        reg.register(Box::new(GedhotSolver::new(Arc::clone(&self.gediot))));
+        reg
+    }
 }
 
 /// Trains every neural model on the prepared training pairs.
@@ -227,7 +271,13 @@ pub fn train_all(prep: &PreparedDataset, cfg: &ExpConfig, rng: &mut SmallRng) ->
     tagsim.train(&prep.train_pairs, cfg.epochs, rng);
     gedgnn.train(&prep.train_pairs, cfg.epochs, rng);
     gediot.train(&prep.train_pairs, cfg.epochs, rng);
-    TrainedModels { simgnn, gpn, tagsim, gedgnn, gediot }
+    TrainedModels {
+        simgnn: Arc::new(simgnn),
+        gpn: Arc::new(gpn),
+        tagsim: Arc::new(tagsim),
+        gedgnn: Arc::new(gedgnn),
+        gediot: Arc::new(gediot),
+    }
 }
 
 /// The methods of Tables 3 and 4.
@@ -330,23 +380,24 @@ pub struct ValueRow {
     pub f1: f64,
 }
 
-/// Predicts one pair's GED with the given method (no path generation).
+/// Resolves a method to its registered solver.
+///
+/// # Panics
+/// Panics if the method was not registered (a registry built with
+/// [`TrainedModels::registry`] always has all nine).
 #[must_use]
-pub fn predict_value(models: &TrainedModels, method: MethodKind, pair: &GedPair, k: usize) -> f64 {
-    match method {
-        MethodKind::SimGnn => models.simgnn.predict(&pair.g1, &pair.g2),
-        MethodKind::Gpn => models.gpn.predict(&pair.g1, &pair.g2),
-        MethodKind::TaGSim => models.tagsim.predict(&pair.g1, &pair.g2),
-        MethodKind::GedGnn => models.gedgnn.predict(&pair.g1, &pair.g2).ged,
-        MethodKind::Gediot => models.gediot.predict(&pair.g1, &pair.g2).ged,
-        MethodKind::Classic => classic_ged(&pair.g1, &pair.g2).ged as f64,
-        MethodKind::Gedgw => Gedgw::new(&pair.g1, &pair.g2).solve().ged,
-        MethodKind::Noah => {
-            let guidance = models.gedgnn.predict(&pair.g1, &pair.g2).matching;
-            noah_like(&pair.g1, &pair.g2, &guidance, k.max(4), 1.0).ged as f64
-        }
-        MethodKind::Gedhot => Gedhot::new(&models.gediot).predict(&pair.g1, &pair.g2).ged,
-    }
+pub fn solver_for(registry: &SolverRegistry, method: MethodKind) -> &dyn GedSolver {
+    registry
+        .get(method.name())
+        .unwrap_or_else(|| panic!("{} is not registered", method.name()))
+}
+
+/// Predicts one pair's GED with the given method (no path generation).
+/// Dispatch is polymorphic through the [`SolverRegistry`]; no per-method
+/// branching happens here.
+#[must_use]
+pub fn predict_value(registry: &SolverRegistry, method: MethodKind, pair: &GedPair) -> f64 {
+    solver_for(registry, method).predict(pair).ged
 }
 
 /// Generates an edit path with the given method; returns the path length
@@ -356,64 +407,51 @@ pub fn predict_value(models: &TrainedModels, method: MethodKind, pair: &GedPair,
 /// Panics for methods that cannot generate paths.
 #[must_use]
 pub fn predict_path(
-    models: &TrainedModels,
+    registry: &SolverRegistry,
     method: MethodKind,
     pair: &GedPair,
     k: usize,
 ) -> (usize, Vec<CanonicalOp>) {
-    let keys = |m: &NodeMapping| m.canonical_ops(&pair.g1, &pair.g2);
-    match method {
-        MethodKind::Classic => {
-            let res = classic_ged(&pair.g1, &pair.g2);
-            (res.ged, keys(&res.mapping))
-        }
-        MethodKind::Noah => {
-            let guidance = models.gedgnn.predict(&pair.g1, &pair.g2).matching;
-            let res = noah_like(&pair.g1, &pair.g2, &guidance, k.max(4), 1.0);
-            (res.ged, keys(&res.mapping))
-        }
-        MethodKind::GedGnn => {
-            let (_, path) = models.gedgnn.predict_with_path(&pair.g1, &pair.g2, k);
-            (path.ged, keys(&path.mapping))
-        }
-        MethodKind::Gediot => {
-            let (_, path) = models.gediot.predict_with_path(&pair.g1, &pair.g2, k);
-            (path.ged, keys(&path.mapping))
-        }
-        MethodKind::Gedgw => {
-            let gw = Gedgw::new(&pair.g1, &pair.g2).solve();
-            let path = kbest_edit_path(&pair.g1, &pair.g2, &gw.coupling, k);
-            (path.ged, keys(&path.mapping))
-        }
-        MethodKind::Gedhot => {
-            let (_, path, _) = Gedhot::new(&models.gediot).predict_with_path(&pair.g1, &pair.g2, k);
-            (path.ged, keys(&path.mapping))
-        }
-        _ => panic!("{method:?} cannot generate edit paths"),
-    }
+    let est = solver_for(registry, method)
+        .edit_path(pair, k)
+        .unwrap_or_else(|| panic!("{method:?} cannot generate edit paths"));
+    (est.ged, est.ops)
 }
 
 /// Evaluates value metrics of one method over the test groups (Table 3 row).
+///
+/// Predictions run through `runner` (parallel, input-order-preserving, and
+/// bit-identical to a sequential loop); the metric accumulation below is
+/// sequential and deterministic.
 #[must_use]
-pub fn eval_value(models: &TrainedModels, prep: &PreparedDataset, method: MethodKind, k: usize) -> ValueRow {
+pub fn eval_value(
+    registry: &SolverRegistry,
+    prep: &PreparedDataset,
+    method: MethodKind,
+    runner: &BatchRunner,
+) -> ValueRow {
+    let solver = solver_for(registry, method);
+    let flat: Vec<&GedPair> = prep.test_groups.iter().flatten().collect();
+    let start = Instant::now();
+    let all_preds = runner.map(&flat, |pair| solver.predict(pair).ged);
+    let elapsed = start.elapsed().as_secs_f64();
+    let count = flat.len();
+
     let mut outcomes = Vec::new();
     let mut ranking = GroupedRanking::new();
-    let start = Instant::now();
-    let mut count = 0usize;
+    let mut next_pred = all_preds.into_iter();
     for group in &prep.test_groups {
         let mut preds = Vec::with_capacity(group.len());
         let mut gts = Vec::with_capacity(group.len());
         for pair in group {
-            let pred = predict_value(models, method, pair, k);
+            let pred = next_pred.next().expect("one prediction per pair");
             let gt = pair.ged.expect("test pairs are supervised");
             outcomes.push(PairOutcome { pred, gt });
             preds.push(pred);
             gts.push(gt);
-            count += 1;
         }
         ranking.push_group(preds, gts);
     }
-    let elapsed = start.elapsed().as_secs_f64();
     ValueRow {
         name: method.name(),
         mae: metrics::mae(&outcomes),
@@ -431,36 +469,59 @@ pub fn eval_value(models: &TrainedModels, prep: &PreparedDataset, method: Method
 }
 
 /// Evaluates GEP-generation metrics of one method (Table 4 row).
+///
+/// Path generation runs through `runner`; see [`eval_value`] for the
+/// parallelism contract.
+///
+/// # Panics
+/// Panics if the method cannot generate edit paths.
 #[must_use]
-pub fn eval_path(models: &TrainedModels, prep: &PreparedDataset, method: MethodKind, k: usize) -> ValueRow {
+pub fn eval_path(
+    registry: &SolverRegistry,
+    prep: &PreparedDataset,
+    method: MethodKind,
+    k: usize,
+    runner: &BatchRunner,
+) -> ValueRow {
+    let solver = solver_for(registry, method);
+    let flat: Vec<&GedPair> = prep.test_groups.iter().flatten().collect();
+    let start = Instant::now();
+    let all_paths = runner.map(&flat, |pair| {
+        solver
+            .edit_path(pair, k)
+            .unwrap_or_else(|| panic!("{method:?} cannot generate edit paths"))
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let count = flat.len();
+
     let mut outcomes = Vec::new();
     let mut ranking = GroupedRanking::new();
     let (mut psum, mut rsum, mut fsum) = (0.0, 0.0, 0.0);
-    let start = Instant::now();
-    let mut count = 0usize;
+    let mut next_path = all_paths.into_iter();
     for group in &prep.test_groups {
         let mut preds = Vec::with_capacity(group.len());
         let mut gts = Vec::with_capacity(group.len());
         for pair in group {
-            let (len, ops) = predict_path(models, method, pair, k);
+            let est = next_path.next().expect("one path per pair");
             let gt = pair.ged.expect("test pairs are supervised");
             let gt_ops = pair
                 .mapping
                 .as_ref()
                 .expect("test pairs carry mappings")
                 .canonical_ops(&pair.g1, &pair.g2);
-            let (p, r) = metrics::path_precision_recall(&ops, &gt_ops);
+            let (p, r) = metrics::path_precision_recall(&est.ops, &gt_ops);
             psum += p;
             rsum += r;
             fsum += metrics::path_f1(p, r);
-            outcomes.push(PairOutcome { pred: len as f64, gt });
-            preds.push(len as f64);
+            outcomes.push(PairOutcome {
+                pred: est.ged as f64,
+                gt,
+            });
+            preds.push(est.ged as f64);
             gts.push(gt);
-            count += 1;
         }
         ranking.push_group(preds, gts);
     }
-    let elapsed = start.elapsed().as_secs_f64();
     let n = count.max(1) as f64;
     ValueRow {
         name: method.name(),
@@ -565,15 +626,50 @@ mod tests {
         let mut rng = cfg.rng();
         let prep = prepare(DatasetKind::Linux, &cfg, false, &mut rng);
         let models = train_all(&prep, &cfg, &mut rng);
+        let registry = models.registry(cfg.kbest_k);
+        let runner = BatchRunner::from_env();
         for m in [MethodKind::Gediot, MethodKind::Classic, MethodKind::Gedgw] {
-            let row = eval_value(&models, &prep, m, cfg.kbest_k);
+            let row = eval_value(&registry, &prep, m, &runner);
             assert!(row.mae.is_finite() && row.mae >= 0.0, "{m:?}");
         }
-        let row = eval_path(&models, &prep, MethodKind::Gedgw, cfg.kbest_k);
+        let row = eval_path(&registry, &prep, MethodKind::Gedgw, cfg.kbest_k, &runner);
         // Path-based estimates are always feasible.
-        assert!((row.feasibility - 1.0).abs() < 1e-9, "feasibility {}", row.feasibility);
+        assert!(
+            (row.feasibility - 1.0).abs() < 1e-9,
+            "feasibility {}",
+            row.feasibility
+        );
         assert!(row.f1 > 0.0);
         let txt = format_path_table("t", &[row]);
         assert!(txt.contains("GEDGW"));
+    }
+
+    #[test]
+    fn registry_exposes_table3_methods_in_paper_row_order() {
+        let cfg = mini_cfg();
+        let mut rng = cfg.rng();
+        let prep = prepare(DatasetKind::Aids, &cfg, false, &mut rng);
+        let models = train_all(&prep, &cfg, &mut rng);
+        let registry = models.registry(cfg.kbest_k);
+        // Exactly the Table-3 method set, in the paper's row order.
+        let expected: Vec<&str> = MethodKind::table3().iter().map(|m| m.name()).collect();
+        assert_eq!(registry.names(), expected);
+        assert_eq!(
+            expected,
+            vec![
+                "SimGNN", "GPN", "TaGSim", "GEDGNN", "GEDIOT", "Classic", "GEDGW", "Noah", "GEDHOT"
+            ]
+        );
+        // Every method is reachable as a trait object.
+        for m in MethodKind::table3() {
+            let solver = solver_for(&registry, m);
+            assert_eq!(solver.name(), m.name());
+        }
+        // And the path-capable subset is exactly Table 4.
+        let pair = &prep.test_groups[0][0];
+        for m in MethodKind::table3() {
+            let has_path = solver_for(&registry, m).edit_path(pair, 4).is_some();
+            assert_eq!(has_path, MethodKind::table4().contains(&m), "{m:?}");
+        }
     }
 }

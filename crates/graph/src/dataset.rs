@@ -16,10 +16,9 @@ use crate::generate::{ego_net, random_connected, random_connected_unlabeled};
 use crate::graph::Graph;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Which real-world dataset a synthetic dataset imitates.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DatasetKind {
     /// Labeled chemical-compound-like graphs (29 labels, sparse, ≤ 10 nodes).
     Aids,
@@ -51,7 +50,7 @@ impl DatasetKind {
 }
 
 /// A collection of graphs plus metadata.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GraphDataset {
     /// Which dataset this imitates.
     pub kind: DatasetKind,
@@ -60,7 +59,7 @@ pub struct GraphDataset {
 }
 
 /// Index sets for the 60/20/20 split of Section 6.1.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Split {
     /// Training graph indices (60%).
     pub train: Vec<usize>,
@@ -71,7 +70,7 @@ pub struct Split {
 }
 
 /// Summary statistics in the shape of the paper's Table 2.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DatasetStats {
     /// Number of graphs.
     pub count: usize,
@@ -101,7 +100,10 @@ impl GraphDataset {
                 random_connected(n, extra, &weights, rng)
             })
             .collect();
-        GraphDataset { kind: DatasetKind::Aids, graphs }
+        GraphDataset {
+            kind: DatasetKind::Aids,
+            graphs,
+        }
     }
 
     /// LINUX-like: `count` connected unlabeled sparse graphs, 4–10 nodes.
@@ -113,7 +115,10 @@ impl GraphDataset {
                 random_connected_unlabeled(n, extra, rng)
             })
             .collect();
-        GraphDataset { kind: DatasetKind::Linux, graphs }
+        GraphDataset {
+            kind: DatasetKind::Linux,
+            graphs,
+        }
     }
 
     /// IMDB-like: `count` unlabeled ego-nets. Roughly 60% small (5–10 nodes)
@@ -131,7 +136,10 @@ impl GraphDataset {
                 ego_net(n, communities, rng)
             })
             .collect();
-        GraphDataset { kind: DatasetKind::Imdb, graphs }
+        GraphDataset {
+            kind: DatasetKind::Imdb,
+            graphs,
+        }
     }
 
     /// Builds the dataset of the given kind with default sizing (scaled-down
@@ -252,9 +260,17 @@ mod tests {
         let ds = GraphDataset::aids_like(120, &mut rng);
         let s = ds.stats();
         assert_eq!(s.count, 120);
-        assert!(s.avg_nodes >= 5.0 && s.avg_nodes <= 9.5, "avg nodes {}", s.avg_nodes);
+        assert!(
+            s.avg_nodes >= 5.0 && s.avg_nodes <= 9.5,
+            "avg nodes {}",
+            s.avg_nodes
+        );
         assert!(s.max_nodes <= 10);
-        assert!(s.num_labels > 5, "should use a rich alphabet, got {}", s.num_labels);
+        assert!(
+            s.num_labels > 5,
+            "should use a rich alphabet, got {}",
+            s.num_labels
+        );
         for g in &ds.graphs {
             assert!(g.is_connected());
         }
@@ -275,7 +291,12 @@ mod tests {
         let s = ds.stats();
         assert!(s.max_nodes > 10, "needs a large-graph tail");
         // Denser than a tree on average.
-        assert!(s.avg_edges > s.avg_nodes, "avg_edges {} <= avg_nodes {}", s.avg_edges, s.avg_nodes);
+        assert!(
+            s.avg_edges > s.avg_nodes,
+            "avg_edges {} <= avg_nodes {}",
+            s.avg_edges,
+            s.avg_nodes
+        );
     }
 
     #[test]

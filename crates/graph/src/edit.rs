@@ -6,11 +6,10 @@
 //! must yield (a graph isomorphic to) `G2`.
 
 use crate::graph::{Graph, Label};
-use serde::{Deserialize, Serialize};
 
 /// A single edit operation, interpreted against the *current* state of the
 /// graph being edited (node ids refer to that state).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EditOp {
     /// Change the label of `node` to `label`.
     RelabelNode {
@@ -47,7 +46,7 @@ pub enum EditOp {
 
 /// A sequence of edit operations. Its [`len`](EditPath::len) is the edit
 /// cost under the paper's uniform cost model.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EditPath {
     ops: Vec<EditOp>,
 }
@@ -104,7 +103,9 @@ impl EditPath {
 
 impl FromIterator<EditOp> for EditPath {
     fn from_iter<T: IntoIterator<Item = EditOp>>(iter: T) -> Self {
-        EditPath { ops: iter.into_iter().collect() }
+        EditPath {
+            ops: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -131,7 +132,10 @@ fn apply_op(g: &mut Graph, op: EditOp) -> Result<(), String> {
         EditOp::DeleteNode { node } => {
             check(node)?;
             if g.degree(node) != 0 {
-                return Err(format!("node {node} not isolated (degree {})", g.degree(node)));
+                return Err(format!(
+                    "node {node} not isolated (degree {})",
+                    g.degree(node)
+                ));
             }
             g.remove_node(node);
         }
@@ -172,7 +176,10 @@ mod tests {
         let g1 = path_graph(&[1, 1, 2], &[(0, 1), (0, 2), (1, 2)]);
         let g2 = path_graph(&[1, 1, 3, 4], &[(0, 1), (0, 2), (2, 3)]);
         let path = EditPath::from_ops(vec![
-            EditOp::RelabelNode { node: 2, label: Label(3) },
+            EditOp::RelabelNode {
+                node: 2,
+                label: Label(3),
+            },
             EditOp::InsertNode { label: Label(4) },
             EditOp::DeleteEdge { u: 1, v: 2 },
             EditOp::InsertEdge { u: 2, v: 3 },
@@ -203,7 +210,13 @@ mod tests {
             (EditOp::InsertEdge { u: 0, v: 1 }, "already present"),
             (EditOp::DeleteEdge { u: 0, v: 5 }, "out of range"),
             (EditOp::InsertEdge { u: 1, v: 1 }, "self loop"),
-            (EditOp::RelabelNode { node: 0, label: Label(0) }, "identical label"),
+            (
+                EditOp::RelabelNode {
+                    node: 0,
+                    label: Label(0),
+                },
+                "identical label",
+            ),
         ] {
             let err = EditPath::from_ops(vec![op]).apply(&g).unwrap_err();
             assert!(err.contains(msg), "{err} should contain {msg}");

@@ -130,9 +130,7 @@ pub fn ego_net<R: Rng>(n: usize, communities: usize, rng: &mut R) -> Graph {
     assignment.shuffle(rng);
     for i in 1..n as u32 {
         for j in (i + 1)..n as u32 {
-            if assignment[(i - 1) as usize] == assignment[(j - 1) as usize]
-                && rng.gen_bool(0.8)
-            {
+            if assignment[(i - 1) as usize] == assignment[(j - 1) as usize] && rng.gen_bool(0.8) {
                 g.add_edge(i, j);
             }
         }
@@ -213,24 +211,26 @@ pub fn perturb_with_edits<R: Rng>(
             1 if applied + 2 <= delta => {
                 // Node insertion costs 2 ops: the node and a connecting edge
                 // to keep the graph connected (as real datasets are).
-                let label =
-                    if num_labels > 1 { Label(rng.gen_range(0..num_labels)) } else { Label::UNLABELED };
+                let label = if num_labels > 1 {
+                    Label(rng.gen_range(0..num_labels))
+                } else {
+                    Label::UNLABELED
+                };
                 let v = out.add_node(label);
                 let anchor = rng.gen_range(0..n);
                 out.add_edge(v, anchor);
                 touched_edges.insert(key(v, anchor));
                 applied += 2;
             }
-            2
-                if n >= 2 => {
-                    let u = rng.gen_range(0..n);
-                    let v = rng.gen_range(0..n);
-                    if u != v && !out.has_edge(u, v) && !touched_edges.contains(&key(u, v)) {
-                        out.add_edge(u, v);
-                        touched_edges.insert(key(u, v));
-                        applied += 1;
-                    }
+            2 if n >= 2 => {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v && !out.has_edge(u, v) && !touched_edges.contains(&key(u, v)) {
+                    out.add_edge(u, v);
+                    touched_edges.insert(key(u, v));
+                    applied += 1;
                 }
+            }
             3 => {
                 let edges: Vec<(u32, u32)> = out
                     .edges()
@@ -248,7 +248,11 @@ pub fn perturb_with_edits<R: Rng>(
             _ => {}
         }
     }
-    PerturbedPair { graph: out, applied, mapping: NodeMapping::identity(n0) }
+    PerturbedPair {
+        graph: out,
+        applied,
+        mapping: NodeMapping::identity(n0),
+    }
 }
 
 #[cfg(test)]
@@ -278,7 +282,12 @@ mod tests {
         // Power-law-ish: max degree should clearly exceed the median degree.
         let mut degs: Vec<usize> = (0..60u32).map(|u| g.degree(u)).collect();
         degs.sort_unstable();
-        assert!(degs[59] >= 2 * degs[30], "hub degree {} median {}", degs[59], degs[30]);
+        assert!(
+            degs[59] >= 2 * degs[30],
+            "hub degree {} median {}",
+            degs[59],
+            degs[30]
+        );
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Node-labeled undirected graphs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A node label.
@@ -9,7 +8,7 @@ use std::fmt;
 /// chemical symbols of AIDS) onto `0..num_labels`. Unlabeled graphs use the
 /// single label [`Label::UNLABELED`] on every node, which matches the paper's
 /// "constant initial node feature" convention for LINUX and IMDB.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Label(pub u32);
 
 impl Label {
@@ -34,7 +33,7 @@ impl From<u32> for Label {
 /// Nodes are identified by dense indices `0..n`. Adjacency lists are kept
 /// sorted so that edge membership tests are `O(log deg)` and iteration order
 /// is deterministic.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
     labels: Vec<Label>,
     adj: Vec<Vec<u32>>,
@@ -64,13 +63,21 @@ impl Graph {
     /// Creates an empty graph.
     #[must_use]
     pub fn new() -> Self {
-        Graph { labels: Vec::new(), adj: Vec::new(), num_edges: 0 }
+        Graph {
+            labels: Vec::new(),
+            adj: Vec::new(),
+            num_edges: 0,
+        }
     }
 
     /// Creates an empty graph with capacity for `n` nodes.
     #[must_use]
     pub fn with_capacity(n: usize) -> Self {
-        Graph { labels: Vec::with_capacity(n), adj: Vec::with_capacity(n), num_edges: 0 }
+        Graph {
+            labels: Vec::with_capacity(n),
+            adj: Vec::with_capacity(n),
+            num_edges: 0,
+        }
     }
 
     /// Builds a graph from a label list and an edge list.
@@ -80,7 +87,11 @@ impl Graph {
     /// appears twice.
     #[must_use]
     pub fn from_edges(labels: Vec<Label>, edges: &[(u32, u32)]) -> Self {
-        let mut g = Graph { adj: vec![Vec::new(); labels.len()], labels, num_edges: 0 };
+        let mut g = Graph {
+            adj: vec![Vec::new(); labels.len()],
+            labels,
+            num_edges: 0,
+        };
         for &(u, v) in edges {
             g.add_edge(u, v);
         }
@@ -140,7 +151,9 @@ impl Graph {
             return false;
         };
         self.adj[u as usize].remove(pos_u);
-        let pos_v = self.adj[v as usize].binary_search(&u).expect("asymmetric adjacency");
+        let pos_v = self.adj[v as usize]
+            .binary_search(&u)
+            .expect("asymmetric adjacency");
         self.adj[v as usize].remove(pos_v);
         self.num_edges -= 1;
         true
@@ -205,7 +218,10 @@ impl Graph {
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, list)| {
             let u = u as u32;
-            list.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            list.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
@@ -290,7 +306,10 @@ impl Graph {
         assert_eq!(self.labels.len(), self.adj.len());
         let mut m2 = 0usize;
         for (u, list) in self.adj.iter().enumerate() {
-            assert!(list.windows(2).all(|w| w[0] < w[1]), "adjacency of {u} not sorted/unique");
+            assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "adjacency of {u} not sorted/unique"
+            );
             for &v in list {
                 assert_ne!(v as usize, u, "self loop at {u}");
                 assert!(
@@ -309,7 +328,10 @@ mod tests {
     use super::*;
 
     fn triangle() -> Graph {
-        Graph::from_edges(vec![Label(1), Label(2), Label(3)], &[(0, 1), (1, 2), (0, 2)])
+        Graph::from_edges(
+            vec![Label(1), Label(2), Label(3)],
+            &[(0, 1), (1, 2), (0, 2)],
+        )
     }
 
     #[test]

@@ -2,38 +2,77 @@
 //!
 //! A small JSON-based format so that experiment runs can snapshot the exact
 //! synthetic datasets they used (graphs, splits, ground truth) and be
-//! replayed later. The format is intentionally simple: it is a direct serde
-//! image of the in-memory types.
+//! replayed later. The writer and parser are hand-rolled (the build
+//! environment is offline, so no serde): the grammar is the fixed shape
+//! below, not general JSON.
+//!
+//! ```text
+//! graph   := {"labels":[u32,...],"edges":[[u32,u32],...]}
+//! dataset := {"kind":"AIDS"|"Linux"|"IMDB","graphs":[graph,...]}
+//! ```
 
-use crate::dataset::GraphDataset;
-use crate::graph::Graph;
+use crate::dataset::{DatasetKind, GraphDataset};
+use crate::graph::{Graph, Label};
 use std::fs;
 use std::io;
 use std::path::Path;
 
 /// Serializes a graph to a JSON string.
-///
-/// # Panics
-/// Never panics for valid graphs (serialization of plain vectors).
 #[must_use]
 pub fn graph_to_json(g: &Graph) -> String {
-    serde_json::to_string(g).expect("graph serialization cannot fail")
+    let mut s = String::from("{\"labels\":[");
+    for (i, l) in g.labels().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&l.0.to_string());
+    }
+    s.push_str("],\"edges\":[");
+    for (i, (u, v)) in g.edges().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("[{u},{v}]"));
+    }
+    s.push_str("]}");
+    s
 }
 
 /// Parses a graph from a JSON string.
 ///
 /// # Errors
-/// Returns an error if the JSON is malformed or violates graph invariants.
+/// Returns an error if the JSON is malformed or violates graph invariants
+/// (out-of-range endpoints, self loops, duplicate edges).
 pub fn graph_from_json(s: &str) -> Result<Graph, String> {
-    let g: Graph = serde_json::from_str(s).map_err(|e| e.to_string())?;
-    // Re-validate invariants: serde bypasses the builder API.
-    let labels = g.labels().to_vec();
-    let edges: Vec<(u32, u32)> = g.edges().collect();
-    let rebuilt = Graph::from_edges(labels, &edges);
-    if rebuilt != g {
-        return Err("graph JSON violates adjacency invariants".into());
-    }
+    let mut p = Parser::new(s);
+    let g = p.graph()?;
+    p.end()?;
     Ok(g)
+}
+
+/// Serializes a dataset to a JSON string.
+#[must_use]
+pub fn dataset_to_json(ds: &GraphDataset) -> String {
+    let mut s = format!("{{\"kind\":\"{}\",\"graphs\":[", ds.kind.name());
+    for (i, g) in ds.graphs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&graph_to_json(g));
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Parses a dataset from a JSON string.
+///
+/// # Errors
+/// Returns an error if the JSON is malformed or any graph is invalid.
+pub fn dataset_from_json(s: &str) -> Result<GraphDataset, String> {
+    let mut p = Parser::new(s);
+    let ds = p.dataset()?;
+    p.end()?;
+    Ok(ds)
 }
 
 /// Writes a dataset to a JSON file.
@@ -41,8 +80,7 @@ pub fn graph_from_json(s: &str) -> Result<Graph, String> {
 /// # Errors
 /// Propagates I/O errors.
 pub fn save_dataset(ds: &GraphDataset, path: &Path) -> io::Result<()> {
-    let s = serde_json::to_string(ds).expect("dataset serialization cannot fail");
-    fs::write(path, s)
+    fs::write(path, dataset_to_json(ds))
 }
 
 /// Reads a dataset from a JSON file.
@@ -51,7 +89,142 @@ pub fn save_dataset(ds: &GraphDataset, path: &Path) -> io::Result<()> {
 /// Propagates I/O errors and reports malformed JSON.
 pub fn load_dataset(path: &Path) -> io::Result<GraphDataset> {
     let s = fs::read_to_string(path)?;
-    serde_json::from_str(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    dataset_from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Recursive-descent parser for the fixed graph/dataset grammar above.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), String> {
+        self.skip_ws();
+        let end = self.pos + token.len();
+        if end <= self.bytes.len() && &self.bytes[self.pos..end] == token.as_bytes() {
+            self.pos = end;
+            Ok(())
+        } else {
+            Err(format!("expected `{token}` at byte {}", self.pos))
+        }
+    }
+
+    fn peek_is(&mut self, byte: u8) -> bool {
+        self.skip_ws();
+        self.bytes.get(self.pos) == Some(&byte)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are valid UTF-8")
+            .parse::<u32>()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    /// `[item, item, ...]` with `item` produced by `f`.
+    fn list<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, String>,
+    ) -> Result<Vec<T>, String> {
+        self.expect("[")?;
+        let mut out = Vec::new();
+        if self.peek_is(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(f(self)?);
+            if self.peek_is(b',') {
+                self.pos += 1;
+            } else {
+                self.expect("]")?;
+                return Ok(out);
+            }
+        }
+    }
+
+    fn graph(&mut self) -> Result<Graph, String> {
+        self.expect("{")?;
+        self.expect("\"labels\"")?;
+        self.expect(":")?;
+        let labels: Vec<Label> = self.list(|p| p.u32().map(Label))?;
+        self.expect(",")?;
+        self.expect("\"edges\"")?;
+        self.expect(":")?;
+        let n = labels.len() as u32;
+        let mut seen = std::collections::HashSet::new();
+        let edges = self.list(|p| {
+            p.expect("[")?;
+            let u = p.u32()?;
+            p.expect(",")?;
+            let v = p.u32()?;
+            p.expect("]")?;
+            if u == v {
+                return Err(format!("self loop at node {u}"));
+            }
+            if u >= n || v >= n {
+                return Err(format!("edge ({u},{v}) out of range (n={n})"));
+            }
+            if !seen.insert((u.min(v), u.max(v))) {
+                return Err(format!("duplicate edge ({u},{v})"));
+            }
+            Ok((u, v))
+        })?;
+        self.expect("}")?;
+        Ok(Graph::from_edges(labels, &edges))
+    }
+
+    fn dataset(&mut self) -> Result<GraphDataset, String> {
+        self.expect("{")?;
+        self.expect("\"kind\"")?;
+        self.expect(":")?;
+        let kind = if self.expect("\"AIDS\"").is_ok() {
+            DatasetKind::Aids
+        } else if self.expect("\"Linux\"").is_ok() {
+            DatasetKind::Linux
+        } else if self.expect("\"IMDB\"").is_ok() {
+            DatasetKind::Imdb
+        } else {
+            return Err(format!("unknown dataset kind at byte {}", self.pos));
+        };
+        self.expect(",")?;
+        self.expect("\"graphs\"")?;
+        self.expect(":")?;
+        let graphs = self.list(Self::graph)?;
+        self.expect("}")?;
+        Ok(GraphDataset { kind, graphs })
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing garbage at byte {}", self.pos))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -71,8 +244,26 @@ mod tests {
     }
 
     #[test]
+    fn empty_graph_roundtrip() {
+        let g = Graph::new();
+        assert_eq!(graph_from_json(&graph_to_json(&g)).unwrap(), g);
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(graph_from_json("not json").is_err());
+        assert!(graph_from_json("{\"labels\":[0,0]}").is_err());
+        assert!(graph_from_json("{\"labels\":[0],\"edges\":[]} tail").is_err());
+    }
+
+    #[test]
+    fn rejects_invariant_violations() {
+        // Self loop.
+        assert!(graph_from_json("{\"labels\":[0,0],\"edges\":[[1,1]]}").is_err());
+        // Out of range.
+        assert!(graph_from_json("{\"labels\":[0,0],\"edges\":[[0,2]]}").is_err());
+        // Duplicate (also reversed).
+        assert!(graph_from_json("{\"labels\":[0,0],\"edges\":[[0,1],[1,0]]}").is_err());
     }
 
     #[test]
@@ -84,6 +275,7 @@ mod tests {
         let path = dir.join("ds.json");
         save_dataset(&ds, &path).unwrap();
         let ds2 = load_dataset(&path).unwrap();
+        assert_eq!(ds.kind, ds2.kind);
         assert_eq!(ds.graphs, ds2.graphs);
         std::fs::remove_file(&path).ok();
     }

@@ -47,10 +47,7 @@ fn backtrack(
     }
     let u = order[depth];
     'candidates: for v in 0..g2.num_nodes() as u32 {
-        if used[v as usize]
-            || g1.label(u) != g2.label(v)
-            || g1.degree(u) != g2.degree(v)
-        {
+        if used[v as usize] || g1.label(u) != g2.label(v) || g1.degree(u) != g2.degree(v) {
             continue;
         }
         // Consistency with already-mapped neighbors (both directions).

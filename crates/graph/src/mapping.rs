@@ -9,12 +9,11 @@
 
 use crate::edit::{EditOp, EditPath};
 use crate::graph::Graph;
-use serde::{Deserialize, Serialize};
 
 /// An injective total node matching from `G1` (size `n1`) into `G2`
 /// (size `n2 >= n1`). `map[u] = v` means node `u` of `G1` is matched to node
 /// `v` of `G2`.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct NodeMapping {
     map: Vec<u32>,
 }
@@ -47,14 +46,19 @@ impl NodeMapping {
     pub fn new(map: Vec<u32>) -> Self {
         let mut seen = map.clone();
         seen.sort_unstable();
-        assert!(seen.windows(2).all(|w| w[0] != w[1]), "mapping not injective: {map:?}");
+        assert!(
+            seen.windows(2).all(|w| w[0] != w[1]),
+            "mapping not injective: {map:?}"
+        );
         NodeMapping { map }
     }
 
     /// The identity mapping on `n` nodes.
     #[must_use]
     pub fn identity(n: usize) -> Self {
-        NodeMapping { map: (0..n as u32).collect() }
+        NodeMapping {
+            map: (0..n as u32).collect(),
+        }
     }
 
     /// The image of `G1` node `u`.
@@ -175,7 +179,10 @@ impl NodeMapping {
         for u in 0..n1 as u32 {
             let v = self.image(u);
             if g1.label(u) != g2.label(v) {
-                path.push(EditOp::RelabelNode { node: u, label: g2.label(v) });
+                path.push(EditOp::RelabelNode {
+                    node: u,
+                    label: g2.label(v),
+                });
                 keys.push(CanonicalOp::Relabel(u));
             }
         }
@@ -228,7 +235,10 @@ mod tests {
 
     fn figure1() -> (Graph, Graph) {
         // G1: triangle with labels (1,1,2); G2: path-ish with labels (1,1,3,4).
-        let g1 = Graph::from_edges(vec![Label(1), Label(1), Label(2)], &[(0, 1), (0, 2), (1, 2)]);
+        let g1 = Graph::from_edges(
+            vec![Label(1), Label(1), Label(2)],
+            &[(0, 1), (0, 2), (1, 2)],
+        );
         let g2 = Graph::from_edges(
             vec![Label(1), Label(1), Label(3), Label(4)],
             &[(0, 1), (0, 2), (2, 3)],

@@ -25,7 +25,10 @@ pub fn best_matching(
     let neg = weights.scale(-1.0);
     let a = lsap_min_constrained(&neg, forced, forbidden)?;
     let w = a.cost_under(weights);
-    Some(Assignment { row_to_col: a.row_to_col, cost: w })
+    Some(Assignment {
+        row_to_col: a.row_to_col,
+        cost: w,
+    })
 }
 
 /// The second-best matching within the subspace `(forced, forbidden)`,
@@ -98,7 +101,14 @@ mod tests {
             }
         }
         let mut out = Vec::new();
-        rec(weights, 0, &mut vec![false; weights.cols()], &mut Vec::new(), 0.0, &mut out);
+        rec(
+            weights,
+            0,
+            &mut vec![false; weights.cols()],
+            &mut Vec::new(),
+            0.0,
+            &mut out,
+        );
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         out
     }

@@ -33,13 +33,20 @@ impl Assignment {
     /// cost matrix.
     #[must_use]
     pub fn cost_under(&self, cost: &Matrix) -> f64 {
-        self.row_to_col.iter().enumerate().map(|(r, &c)| cost[(r, c)]).sum()
+        self.row_to_col
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| cost[(r, c)])
+            .sum()
     }
 
     /// True if no selected entry is forbidden.
     #[must_use]
     pub fn is_feasible(&self, cost: &Matrix) -> bool {
-        self.row_to_col.iter().enumerate().all(|(r, &c)| cost[(r, c)] < FORBIDDEN / 2.0)
+        self.row_to_col
+            .iter()
+            .enumerate()
+            .all(|(r, &c)| cost[(r, c)] < FORBIDDEN / 2.0)
     }
 }
 
@@ -54,7 +61,10 @@ pub fn lsap_min(cost: &Matrix) -> Assignment {
     let m = cost.cols();
     assert!(n <= m, "lsap_min requires rows <= cols (got {n}x{m})");
     if n == 0 {
-        return Assignment { row_to_col: Vec::new(), cost: 0.0 };
+        return Assignment {
+            row_to_col: Vec::new(),
+            cost: 0.0,
+        };
     }
 
     // 1-indexed arrays, following the classical potentials formulation.
@@ -120,8 +130,15 @@ pub fn lsap_min(cost: &Matrix) -> Assignment {
         }
     }
     debug_assert!(row_to_col.iter().all(|&c| c != usize::MAX));
-    let total = row_to_col.iter().enumerate().map(|(r, &c)| cost[(r, c)]).sum();
-    Assignment { row_to_col, cost: total }
+    let total = row_to_col
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| cost[(r, c)])
+        .sum();
+    Assignment {
+        row_to_col,
+        cost: total,
+    }
 }
 
 /// Minimum-cost assignment via the classical Munkres star/prime algorithm.
@@ -134,9 +151,15 @@ pub fn lsap_min(cost: &Matrix) -> Assignment {
 pub fn lsap_min_munkres(cost: &Matrix) -> Assignment {
     let n = cost.rows();
     let m = cost.cols();
-    assert!(n <= m, "lsap_min_munkres requires rows <= cols (got {n}x{m})");
+    assert!(
+        n <= m,
+        "lsap_min_munkres requires rows <= cols (got {n}x{m})"
+    );
     if n == 0 {
-        return Assignment { row_to_col: Vec::new(), cost: 0.0 };
+        return Assignment {
+            row_to_col: Vec::new(),
+            cost: 0.0,
+        };
     }
     // Pad to square with zero rows (dummy rows absorb the extra columns).
     let size = m;
@@ -272,8 +295,15 @@ pub fn lsap_min_munkres(cost: &Matrix) -> Assignment {
     }
 
     let row_to_col: Vec<usize> = (0..n).map(|r| starred[r]).collect();
-    let total = row_to_col.iter().enumerate().map(|(r, &cc)| cost[(r, cc)]).sum();
-    Assignment { row_to_col, cost: total }
+    let total = row_to_col
+        .iter()
+        .enumerate()
+        .map(|(r, &cc)| cost[(r, cc)])
+        .sum();
+    Assignment {
+        row_to_col,
+        cost: total,
+    }
 }
 
 /// Constrained minimum-cost assignment with forced and forbidden pairs.
@@ -331,14 +361,25 @@ pub fn lsap_min_constrained(
     }
 
     let mut row_to_col = vec![usize::MAX; n];
-    for (r, &c) in forced_row.iter().enumerate().filter(|(_, &c)| c != usize::MAX) {
+    for (r, &c) in forced_row
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c != usize::MAX)
+    {
         row_to_col[r] = c;
     }
     for (i, &j) in sub.row_to_col.iter().enumerate() {
         row_to_col[free_rows[i]] = free_cols[j];
     }
-    let total = row_to_col.iter().enumerate().map(|(r, &c)| cost[(r, c)]).sum();
-    Some(Assignment { row_to_col, cost: total })
+    let total = row_to_col
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| cost[(r, c)])
+        .sum();
+    Some(Assignment {
+        row_to_col,
+        cost: total,
+    })
 }
 
 #[cfg(test)]
@@ -408,8 +449,16 @@ mod tests {
             let mk = lsap_min_munkres(&c);
             assert_valid(&jv, n, m);
             assert_valid(&mk, n, m);
-            assert!((jv.cost - want).abs() < 1e-9, "trial {trial}: jv {} want {want}", jv.cost);
-            assert!((mk.cost - want).abs() < 1e-9, "trial {trial}: munkres {} want {want}", mk.cost);
+            assert!(
+                (jv.cost - want).abs() < 1e-9,
+                "trial {trial}: jv {} want {want}",
+                jv.cost
+            );
+            assert!(
+                (mk.cost - want).abs() < 1e-9,
+                "trial {trial}: munkres {} want {want}",
+                mk.cost
+            );
         }
     }
 

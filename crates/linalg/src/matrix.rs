@@ -36,13 +36,21 @@ impl Matrix {
     /// A `rows x cols` matrix of zeros.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A `rows x cols` matrix filled with `value`.
     #[must_use]
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// The `n x n` identity.
@@ -81,14 +89,22 @@ impl Matrix {
     #[must_use]
     pub fn col_vec(data: Vec<f64>) -> Self {
         let n = data.len();
-        Matrix { rows: n, cols: 1, data }
+        Matrix {
+            rows: n,
+            cols: 1,
+            data,
+        }
     }
 
     /// A row vector (`1 x n`).
     #[must_use]
     pub fn row_vec(data: Vec<f64>) -> Self {
         let n = data.len();
-        Matrix { rows: 1, cols: n, data }
+        Matrix {
+            rows: 1,
+            cols: n,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -180,7 +196,11 @@ impl Matrix {
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_transpose_b inner dims");
         Matrix::from_fn(self.rows, other.rows, |i, j| {
-            self.row(i).iter().zip(other.row(j)).map(|(a, b)| a * b).sum()
+            self.row(i)
+                .iter()
+                .zip(other.row(j))
+                .map(|(a, b)| a * b)
+                .sum()
         })
     }
 
@@ -210,7 +230,12 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -256,7 +281,11 @@ impl Matrix {
     #[must_use]
     pub fn dot(&self, other: &Matrix) -> f64 {
         assert_eq!(self.shape(), other.shape(), "dot shape mismatch");
-        self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum()
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 
     /// Frobenius norm.
@@ -324,7 +353,11 @@ impl Matrix {
         assert_eq!(row.len(), self.cols);
         let mut data = self.data.clone();
         data.extend_from_slice(row);
-        Matrix { rows: self.rows + 1, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + 1,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Returns a copy with the last row removed.
@@ -353,7 +386,11 @@ impl Matrix {
             data.extend_from_slice(self.row(r));
             data.extend_from_slice(other.row(r));
         }
-        Matrix { rows: self.rows, cols: self.cols + other.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols + other.cols,
+            data,
+        }
     }
 
     /// True if all elements are finite.
@@ -380,7 +417,10 @@ impl Matrix {
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }

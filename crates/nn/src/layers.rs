@@ -28,7 +28,12 @@ impl Linear {
     ) -> Self {
         let w = store.register(&format!("{name}.w"), xavier_uniform(in_dim, out_dim, rng));
         let b = store.register(&format!("{name}.b"), Matrix::zeros(1, out_dim));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Applies the layer to `x` (`n x in_dim`).
@@ -100,7 +105,11 @@ impl Mlp {
             .enumerate()
             .map(|(i, w)| Linear::new(store, &format!("{name}.{i}"), w[0], w[1], rng))
             .collect();
-        Mlp { layers, hidden_act, output_act }
+        Mlp {
+            layers,
+            hidden_act,
+            output_act,
+        }
     }
 
     /// Applies the MLP to `x` (`n x dims[0]`).
@@ -109,7 +118,15 @@ impl Mlp {
         let mut h = x;
         for (i, layer) in self.layers.iter().enumerate() {
             h = layer.forward(tape, binds, h);
-            h = activate(tape, if i == last { self.output_act } else { self.hidden_act }, h);
+            h = activate(
+                tape,
+                if i == last {
+                    self.output_act
+                } else {
+                    self.hidden_act
+                },
+                h,
+            );
         }
         h
     }
@@ -294,13 +311,24 @@ mod tests {
         let y = lin.forward(&tape, &b, x);
         assert_eq!(tape.shape(y), (4, 5));
         // Zero input: output equals bias on every row.
-        assert!(tape.value(y).as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-12));
+        assert!(tape
+            .value(y)
+            .as_slice()
+            .iter()
+            .all(|&v| (v - 2.0).abs() < 1e-12));
     }
 
     #[test]
     fn mlp_forward_shapes() {
         let (mut store, mut rng) = setup();
-        let mlp = Mlp::new(&mut store, "m", &[4, 8, 2], Activation::Relu, Activation::None, &mut rng);
+        let mlp = Mlp::new(
+            &mut store,
+            "m",
+            &[4, 8, 2],
+            Activation::Relu,
+            Activation::None,
+            &mut rng,
+        );
         let tape = Tape::new();
         let b = store.bind(&tape);
         let x = tape.constant(Matrix::filled(3, 4, 0.5));

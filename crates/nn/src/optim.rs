@@ -23,7 +23,16 @@ impl Adam {
     /// `weight_decay = 5e-4`).
     #[must_use]
     pub fn new(lr: f64, weight_decay: f64) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Current learning rate.
@@ -45,8 +54,14 @@ impl Adam {
         let params = store.values_mut();
         assert_eq!(params.len(), grads.len(), "gradient count mismatch");
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
-            self.v = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
         }
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);

@@ -76,7 +76,11 @@ impl ParamStore {
     /// Binds every parameter onto `tape` as gradient-requiring leaves.
     #[must_use]
     pub fn bind(&self, tape: &Tape) -> Bindings {
-        let vars = self.values.iter().map(|v| tape.leaf(v.clone(), true)).collect();
+        let vars = self
+            .values
+            .iter()
+            .map(|v| tape.leaf(v.clone(), true))
+            .collect();
         Bindings { vars }
     }
 
@@ -161,7 +165,10 @@ impl ParamStore {
         }
         for (i, (name, rows, cols, data)) in ckpt.entries.iter().enumerate() {
             if &self.names[i] != name {
-                return Err(format!("tensor #{i}: name '{}' vs '{}'", self.names[i], name));
+                return Err(format!(
+                    "tensor #{i}: name '{}' vs '{}'",
+                    self.names[i], name
+                ));
             }
             if self.values[i].shape() != (*rows, *cols) {
                 return Err(format!(
@@ -201,7 +208,9 @@ impl Checkpoint {
                 continue;
             }
             let mut it = line.split_whitespace();
-            let name = it.next().ok_or_else(|| format!("line {lineno}: missing name"))?;
+            let name = it
+                .next()
+                .ok_or_else(|| format!("line {lineno}: missing name"))?;
             let rows: usize = it
                 .next()
                 .and_then(|x| x.parse().ok())
@@ -271,7 +280,11 @@ mod checkpoint_tests {
 
     #[test]
     fn parser_rejects_garbage() {
-        assert!(Checkpoint::from_text("a 2 2 1.0").unwrap_err().contains("expected"));
-        assert!(Checkpoint::from_text("a x 2 1.0").unwrap_err().contains("bad rows"));
+        assert!(Checkpoint::from_text("a 2 2 1.0")
+            .unwrap_err()
+            .contains("expected"));
+        assert!(Checkpoint::from_text("a x 2 1.0")
+            .unwrap_err()
+            .contains("bad rows"));
     }
 }

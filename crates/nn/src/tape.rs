@@ -66,12 +66,19 @@ impl Tape {
     /// Creates an empty tape.
     #[must_use]
     pub fn new() -> Self {
-        Tape { nodes: RefCell::new(Vec::new()) }
+        Tape {
+            nodes: RefCell::new(Vec::new()),
+        }
     }
 
     fn push(&self, op: Op, value: Matrix, requires_grad: bool) -> Var {
         let mut nodes = self.nodes.borrow_mut();
-        nodes.push(Node { op, value, grad: None, requires_grad });
+        nodes.push(Node {
+            op,
+            value,
+            grad: None,
+            requires_grad,
+        });
         Var(nodes.len() - 1)
     }
 
@@ -222,7 +229,9 @@ impl Tape {
 
     /// Element-wise logistic sigmoid.
     pub fn sigmoid(&self, a: Var) -> Var {
-        let v = self.nodes.borrow()[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = self.nodes.borrow()[a.0]
+            .value
+            .map(|x| 1.0 / (1.0 + (-x).exp()));
         self.push_unary(a, Op::Sigmoid(a.0), v)
     }
 
@@ -376,14 +385,20 @@ impl Tape {
     /// Panics if `loss` is not `1x1`.
     pub fn backward(&self, loss: Var) {
         let mut nodes = self.nodes.borrow_mut();
-        assert_eq!(nodes[loss.0].value.shape(), (1, 1), "backward needs a scalar loss");
+        assert_eq!(
+            nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward needs a scalar loss"
+        );
         for n in nodes.iter_mut() {
             n.grad = None;
         }
         nodes[loss.0].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
 
         for idx in (0..nodes.len()).rev() {
-            let Some(g) = nodes[idx].grad.clone() else { continue };
+            let Some(g) = nodes[idx].grad.clone() else {
+                continue;
+            };
             if !nodes[idx].requires_grad {
                 continue;
             }
@@ -418,9 +433,7 @@ impl Tape {
                     let bv = nodes[b].value.clone();
                     let ga = g.zip_map(&bv, |gi, bi| gi / bi);
                     // d/db (a/b) = -a/b² = -c/b
-                    let gb = g
-                        .hadamard(&out_val)
-                        .zip_map(&bv, |x, bi| -x / bi);
+                    let gb = g.hadamard(&out_val).zip_map(&bv, |x, bi| -x / bi);
                     accumulate(&mut nodes, a, ga);
                     accumulate(&mut nodes, b, gb);
                 }
@@ -441,7 +454,11 @@ impl Tape {
                 }
                 Op::Relu(a) => {
                     let av = nodes[a].value.clone();
-                    accumulate(&mut nodes, a, g.zip_map(&av, |gi, ai| if ai > 0.0 { gi } else { 0.0 }));
+                    accumulate(
+                        &mut nodes,
+                        a,
+                        g.zip_map(&av, |gi, ai| if ai > 0.0 { gi } else { 0.0 }),
+                    );
                 }
                 Op::Softplus(a) => {
                     let av = nodes[a].value.clone();
@@ -560,11 +577,7 @@ mod tests {
 
     /// Central finite-difference check of `d loss / d input` for a scalar
     /// function `f` rebuilt from scratch at each evaluation.
-    fn check_gradient(
-        input: &Matrix,
-        f: impl Fn(&Tape, Var) -> Var,
-        tol: f64,
-    ) {
+    fn check_gradient(input: &Matrix, f: impl Fn(&Tape, Var) -> Var, tol: f64) {
         // Analytic gradient.
         let tape = Tape::new();
         let x = tape.leaf(input.clone(), true);

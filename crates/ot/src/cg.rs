@@ -28,7 +28,11 @@ pub struct CgOptions {
 
 impl Default for CgOptions {
     fn default() -> Self {
-        CgOptions { max_iter: 50, tol: 1e-9, quad_weight: 1.0 }
+        CgOptions {
+            max_iter: 50,
+            tol: 1e-9,
+            quad_weight: 1.0,
+        }
     }
 }
 
@@ -109,7 +113,12 @@ pub fn conditional_gradient(
         }
     }
 
-    CgResult { coupling: pi, objective: obj, iterations: iters, history }
+    CgResult {
+        coupling: pi,
+        objective: obj,
+        iterations: iters,
+        history,
+    }
 }
 
 /// Minimizes `a γ² + b γ` over `γ ∈ [0, 1]`.
@@ -168,7 +177,11 @@ mod tests {
             let init = uniform(n);
             let res = conditional_gradient(&m, &a1, &a2, init, &CgOptions::default());
             for w in res.history.windows(2) {
-                assert!(w[1] <= w[0] + 1e-9, "objective increased: {:?}", res.history);
+                assert!(
+                    w[1] <= w[0] + 1e-9,
+                    "objective increased: {:?}",
+                    res.history
+                );
             }
         }
     }
@@ -213,9 +226,16 @@ mod tests {
             &zero,
             &zero,
             uniform(n),
-            &CgOptions { quad_weight: 1.0, ..Default::default() },
+            &CgOptions {
+                quad_weight: 1.0,
+                ..Default::default()
+            },
         );
         let want = lsap_min(&m).cost;
-        assert!((res.objective - want).abs() < 1e-9, "{} vs {want}", res.objective);
+        assert!(
+            (res.objective - want).abs() < 1e-9,
+            "{} vs {want}",
+            res.objective
+        );
     }
 }

@@ -57,7 +57,11 @@ mod tests {
             let c = Matrix::from_fn(n, n, |_, _| rng.gen_range(0.0..2.0));
             let (_, exact) = exact_ot_assignment(&c);
             let sk = sinkhorn_log(&c, &vec![1.0; n], &vec![1.0; n], 0.05, 500);
-            assert!(sk.cost >= exact - 1e-6, "sinkhorn {} below exact {exact}", sk.cost);
+            assert!(
+                sk.cost >= exact - 1e-6,
+                "sinkhorn {} below exact {exact}",
+                sk.cost
+            );
             assert!((sk.cost - exact).abs() < 0.2);
         }
     }

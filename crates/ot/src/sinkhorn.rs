@@ -82,7 +82,11 @@ pub fn sinkhorn(
 
     let coupling = Matrix::from_fn(n, m, |i, j| phi[i] * k[(i, j)] * psi[j]);
     let cost_val = coupling.dot(cost);
-    SinkhornResult { coupling, cost: cost_val, iterations: max_iter }
+    SinkhornResult {
+        coupling,
+        cost: cost_val,
+        iterations: max_iter,
+    }
 }
 
 /// Log-domain Sinkhorn: mathematically identical to [`sinkhorn`] but stable
@@ -106,8 +110,14 @@ pub fn sinkhorn_log(
 
     // Dual potentials f (rows), g (cols); π_ij = exp((f_i + g_j - C_ij)/ε) m_i n_j
     // with zero-mass marginals handled by -inf potentials.
-    let log_mu: Vec<f64> = mu.iter().map(|&x| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY }).collect();
-    let log_nu: Vec<f64> = nu.iter().map(|&x| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY }).collect();
+    let log_mu: Vec<f64> = mu
+        .iter()
+        .map(|&x| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY })
+        .collect();
+    let log_nu: Vec<f64> = nu
+        .iter()
+        .map(|&x| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY })
+        .collect();
     let mut f = vec![0.0; n];
     let mut g = vec![0.0; m];
 
@@ -123,11 +133,19 @@ pub fn sinkhorn_log(
     for _ in 0..max_iter {
         for j in 0..m {
             let lse = logsumexp(&mut (0..n).map(|i| (f[i] - cost[(i, j)]) / epsilon));
-            g[j] = if log_nu[j].is_finite() { epsilon * (log_nu[j] / 1.0 - lse) } else { f64::NEG_INFINITY };
+            g[j] = if log_nu[j].is_finite() {
+                epsilon * (log_nu[j] / 1.0 - lse)
+            } else {
+                f64::NEG_INFINITY
+            };
         }
         for i in 0..n {
             let lse = logsumexp(&mut (0..m).map(|j| (g[j] - cost[(i, j)]) / epsilon));
-            f[i] = if log_mu[i].is_finite() { epsilon * (log_mu[i] - lse) } else { f64::NEG_INFINITY };
+            f[i] = if log_mu[i].is_finite() {
+                epsilon * (log_mu[i] - lse)
+            } else {
+                f64::NEG_INFINITY
+            };
         }
     }
 
@@ -140,7 +158,11 @@ pub fn sinkhorn_log(
         }
     });
     let cost_val = coupling.dot(cost);
-    SinkhornResult { coupling, cost: cost_val, iterations: max_iter }
+    SinkhornResult {
+        coupling,
+        cost: cost_val,
+        iterations: max_iter,
+    }
 }
 
 /// Sinkhorn with the paper's dummy-row extension (Section 4.2).
@@ -156,7 +178,10 @@ pub fn sinkhorn_log(
 #[must_use]
 pub fn sinkhorn_dummy_row(cost: &Matrix, epsilon: f64, max_iter: usize) -> SinkhornResult {
     let (n1, n2) = cost.shape();
-    assert!(n1 <= n2, "sinkhorn_dummy_row requires n1 <= n2 (got {n1}x{n2})");
+    assert!(
+        n1 <= n2,
+        "sinkhorn_dummy_row requires n1 <= n2 (got {n1}x{n2})"
+    );
     let extended = cost.with_appended_row(&vec![0.0; n2]);
     let mut mu = vec![1.0; n1 + 1];
     mu[n1] = (n2 - n1) as f64;
@@ -164,7 +189,11 @@ pub fn sinkhorn_dummy_row(cost: &Matrix, epsilon: f64, max_iter: usize) -> Sinkh
     let res = sinkhorn(&extended, &mu, &nu, epsilon, max_iter);
     let coupling = res.coupling.without_last_row();
     let cost_val = coupling.dot(cost);
-    SinkhornResult { coupling, cost: cost_val, iterations: res.iterations }
+    SinkhornResult {
+        coupling,
+        cost: cost_val,
+        iterations: res.iterations,
+    }
 }
 
 #[cfg(test)]
@@ -262,11 +291,7 @@ mod tests {
         // Figure 3 of the paper: hand-crafted 3x3 cost matrix whose optimal
         // couplings mix u1 -> {v1, v3}. Check the Sinkhorn cost approaches
         // the LSAP optimum (= GED proxy 2) for small epsilon.
-        let c = Matrix::from_vec(
-            3,
-            3,
-            vec![1.5, 1.5, 0.0, 1.5, 0.5, 1.0, 1.5, 1.5, 0.0],
-        );
+        let c = Matrix::from_vec(3, 3, vec![1.5, 1.5, 0.0, 1.5, 0.5, 1.0, 1.5, 1.5, 0.0]);
         // LSAP optimum: rows {0,2} fight for col 2 (cost 0); best total: 2.0.
         assert_eq!(lsap_min(&c).cost, 2.0);
         let res = sinkhorn_log(&c, &[1.0; 3], &[1.0; 3], 0.02, 800);

@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the small API subset the `ged-bench` benches use — benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `sample_size`,
+//! `Bencher::iter` and the `criterion_group!` / `criterion_main!` macros —
+//! backed by a plain wall-clock timer that prints median/mean per-iteration
+//! times. It produces no HTML reports and does no statistical analysis;
+//! `cargo bench` runs and prints comparable numbers, which is all the
+//! experiment harness needs offline.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name plus an
+/// optional parameter rendered with `Display`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new<P: Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Passed to every benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples after one warm-up
+    /// call. The routine's output is passed through [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, also primes caches/allocations
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, bench: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{bench}: no samples");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "{group}/{bench}: median {median:?}, mean {mean:?} ({} samples)",
+        samples.len()
+    );
+}
+
+/// A named collection of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a parameterless benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&self.name, &id, &mut b.samples);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Runs a benchmark over one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.name, &mut b.samples);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is eager).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle handed to every bench function.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group with the default sample size (10).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone parameterless benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group(id.clone()).bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a bench entry point running each listed function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built from `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3);
+            g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+            g.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+                b.iter(|| n * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.benchmarks_run, 2);
+    }
+
+    criterion_group!(smoke, smoke_bench);
+
+    fn smoke_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn macros_expand() {
+        smoke();
+    }
+}

@@ -38,7 +38,10 @@ fn main() {
             ));
         }
     }
-    println!("training GEDIOT on {} exactly-labeled pairs ...", train_pairs.len());
+    println!(
+        "training GEDIOT on {} exactly-labeled pairs ...",
+        train_pairs.len()
+    );
     let mut model = Gediot::new(GediotConfig::small(29), &mut rng);
     model.train(&train_pairs, 15, &mut rng);
     println!("learned Sinkhorn epsilon: {:.4}", model.epsilon());
@@ -68,6 +71,12 @@ fn main() {
     scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     println!("\ntop-5 most similar compounds (predicted | exact GED):");
     for (rank, (i, pred, exact)) in scored.iter().take(5).enumerate() {
-        println!("  #{} compound {:>3}: {:>6.2} | {}", rank + 1, i, pred, exact);
+        println!(
+            "  #{} compound {:>3}: {:>6.2} | {}",
+            rank + 1,
+            i,
+            pred,
+            exact
+        );
     }
 }

@@ -31,7 +31,10 @@ fn main() {
     let (solve, path) = Gedgw::new(&original, &perturbed.graph).solve_with_path(50);
     println!("\nGEDGW objective: {:.3}", solve.ged);
     println!("k-best path length (feasible GED): {}", path.ged);
-    println!("exact GED (A*): {}", astar_exact(&original, &perturbed.graph).ged);
+    println!(
+        "exact GED (A*): {}",
+        astar_exact(&original, &perturbed.graph).ged
+    );
 
     println!("\nrecovered edit path:");
     for (i, op) in path.path.ops().iter().enumerate() {

@@ -47,16 +47,28 @@ fn main() {
     let collect = |f: &dyn Fn(&GedPair) -> f64| -> Vec<PairOutcome> {
         test_pairs
             .iter()
-            .map(|p| PairOutcome { pred: f(p), gt: p.ged.unwrap() })
+            .map(|p| PairOutcome {
+                pred: f(p),
+                gt: p.ged.unwrap(),
+            })
             .collect()
     };
     rows.push(("GEDIOT", collect(&|p| model.predict(&p.g1, &p.g2).ged)));
     rows.push(("GEDGW", collect(&|p| Gedgw::new(&p.g1, &p.g2).solve().ged)));
     rows.push(("GEDHOT", collect(&|p| ensemble.predict(&p.g1, &p.g2).ged)));
-    rows.push(("Classic", collect(&|p| classic_ged(&p.g1, &p.g2).ged as f64)));
-    rows.push(("A*-Beam", collect(&|p| astar_beam(&p.g1, &p.g2, 50).ged as f64)));
+    rows.push((
+        "Classic",
+        collect(&|p| classic_ged(&p.g1, &p.g2).ged as f64),
+    ));
+    rows.push((
+        "A*-Beam",
+        collect(&|p| astar_beam(&p.g1, &p.g2, 50).ged as f64),
+    ));
 
-    println!("\n{:<9} {:>7} {:>10} {:>12}", "method", "MAE", "accuracy", "feasibility");
+    println!(
+        "\n{:<9} {:>7} {:>10} {:>12}",
+        "method", "MAE", "accuracy", "feasibility"
+    );
     for (name, outcomes) in &rows {
         println!(
             "{:<9} {:>7.3} {:>9.1}% {:>11.1}%",

@@ -34,6 +34,7 @@
 pub use ged_baselines as baselines;
 pub use ged_core as core;
 pub use ged_eval as eval;
+pub use ged_experiments as experiments;
 pub use ged_graph as graph;
 pub use ged_linalg as linalg;
 pub use ged_nn as nn;
@@ -47,6 +48,7 @@ pub mod prelude {
     pub use ged_core::gedgw::Gedgw;
     pub use ged_core::gediot::{Gediot, GediotConfig};
     pub use ged_core::kbest::kbest_edit_path;
+    pub use ged_core::solver::{BatchRunner, GedEstimate, GedSolver, PathEstimate, SolverRegistry};
     pub use ged_eval::metrics;
     pub use ged_graph::{
         max_edit_ops, normalized_ged, DatasetKind, EditOp, EditPath, Graph, GraphDataset, Label,

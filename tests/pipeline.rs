@@ -65,7 +65,11 @@ fn gedgw_objective_vs_exact_vs_path() {
         let (solve, path) = Gedgw::new(&g1, &g2).solve_with_path(24);
         assert!(path.ged as f64 >= exact);
         // The CG local optimum is near the exact value on small graphs.
-        assert!((solve.ged - exact).abs() <= 4.0, "objective {} vs exact {exact}", solve.ged);
+        assert!(
+            (solve.ged - exact).abs() <= 4.0,
+            "objective {} vs exact {exact}",
+            solve.ged
+        );
     }
 }
 
@@ -78,7 +82,10 @@ fn trained_ensemble_end_to_end() {
     let mut model = Gediot::new(GediotConfig::small(3), &mut rng);
     let before = model.evaluate_loss(&pairs);
     model.train(&pairs, 6, &mut rng);
-    assert!(model.evaluate_loss(&pairs) < before, "training must reduce loss");
+    assert!(
+        model.evaluate_loss(&pairs) < before,
+        "training must reduce loss"
+    );
 
     let ensemble = Gedhot::new(&model);
     for pair in pairs.iter().take(6) {
@@ -87,7 +94,9 @@ fn trained_ensemble_end_to_end() {
 
         let (_, path, _) = ensemble.predict_with_path(&pair.g1, &pair.g2, 8);
         let rebuilt = path.path.apply(&pair.g1).unwrap();
-        assert!(ot_ged::graph::isomorphism::are_isomorphic(&rebuilt, &pair.g2));
+        assert!(ot_ged::graph::isomorphism::are_isomorphic(
+            &rebuilt, &pair.g2
+        ));
     }
 }
 
@@ -121,13 +130,21 @@ fn metrics_discriminate_oracle_from_constant() {
     let pairs = training_pairs(20, &mut rng);
     let oracle: Vec<PairOutcome> = pairs
         .iter()
-        .map(|p| PairOutcome { pred: p.ged.unwrap(), gt: p.ged.unwrap() })
+        .map(|p| PairOutcome {
+            pred: p.ged.unwrap(),
+            gt: p.ged.unwrap(),
+        })
         .collect();
     assert_eq!(mae(&oracle), 0.0);
     assert_eq!(accuracy(&oracle), 1.0);
 
-    let constant: Vec<PairOutcome> =
-        pairs.iter().map(|p| PairOutcome { pred: 2.0, gt: p.ged.unwrap() }).collect();
+    let constant: Vec<PairOutcome> = pairs
+        .iter()
+        .map(|p| PairOutcome {
+            pred: 2.0,
+            gt: p.ged.unwrap(),
+        })
+        .collect();
     assert!(mae(&constant) > 0.0);
     assert!(accuracy(&constant) < 1.0);
 }

@@ -1,5 +1,10 @@
-//! Property-based tests (proptest) of the core invariants listed in
-//! DESIGN.md §7, spanning several crates.
+//! Property-based tests of the core invariants listed in DESIGN.md §7,
+//! spanning several crates.
+//!
+//! The build environment is offline, so instead of `proptest` these use a
+//! hand-rolled generator loop: each property runs over `CASES` seeded
+//! random instances, and every assertion message carries the case seed so
+//! a failure is exactly reproducible.
 
 use ot_ged::baselines::astar::astar_exact;
 use ot_ged::core::gedgw::Gedgw;
@@ -9,163 +14,191 @@ use ot_ged::graph::isomorphism::are_isomorphic;
 use ot_ged::linalg::{lsap_min, lsap_min_munkres, Matrix};
 use ot_ged::ot::sinkhorn::sinkhorn_dummy_row;
 use ot_ged::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a small connected labeled graph described by (n, extra-edge
-/// seeds, label choices).
-fn small_graph(max_n: usize, labels: u32) -> impl Strategy<Value = Graph> {
-    (2..=max_n, proptest::collection::vec(0u32..labels, max_n), any::<u64>()).prop_map(
-        move |(n, label_choices, seed)| {
-            use rand::rngs::SmallRng;
-            use rand::{Rng, SeedableRng};
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let mut g = Graph::new();
-            for i in 0..n {
-                g.add_node(Label(label_choices[i % label_choices.len()]));
-            }
-            for i in 1..n as u32 {
-                let j = rng.gen_range(0..i);
-                g.add_edge(i, j);
-            }
-            for _ in 0..n {
-                let u = rng.gen_range(0..n as u32);
-                let v = rng.gen_range(0..n as u32);
-                if u != v && !g.has_edge(u, v) {
-                    g.add_edge(u, v);
-                }
-            }
-            g
-        },
-    )
-}
+/// Cases per property (mirrors the old `ProptestConfig::with_cases(48)`).
+const CASES: u64 = 48;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Invariant C/F: exact A* GED is symmetric, zero iff isomorphic, and
-    /// bounded below by the label-set lower bound.
-    #[test]
-    fn exact_ged_is_a_sane_metric(
-        g1 in small_graph(5, 3),
-        g2 in small_graph(6, 3),
-    ) {
-        let d12 = astar_exact(&g1, &g2).ged;
-        let d21 = astar_exact(&g2, &g1).ged;
-        prop_assert_eq!(d12, d21);
-        prop_assert!(d12 >= label_set_lower_bound(&g1, &g2));
-        prop_assert_eq!(astar_exact(&g1, &g1).ged, 0);
-        if d12 == 0 {
-            prop_assert!(are_isomorphic(&g1, &g2));
+/// A small connected labeled graph: random spanning tree plus a few extra
+/// edges, labels drawn uniformly from `0..labels`.
+fn small_graph(max_n: usize, labels: u32, rng: &mut SmallRng) -> Graph {
+    let n = rng.gen_range(2..=max_n);
+    let mut g = Graph::new();
+    for _ in 0..n {
+        g.add_node(Label(rng.gen_range(0..labels)));
+    }
+    for i in 1..n as u32 {
+        let j = rng.gen_range(0..i);
+        g.add_edge(i, j);
+    }
+    for _ in 0..n {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v && !g.has_edge(u, v) {
+            g.add_edge(u, v);
         }
     }
+    g
+}
 
-    /// Invariant F: triangle inequality of the exact GED.
-    #[test]
-    fn exact_ged_triangle_inequality(
-        a in small_graph(4, 2),
-        b in small_graph(4, 2),
-        c in small_graph(4, 2),
-    ) {
+/// Invariant C/F: exact A* GED is symmetric, zero iff isomorphic, and
+/// bounded below by the label-set lower bound.
+#[test]
+fn exact_ged_is_a_sane_metric() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0001 + case);
+        let g1 = small_graph(5, 3, &mut rng);
+        let g2 = small_graph(6, 3, &mut rng);
+        let d12 = astar_exact(&g1, &g2).ged;
+        let d21 = astar_exact(&g2, &g1).ged;
+        assert_eq!(d12, d21, "case {case}: GED not symmetric");
+        assert!(
+            d12 >= label_set_lower_bound(&g1, &g2),
+            "case {case}: GED below label-set lower bound"
+        );
+        assert_eq!(astar_exact(&g1, &g1).ged, 0, "case {case}: d(g,g) != 0");
+        if d12 == 0 {
+            assert!(
+                are_isomorphic(&g1, &g2),
+                "case {case}: GED 0 but not isomorphic"
+            );
+        }
+    }
+}
+
+/// Invariant F: triangle inequality of the exact GED.
+#[test]
+fn exact_ged_triangle_inequality() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0002 + case);
+        let a = small_graph(4, 2, &mut rng);
+        let b = small_graph(4, 2, &mut rng);
+        let c = small_graph(4, 2, &mut rng);
         let ab = astar_exact(&a, &b).ged;
         let bc = astar_exact(&b, &c).ged;
         let ac = astar_exact(&a, &c).ged;
-        prop_assert!(ac <= ab + bc, "{} > {} + {}", ac, ab, bc);
+        assert!(ac <= ab + bc, "case {case}: {ac} > {ab} + {bc}");
     }
+}
 
-    /// Invariant A: every edit path produced by the k-best framework is
-    /// applicable and lands on the target graph.
-    #[test]
-    fn kbest_paths_always_verify(
-        g1 in small_graph(5, 3),
-        g2 in small_graph(6, 3),
-        seed in any::<u64>(),
-    ) {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+/// Invariant A: every edit path produced by the k-best framework is
+/// applicable and lands on the target graph.
+#[test]
+fn kbest_paths_always_verify() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0003 + case);
+        let g1 = small_graph(5, 3, &mut rng);
+        let g2 = small_graph(6, 3, &mut rng);
         let (a, b, _) = ot_ged::core::pairs::ordered(&g1, &g2);
-        let mut rng = SmallRng::seed_from_u64(seed);
         let pi = Matrix::from_fn(a.num_nodes(), b.num_nodes(), |_, _| rng.gen_range(0.0..1.0));
         let res = kbest_edit_path(a, b, &pi, 6);
-        prop_assert_eq!(res.path.len(), res.ged);
+        assert_eq!(
+            res.path.len(),
+            res.ged,
+            "case {case}: path length != reported GED"
+        );
         let rebuilt = res.path.apply(a).unwrap();
-        prop_assert!(are_isomorphic(&rebuilt, b));
-        prop_assert!(res.ged >= astar_exact(a, b).ged);
+        assert!(
+            are_isomorphic(&rebuilt, b),
+            "case {case}: path does not land on target"
+        );
+        assert!(
+            res.ged >= astar_exact(a, b).ged,
+            "case {case}: heuristic path beats exact GED"
+        );
     }
+}
 
-    /// Invariant B (solver side): the GEDGW objective of the *exact*
-    /// matching equals the exact GED, and the relaxed solve is finite and
-    /// non-negative.
-    #[test]
-    fn gedgw_solve_is_sane(
-        g1 in small_graph(5, 3),
-        g2 in small_graph(5, 3),
-    ) {
+/// Invariant B (solver side): the GEDGW relaxed solve is finite,
+/// non-negative, and its coupling has the ordered pair's shape.
+#[test]
+fn gedgw_solve_is_sane() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0004 + case);
+        let g1 = small_graph(5, 3, &mut rng);
+        let g2 = small_graph(5, 3, &mut rng);
         let res = Gedgw::new(&g1, &g2).solve();
-        prop_assert!(res.ged.is_finite());
-        prop_assert!(res.ged >= -1e-9);
+        assert!(
+            res.ged.is_finite(),
+            "case {case}: non-finite GEDGW objective"
+        );
+        assert!(res.ged >= -1e-9, "case {case}: negative GEDGW objective");
         let (a, b, _) = ot_ged::core::pairs::ordered(&g1, &g2);
-        prop_assert_eq!(res.coupling.shape(), (a.num_nodes(), b.num_nodes()));
+        assert_eq!(
+            res.coupling.shape(),
+            (a.num_nodes(), b.num_nodes()),
+            "case {case}: coupling shape mismatch"
+        );
     }
+}
 
-    /// Invariant D: Sinkhorn's dummy-row coupling lies in the relaxed
-    /// node-matching polytope for arbitrary bounded cost matrices.
-    #[test]
-    fn sinkhorn_dummy_row_polytope(
-        n1 in 1usize..=5,
-        extra in 0usize..=3,
-        seed in any::<u64>(),
-    ) {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
-        let n2 = n1 + extra;
-        let mut rng = SmallRng::seed_from_u64(seed);
+/// Invariant D: Sinkhorn's dummy-row coupling lies in the relaxed
+/// node-matching polytope for arbitrary bounded cost matrices.
+#[test]
+fn sinkhorn_dummy_row_polytope() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0005 + case);
+        let n1 = rng.gen_range(1usize..=5);
+        let n2 = n1 + rng.gen_range(0usize..=3);
         let cost = Matrix::from_fn(n1, n2, |_, _| rng.gen_range(-1.0..1.0));
         let res = sinkhorn_dummy_row(&cost, 0.1, 1000);
         for s in res.coupling.row_sums() {
-            prop_assert!((s - 1.0).abs() < 1e-9, "row sum {}", s);
+            assert!((s - 1.0).abs() < 1e-9, "case {case}: row sum {s}");
         }
         for s in res.coupling.col_sums() {
             // Rows are exact after the final φ-update; columns converge
             // geometrically and may retain a small residual.
-            prop_assert!(s <= 1.0 + 1e-3, "col sum {}", s);
+            assert!(s <= 1.0 + 1e-3, "case {case}: col sum {s}");
         }
-        prop_assert!(res.coupling.min() >= 0.0);
+        assert!(
+            res.coupling.min() >= 0.0,
+            "case {case}: negative coupling entry"
+        );
     }
+}
 
-    /// The two independent LSAP solvers agree on arbitrary cost matrices.
-    #[test]
-    fn lsap_solvers_agree(
-        n in 1usize..=6,
-        extra in 0usize..=3,
-        seed in any::<u64>(),
-    ) {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let cost = Matrix::from_fn(n, n + extra, |_, _| rng.gen_range(-5.0..5.0));
+/// The two independent LSAP solvers agree on arbitrary cost matrices.
+#[test]
+fn lsap_solvers_agree() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0006 + case);
+        let n = rng.gen_range(1usize..=6);
+        let m = n + rng.gen_range(0usize..=3);
+        let cost = Matrix::from_fn(n, m, |_, _| rng.gen_range(-5.0..5.0));
         let a = lsap_min(&cost);
         let b = lsap_min_munkres(&cost);
-        prop_assert!((a.cost - b.cost).abs() < 1e-9, "{} vs {}", a.cost, b.cost);
+        assert!(
+            (a.cost - b.cost).abs() < 1e-9,
+            "case {case}: {} vs {}",
+            a.cost,
+            b.cost
+        );
     }
+}
 
-    /// EPGen realizes exactly the induced cost for random mappings.
-    #[test]
-    fn epgen_cost_identity(
-        g1 in small_graph(5, 3),
-        g2 in small_graph(6, 3),
-        seed in any::<u64>(),
-    ) {
-        use rand::rngs::SmallRng;
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+/// EPGen realizes exactly the induced cost for random mappings.
+#[test]
+fn epgen_cost_identity() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0007 + case);
+        let g1 = small_graph(5, 3, &mut rng);
+        let g2 = small_graph(6, 3, &mut rng);
         let (a, b, _) = ot_ged::core::pairs::ordered(&g1, &g2);
-        let mut rng = SmallRng::seed_from_u64(seed);
         let mut cols: Vec<u32> = (0..b.num_nodes() as u32).collect();
         cols.shuffle(&mut rng);
         let mapping = NodeMapping::new(cols[..a.num_nodes()].to_vec());
         let path = mapping.edit_path(a, b);
-        prop_assert_eq!(path.len(), mapping.induced_cost(a, b));
+        assert_eq!(
+            path.len(),
+            mapping.induced_cost(a, b),
+            "case {case}: EPGen length != induced cost"
+        );
         let rebuilt = path.apply(a).unwrap();
-        prop_assert!(are_isomorphic(&rebuilt, b));
+        assert!(
+            are_isomorphic(&rebuilt, b),
+            "case {case}: EPGen path misses target"
+        );
     }
 }
