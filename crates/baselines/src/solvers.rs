@@ -226,13 +226,20 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let model = Arc::new(Gedgnn::new(crate::gedgnn::GedgnnConfig::small(2), &mut rng));
         let mut reg = SolverRegistry::new();
-        reg.register(Box::new(GedgnnSolver::new(Arc::clone(&model))));
-        reg.register(Box::new(NoahSolver::new(model)));
+        reg.register(
+            ged_core::method::MethodKind::GedGnn,
+            Box::new(GedgnnSolver::new(Arc::clone(&model))),
+        );
+        reg.register(
+            ged_core::method::MethodKind::Noah,
+            Box::new(NoahSolver::new(model)),
+        );
         assert_eq!(reg.names(), vec!["GEDGNN", "Noah"]);
         let p = pair(5);
-        for solver in reg.iter() {
+        for (method, solver) in reg.iter() {
             let est = solver.edit_path(&p, 6).expect("both generate paths");
-            assert_eq!(est.ops.len(), est.ged, "{}", solver.name());
+            assert_eq!(est.ops.len(), est.ged, "{method}");
+            assert_eq!(solver.name(), method.name());
         }
     }
 }

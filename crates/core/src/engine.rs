@@ -1,0 +1,877 @@
+//! The typed request/response query API over every GED method.
+//!
+//! [`GedEngine`] is the stable front door the harness, the examples, and
+//! any future server/CLI layer sit on. It owns a [`SolverRegistry`]
+//! (method implementations keyed by [`MethodKind`]), a [`BatchRunner`]
+//! (so dataset-level queries parallelize), a default method, a default
+//! edit-path beam width, and an optional prediction cache — all chosen
+//! through [`GedEngineBuilder`].
+//!
+//! Requests are [`GedQuery`] values, answers are [`GedResponse`] values,
+//! and every failure mode (unknown method, method missing from the
+//! registry, empty graphs, zero budgets, empty datasets) is a
+//! [`GedError`] — the engine never panics on bad input.
+//!
+//! | query | answer | workload |
+//! |-------|--------|----------|
+//! | [`GedQuery::Value`] | [`GedResponse::Value`] | one pair, value estimate |
+//! | [`GedQuery::Path`] | [`GedResponse::Path`] | one pair, feasible edit path |
+//! | [`GedQuery::TopK`] | [`GedResponse::TopK`] | query graph vs. dataset, ranked neighbors |
+//! | [`GedQuery::Matrix`] | [`GedResponse::Matrix`] | full pairwise distance matrix |
+//!
+//! # Example
+//!
+//! ```
+//! use ged_core::engine::{GedEngine, GedQuery, GedResponse};
+//! use ged_core::method::MethodKind;
+//! use ged_core::solver::{GedgwSolver, SolverRegistry};
+//! use ged_graph::{Graph, Label};
+//!
+//! // A registry with the training-free GEDGW solver.
+//! let mut registry = SolverRegistry::new();
+//! registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+//! let engine = GedEngine::builder(registry)
+//!     .method(MethodKind::Gedgw)
+//!     .beam_width(16)
+//!     .build()
+//!     .expect("GEDGW is registered");
+//!
+//! // Figure 1 of the paper; exact GED of this pair is 4.
+//! let g1 = Graph::from_edges(vec![Label(1), Label(1), Label(2)],
+//!                            &[(0, 1), (0, 2), (1, 2)]);
+//! let g2 = Graph::from_edges(vec![Label(1), Label(1), Label(3), Label(4)],
+//!                            &[(0, 1), (0, 2), (2, 3)]);
+//!
+//! let estimate = engine.ged(&g1, &g2).unwrap();
+//! assert!(estimate.ged > 0.0);
+//!
+//! // The same request in request/response form.
+//! let pair = ged_core::pairs::GedPair::new(g1, g2);
+//! match engine.query(GedQuery::Value { pair: &pair }).unwrap() {
+//!     GedResponse::Value(v) => assert_eq!(v, estimate),
+//!     _ => unreachable!("Value queries yield Value responses"),
+//! }
+//! ```
+
+use crate::error::GedError;
+use crate::method::MethodKind;
+use crate::pairs::GedPair;
+use crate::solver::{BatchRunner, GedEstimate, GedSolver, PathEstimate, SolverRegistry};
+use ged_graph::{Graph, GraphDataset};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// One ranked result of a [`GedQuery::TopK`] search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Index of the graph in the searched dataset.
+    pub index: usize,
+    /// Estimated GED between the query and that graph.
+    pub ged: f64,
+}
+
+/// A symmetric pairwise distance matrix over a dataset
+/// ([`GedQuery::Matrix`]). The diagonal is zero by construction; only the
+/// upper triangle is computed (GED is symmetric) and mirrored.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    fn new(n: usize) -> Self {
+        DistanceMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Number of graphs (the matrix is `size × size`).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// The estimated GED between graphs `i` and `j`.
+    ///
+    /// # Panics
+    /// Panics if `i` or `j` is out of bounds.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.data[i * self.n + j]
+    }
+
+    /// Row `i` as a slice (distances from graph `i` to every graph).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n, "index out of bounds");
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+}
+
+/// A typed request against a [`GedEngine`].
+///
+/// Pair-level queries borrow a normalized [`GedPair`]; dataset-level
+/// queries borrow the dataset, so building a query never clones graphs.
+#[derive(Clone, Copy, Debug)]
+pub enum GedQuery<'a> {
+    /// Estimate the GED of one pair (value only, possibly infeasible).
+    Value {
+        /// The pair to estimate.
+        pair: &'a GedPair,
+    },
+    /// Produce a feasible edit path for one pair.
+    Path {
+        /// The pair to transform.
+        pair: &'a GedPair,
+        /// Search effort (beam width / k-best candidates); `None` uses
+        /// the engine's default [`GedEngine::beam_width`].
+        k: Option<usize>,
+    },
+    /// Rank the dataset by estimated GED to `query` and return the `k`
+    /// nearest graphs (`k` larger than the dataset is clamped).
+    TopK {
+        /// The query graph.
+        query: &'a Graph,
+        /// The dataset to search.
+        dataset: &'a GraphDataset,
+        /// How many neighbors to return (must be ≥ 1).
+        k: usize,
+    },
+    /// Compute the full pairwise distance matrix of a dataset.
+    Matrix {
+        /// The dataset to compare pairwise.
+        dataset: &'a GraphDataset,
+    },
+}
+
+/// The answer to a [`GedQuery`], variant-matched to the request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GedResponse {
+    /// Answer to [`GedQuery::Value`].
+    Value(GedEstimate),
+    /// Answer to [`GedQuery::Path`].
+    Path(PathEstimate),
+    /// Answer to [`GedQuery::TopK`]: neighbors sorted by ascending GED
+    /// (ties broken by dataset index), at most `k` of them.
+    TopK(Vec<Neighbor>),
+    /// Answer to [`GedQuery::Matrix`].
+    Matrix(DistanceMatrix),
+}
+
+impl GedResponse {
+    /// The value estimate, if this is a [`GedResponse::Value`].
+    #[must_use]
+    pub fn into_value(self) -> Option<GedEstimate> {
+        match self {
+            GedResponse::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The path estimate, if this is a [`GedResponse::Path`].
+    #[must_use]
+    pub fn into_path(self) -> Option<PathEstimate> {
+        match self {
+            GedResponse::Path(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The ranked neighbors, if this is a [`GedResponse::TopK`].
+    #[must_use]
+    pub fn into_top_k(self) -> Option<Vec<Neighbor>> {
+        match self {
+            GedResponse::TopK(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The distance matrix, if this is a [`GedResponse::Matrix`].
+    #[must_use]
+    pub fn into_matrix(self) -> Option<DistanceMatrix> {
+        match self {
+            GedResponse::Matrix(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// A bounded memoization table for value predictions.
+///
+/// Lookups probe by `(method, structural fingerprint)` — no graph clones
+/// on the hot path — and exact-compare only within the matching bucket,
+/// so a fingerprint collision can never return a wrong value. Graphs are
+/// cloned into the table only on insert. When full it is cleared
+/// wholesale — predictions are cheap relative to unbounded memory
+/// growth, and the cache exists for repeated-query serving workloads,
+/// not for completeness.
+struct PredictionCache {
+    capacity: usize,
+    entries: usize,
+    map: HashMap<(MethodKind, u64), CacheBucket>,
+}
+
+/// Exact-match entries sharing one fingerprint: `(g1, g2, prediction)`.
+type CacheBucket = Vec<(Graph, Graph, f64)>;
+
+/// Structural fingerprint of a normalized pair ([`Graph`]'s `Hash`).
+fn pair_fingerprint(pair: &GedPair) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    pair.g1.hash(&mut h);
+    pair.g2.hash(&mut h);
+    h.finish()
+}
+
+/// Configures and validates a [`GedEngine`].
+///
+/// ```
+/// use ged_core::engine::GedEngine;
+/// use ged_core::method::MethodKind;
+/// use ged_core::solver::{GedgwSolver, SolverRegistry};
+///
+/// let mut registry = SolverRegistry::new();
+/// registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+/// let engine = GedEngine::builder(registry)
+///     .method(MethodKind::Gedgw)   // default method for every query
+///     .threads(2)                  // dataset-level parallelism
+///     .beam_width(24)              // default edit-path search effort
+///     .prediction_cache(10_000)    // memoize repeated value queries
+///     .build()
+///     .unwrap();
+/// assert_eq!(engine.method(), MethodKind::Gedgw);
+/// ```
+pub struct GedEngineBuilder {
+    registry: SolverRegistry,
+    method: Option<MethodKind>,
+    runner: BatchRunner,
+    beam_width: usize,
+    cache_capacity: usize,
+}
+
+impl GedEngineBuilder {
+    /// Starts a builder over `registry`. The default method is the first
+    /// registered one unless [`Self::method`] overrides it.
+    #[must_use]
+    pub fn new(registry: SolverRegistry) -> Self {
+        GedEngineBuilder {
+            registry,
+            method: None,
+            runner: BatchRunner::default(),
+            beam_width: 16,
+            cache_capacity: 0,
+        }
+    }
+
+    /// Selects the engine's default method (used by [`GedEngine::query`]
+    /// and the typed convenience calls).
+    #[must_use]
+    pub fn method(mut self, method: MethodKind) -> Self {
+        self.method = Some(method);
+        self
+    }
+
+    /// Sets the thread count for dataset-level queries (`0` is clamped
+    /// to 1, matching [`BatchRunner::new`]).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.runner = BatchRunner::new(threads);
+        self
+    }
+
+    /// Installs a pre-configured [`BatchRunner`] (e.g.
+    /// [`BatchRunner::try_from_env`] for `GED_THREADS` control).
+    #[must_use]
+    pub fn runner(mut self, runner: BatchRunner) -> Self {
+        self.runner = runner;
+        self
+    }
+
+    /// Sets the default edit-path search effort `k` (beam width /
+    /// k-best candidates). Must be ≥ 1 at [`Self::build`] time.
+    #[must_use]
+    pub fn beam_width(mut self, k: usize) -> Self {
+        self.beam_width = k;
+        self
+    }
+
+    /// Enables a bounded value-prediction cache (`capacity` entries;
+    /// `0` disables it, the default). Caching only ever memoizes —
+    /// predictions are deterministic, so results are unchanged.
+    #[must_use]
+    pub fn prediction_cache(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Validates the configuration and builds the engine.
+    ///
+    /// # Errors
+    /// * [`GedError::Config`] — the registry is empty.
+    /// * [`GedError::MethodNotRegistered`] — the selected default method
+    ///   has no solver in the registry.
+    /// * [`GedError::InvalidK`] — the beam width is zero.
+    pub fn build(self) -> Result<GedEngine, GedError> {
+        if self.beam_width == 0 {
+            return Err(GedError::InvalidK { what: "beam width" });
+        }
+        let method = match self.method {
+            Some(m) => m,
+            None => *self.registry.methods().first().ok_or_else(|| {
+                GedError::Config("cannot build an engine from an empty registry".to_string())
+            })?,
+        };
+        if self.registry.get(method).is_none() {
+            return Err(GedError::MethodNotRegistered(method));
+        }
+        let cache = (self.cache_capacity > 0).then(|| {
+            Mutex::new(PredictionCache {
+                capacity: self.cache_capacity,
+                entries: 0,
+                map: HashMap::new(),
+            })
+        });
+        Ok(GedEngine {
+            registry: self.registry,
+            method,
+            runner: self.runner,
+            beam_width: self.beam_width,
+            cache,
+        })
+    }
+}
+
+/// The query engine: typed requests in, typed responses or [`GedError`]s
+/// out. See the [module docs](self) for the full contract.
+pub struct GedEngine {
+    registry: SolverRegistry,
+    method: MethodKind,
+    runner: BatchRunner,
+    beam_width: usize,
+    cache: Option<Mutex<PredictionCache>>,
+}
+
+impl std::fmt::Debug for GedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GedEngine")
+            .field("method", &self.method)
+            .field("methods", &self.registry.methods())
+            .field("beam_width", &self.beam_width)
+            .field("threads", &self.runner.threads())
+            .field("cache", &self.cache.is_some())
+            .finish()
+    }
+}
+
+impl GedEngine {
+    /// Starts building an engine over `registry`.
+    #[must_use]
+    pub fn builder(registry: SolverRegistry) -> GedEngineBuilder {
+        GedEngineBuilder::new(registry)
+    }
+
+    /// The engine's default method.
+    #[must_use]
+    pub fn method(&self) -> MethodKind {
+        self.method
+    }
+
+    /// The default edit-path search effort.
+    #[must_use]
+    pub fn beam_width(&self) -> usize {
+        self.beam_width
+    }
+
+    /// Every method this engine can answer for, in registration order.
+    #[must_use]
+    pub fn methods(&self) -> Vec<MethodKind> {
+        self.registry.methods()
+    }
+
+    /// Resolves a method to its registered solver — the typed
+    /// replacement for string-keyed registry lookups.
+    ///
+    /// # Errors
+    /// [`GedError::MethodNotRegistered`] if the registry has no solver
+    /// for `method`.
+    pub fn solver(&self, method: MethodKind) -> Result<&dyn GedSolver, GedError> {
+        self.registry
+            .get(method)
+            .ok_or(GedError::MethodNotRegistered(method))
+    }
+
+    /// Number of cached value predictions (`None` when the cache is
+    /// disabled).
+    #[must_use]
+    pub fn cached_predictions(&self) -> Option<usize> {
+        self.cache
+            .as_ref()
+            .map(|c| c.lock().expect("cache lock").entries)
+    }
+
+    // -- the request/response surface ------------------------------------
+
+    /// Answers `query` with the engine's default method.
+    ///
+    /// # Errors
+    /// See [`Self::query_as`].
+    pub fn query(&self, query: GedQuery<'_>) -> Result<GedResponse, GedError> {
+        self.query_as(self.method, query)
+    }
+
+    /// Answers `query` with an explicit method, overriding the default.
+    ///
+    /// # Errors
+    /// * [`GedError::MethodNotRegistered`] — no solver for `method`.
+    /// * [`GedError::EmptyGraph`] — an input graph has no nodes.
+    /// * [`GedError::PathsUnsupported`] — a `Path` query against a pure
+    ///   value regressor.
+    /// * [`GedError::InvalidK`] — a zero beam width or top-k size.
+    /// * [`GedError::EmptyDataset`] — a dataset-level query against an
+    ///   empty dataset.
+    pub fn query_as(
+        &self,
+        method: MethodKind,
+        query: GedQuery<'_>,
+    ) -> Result<GedResponse, GedError> {
+        match query {
+            GedQuery::Value { pair } => self.predict_as(method, pair).map(GedResponse::Value),
+            GedQuery::Path { pair, k } => self.edit_path_as(method, pair, k).map(GedResponse::Path),
+            GedQuery::TopK { query, dataset, k } => self
+                .top_k_as(method, query, dataset, k)
+                .map(GedResponse::TopK),
+            GedQuery::Matrix { dataset } => self
+                .distance_matrix_as(method, dataset)
+                .map(GedResponse::Matrix),
+        }
+    }
+
+    /// Answers a batch of queries in parallel (input order preserved,
+    /// results bit-identical to a sequential loop), with the default
+    /// method.
+    #[must_use]
+    pub fn query_batch(&self, queries: &[GedQuery<'_>]) -> Vec<Result<GedResponse, GedError>> {
+        self.query_batch_as(self.method, queries)
+    }
+
+    /// Answers a batch of queries in parallel with an explicit method.
+    #[must_use]
+    pub fn query_batch_as(
+        &self,
+        method: MethodKind,
+        queries: &[GedQuery<'_>],
+    ) -> Vec<Result<GedResponse, GedError>> {
+        self.runner.map(queries, |q| self.query_as(method, *q))
+    }
+
+    // -- typed conveniences (thin wrappers over the same logic) ----------
+
+    /// Estimates the GED of two graphs with the default method.
+    ///
+    /// # Errors
+    /// See [`Self::query_as`].
+    pub fn ged(&self, g1: &Graph, g2: &Graph) -> Result<GedEstimate, GedError> {
+        self.ged_as(self.method, g1, g2)
+    }
+
+    /// Estimates the GED of two graphs with an explicit method.
+    ///
+    /// # Errors
+    /// See [`Self::query_as`].
+    pub fn ged_as(
+        &self,
+        method: MethodKind,
+        g1: &Graph,
+        g2: &Graph,
+    ) -> Result<GedEstimate, GedError> {
+        ensure_nonempty(g1, "g1")?;
+        ensure_nonempty(g2, "g2")?;
+        self.predict_as(method, &GedPair::new(g1.clone(), g2.clone()))
+    }
+
+    /// Estimates the GED of a prepared pair with the default method.
+    ///
+    /// # Errors
+    /// See [`Self::query_as`].
+    pub fn predict(&self, pair: &GedPair) -> Result<GedEstimate, GedError> {
+        self.predict_as(self.method, pair)
+    }
+
+    /// Estimates the GED of a prepared pair with an explicit method.
+    ///
+    /// # Errors
+    /// See [`Self::query_as`].
+    pub fn predict_as(&self, method: MethodKind, pair: &GedPair) -> Result<GedEstimate, GedError> {
+        ensure_nonempty(&pair.g1, "g1")?;
+        ensure_nonempty(&pair.g2, "g2")?;
+        let solver = self.solver(method)?;
+        Ok(GedEstimate {
+            ged: self.predict_cached(method, solver, pair),
+        })
+    }
+
+    /// Generates a feasible edit path for two graphs with the default
+    /// method and beam width.
+    ///
+    /// # Errors
+    /// See [`Self::query_as`].
+    pub fn edit_path(&self, g1: &Graph, g2: &Graph) -> Result<PathEstimate, GedError> {
+        ensure_nonempty(g1, "g1")?;
+        ensure_nonempty(g2, "g2")?;
+        self.edit_path_as(self.method, &GedPair::new(g1.clone(), g2.clone()), None)
+    }
+
+    /// Generates a feasible edit path for a prepared pair with an
+    /// explicit method; `k = None` uses the engine's beam width.
+    ///
+    /// # Errors
+    /// See [`Self::query_as`].
+    pub fn edit_path_as(
+        &self,
+        method: MethodKind,
+        pair: &GedPair,
+        k: Option<usize>,
+    ) -> Result<PathEstimate, GedError> {
+        ensure_nonempty(&pair.g1, "g1")?;
+        ensure_nonempty(&pair.g2, "g2")?;
+        let k = k.unwrap_or(self.beam_width);
+        if k == 0 {
+            return Err(GedError::InvalidK { what: "beam width" });
+        }
+        let solver = self.solver(method)?;
+        solver
+            .edit_path(pair, k)
+            .ok_or(GedError::PathsUnsupported(method))
+    }
+
+    /// Ranks `dataset` by estimated GED to `query` and returns the `k`
+    /// nearest graphs, with the default method. See [`Self::top_k_as`].
+    ///
+    /// # Errors
+    /// See [`Self::query_as`].
+    pub fn top_k(
+        &self,
+        query: &Graph,
+        dataset: &GraphDataset,
+        k: usize,
+    ) -> Result<Vec<Neighbor>, GedError> {
+        self.top_k_as(self.method, query, dataset, k)
+    }
+
+    /// Ranks `dataset` by estimated GED to `query` with an explicit
+    /// method. Candidate predictions run in parallel through the
+    /// engine's [`BatchRunner`]; the ranking sorts by ascending GED with
+    /// ties broken by dataset index, so it is fully deterministic. A `k`
+    /// larger than the dataset is clamped (every graph is returned,
+    /// ranked).
+    ///
+    /// # Errors
+    /// See [`Self::query_as`].
+    pub fn top_k_as(
+        &self,
+        method: MethodKind,
+        query: &Graph,
+        dataset: &GraphDataset,
+        k: usize,
+    ) -> Result<Vec<Neighbor>, GedError> {
+        if k == 0 {
+            return Err(GedError::InvalidK { what: "top-k" });
+        }
+        ensure_nonempty(query, "query")?;
+        let solver = self.solver(method)?;
+        ensure_dataset_nonempty(dataset)?;
+        // Pairs are built inside the parallel closure so the clone work
+        // parallelizes and never precedes the validation above.
+        let indices: Vec<usize> = (0..dataset.len()).collect();
+        let geds = self.runner.map(&indices, |&i| {
+            let pair = GedPair::new(query.clone(), dataset.graphs[i].clone());
+            self.predict_cached(method, solver, &pair)
+        });
+        let mut neighbors: Vec<Neighbor> = geds
+            .into_iter()
+            .enumerate()
+            .map(|(index, ged)| Neighbor { index, ged })
+            .collect();
+        // total_cmp keeps the no-panic contract even if a degenerate
+        // model produces NaN (NaN sorts last).
+        neighbors.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.index.cmp(&b.index)));
+        neighbors.truncate(k);
+        Ok(neighbors)
+    }
+
+    /// Computes the pairwise distance matrix of `dataset` with the
+    /// default method. See [`Self::distance_matrix_as`].
+    ///
+    /// # Errors
+    /// See [`Self::query_as`].
+    pub fn distance_matrix(&self, dataset: &GraphDataset) -> Result<DistanceMatrix, GedError> {
+        self.distance_matrix_as(self.method, dataset)
+    }
+
+    /// Computes the pairwise distance matrix of `dataset` with an
+    /// explicit method. Only the upper triangle is evaluated (GED is
+    /// symmetric) — `n·(n−1)/2` predictions, parallelized through the
+    /// engine's [`BatchRunner`] — then mirrored; the diagonal is zero.
+    ///
+    /// # Errors
+    /// See [`Self::query_as`].
+    pub fn distance_matrix_as(
+        &self,
+        method: MethodKind,
+        dataset: &GraphDataset,
+    ) -> Result<DistanceMatrix, GedError> {
+        let solver = self.solver(method)?;
+        ensure_dataset_nonempty(dataset)?;
+        let n = dataset.len();
+        let mut index_pairs = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                index_pairs.push((i, j));
+            }
+        }
+        let geds = self.runner.map(&index_pairs, |&(i, j)| {
+            let pair = GedPair::new(dataset.graphs[i].clone(), dataset.graphs[j].clone());
+            self.predict_cached(method, solver, &pair)
+        });
+        let mut matrix = DistanceMatrix::new(n);
+        for (&(i, j), ged) in index_pairs.iter().zip(geds) {
+            matrix.data[i * n + j] = ged;
+            matrix.data[j * n + i] = ged;
+        }
+        Ok(matrix)
+    }
+
+    /// Predicts through the cache when one is configured. Predictions
+    /// are deterministic, so memoization never changes a result.
+    fn predict_cached(&self, method: MethodKind, solver: &dyn GedSolver, pair: &GedPair) -> f64 {
+        let Some(cache) = &self.cache else {
+            return solver.predict(pair).ged;
+        };
+        let key = (method, pair_fingerprint(pair));
+        {
+            let cache = cache.lock().expect("cache lock");
+            if let Some(bucket) = cache.map.get(&key) {
+                if let Some((_, _, hit)) = bucket
+                    .iter()
+                    .find(|(a, b, _)| *a == pair.g1 && *b == pair.g2)
+                {
+                    return *hit;
+                }
+            }
+        }
+        // Compute outside the lock: predictions can be expensive and the
+        // cache must not serialize them.
+        let ged = solver.predict(pair).ged;
+        let mut cache = cache.lock().expect("cache lock");
+        if cache.entries >= cache.capacity {
+            cache.map.clear();
+            cache.entries = 0;
+        }
+        cache
+            .map
+            .entry(key)
+            .or_default()
+            .push((pair.g1.clone(), pair.g2.clone(), ged));
+        cache.entries += 1;
+        ged
+    }
+}
+
+/// Rejects empty datasets and datasets containing node-less graphs.
+fn ensure_dataset_nonempty(dataset: &GraphDataset) -> Result<(), GedError> {
+    if dataset.is_empty() {
+        return Err(GedError::EmptyDataset);
+    }
+    for (i, g) in dataset.graphs.iter().enumerate() {
+        ensure_nonempty(g, &format!("dataset[{i}]"))?;
+    }
+    Ok(())
+}
+
+/// Rejects node-less graphs with a [`GedError::EmptyGraph`] naming the
+/// offending input.
+fn ensure_nonempty(g: &Graph, which: &str) -> Result<(), GedError> {
+    if g.num_nodes() == 0 {
+        return Err(GedError::EmptyGraph(which.to_string()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::GedgwSolver;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn gedgw_engine() -> GedEngine {
+        let mut registry = SolverRegistry::new();
+        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        GedEngine::builder(registry)
+            .method(MethodKind::Gedgw)
+            .threads(1)
+            .build()
+            .expect("valid configuration")
+    }
+
+    fn small_dataset(count: usize, seed: u64) -> GraphDataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        GraphDataset::aids_like(count, &mut rng)
+    }
+
+    #[test]
+    fn builder_defaults_to_first_registered_method() {
+        let mut registry = SolverRegistry::new();
+        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        let engine = GedEngine::builder(registry).build().unwrap();
+        assert_eq!(engine.method(), MethodKind::Gedgw);
+        assert_eq!(engine.methods(), vec![MethodKind::Gedgw]);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configurations() {
+        let err = GedEngine::builder(SolverRegistry::new())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GedError::Config(_)), "{err:?}");
+
+        let mut registry = SolverRegistry::new();
+        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        let err = GedEngine::builder(registry)
+            .method(MethodKind::Gediot)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GedError::MethodNotRegistered(MethodKind::Gediot));
+
+        let mut registry = SolverRegistry::new();
+        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        let err = GedEngine::builder(registry)
+            .beam_width(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GedError::InvalidK { what: "beam width" });
+    }
+
+    #[test]
+    fn value_and_path_queries_agree_with_direct_solver_calls() {
+        let engine = gedgw_engine();
+        let ds = small_dataset(4, 42);
+        let pair = GedPair::new(ds.graphs[0].clone(), ds.graphs[1].clone());
+
+        let direct = GedgwSolver.predict(&pair);
+        let value = engine
+            .query(GedQuery::Value { pair: &pair })
+            .unwrap()
+            .into_value()
+            .unwrap();
+        assert_eq!(value, direct);
+
+        let direct_path = GedgwSolver.edit_path(&pair, engine.beam_width()).unwrap();
+        let path = engine
+            .query(GedQuery::Path {
+                pair: &pair,
+                k: None,
+            })
+            .unwrap()
+            .into_path()
+            .unwrap();
+        assert_eq!(path, direct_path);
+    }
+
+    #[test]
+    fn empty_graphs_are_typed_errors() {
+        let engine = gedgw_engine();
+        let empty = Graph::new();
+        let ok = small_dataset(1, 7).graphs[0].clone();
+        let err = engine.ged(&empty, &ok).unwrap_err();
+        assert_eq!(err, GedError::EmptyGraph("g1".to_string()));
+        let err = engine.ged(&ok, &empty).unwrap_err();
+        assert_eq!(err, GedError::EmptyGraph("g2".to_string()));
+    }
+
+    #[test]
+    fn top_k_errors_and_clamping() {
+        let engine = gedgw_engine();
+        let ds = small_dataset(5, 3);
+        let query = ds.graphs[0].clone();
+
+        let err = engine.top_k(&query, &ds, 0).unwrap_err();
+        assert_eq!(err, GedError::InvalidK { what: "top-k" });
+
+        let empty = GraphDataset {
+            kind: ds.kind,
+            graphs: Vec::new(),
+        };
+        let err = engine.top_k(&query, &empty, 3).unwrap_err();
+        assert_eq!(err, GedError::EmptyDataset);
+
+        // k beyond the dataset is clamped: everything comes back, ranked.
+        let all = engine.top_k(&query, &ds, 100).unwrap();
+        assert_eq!(all.len(), ds.len());
+        for w in all.windows(2) {
+            assert!(w[0].ged <= w[1].ged, "ranking must be ascending");
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let engine = gedgw_engine();
+        let ds = small_dataset(6, 11);
+        let m = engine.distance_matrix(&ds).unwrap();
+        assert_eq!(m.size(), 6);
+        for i in 0..6 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..6 {
+                assert_eq!(m.get(i, j).to_bits(), m.get(j, i).to_bits());
+            }
+            assert_eq!(m.row(i).len(), 6);
+        }
+    }
+
+    #[test]
+    fn prediction_cache_memoizes_without_changing_results() {
+        let mut registry = SolverRegistry::new();
+        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        let cached = GedEngine::builder(registry)
+            .prediction_cache(64)
+            .threads(1)
+            .build()
+            .unwrap();
+        let plain = gedgw_engine();
+
+        let ds = small_dataset(4, 21);
+        let pair = GedPair::new(ds.graphs[0].clone(), ds.graphs[1].clone());
+        let a = cached.predict(&pair).unwrap();
+        assert_eq!(cached.cached_predictions(), Some(1));
+        let b = cached.predict(&pair).unwrap();
+        assert_eq!(cached.cached_predictions(), Some(1), "second hit memoized");
+        let reference = plain.predict(&pair).unwrap();
+        assert_eq!(a.ged.to_bits(), reference.ged.to_bits());
+        assert_eq!(b.ged.to_bits(), reference.ged.to_bits());
+        assert_eq!(plain.cached_predictions(), None);
+    }
+
+    #[test]
+    fn batch_queries_preserve_order() {
+        let engine = gedgw_engine();
+        let ds = small_dataset(6, 33);
+        let pairs: Vec<GedPair> = (0..ds.len() - 1)
+            .map(|i| GedPair::new(ds.graphs[i].clone(), ds.graphs[i + 1].clone()))
+            .collect();
+        let queries: Vec<GedQuery<'_>> =
+            pairs.iter().map(|pair| GedQuery::Value { pair }).collect();
+        let batch = engine.query_batch(&queries);
+        assert_eq!(batch.len(), pairs.len());
+        for (res, pair) in batch.into_iter().zip(&pairs) {
+            let got = res.unwrap().into_value().unwrap();
+            let want = engine.predict(pair).unwrap();
+            assert_eq!(got.ged.to_bits(), want.ged.to_bits());
+        }
+    }
+}

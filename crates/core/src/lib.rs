@@ -14,27 +14,40 @@
 //! * [`lower_bound`] — the label-set GED lower bound (Eq. 22).
 //! * [`pairs`] — training/evaluation pair plumbing shared by the models.
 //! * [`solver`] — the [`solver::GedSolver`] trait every method implements,
-//!   the [`solver::SolverRegistry`] that names them, and the
-//!   [`solver::BatchRunner`] parallel batch engine.
+//!   the [`solver::SolverRegistry`] that maps [`method::MethodKind`]s to
+//!   them, and the [`solver::BatchRunner`] parallel batch engine.
+//! * [`method`] — [`method::MethodKind`], the typed method identifier
+//!   (registry key, CLI-parsable via `FromStr`).
+//! * [`engine`] — the [`engine::GedEngine`] typed request/response query
+//!   API ([`engine::GedQuery`] in, [`engine::GedResponse`] out) with
+//!   method selection, top-k similarity search and pairwise matrices.
+//! * [`error`] — [`error::GedError`], the unified error type of the
+//!   query API.
 
 #![warn(missing_docs)]
 
 pub mod edge_labeled;
+pub mod engine;
 pub mod ensemble;
+pub mod error;
 pub mod gedgw;
 pub mod gediot;
 pub mod kbest;
 pub mod lower_bound;
+pub mod method;
 pub mod pairs;
 pub mod search;
 pub mod solver;
 
 pub use edge_labeled::{gedgw_edge_labeled, EdgeLabeledGraph};
+pub use engine::{DistanceMatrix, GedEngine, GedEngineBuilder, GedQuery, GedResponse, Neighbor};
 pub use ensemble::{Gedhot, GedhotPrediction};
+pub use error::GedError;
 pub use gedgw::{Gedgw, GedgwOptions, GedgwResult};
 pub use gediot::{Gediot, GediotConfig, GediotPrediction};
 pub use kbest::{kbest_edit_path, KBestResult};
 pub use lower_bound::{degree_sequence_lower_bound, label_set_lower_bound};
+pub use method::MethodKind;
 pub use pairs::{ordered, GedPair};
 pub use search::{bounded_exact_ged, similarity_search, SearchStats, Verdict};
 pub use solver::{

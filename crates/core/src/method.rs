@@ -1,0 +1,150 @@
+//! Typed identifiers for every GED method in the system.
+//!
+//! [`MethodKind`] is the registry key and selection handle of the query
+//! API: engines are built "for" a method, registries map each kind to a
+//! [`crate::solver::GedSolver`], and CLIs parse user input into a kind via
+//! [`FromStr`] (case-insensitive on the paper's display names). The
+//! variant order follows Table 3 of the paper, which the experiment
+//! harness relies on for row ordering.
+
+use crate::error::GedError;
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the nine GED methods of the paper's evaluation (Tables 3-4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MethodKind {
+    /// SimGNN regressor.
+    SimGnn,
+    /// GPN stand-in (GCN-flavored regressor).
+    Gpn,
+    /// TaGSim type-count regressor.
+    TaGSim,
+    /// GEDGNN comparator.
+    GedGnn,
+    /// The paper's supervised inverse-OT model.
+    Gediot,
+    /// Hungarian+VJ classical combination.
+    Classic,
+    /// The paper's unsupervised OT/GW solver.
+    Gedgw,
+    /// Noah-like guided beam search.
+    Noah,
+    /// The paper's ensemble (better of GEDIOT and GEDGW).
+    Gedhot,
+}
+
+impl MethodKind {
+    /// All nine methods, in the paper's Table-3 row order.
+    pub const ALL: [MethodKind; 9] = [
+        MethodKind::SimGnn,
+        MethodKind::Gpn,
+        MethodKind::TaGSim,
+        MethodKind::GedGnn,
+        MethodKind::Gediot,
+        MethodKind::Classic,
+        MethodKind::Gedgw,
+        MethodKind::Noah,
+        MethodKind::Gedhot,
+    ];
+
+    /// Display name as in the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MethodKind::SimGnn => "SimGNN",
+            MethodKind::Gpn => "GPN",
+            MethodKind::TaGSim => "TaGSim",
+            MethodKind::GedGnn => "GEDGNN",
+            MethodKind::Gediot => "GEDIOT",
+            MethodKind::Classic => "Classic",
+            MethodKind::Gedgw => "GEDGW",
+            MethodKind::Noah => "Noah",
+            MethodKind::Gedhot => "GEDHOT",
+        }
+    }
+
+    /// Whether the method can realize a concrete edit path (the Table-4
+    /// subset). Pure value regressors return `false`.
+    #[must_use]
+    pub fn path_capable(self) -> bool {
+        !matches!(
+            self,
+            MethodKind::SimGnn | MethodKind::Gpn | MethodKind::TaGSim
+        )
+    }
+
+    /// All Table-3 methods in the paper's row order.
+    #[must_use]
+    pub fn table3() -> Vec<MethodKind> {
+        Self::ALL.to_vec()
+    }
+
+    /// Table-4 methods (those that can generate edit paths), in the
+    /// paper's row order.
+    #[must_use]
+    pub fn table4() -> Vec<MethodKind> {
+        vec![
+            MethodKind::Classic,
+            MethodKind::Noah,
+            MethodKind::GedGnn,
+            MethodKind::Gediot,
+            MethodKind::Gedgw,
+            MethodKind::Gedhot,
+        ]
+    }
+}
+
+impl fmt::Display for MethodKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.name())
+    }
+}
+
+impl FromStr for MethodKind {
+    type Err = GedError;
+
+    /// Parses a display name, case-insensitively (`"GEDIOT"`, `"gediot"`,
+    /// `"GedIot"` all work). Surrounding whitespace is ignored.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let needle = s.trim();
+        MethodKind::ALL
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(needle))
+            .ok_or_else(|| GedError::UnknownMethod(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for m in MethodKind::ALL {
+            assert_eq!(m.name().parse::<MethodKind>().unwrap(), m);
+            assert_eq!(m.name().to_lowercase().parse::<MethodKind>().unwrap(), m);
+            assert_eq!(format!(" {} ", m.name()).parse::<MethodKind>().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_a_typed_error() {
+        let err = "GEDX".parse::<MethodKind>().unwrap_err();
+        assert_eq!(err, GedError::UnknownMethod("GEDX".into()));
+    }
+
+    #[test]
+    fn display_matches_table_names_and_pads() {
+        assert_eq!(MethodKind::Gediot.to_string(), "GEDIOT");
+        assert_eq!(format!("{:<9}", MethodKind::Gpn), "GPN      ");
+    }
+
+    #[test]
+    fn table4_is_exactly_the_path_capable_subset() {
+        let t4 = MethodKind::table4();
+        for m in MethodKind::ALL {
+            assert_eq!(t4.contains(&m), m.path_capable(), "{m:?}");
+        }
+    }
+}

@@ -38,11 +38,14 @@
 //! Classic, Noah) live in `ged-baselines::solvers`.
 
 use crate::ensemble::Gedhot;
+use crate::error::GedError;
 use crate::gedgw::Gedgw;
 use crate::gediot::Gediot;
 use crate::kbest::kbest_edit_path;
+use crate::method::MethodKind;
 use crate::pairs::GedPair;
 use ged_graph::{CanonicalOp, NodeMapping};
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -52,6 +55,13 @@ pub struct GedEstimate {
     /// The estimated GED. May be fractional (regression heads) and, for
     /// non-path methods, may under-shoot the true GED.
     pub ged: f64,
+}
+
+impl fmt::Display for GedEstimate {
+    /// Renders the estimate the way the result tables do: three decimals.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GED ≈ {:.3}", self.ged)
+    }
 }
 
 /// A feasible GED estimate realized by a concrete edit path.
@@ -72,6 +82,14 @@ impl PathEstimate {
     pub fn from_mapping(pair: &GedPair, ged: usize, mapping: NodeMapping) -> Self {
         let ops = mapping.canonical_ops(&pair.g1, &pair.g2);
         PathEstimate { ged, mapping, ops }
+    }
+}
+
+impl fmt::Display for PathEstimate {
+    /// `GED 4 (feasible, 4 ops)` — the realized length plus a reminder
+    /// that path estimates are always feasible upper bounds.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GED {} (feasible, {} ops)", self.ged, self.ops.len())
     }
 }
 
@@ -180,15 +198,16 @@ impl GedSolver for GedhotSolver {
 // Registry.
 // ---------------------------------------------------------------------------
 
-/// An ordered collection of named solvers.
+/// An ordered collection of solvers keyed by [`MethodKind`].
 ///
 /// Registration order is preserved (the experiment tables iterate it as
-/// the paper's row order), and names are unique — registering a duplicate
-/// name panics, because two solvers answering to one table row is always
-/// a bug.
+/// the paper's row order), and kinds are unique — registering the same
+/// [`MethodKind`] twice panics, because two solvers answering to one
+/// method is always a bug. Lookups are typed; display names are only a
+/// rendering concern (`Default` builds an empty registry).
 #[derive(Default)]
 pub struct SolverRegistry {
-    solvers: Vec<Box<dyn GedSolver>>,
+    solvers: Vec<(MethodKind, Box<dyn GedSolver>)>,
 }
 
 impl SolverRegistry {
@@ -198,37 +217,42 @@ impl SolverRegistry {
         Self::default()
     }
 
-    /// Adds a solver.
+    /// Registers `solver` as the implementation of `method`.
     ///
     /// # Panics
-    /// Panics if a solver with the same name is already registered.
-    pub fn register(&mut self, solver: Box<dyn GedSolver>) {
+    /// Panics if `method` is already registered.
+    pub fn register(&mut self, method: MethodKind, solver: Box<dyn GedSolver>) {
         assert!(
-            self.get(solver.name()).is_none(),
-            "duplicate solver name {:?}",
-            solver.name()
+            self.get(method).is_none(),
+            "duplicate solver for method {method}"
         );
-        self.solvers.push(solver);
+        self.solvers.push((method, solver));
     }
 
-    /// Looks a solver up by its display name.
+    /// Looks a solver up by its method kind.
     #[must_use]
-    pub fn get(&self, name: &str) -> Option<&dyn GedSolver> {
+    pub fn get(&self, method: MethodKind) -> Option<&dyn GedSolver> {
         self.solvers
             .iter()
-            .find(|s| s.name() == name)
-            .map(AsRef::as_ref)
+            .find(|(m, _)| *m == method)
+            .map(|(_, s)| s.as_ref())
     }
 
-    /// Registered names, in registration order.
+    /// Registered method kinds, in registration order.
+    #[must_use]
+    pub fn methods(&self) -> Vec<MethodKind> {
+        self.solvers.iter().map(|(m, _)| *m).collect()
+    }
+
+    /// Registered display names, in registration order.
     #[must_use]
     pub fn names(&self) -> Vec<&str> {
-        self.solvers.iter().map(|s| s.name()).collect()
+        self.solvers.iter().map(|(_, s)| s.name()).collect()
     }
 
-    /// Iterates the solvers in registration order.
-    pub fn iter(&self) -> impl Iterator<Item = &dyn GedSolver> {
-        self.solvers.iter().map(AsRef::as_ref)
+    /// Iterates `(method, solver)` entries in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (MethodKind, &dyn GedSolver)> {
+        self.solvers.iter().map(|(m, s)| (*m, s.as_ref()))
     }
 
     /// Number of registered solvers.
@@ -283,16 +307,31 @@ impl BatchRunner {
     }
 
     /// Default parallelism, overridable with the `GED_THREADS` env var
-    /// (`GED_THREADS=1` forces sequential evaluation).
+    /// (`GED_THREADS=1` forces sequential evaluation). Errors with
+    /// [`GedError::Config`] when the variable is set but unparsable —
+    /// silently ignoring a typo'd thread count hides the misconfiguration.
+    pub fn try_from_env() -> Result<Self, GedError> {
+        match std::env::var("GED_THREADS") {
+            Ok(v) => v.trim().parse::<usize>().map(Self::new).map_err(|_| {
+                GedError::Config(format!(
+                    "GED_THREADS must be a non-negative integer, got {v:?}"
+                ))
+            }),
+            Err(std::env::VarError::NotPresent) => Ok(Self::default()),
+            Err(std::env::VarError::NotUnicode(_)) => Err(GedError::Config(
+                "GED_THREADS is not valid unicode".to_string(),
+            )),
+        }
+    }
+
+    /// Infallible [`Self::try_from_env`]: an unparsable `GED_THREADS`
+    /// prints a warning to stderr and falls back to default parallelism.
     #[must_use]
     pub fn from_env() -> Self {
-        match std::env::var("GED_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            Some(n) => Self::new(n),
-            None => Self::default(),
-        }
+        Self::try_from_env().unwrap_or_else(|e| {
+            eprintln!("warning: {e}; using default parallelism");
+            Self::default()
+        })
     }
 
     /// Sets the work-stealing chunk size (`0` is clamped to 1).
@@ -398,15 +437,22 @@ mod tests {
     #[test]
     fn registry_preserves_order_and_rejects_duplicates() {
         let mut reg = SolverRegistry::new();
-        reg.register(Box::new(GedgwSolver));
+        reg.register(MethodKind::Gedgw, Box::new(GedgwSolver));
         assert_eq!(reg.names(), vec!["GEDGW"]);
+        assert_eq!(reg.methods(), vec![MethodKind::Gedgw]);
         assert_eq!(reg.len(), 1);
-        assert!(reg.get("GEDGW").is_some());
-        assert!(reg.get("missing").is_none());
+        assert!(reg.get(MethodKind::Gedgw).is_some());
+        assert!(reg.get(MethodKind::Classic).is_none());
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            reg.register(Box::new(GedgwSolver));
+            reg.register(MethodKind::Gedgw, Box::new(GedgwSolver));
         }));
         assert!(result.is_err(), "duplicate registration must panic");
+    }
+
+    #[test]
+    fn estimate_displays() {
+        let est = GedEstimate { ged: 1.23456 };
+        assert_eq!(est.to_string(), "GED ≈ 1.235");
     }
 
     #[test]

@@ -2,18 +2,18 @@
 //! experiment index and EXPERIMENTS.md for paper-vs-measured results.
 
 use crate::harness::{
-    self, eval_path, eval_value, format_path_table, format_value_table, prepare, train_all,
-    ExpConfig, MethodKind, PreparedDataset,
+    eval_path, eval_value, format_path_table, format_value_table, prepare, train_all, ExpConfig,
+    MethodKind, PreparedDataset,
 };
 use ged_baselines::astar::{astar_beam, astar_exact_with_limit};
 use ged_baselines::classic::classic_ged;
 use ged_baselines::gedgnn::{Gedgnn, GedgnnConfig};
+use ged_core::engine::GedEngine;
 use ged_core::ensemble::{Gedhot, Source};
 use ged_core::gedgw::Gedgw;
 use ged_core::gediot::{ConvKind, Gediot, GediotConfig};
 use ged_core::kbest::kbest_edit_path;
 use ged_core::pairs::GedPair;
-use ged_core::solver::{BatchRunner, SolverRegistry};
 use ged_eval::metrics::{self, PairOutcome};
 use ged_graph::{generate, DatasetKind, GraphDataset};
 use rand::rngs::SmallRng;
@@ -61,11 +61,10 @@ pub fn run_table3(cfg: &ExpConfig) -> String {
         let mut rng = cfg.rng();
         let prep = prepare(kind, cfg, false, &mut rng);
         let models = train_all(&prep, cfg, &mut rng);
-        let registry = models.registry(cfg.kbest_k);
-        let runner = BatchRunner::from_env();
+        let engine = models.engine(cfg.kbest_k);
         let rows: Vec<_> = MethodKind::table3()
             .into_iter()
-            .map(|m| eval_value(&registry, &prep, m, &runner))
+            .map(|m| eval_value(&engine, &prep, m).expect("full registry"))
             .collect();
         out.push_str(&format_value_table(
             &format!("Table 3 ({}): GED computation", kind.name()),
@@ -84,11 +83,10 @@ pub fn run_table4(cfg: &ExpConfig) -> String {
         let mut rng = cfg.rng();
         let prep = prepare(kind, cfg, false, &mut rng);
         let models = train_all(&prep, cfg, &mut rng);
-        let registry = models.registry(cfg.kbest_k);
-        let runner = BatchRunner::from_env();
+        let engine = models.engine(cfg.kbest_k);
         let rows: Vec<_> = MethodKind::table4()
             .into_iter()
-            .map(|m| eval_path(&registry, &prep, m, cfg.kbest_k, &runner))
+            .map(|m| eval_path(&engine, &prep, m, cfg.kbest_k).expect("path-capable lineup"))
             .collect();
         out.push_str(&format_path_table(
             &format!("Table 4 ({}): GEP generation", kind.name()),
@@ -115,11 +113,10 @@ pub fn run_table5(cfg: &ExpConfig) -> String {
         let mut rng = cfg.rng();
         let prep = prepare(kind, cfg, true, &mut rng);
         let models = train_all(&prep, cfg, &mut rng);
-        let registry = models.registry(cfg.kbest_k);
-        let runner = BatchRunner::from_env();
+        let engine = models.engine(cfg.kbest_k);
         let rows: Vec<_> = methods
             .iter()
-            .map(|&m| eval_value(&registry, &prep, m, &runner))
+            .map(|&m| eval_value(&engine, &prep, m).expect("full registry"))
             .collect();
         out.push_str(&format_value_table(
             &format!("Table 5 ({}): unseen graph pairs", kind.name()),
@@ -266,17 +263,17 @@ pub fn run_fig8(cfg: &ExpConfig) -> String {
     // Full training set models.
     let prep_full = prepare(DatasetKind::Imdb, cfg, false, &mut rng);
     let models_full = train_all(&prep_full, cfg, &mut rng);
-    let registry_full = models_full.registry(cfg.kbest_k);
+    let engine_full = models_full.engine(cfg.kbest_k);
     // Small-graph training, large-graph test.
     let prep_small = imdb_small_train_large_test(cfg, &mut rng);
     let models_small = train_all(&prep_small, cfg, &mut rng);
-    let registry_small = models_small.registry(cfg.kbest_k);
+    let engine_small = models_small.engine(cfg.kbest_k);
 
-    let eval_on = |registry: &SolverRegistry, method: MethodKind, name: &str| -> String {
+    let eval_on = |engine: &GedEngine, method: MethodKind, name: &str| -> String {
         let mut outcomes = Vec::new();
         for group in &prep_small.test_groups {
             for pair in group {
-                let pred = harness::predict_value(registry, method, pair);
+                let pred = engine.predict_as(method, pair).expect("full registry").ged;
                 outcomes.push(PairOutcome {
                     pred,
                     gt: pair.ged.expect("supervised"),
@@ -293,26 +290,14 @@ pub fn run_fig8(cfg: &ExpConfig) -> String {
 
     let mut out = String::from("== Figure 8 (IMDB): generalizability to large unseen graphs ==\n");
     let _ = writeln!(out, "{:<14} {:>8} {:>9}", "Method", "MAE", "Accuracy");
-    out.push_str(&eval_on(&registry_full, MethodKind::GedGnn, "GEDGNN"));
-    out.push_str(&eval_on(&registry_full, MethodKind::Gediot, "GEDIOT"));
-    out.push_str(&eval_on(&registry_full, MethodKind::Gedhot, "GEDHOT"));
-    out.push_str(&eval_on(
-        &registry_small,
-        MethodKind::GedGnn,
-        "GEDGNN-small",
-    ));
-    out.push_str(&eval_on(
-        &registry_small,
-        MethodKind::Gediot,
-        "GEDIOT-small",
-    ));
-    out.push_str(&eval_on(
-        &registry_small,
-        MethodKind::Gedhot,
-        "GEDHOT-small",
-    ));
-    out.push_str(&eval_on(&registry_small, MethodKind::Classic, "Classic"));
-    out.push_str(&eval_on(&registry_small, MethodKind::Gedgw, "GEDGW"));
+    out.push_str(&eval_on(&engine_full, MethodKind::GedGnn, "GEDGNN"));
+    out.push_str(&eval_on(&engine_full, MethodKind::Gediot, "GEDIOT"));
+    out.push_str(&eval_on(&engine_full, MethodKind::Gedhot, "GEDHOT"));
+    out.push_str(&eval_on(&engine_small, MethodKind::GedGnn, "GEDGNN-small"));
+    out.push_str(&eval_on(&engine_small, MethodKind::Gediot, "GEDIOT-small"));
+    out.push_str(&eval_on(&engine_small, MethodKind::Gedhot, "GEDHOT-small"));
+    out.push_str(&eval_on(&engine_small, MethodKind::Classic, "Classic"));
+    out.push_str(&eval_on(&engine_small, MethodKind::Gedgw, "GEDGW"));
     out
 }
 
@@ -323,7 +308,7 @@ pub fn run_fig12(cfg: &ExpConfig) -> String {
     let mut rng = cfg.rng();
     let prep_small = imdb_small_train_large_test(cfg, &mut rng);
     let models = train_all(&prep_small, cfg, &mut rng);
-    let registry = models.registry(cfg.kbest_k);
+    let engine = models.engine(cfg.kbest_k);
 
     // Large test graphs to perturb.
     let large: Vec<usize> = prep_small
@@ -358,7 +343,7 @@ pub fn run_fig12(cfg: &ExpConfig) -> String {
             let outcomes: Vec<PairOutcome> = pairs
                 .iter()
                 .map(|pair| PairOutcome {
-                    pred: harness::predict_value(&registry, method, pair),
+                    pred: engine.predict_as(method, pair).expect("full registry").ged,
                     gt: pair.ged.expect("supervised"),
                 })
                 .collect();
@@ -446,7 +431,7 @@ pub fn run_fig14(cfg: &ExpConfig) -> String {
         let mut rng = cfg.rng();
         let prep = prepare(kind, cfg, false, &mut rng);
         let models = train_all(&prep, cfg, &mut rng);
-        let registry = models.registry(cfg.kbest_k);
+        let engine = models.engine(cfg.kbest_k);
         let idx = &prep.split.test;
         let triples = 30.min(idx.len().saturating_sub(2) * 3);
         let mut rates = Vec::new();
@@ -457,11 +442,12 @@ pub fn run_fig14(cfg: &ExpConfig) -> String {
                 let a = &prep.dataset.graphs[idx[t % idx.len()]];
                 let b = &prep.dataset.graphs[idx[(t + 1) % idx.len()]];
                 let c = &prep.dataset.graphs[idx[(t + 2) % idx.len()]];
-                let make =
-                    |x: &ged_graph::Graph, y: &ged_graph::Graph| GedPair::new(x.clone(), y.clone());
-                let ab = harness::predict_value(&registry, method, &make(a, b));
-                let bc = harness::predict_value(&registry, method, &make(b, c));
-                let ac = harness::predict_value(&registry, method, &make(a, c));
+                let value = |x: &ged_graph::Graph, y: &ged_graph::Graph| -> f64 {
+                    engine.ged_as(method, x, y).expect("full registry").ged
+                };
+                let ab = value(a, b);
+                let bc = value(b, c);
+                let ac = value(a, c);
                 total += 1;
                 if ac <= ab + bc + 1e-9 {
                     ok += 1;

@@ -1,23 +1,29 @@
 //! Shared experiment plumbing: dataset preparation, ground-truth
 //! generation, model training, and the evaluation loops behind Tables 3-6.
+//!
+//! All method dispatch goes through [`GedEngine`]: the model zoo builds a
+//! [`MethodKind`]-keyed registry, [`TrainedModels::engine`] wraps it into
+//! an engine, and the `eval_*` loops issue typed [`GedQuery`] batches.
 
 use ged_baselines::astar::astar_exact_with_limit;
 use ged_baselines::gedgnn::{Gedgnn, GedgnnConfig};
 use ged_baselines::simgnn::{Simgnn, SimgnnConfig, SimgnnVariant};
 use ged_baselines::solvers::{ClassicSolver, GedgnnSolver, NoahSolver, SimgnnSolver, TagsimSolver};
 use ged_baselines::tagsim::{TagSim, TagSimConfig};
+use ged_core::engine::{GedEngine, GedQuery};
+use ged_core::error::GedError;
 use ged_core::gediot::{Gediot, GediotConfig};
 use ged_core::pairs::GedPair;
-use ged_core::solver::{
-    BatchRunner, GedSolver, GedgwSolver, GedhotSolver, GediotSolver, SolverRegistry,
-};
+use ged_core::solver::{BatchRunner, GedgwSolver, GedhotSolver, GediotSolver, SolverRegistry};
 use ged_eval::metrics::{self, GroupedRanking, PairOutcome};
-use ged_graph::{generate, CanonicalOp, DatasetKind, GraphDataset, Split};
+use ged_graph::{generate, DatasetKind, GraphDataset, Split};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use std::time::Instant;
+
+pub use ged_core::method::MethodKind;
 
 /// A* expansion budget when labeling pairs exactly.
 const ASTAR_BUDGET: usize = 300_000;
@@ -233,28 +239,57 @@ pub struct TrainedModels {
 }
 
 impl TrainedModels {
-    /// Builds the full Table-3 solver lineup — every [`MethodKind`] as a
-    /// boxed [`GedSolver`], registered in the paper's row order. `k` is
-    /// the search effort used where a method needs one for *value*
-    /// prediction (Noah's beam width).
+    /// Builds the full Table-3 solver lineup — every [`MethodKind`] mapped
+    /// to a boxed solver, registered in the paper's row order. `k` is the
+    /// search effort used where a method needs one for *value* prediction
+    /// (Noah's beam width).
     #[must_use]
     pub fn registry(&self, k: usize) -> SolverRegistry {
         let mut reg = SolverRegistry::new();
-        reg.register(Box::new(SimgnnSolver::new(
-            "SimGNN",
-            Arc::clone(&self.simgnn),
-        )));
-        reg.register(Box::new(SimgnnSolver::new("GPN", Arc::clone(&self.gpn))));
-        reg.register(Box::new(TagsimSolver::new(Arc::clone(&self.tagsim))));
-        reg.register(Box::new(GedgnnSolver::new(Arc::clone(&self.gedgnn))));
-        reg.register(Box::new(GediotSolver::new(Arc::clone(&self.gediot))));
-        reg.register(Box::new(ClassicSolver));
-        reg.register(Box::new(GedgwSolver));
-        reg.register(Box::new(
-            NoahSolver::new(Arc::clone(&self.gedgnn)).with_beam(k),
-        ));
-        reg.register(Box::new(GedhotSolver::new(Arc::clone(&self.gediot))));
+        reg.register(
+            MethodKind::SimGnn,
+            Box::new(SimgnnSolver::new("SimGNN", Arc::clone(&self.simgnn))),
+        );
+        reg.register(
+            MethodKind::Gpn,
+            Box::new(SimgnnSolver::new("GPN", Arc::clone(&self.gpn))),
+        );
+        reg.register(
+            MethodKind::TaGSim,
+            Box::new(TagsimSolver::new(Arc::clone(&self.tagsim))),
+        );
+        reg.register(
+            MethodKind::GedGnn,
+            Box::new(GedgnnSolver::new(Arc::clone(&self.gedgnn))),
+        );
+        reg.register(
+            MethodKind::Gediot,
+            Box::new(GediotSolver::new(Arc::clone(&self.gediot))),
+        );
+        reg.register(MethodKind::Classic, Box::new(ClassicSolver));
+        reg.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        reg.register(
+            MethodKind::Noah,
+            Box::new(NoahSolver::new(Arc::clone(&self.gedgnn)).with_beam(k)),
+        );
+        reg.register(
+            MethodKind::Gedhot,
+            Box::new(GedhotSolver::new(Arc::clone(&self.gediot))),
+        );
         reg
+    }
+
+    /// Wraps the full registry into a [`GedEngine`]: GEDHOT as the default
+    /// method, edit-path beam width `k` (clamped to ≥ 1), and
+    /// `GED_THREADS`-controlled parallelism.
+    #[must_use]
+    pub fn engine(&self, k: usize) -> GedEngine {
+        GedEngine::builder(self.registry(k))
+            .method(MethodKind::Gedhot)
+            .beam_width(k.max(1))
+            .runner(BatchRunner::from_env())
+            .build()
+            .expect("the full Table-3 registry always builds")
     }
 }
 
@@ -280,81 +315,11 @@ pub fn train_all(prep: &PreparedDataset, cfg: &ExpConfig, rng: &mut SmallRng) ->
     }
 }
 
-/// The methods of Tables 3 and 4.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum MethodKind {
-    /// SimGNN regressor.
-    SimGnn,
-    /// GPN stand-in.
-    Gpn,
-    /// TaGSim type-count regressor.
-    TaGSim,
-    /// GEDGNN comparator.
-    GedGnn,
-    /// Our supervised model.
-    Gediot,
-    /// Hungarian+VJ classical combination.
-    Classic,
-    /// Our unsupervised solver.
-    Gedgw,
-    /// Noah-like guided beam search.
-    Noah,
-    /// Our ensemble.
-    Gedhot,
-}
-
-impl MethodKind {
-    /// Display name as in the paper's tables.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            MethodKind::SimGnn => "SimGNN",
-            MethodKind::Gpn => "GPN",
-            MethodKind::TaGSim => "TaGSim",
-            MethodKind::GedGnn => "GEDGNN",
-            MethodKind::Gediot => "GEDIOT",
-            MethodKind::Classic => "Classic",
-            MethodKind::Gedgw => "GEDGW",
-            MethodKind::Noah => "Noah",
-            MethodKind::Gedhot => "GEDHOT",
-        }
-    }
-
-    /// All Table 3 methods in the paper's row order.
-    #[must_use]
-    pub fn table3() -> Vec<MethodKind> {
-        vec![
-            MethodKind::SimGnn,
-            MethodKind::Gpn,
-            MethodKind::TaGSim,
-            MethodKind::GedGnn,
-            MethodKind::Gediot,
-            MethodKind::Classic,
-            MethodKind::Gedgw,
-            MethodKind::Noah,
-            MethodKind::Gedhot,
-        ]
-    }
-
-    /// Table 4 methods (those that can generate edit paths).
-    #[must_use]
-    pub fn table4() -> Vec<MethodKind> {
-        vec![
-            MethodKind::Classic,
-            MethodKind::Noah,
-            MethodKind::GedGnn,
-            MethodKind::Gediot,
-            MethodKind::Gedgw,
-            MethodKind::Gedhot,
-        ]
-    }
-}
-
 /// One table row of value/ranking metrics.
 #[derive(Clone, Debug)]
 pub struct ValueRow {
-    /// Method name.
-    pub name: &'static str,
+    /// Which method the row measures (rendered via its `Display` name).
+    pub method: MethodKind,
     /// Mean absolute error.
     pub mae: f64,
     /// Rounded-equality accuracy.
@@ -380,62 +345,33 @@ pub struct ValueRow {
     pub f1: f64,
 }
 
-/// Resolves a method to its registered solver.
-///
-/// # Panics
-/// Panics if the method was not registered (a registry built with
-/// [`TrainedModels::registry`] always has all nine).
-#[must_use]
-pub fn solver_for(registry: &SolverRegistry, method: MethodKind) -> &dyn GedSolver {
-    registry
-        .get(method.name())
-        .unwrap_or_else(|| panic!("{} is not registered", method.name()))
-}
-
-/// Predicts one pair's GED with the given method (no path generation).
-/// Dispatch is polymorphic through the [`SolverRegistry`]; no per-method
-/// branching happens here.
-#[must_use]
-pub fn predict_value(registry: &SolverRegistry, method: MethodKind, pair: &GedPair) -> f64 {
-    solver_for(registry, method).predict(pair).ged
-}
-
-/// Generates an edit path with the given method; returns the path length
-/// and canonical ops. Only valid for [`MethodKind::table4`] methods.
-///
-/// # Panics
-/// Panics for methods that cannot generate paths.
-#[must_use]
-pub fn predict_path(
-    registry: &SolverRegistry,
-    method: MethodKind,
-    pair: &GedPair,
-    k: usize,
-) -> (usize, Vec<CanonicalOp>) {
-    let est = solver_for(registry, method)
-        .edit_path(pair, k)
-        .unwrap_or_else(|| panic!("{method:?} cannot generate edit paths"));
-    (est.ged, est.ops)
-}
-
 /// Evaluates value metrics of one method over the test groups (Table 3 row).
 ///
-/// Predictions run through `runner` (parallel, input-order-preserving, and
-/// bit-identical to a sequential loop); the metric accumulation below is
-/// sequential and deterministic.
-#[must_use]
+/// Dispatch is a typed [`GedQuery::Value`] batch through the engine
+/// (parallel, input-order-preserving, and bit-identical to a sequential
+/// loop); the metric accumulation below is sequential and deterministic.
+///
+/// # Errors
+/// Propagates any [`GedError`] from the engine (e.g. the method is not
+/// registered).
 pub fn eval_value(
-    registry: &SolverRegistry,
+    engine: &GedEngine,
     prep: &PreparedDataset,
     method: MethodKind,
-    runner: &BatchRunner,
-) -> ValueRow {
-    let solver = solver_for(registry, method);
+) -> Result<ValueRow, GedError> {
     let flat: Vec<&GedPair> = prep.test_groups.iter().flatten().collect();
+    let queries: Vec<GedQuery<'_>> = flat.iter().map(|p| GedQuery::Value { pair: p }).collect();
     let start = Instant::now();
-    let all_preds = runner.map(&flat, |pair| solver.predict(pair).ged);
+    let responses = engine.query_batch_as(method, &queries);
     let elapsed = start.elapsed().as_secs_f64();
     let count = flat.len();
+    let mut all_preds = Vec::with_capacity(count);
+    for response in responses {
+        let value = response?
+            .into_value()
+            .expect("Value queries yield Value responses");
+        all_preds.push(value.ged);
+    }
 
     let mut outcomes = Vec::new();
     let mut ranking = GroupedRanking::new();
@@ -452,8 +388,8 @@ pub fn eval_value(
         }
         ranking.push_group(preds, gts);
     }
-    ValueRow {
-        name: method.name(),
+    Ok(ValueRow {
+        method,
         mae: metrics::mae(&outcomes),
         accuracy: metrics::accuracy(&outcomes),
         rho: ranking.mean_spearman(),
@@ -465,34 +401,42 @@ pub fn eval_value(
         precision: 0.0,
         recall: 0.0,
         f1: 0.0,
-    }
+    })
 }
 
 /// Evaluates GEP-generation metrics of one method (Table 4 row).
 ///
-/// Path generation runs through `runner`; see [`eval_value`] for the
-/// parallelism contract.
+/// Path generation is a typed [`GedQuery::Path`] batch through the
+/// engine; see [`eval_value`] for the parallelism contract.
 ///
-/// # Panics
-/// Panics if the method cannot generate edit paths.
-#[must_use]
+/// # Errors
+/// Propagates any [`GedError`] from the engine — in particular
+/// [`GedError::PathsUnsupported`] for non-Table-4 methods.
 pub fn eval_path(
-    registry: &SolverRegistry,
+    engine: &GedEngine,
     prep: &PreparedDataset,
     method: MethodKind,
     k: usize,
-    runner: &BatchRunner,
-) -> ValueRow {
-    let solver = solver_for(registry, method);
+) -> Result<ValueRow, GedError> {
     let flat: Vec<&GedPair> = prep.test_groups.iter().flatten().collect();
+    let queries: Vec<GedQuery<'_>> = flat
+        .iter()
+        .map(|p| GedQuery::Path {
+            pair: p,
+            k: Some(k),
+        })
+        .collect();
     let start = Instant::now();
-    let all_paths = runner.map(&flat, |pair| {
-        solver
-            .edit_path(pair, k)
-            .unwrap_or_else(|| panic!("{method:?} cannot generate edit paths"))
-    });
+    let responses = engine.query_batch_as(method, &queries);
     let elapsed = start.elapsed().as_secs_f64();
     let count = flat.len();
+    let mut all_paths = Vec::with_capacity(count);
+    for response in responses {
+        let path = response?
+            .into_path()
+            .expect("Path queries yield Path responses");
+        all_paths.push(path);
+    }
 
     let mut outcomes = Vec::new();
     let mut ranking = GroupedRanking::new();
@@ -523,8 +467,8 @@ pub fn eval_path(
         ranking.push_group(preds, gts);
     }
     let n = count.max(1) as f64;
-    ValueRow {
-        name: method.name(),
+    Ok(ValueRow {
+        method,
         mae: metrics::mae(&outcomes),
         accuracy: metrics::accuracy(&outcomes),
         rho: ranking.mean_spearman(),
@@ -536,7 +480,7 @@ pub fn eval_path(
         precision: psum / n,
         recall: rsum / n,
         f1: fsum / n,
-    }
+    })
 }
 
 /// Renders value rows as a fixed-width table (Table 3/5 layout).
@@ -551,7 +495,7 @@ pub fn format_value_table(title: &str, rows: &[ValueRow]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:<9} {:>7.3} {:>8.1}% {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>10.1}% {:>12.3}\n",
-            r.name,
+            r.method,
             r.mae,
             r.accuracy * 100.0,
             r.rho,
@@ -577,7 +521,7 @@ pub fn format_path_table(title: &str, rows: &[ValueRow]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:<9} {:>7.3} {:>8.1}% {:>7.3} {:>7.3} {:>8.3} {:>10.3} {:>7.3} {:>12.3}\n",
-            r.name,
+            r.method,
             r.mae,
             r.accuracy * 100.0,
             r.rho,
@@ -626,13 +570,16 @@ mod tests {
         let mut rng = cfg.rng();
         let prep = prepare(DatasetKind::Linux, &cfg, false, &mut rng);
         let models = train_all(&prep, &cfg, &mut rng);
-        let registry = models.registry(cfg.kbest_k);
-        let runner = BatchRunner::from_env();
+        let engine = models.engine(cfg.kbest_k);
         for m in [MethodKind::Gediot, MethodKind::Classic, MethodKind::Gedgw] {
-            let row = eval_value(&registry, &prep, m, &runner);
+            let row = eval_value(&engine, &prep, m).expect("registered method");
             assert!(row.mae.is_finite() && row.mae >= 0.0, "{m:?}");
         }
-        let row = eval_path(&registry, &prep, MethodKind::Gedgw, cfg.kbest_k, &runner);
+        // A value regressor cannot answer Path queries — typed error, no
+        // panic.
+        let err = eval_path(&engine, &prep, MethodKind::SimGnn, cfg.kbest_k).unwrap_err();
+        assert_eq!(err, GedError::PathsUnsupported(MethodKind::SimGnn));
+        let row = eval_path(&engine, &prep, MethodKind::Gedgw, cfg.kbest_k).expect("path-capable");
         // Path-based estimates are always feasible.
         assert!(
             (row.feasibility - 1.0).abs() < 1e-9,
@@ -650,25 +597,25 @@ mod tests {
         let mut rng = cfg.rng();
         let prep = prepare(DatasetKind::Aids, &cfg, false, &mut rng);
         let models = train_all(&prep, &cfg, &mut rng);
-        let registry = models.registry(cfg.kbest_k);
+        let engine = models.engine(cfg.kbest_k);
         // Exactly the Table-3 method set, in the paper's row order.
+        assert_eq!(engine.methods(), MethodKind::table3());
         let expected: Vec<&str> = MethodKind::table3().iter().map(|m| m.name()).collect();
-        assert_eq!(registry.names(), expected);
         assert_eq!(
             expected,
             vec![
                 "SimGNN", "GPN", "TaGSim", "GEDGNN", "GEDIOT", "Classic", "GEDGW", "Noah", "GEDHOT"
             ]
         );
-        // Every method is reachable as a trait object.
+        // Every method is reachable as a trait object through the engine.
         for m in MethodKind::table3() {
-            let solver = solver_for(&registry, m);
+            let solver = engine.solver(m).expect("full lineup");
             assert_eq!(solver.name(), m.name());
         }
         // And the path-capable subset is exactly Table 4.
         let pair = &prep.test_groups[0][0];
         for m in MethodKind::table3() {
-            let has_path = solver_for(&registry, m).edit_path(pair, 4).is_some();
+            let has_path = engine.edit_path_as(m, pair, Some(4)).is_ok();
             assert_eq!(has_path, MethodKind::table4().contains(&m), "{m:?}");
         }
     }

@@ -10,6 +10,11 @@
 //!
 //! Scale: the env var `GED_SCALE` selects `quick` (CI-sized, default) or
 //! `full` (closer to the paper's protocol; minutes of CPU time).
+//!
+//! All method dispatch goes through the `ged_core::engine::GedEngine`
+//! query API ([`MethodKind`] is re-exported from `ged-core`); the
+//! harness builds one engine per trained model zoo via
+//! [`TrainedModels::engine`].
 
 #![warn(missing_docs)]
 

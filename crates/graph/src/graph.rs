@@ -33,7 +33,7 @@ impl From<u32> for Label {
 /// Nodes are identified by dense indices `0..n`. Adjacency lists are kept
 /// sorted so that edge membership tests are `O(log deg)` and iteration order
 /// is deterministic.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Graph {
     labels: Vec<Label>,
     adj: Vec<Vec<u32>>,

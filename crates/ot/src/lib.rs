@@ -1,6 +1,6 @@
 //! Optimal transport kernels for `ot-ged`.
 //!
-//! * [`sinkhorn`] — entropic OT (Algorithm 1 of the paper) in plain and
+//! * [`mod@sinkhorn`] — entropic OT (Algorithm 1 of the paper) in plain and
 //!   log-domain form, plus the dummy-row extension of Section 4.2 that turns
 //!   the inequality-constrained node-matching polytope into a standard
 //!   transport polytope;

@@ -3,18 +3,21 @@
 //! screening): given a query compound, retrieve the database compounds
 //! with the smallest GED.
 //!
-//! The example trains a small GEDIOT model on exact ground truth, then
-//! ranks the database with the GEDHOT ensemble and compares the top-5
-//! against the exact ranking.
+//! The example trains a small GEDIOT model on exact ground truth, builds
+//! a [`GedEngine`] whose default method is the GEDHOT ensemble, ranks the
+//! database with a `TopK` query, and compares the top-5 against the exact
+//! ranking.
 //!
 //! Run with: `cargo run --release --example chemical_similarity_search`
 
 use ot_ged::baselines::astar::astar_exact;
 use ot_ged::core::pairs::GedPair;
+use ot_ged::core::solver::{GedhotSolver, GediotSolver};
 use ot_ged::eval::metrics::{precision_at_k, spearman_rho};
 use ot_ged::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn main() {
     let mut rng = SmallRng::seed_from_u64(2025);
@@ -46,37 +49,56 @@ fn main() {
     model.train(&train_pairs, 15, &mut rng);
     println!("learned Sinkhorn epsilon: {:.4}", model.epsilon());
 
+    // An engine over the paper's three methods, defaulting to the GEDHOT
+    // ensemble; the trained GEDIOT weights are shared via `Arc`.
+    let model = Arc::new(model);
+    let mut registry = SolverRegistry::new();
+    registry.register(
+        MethodKind::Gediot,
+        Box::new(GediotSolver::new(Arc::clone(&model))),
+    );
+    registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+    registry.register(MethodKind::Gedhot, Box::new(GedhotSolver::new(model)));
+    let engine = GedEngine::builder(registry)
+        .method(MethodKind::Gedhot)
+        .build()
+        .expect("GEDHOT is registered");
+
     // Query: first test compound; candidates: the training database.
     let query = &db.graphs[split.test[0]];
-    let ensemble = Gedhot::new(&model);
-    let mut scored: Vec<(usize, f64, usize)> = split
-        .train
-        .iter()
-        .map(|&i| {
-            let cand = &db.graphs[i];
-            let pred = ensemble.predict(query, cand).ged;
-            let exact = astar_exact(query, cand).ged;
-            (i, pred, exact)
-        })
-        .collect();
+    let candidates = GraphDataset {
+        kind: db.kind,
+        graphs: split.train.iter().map(|&i| db.graphs[i].clone()).collect(),
+    };
+    let ranked = engine
+        .top_k(query, &candidates, candidates.len())
+        .expect("valid query");
 
-    let preds: Vec<f64> = scored.iter().map(|s| s.1).collect();
-    let exacts: Vec<f64> = scored.iter().map(|s| s.2 as f64).collect();
+    let preds: Vec<f64> = {
+        // `ranked` is sorted; restore candidate order for the metrics.
+        let mut by_index = ranked.clone();
+        by_index.sort_by_key(|n| n.index);
+        by_index.iter().map(|n| n.ged).collect()
+    };
+    let exacts: Vec<f64> = candidates
+        .graphs
+        .iter()
+        .map(|cand| astar_exact(query, cand).ged as f64)
+        .collect();
     println!(
         "\nranking quality vs exact GED: spearman rho = {:.3}, p@5 = {:.2}",
         spearman_rho(&preds, &exacts),
         precision_at_k(&preds, &exacts, 5)
     );
 
-    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     println!("\ntop-5 most similar compounds (predicted | exact GED):");
-    for (rank, (i, pred, exact)) in scored.iter().take(5).enumerate() {
+    for (rank, n) in ranked.iter().take(5).enumerate() {
         println!(
             "  #{} compound {:>3}: {:>6.2} | {}",
             rank + 1,
-            i,
-            pred,
-            exact
+            split.train[n.index],
+            n.ged,
+            exacts[n.index]
         );
     }
 }

@@ -11,7 +11,10 @@
 //!
 //! This crate is a facade that re-exports the workspace's public API.
 //!
-//! ## Quickstart
+//! ## Quickstart: the query engine
+//!
+//! All dispatch goes through [`core::engine::GedEngine`] — a typed
+//! request/response API with method selection and a unified error type:
 //!
 //! ```
 //! use ot_ged::prelude::*;
@@ -22,9 +25,17 @@
 //! let g2 = Graph::from_edges(vec![Label(1), Label(1), Label(3), Label(4)],
 //!                            &[(0, 1), (0, 2), (2, 3)]);
 //!
-//! // Unsupervised GED via optimal transport + Gromov-Wasserstein:
-//! let result = Gedgw::new(&g1, &g2).solve();
-//! assert!(result.ged >= 2.0); // exact GED of this pair is 4
+//! // An engine over the training-free GEDGW solver.
+//! let mut registry = SolverRegistry::new();
+//! registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+//! let engine = GedEngine::builder(registry).build().unwrap();
+//!
+//! // Value estimate and a feasible edit path, no panics on bad input:
+//! let estimate = engine.ged(&g1, &g2).unwrap();
+//! assert!(estimate.ged >= 2.0); // exact GED of this pair is 4
+//! let path = engine.edit_path(&g1, &g2).unwrap();
+//! assert!(path.ged >= 4); // feasible paths upper-bound the true GED
+//! assert!(engine.ged(&Graph::new(), &g2).is_err()); // empty graph
 //!
 //! // Exact GED for reference (A*, small graphs only):
 //! let exact = astar_exact(&g1, &g2);
@@ -44,11 +55,18 @@ pub use ged_ot as ot;
 pub mod prelude {
     pub use ged_baselines::astar::{astar_beam, astar_exact};
     pub use ged_baselines::classic::{classic_ged, hungarian_ged, vj_ged};
+    pub use ged_core::engine::{
+        DistanceMatrix, GedEngine, GedEngineBuilder, GedQuery, GedResponse, Neighbor,
+    };
     pub use ged_core::ensemble::Gedhot;
+    pub use ged_core::error::GedError;
     pub use ged_core::gedgw::Gedgw;
     pub use ged_core::gediot::{Gediot, GediotConfig};
     pub use ged_core::kbest::kbest_edit_path;
-    pub use ged_core::solver::{BatchRunner, GedEstimate, GedSolver, PathEstimate, SolverRegistry};
+    pub use ged_core::method::MethodKind;
+    pub use ged_core::solver::{
+        BatchRunner, GedEstimate, GedSolver, GedgwSolver, PathEstimate, SolverRegistry,
+    };
     pub use ged_eval::metrics;
     pub use ged_graph::{
         max_edit_ops, normalized_ged, DatasetKind, EditOp, EditPath, Graph, GraphDataset, Label,

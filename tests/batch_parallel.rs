@@ -46,8 +46,9 @@ fn batch_runner_matches_sequential_for_every_registered_solver() {
         pairs.len()
     );
 
-    for solver in registry.iter() {
+    for (method, solver) in registry.iter() {
         let name = solver.name();
+        assert_eq!(name, method.name(), "registry key matches display name");
 
         // Values: bit-identical across thread counts and chunk sizes.
         let sequential: Vec<f64> = pairs.iter().map(|p| solver.predict(p).ged).collect();
@@ -77,11 +78,7 @@ fn batch_runner_matches_sequential_for_every_registered_solver() {
         let batch_paths = runner.edit_path_batch(solver, &pairs, cfg.kbest_k);
         assert_eq!(batch_paths, sequential_paths, "{name}: path batch differs");
 
-        let expects_paths = MethodKind::table3()
-            .into_iter()
-            .find(|m| m.name() == name)
-            .map(|m| MethodKind::table4().contains(&m))
-            .expect("registered solver corresponds to a MethodKind");
+        let expects_paths = method.path_capable();
         for (i, est) in sequential_paths.iter().enumerate() {
             assert_eq!(
                 est.is_some(),

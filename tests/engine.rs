@@ -1,0 +1,184 @@
+//! Integration tests for the `GedEngine` query API.
+//!
+//! The load-bearing contract: `GedQuery::TopK` must return exactly the
+//! ranking a brute-force per-pair evaluation produces (on a ≥ 50-graph
+//! synthetic dataset), and every documented error path must surface as a
+//! typed `GedError` instead of a panic.
+
+use ot_ged::core::pairs::GedPair;
+use ot_ged::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// An engine over the training-free solvers (GEDGW default), so tests
+/// need no model training.
+fn engine() -> GedEngine {
+    let mut registry = SolverRegistry::new();
+    registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+    GedEngine::builder(registry)
+        .method(MethodKind::Gedgw)
+        .beam_width(8)
+        .build()
+        .expect("valid configuration")
+}
+
+#[test]
+fn top_k_matches_brute_force_ranking_on_50_graph_dataset() {
+    let mut rng = SmallRng::seed_from_u64(20_260_728);
+    let dataset = GraphDataset::aids_like(50, &mut rng);
+    assert!(dataset.len() >= 50);
+    let query = GraphDataset::aids_like(1, &mut rng).graphs[0].clone();
+
+    // Brute force: evaluate every pair directly on the solver, then sort
+    // by (ged, index) — the engine promises exactly this ranking.
+    let mut brute: Vec<(usize, f64)> = dataset
+        .graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let pair = GedPair::new(query.clone(), g.clone());
+            (i, GedgwSolver.predict(&pair).ged)
+        })
+        .collect();
+    brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+
+    let engine = engine();
+    for k in [1usize, 5, 10, 50] {
+        let response = engine
+            .query(GedQuery::TopK {
+                query: &query,
+                dataset: &dataset,
+                k,
+            })
+            .expect("valid top-k query");
+        let neighbors = response.into_top_k().expect("TopK yields TopK");
+        assert_eq!(neighbors.len(), k.min(dataset.len()));
+        for (n, (want_idx, want_ged)) in neighbors.iter().zip(&brute) {
+            assert_eq!(n.index, *want_idx, "k={k}: rank order differs");
+            assert_eq!(
+                n.ged.to_bits(),
+                want_ged.to_bits(),
+                "k={k}: distance differs at index {}",
+                n.index
+            );
+        }
+    }
+}
+
+#[test]
+fn distance_matrix_agrees_with_per_pair_evaluation() {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let dataset = GraphDataset::linux_like(8, &mut rng);
+    let engine = engine();
+    let m = engine
+        .query(GedQuery::Matrix { dataset: &dataset })
+        .unwrap()
+        .into_matrix()
+        .unwrap();
+    assert_eq!(m.size(), dataset.len());
+    for i in 0..dataset.len() {
+        assert_eq!(m.get(i, i), 0.0, "diagonal must be zero");
+        for j in (i + 1)..dataset.len() {
+            let pair = GedPair::new(dataset.graphs[i].clone(), dataset.graphs[j].clone());
+            let want = GedgwSolver.predict(&pair).ged;
+            assert_eq!(m.get(i, j).to_bits(), want.to_bits(), "({i},{j})");
+            assert_eq!(m.get(j, i).to_bits(), want.to_bits(), "symmetry ({j},{i})");
+        }
+    }
+}
+
+#[test]
+fn unknown_method_string_is_a_typed_error() {
+    let err = "NoSuchMethod".parse::<MethodKind>().unwrap_err();
+    assert_eq!(err, GedError::UnknownMethod("NoSuchMethod".to_string()));
+    // And the happy path a CLI would take:
+    assert_eq!("gedgw".parse::<MethodKind>().unwrap(), MethodKind::Gedgw);
+}
+
+#[test]
+fn unregistered_method_is_a_typed_error() {
+    let engine = engine();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let ds = GraphDataset::aids_like(2, &mut rng);
+    let pair = GedPair::new(ds.graphs[0].clone(), ds.graphs[1].clone());
+    let err = engine
+        .query_as(MethodKind::Gediot, GedQuery::Value { pair: &pair })
+        .unwrap_err();
+    assert_eq!(err, GedError::MethodNotRegistered(MethodKind::Gediot));
+}
+
+#[test]
+fn empty_graph_queries_error_instead_of_panicking() {
+    let engine = engine();
+    let mut rng = SmallRng::seed_from_u64(4);
+    let ds = GraphDataset::aids_like(3, &mut rng);
+    let empty = Graph::new();
+
+    let err = engine.ged(&empty, &ds.graphs[0]).unwrap_err();
+    assert_eq!(err, GedError::EmptyGraph("g1".to_string()));
+
+    let err = engine
+        .query(GedQuery::TopK {
+            query: &empty,
+            dataset: &ds,
+            k: 2,
+        })
+        .unwrap_err();
+    assert_eq!(err, GedError::EmptyGraph("query".to_string()));
+}
+
+#[test]
+fn zero_k_and_empty_datasets_are_typed_errors() {
+    let engine = engine();
+    let mut rng = SmallRng::seed_from_u64(5);
+    let ds = GraphDataset::aids_like(3, &mut rng);
+    let pair = GedPair::new(ds.graphs[0].clone(), ds.graphs[1].clone());
+
+    let err = engine
+        .query(GedQuery::TopK {
+            query: &ds.graphs[0],
+            dataset: &ds,
+            k: 0,
+        })
+        .unwrap_err();
+    assert_eq!(err, GedError::InvalidK { what: "top-k" });
+
+    let err = engine
+        .query(GedQuery::Path {
+            pair: &pair,
+            k: Some(0),
+        })
+        .unwrap_err();
+    assert_eq!(err, GedError::InvalidK { what: "beam width" });
+
+    let empty = GraphDataset {
+        kind: ds.kind,
+        graphs: Vec::new(),
+    };
+    let err = engine
+        .query(GedQuery::TopK {
+            query: &ds.graphs[0],
+            dataset: &empty,
+            k: 3,
+        })
+        .unwrap_err();
+    assert_eq!(err, GedError::EmptyDataset);
+    let err = engine
+        .query(GedQuery::Matrix { dataset: &empty })
+        .unwrap_err();
+    assert_eq!(err, GedError::EmptyDataset);
+}
+
+#[test]
+fn top_k_larger_than_dataset_returns_all_graphs_ranked() {
+    let engine = engine();
+    let mut rng = SmallRng::seed_from_u64(6);
+    let ds = GraphDataset::aids_like(7, &mut rng);
+    let neighbors = engine.top_k(&ds.graphs[0], &ds, 1000).expect("clamped");
+    assert_eq!(neighbors.len(), ds.len(), "k is clamped to the dataset");
+    for w in neighbors.windows(2) {
+        assert!(w[0].ged <= w[1].ged, "ascending ranking");
+    }
+    // The query itself is in the dataset: its self-distance ranks first.
+    assert_eq!(neighbors[0].index, 0);
+}
