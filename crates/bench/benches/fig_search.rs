@@ -1,0 +1,65 @@
+//! Similarity-search throughput: brute-force top-k scans vs. the
+//! engine's filter–verify plan at growing store sizes. The filter phase
+//! reads only precomputed signatures, so its advantage widens with the
+//! store — this bench makes the `SearchStats` savings visible as wall
+//! clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ged_core::engine::GedEngine;
+use ged_core::method::MethodKind;
+use ged_core::pairs::GedPair;
+use ged_core::solver::{GedSolver, GedgwSolver, SolverRegistry};
+use ged_graph::{Graph, GraphDataset, GraphId, GraphStore};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const TOP_K: usize = 5;
+
+fn engine() -> GedEngine {
+    let mut registry = SolverRegistry::new();
+    registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+    GedEngine::builder(registry)
+        .threads(1) // isolate plan cost from parallel speedup
+        .build()
+        .expect("GEDGW is registered")
+}
+
+/// The unindexed baseline: one solver call per stored graph, then sort.
+fn brute_force_top_k(store: &GraphStore, query: &Graph, k: usize) -> Vec<(GraphId, f64)> {
+    let mut all: Vec<(GraphId, f64)> = store
+        .iter()
+        .map(|(id, g)| {
+            let pair = GedPair::new(query.clone(), g.clone());
+            (id, GedgwSolver.predict(&pair).ged)
+        })
+        .collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+fn bench_search(c: &mut Criterion) {
+    let engine = engine();
+    let mut group = c.benchmark_group("fig_search_topk");
+    group.sample_size(10);
+    for size in [25usize, 50, 100] {
+        let mut rng = SmallRng::seed_from_u64(7_000 + size as u64);
+        let store = GraphDataset::aids_like(size, &mut rng).into_store();
+        let query = store.graphs().next().expect("non-empty").clone();
+
+        group.bench_with_input(BenchmarkId::new("brute_force", size), &size, |b, _| {
+            b.iter(|| black_box(brute_force_top_k(&store, &query, TOP_K)))
+        });
+        group.bench_with_input(BenchmarkId::new("filter_verify", size), &size, |b, _| {
+            b.iter(|| {
+                let result = engine.top_k(&query, &store, TOP_K).expect("valid query");
+                black_box(result)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

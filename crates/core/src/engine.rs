@@ -3,21 +3,45 @@
 //! [`GedEngine`] is the stable front door the harness, the examples, and
 //! any future server/CLI layer sit on. It owns a [`SolverRegistry`]
 //! (method implementations keyed by [`MethodKind`]), a [`BatchRunner`]
-//! (so dataset-level queries parallelize), a default method, a default
+//! (so store-level queries parallelize), a default method, a default
 //! edit-path beam width, and an optional prediction cache — all chosen
 //! through [`GedEngineBuilder`].
 //!
 //! Requests are [`GedQuery`] values, answers are [`GedResponse`] values,
 //! and every failure mode (unknown method, method missing from the
-//! registry, empty graphs, zero budgets, empty datasets) is a
-//! [`GedError`] — the engine never panics on bad input.
+//! registry, empty graphs, zero budgets, empty stores, foreign or removed
+//! [`GraphId`]s) is a [`GedError`] — the engine never panics on bad
+//! input.
 //!
 //! | query | answer | workload |
 //! |-------|--------|----------|
 //! | [`GedQuery::Value`] | [`GedResponse::Value`] | one pair, value estimate |
 //! | [`GedQuery::Path`] | [`GedResponse::Path`] | one pair, feasible edit path |
-//! | [`GedQuery::TopK`] | [`GedResponse::TopK`] | query graph vs. dataset, ranked neighbors |
+//! | [`GedQuery::TopK`] | [`GedResponse::TopK`] | query graph vs. store, ranked neighbors |
+//! | [`GedQuery::Range`] | [`GedResponse::Range`] | query graph vs. store, all within GED ≤ τ |
 //! | [`GedQuery::Matrix`] | [`GedResponse::Matrix`] | full pairwise distance matrix |
+//!
+//! # Filter–verify search
+//!
+//! `TopK` and `Range` run over a [`GraphStore`] as a two-phase
+//! *filter–verify* plan, the classic GED search architecture the paper's
+//! similarity-search application calls for. The **filter** phase reads
+//! only the store's precomputed [`ged_graph::GraphSignature`]s and the
+//! query's, feeding them to the admissible label-set and degree-sequence
+//! lower bounds: any candidate whose bound already exceeds the range
+//! threshold τ (or, for top-k, the running k-th-best distance) is
+//! discarded without ever invoking a solver. The **verify** phase runs
+//! the surviving candidates through the selected solver in parallel via
+//! the engine's [`BatchRunner`].
+//!
+//! Verified distances are *bound-refined*: the reported value is
+//! `max(prediction, lower bound)`. Since the bounds provably
+//! under-estimate the true GED, the refinement only ever corrects a
+//! prediction that was certainly too low — and it makes the pruned plan
+//! **exactly** equal to a brute-force scan that evaluates every stored
+//! graph (enforced by `tests/store_search.rs`). Each search answer
+//! carries [`SearchStats`] counting candidates pruned per filter tier
+//! vs. verified, so the saved solver invocations are observable.
 //!
 //! # Example
 //!
@@ -25,7 +49,7 @@
 //! use ged_core::engine::{GedEngine, GedQuery, GedResponse};
 //! use ged_core::method::MethodKind;
 //! use ged_core::solver::{GedgwSolver, SolverRegistry};
-//! use ged_graph::{Graph, Label};
+//! use ged_graph::{Graph, GraphStore, Label};
 //!
 //! // A registry with the training-free GEDGW solver.
 //! let mut registry = SolverRegistry::new();
@@ -46,43 +70,93 @@
 //! assert!(estimate.ged > 0.0);
 //!
 //! // The same request in request/response form.
-//! let pair = ged_core::pairs::GedPair::new(g1, g2);
+//! let pair = ged_core::pairs::GedPair::new(g1.clone(), g2.clone());
 //! match engine.query(GedQuery::Value { pair: &pair }).unwrap() {
 //!     GedResponse::Value(v) => assert_eq!(v, estimate),
 //!     _ => unreachable!("Value queries yield Value responses"),
 //! }
+//!
+//! // Similarity search over an indexed store: results carry GraphIds.
+//! let mut store = GraphStore::new();
+//! let id1 = store.insert(g1.clone());
+//! let _id2 = store.insert(g2);
+//! let result = engine.top_k(&g1, &store, 1).unwrap();
+//! assert_eq!(result.neighbors[0].id, id1, "g1 is its own nearest neighbor");
 //! ```
 
 use crate::error::GedError;
+use crate::lower_bound::{degree_sequence_lower_bound_sig, label_set_lower_bound_sig};
 use crate::method::MethodKind;
 use crate::pairs::GedPair;
 use crate::solver::{BatchRunner, GedEstimate, GedSolver, PathEstimate, SolverRegistry};
-use ged_graph::{Graph, GraphDataset};
+use ged_graph::{Graph, GraphId, GraphSignature, GraphStore};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-/// One ranked result of a [`GedQuery::TopK`] search.
+/// One ranked result of a [`GedQuery::TopK`] or [`GedQuery::Range`]
+/// search.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Neighbor {
-    /// Index of the graph in the searched dataset.
-    pub index: usize,
-    /// Estimated GED between the query and that graph.
+    /// Stable id of the matching graph in the searched [`GraphStore`].
+    pub id: GraphId,
+    /// Bound-refined GED estimate between the query and that graph (see
+    /// the [module docs](self)).
     pub ged: f64,
 }
 
-/// A symmetric pairwise distance matrix over a dataset
+/// Per-query statistics of a filter–verify search: how many candidates
+/// each filter tier discarded and how many reached the solver. Always
+/// satisfies `pruned() + verified == candidates`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Total graphs in the searched store.
+    pub candidates: usize,
+    /// Candidates discarded by the label-set lower bound.
+    pub pruned_label: usize,
+    /// Candidates that survived the label-set bound but were discarded by
+    /// the degree-sequence lower bound.
+    pub pruned_degree: usize,
+    /// Candidates verified by the solver (actual solver invocations).
+    pub verified: usize,
+}
+
+impl SearchStats {
+    /// Total candidates discarded without a solver invocation.
+    #[must_use]
+    pub fn pruned(&self) -> usize {
+        self.pruned_label + self.pruned_degree
+    }
+}
+
+/// The answer to a store search: ranked [`Neighbor`]s plus the
+/// [`SearchStats`] of the filter–verify plan that produced them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchResult {
+    /// Matching graphs, sorted by ascending GED (ties broken by
+    /// [`GraphId`]).
+    pub neighbors: Vec<Neighbor>,
+    /// How the filter–verify plan spent its work.
+    pub stats: SearchStats,
+}
+
+/// A symmetric pairwise distance matrix over a store
 /// ([`GedQuery::Matrix`]). The diagonal is zero by construction; only the
-/// upper triangle is computed (GED is symmetric) and mirrored.
+/// upper triangle is computed (GED is symmetric) and mirrored. Positions
+/// follow the store's id order; [`DistanceMatrix::ids`] maps positions
+/// back to [`GraphId`]s.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DistanceMatrix {
     n: usize,
+    ids: Vec<GraphId>,
     data: Vec<f64>,
 }
 
 impl DistanceMatrix {
-    fn new(n: usize) -> Self {
+    fn new(ids: Vec<GraphId>) -> Self {
+        let n = ids.len();
         DistanceMatrix {
             n,
+            ids,
             data: vec![0.0; n * n],
         }
     }
@@ -93,7 +167,13 @@ impl DistanceMatrix {
         self.n
     }
 
-    /// The estimated GED between graphs `i` and `j`.
+    /// The store ids backing the matrix positions, in position order.
+    #[must_use]
+    pub fn ids(&self) -> &[GraphId] {
+        &self.ids
+    }
+
+    /// The estimated GED between the graphs at positions `i` and `j`.
     ///
     /// # Panics
     /// Panics if `i` or `j` is out of bounds.
@@ -103,7 +183,18 @@ impl DistanceMatrix {
         self.data[i * self.n + j]
     }
 
-    /// Row `i` as a slice (distances from graph `i` to every graph).
+    /// The estimated GED between the graphs with ids `a` and `b`, or
+    /// `None` if either id is not part of this matrix.
+    #[must_use]
+    pub fn get_by_ids(&self, a: GraphId, b: GraphId) -> Option<f64> {
+        // Positions follow the store's ascending id order.
+        let i = self.ids.binary_search(&a).ok()?;
+        let j = self.ids.binary_search(&b).ok()?;
+        Some(self.data[i * self.n + j])
+    }
+
+    /// Row `i` as a slice (distances from the graph at position `i` to
+    /// every graph).
     ///
     /// # Panics
     /// Panics if `i` is out of bounds.
@@ -116,8 +207,9 @@ impl DistanceMatrix {
 
 /// A typed request against a [`GedEngine`].
 ///
-/// Pair-level queries borrow a normalized [`GedPair`]; dataset-level
-/// queries borrow the dataset, so building a query never clones graphs.
+/// Pair-level queries borrow a normalized [`GedPair`]; store-level
+/// queries borrow the [`GraphStore`], so building a query never clones
+/// graphs.
 #[derive(Clone, Copy, Debug)]
 pub enum GedQuery<'a> {
     /// Estimate the GED of one pair (value only, possibly infeasible).
@@ -133,20 +225,33 @@ pub enum GedQuery<'a> {
         /// the engine's default [`GedEngine::beam_width`].
         k: Option<usize>,
     },
-    /// Rank the dataset by estimated GED to `query` and return the `k`
-    /// nearest graphs (`k` larger than the dataset is clamped).
+    /// Rank the store by estimated GED to `query` and return the `k`
+    /// nearest graphs (`k` larger than the store is clamped), via the
+    /// filter–verify plan of the [module docs](self).
     TopK {
         /// The query graph.
         query: &'a Graph,
-        /// The dataset to search.
-        dataset: &'a GraphDataset,
+        /// The store to search.
+        store: &'a GraphStore,
         /// How many neighbors to return (must be ≥ 1).
         k: usize,
     },
-    /// Compute the full pairwise distance matrix of a dataset.
+    /// Retrieve every stored graph whose (bound-refined) estimated GED to
+    /// `query` is at most `tau`, via the filter–verify plan of the
+    /// [module docs](self).
+    Range {
+        /// The query graph.
+        query: &'a Graph,
+        /// The store to search.
+        store: &'a GraphStore,
+        /// The GED threshold τ (must be finite; a negative τ simply
+        /// matches nothing).
+        tau: f64,
+    },
+    /// Compute the full pairwise distance matrix of a store.
     Matrix {
-        /// The dataset to compare pairwise.
-        dataset: &'a GraphDataset,
+        /// The store to compare pairwise.
+        store: &'a GraphStore,
     },
 }
 
@@ -157,9 +262,12 @@ pub enum GedResponse {
     Value(GedEstimate),
     /// Answer to [`GedQuery::Path`].
     Path(PathEstimate),
-    /// Answer to [`GedQuery::TopK`]: neighbors sorted by ascending GED
-    /// (ties broken by dataset index), at most `k` of them.
-    TopK(Vec<Neighbor>),
+    /// Answer to [`GedQuery::TopK`]: at most `k` neighbors, sorted by
+    /// ascending GED (ties broken by [`GraphId`]), plus search stats.
+    TopK(SearchResult),
+    /// Answer to [`GedQuery::Range`]: every neighbor within τ, sorted by
+    /// ascending GED (ties broken by [`GraphId`]), plus search stats.
+    Range(SearchResult),
     /// Answer to [`GedQuery::Matrix`].
     Matrix(DistanceMatrix),
 }
@@ -183,11 +291,20 @@ impl GedResponse {
         }
     }
 
-    /// The ranked neighbors, if this is a [`GedResponse::TopK`].
+    /// The search result, if this is a [`GedResponse::TopK`].
     #[must_use]
-    pub fn into_top_k(self) -> Option<Vec<Neighbor>> {
+    pub fn into_top_k(self) -> Option<SearchResult> {
         match self {
-            GedResponse::TopK(n) => Some(n),
+            GedResponse::TopK(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The search result, if this is a [`GedResponse::Range`].
+    #[must_use]
+    pub fn into_range(self) -> Option<SearchResult> {
+        match self {
+            GedResponse::Range(r) => Some(r),
             _ => None,
         }
     }
@@ -240,7 +357,7 @@ fn pair_fingerprint(pair: &GedPair) -> u64 {
 /// registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
 /// let engine = GedEngine::builder(registry)
 ///     .method(MethodKind::Gedgw)   // default method for every query
-///     .threads(2)                  // dataset-level parallelism
+///     .threads(2)                  // store-level parallelism
 ///     .beam_width(24)              // default edit-path search effort
 ///     .prediction_cache(10_000)    // memoize repeated value queries
 ///     .build()
@@ -277,7 +394,7 @@ impl GedEngineBuilder {
         self
     }
 
-    /// Sets the thread count for dataset-level queries (`0` is clamped
+    /// Sets the thread count for store-level queries (`0` is clamped
     /// to 1, matching [`BatchRunner::new`]).
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
@@ -346,6 +463,20 @@ impl GedEngineBuilder {
         })
     }
 }
+
+/// One filter-phase survivor: a candidate id plus its combined
+/// (label-set ∨ degree-sequence) lower bound.
+#[derive(Clone, Copy)]
+struct Candidate {
+    id: GraphId,
+    lb_label: usize,
+    lb: usize,
+}
+
+/// How many candidates each verification round hands to the parallel
+/// runner between top-k threshold re-checks. Machine-independent so
+/// [`SearchStats`] are reproducible everywhere.
+const VERIFY_BLOCK: usize = 16;
 
 /// The query engine: typed requests in, typed responses or [`GedError`]s
 /// out. See the [module docs](self) for the full contract.
@@ -433,8 +564,9 @@ impl GedEngine {
     /// * [`GedError::PathsUnsupported`] — a `Path` query against a pure
     ///   value regressor.
     /// * [`GedError::InvalidK`] — a zero beam width or top-k size.
-    /// * [`GedError::EmptyDataset`] — a dataset-level query against an
-    ///   empty dataset.
+    /// * [`GedError::EmptyStore`] — a store-level query against an
+    ///   empty store.
+    /// * [`GedError::Config`] — a non-finite range threshold.
     pub fn query_as(
         &self,
         method: MethodKind,
@@ -443,11 +575,14 @@ impl GedEngine {
         match query {
             GedQuery::Value { pair } => self.predict_as(method, pair).map(GedResponse::Value),
             GedQuery::Path { pair, k } => self.edit_path_as(method, pair, k).map(GedResponse::Path),
-            GedQuery::TopK { query, dataset, k } => self
-                .top_k_as(method, query, dataset, k)
+            GedQuery::TopK { query, store, k } => self
+                .top_k_as(method, query, store, k)
                 .map(GedResponse::TopK),
-            GedQuery::Matrix { dataset } => self
-                .distance_matrix_as(method, dataset)
+            GedQuery::Range { query, store, tau } => self
+                .range_as(method, query, store, tau)
+                .map(GedResponse::Range),
+            GedQuery::Matrix { store } => self
+                .distance_matrix_as(method, store)
                 .map(GedResponse::Matrix),
         }
     }
@@ -493,6 +628,38 @@ impl GedEngine {
         ensure_nonempty(g1, "g1")?;
         ensure_nonempty(g2, "g2")?;
         self.predict_as(method, &GedPair::new(g1.clone(), g2.clone()))
+    }
+
+    /// Estimates the GED of two *stored* graphs, addressed by id, with
+    /// the default method.
+    ///
+    /// # Errors
+    /// See [`Self::ged_by_ids_as`].
+    pub fn ged_by_ids(
+        &self,
+        store: &GraphStore,
+        a: GraphId,
+        b: GraphId,
+    ) -> Result<GedEstimate, GedError> {
+        self.ged_by_ids_as(self.method, store, a, b)
+    }
+
+    /// Estimates the GED of two stored graphs, addressed by id, with an
+    /// explicit method.
+    ///
+    /// # Errors
+    /// [`GedError::UnknownGraphId`] if either id is foreign to `store` or
+    /// was removed; otherwise see [`Self::query_as`].
+    pub fn ged_by_ids_as(
+        &self,
+        method: MethodKind,
+        store: &GraphStore,
+        a: GraphId,
+        b: GraphId,
+    ) -> Result<GedEstimate, GedError> {
+        let ga = resolve(store, a)?;
+        let gb = resolve(store, b)?;
+        self.ged_as(method, ga, gb)
     }
 
     /// Estimates the GED of a prepared pair with the default method.
@@ -550,7 +717,7 @@ impl GedEngine {
             .ok_or(GedError::PathsUnsupported(method))
     }
 
-    /// Ranks `dataset` by estimated GED to `query` and returns the `k`
+    /// Ranks `store` by estimated GED to `query` and returns the `k`
     /// nearest graphs, with the default method. See [`Self::top_k_as`].
     ///
     /// # Errors
@@ -558,18 +725,22 @@ impl GedEngine {
     pub fn top_k(
         &self,
         query: &Graph,
-        dataset: &GraphDataset,
+        store: &GraphStore,
         k: usize,
-    ) -> Result<Vec<Neighbor>, GedError> {
-        self.top_k_as(self.method, query, dataset, k)
+    ) -> Result<SearchResult, GedError> {
+        self.top_k_as(self.method, query, store, k)
     }
 
-    /// Ranks `dataset` by estimated GED to `query` with an explicit
-    /// method. Candidate predictions run in parallel through the
-    /// engine's [`BatchRunner`]; the ranking sorts by ascending GED with
-    /// ties broken by dataset index, so it is fully deterministic. A `k`
-    /// larger than the dataset is clamped (every graph is returned,
-    /// ranked).
+    /// Ranks `store` by estimated GED to `query` with an explicit method,
+    /// through the filter–verify plan of the [module docs](self):
+    /// candidates are processed in ascending-lower-bound order, and once
+    /// `k` candidates are verified, any candidate whose lower bound
+    /// exceeds the running k-th-best distance is discarded unverified.
+    /// Verification runs in parallel through the engine's
+    /// [`BatchRunner`]; the ranking sorts by ascending (bound-refined)
+    /// GED with ties broken by id, so it is fully deterministic and
+    /// exactly equal to a brute-force scan. A `k` larger than the store
+    /// is clamped (every graph is returned, ranked).
     ///
     /// # Errors
     /// See [`Self::query_as`].
@@ -577,58 +748,222 @@ impl GedEngine {
         &self,
         method: MethodKind,
         query: &Graph,
-        dataset: &GraphDataset,
+        store: &GraphStore,
         k: usize,
-    ) -> Result<Vec<Neighbor>, GedError> {
+    ) -> Result<SearchResult, GedError> {
         if k == 0 {
             return Err(GedError::InvalidK { what: "top-k" });
         }
         ensure_nonempty(query, "query")?;
         let solver = self.solver(method)?;
-        ensure_dataset_nonempty(dataset)?;
-        // Pairs are built inside the parallel closure so the clone work
-        // parallelizes and never precedes the validation above.
-        let indices: Vec<usize> = (0..dataset.len()).collect();
-        let geds = self.runner.map(&indices, |&i| {
-            let pair = GedPair::new(query.clone(), dataset.graphs[i].clone());
-            self.predict_cached(method, solver, &pair)
-        });
-        let mut neighbors: Vec<Neighbor> = geds
-            .into_iter()
-            .enumerate()
-            .map(|(index, ged)| Neighbor { index, ged })
+        ensure_store_valid(store)?;
+
+        let qsig = GraphSignature::of(query);
+        let mut candidates: Vec<Candidate> = store
+            .entries()
+            .map(|(id, _, sig)| {
+                let lb_label = label_set_lower_bound_sig(&qsig, sig);
+                let lb = lb_label.max(degree_sequence_lower_bound_sig(&qsig, sig));
+                Candidate { id, lb_label, lb }
+            })
             .collect();
-        // total_cmp keeps the no-panic contract even if a degenerate
-        // model produces NaN (NaN sorts last).
-        neighbors.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.index.cmp(&b.index)));
-        neighbors.truncate(k);
-        Ok(neighbors)
+        // Ascending lower bounds: the most promising candidates are
+        // verified first, which tightens the k-th-best threshold as early
+        // as possible. Sorted order also means the first candidate over
+        // the threshold proves every later one is over it too.
+        candidates.sort_by(|a, b| a.lb.cmp(&b.lb).then(a.id.cmp(&b.id)));
+
+        let k = k.min(candidates.len());
+        let mut stats = SearchStats {
+            candidates: candidates.len(),
+            ..SearchStats::default()
+        };
+        let mut best: Vec<Neighbor> = Vec::new();
+        let block = k.max(VERIFY_BLOCK);
+        let mut i = 0;
+        while i < candidates.len() {
+            // Re-read the pruning threshold between rounds: it tightens
+            // monotonically as verified candidates accumulate.
+            if best.len() >= k {
+                let kth = best[k - 1].ged;
+                if (candidates[i].lb as f64) > kth {
+                    for c in &candidates[i..] {
+                        if (c.lb_label as f64) > kth {
+                            stats.pruned_label += 1;
+                        } else {
+                            stats.pruned_degree += 1;
+                        }
+                    }
+                    break;
+                }
+            }
+            let hi = (i + block).min(candidates.len());
+            let verified = self.verify(method, solver, query, store, &candidates[i..hi]);
+            stats.verified += verified.len();
+            best.extend(verified);
+            best.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.id.cmp(&b.id)));
+            i = hi;
+        }
+        best.truncate(k);
+        Ok(SearchResult {
+            neighbors: best,
+            stats,
+        })
     }
 
-    /// Computes the pairwise distance matrix of `dataset` with the
+    /// Ranks `store` by estimated GED to the *stored* graph `id`, with
+    /// the default method.
+    ///
+    /// # Errors
+    /// See [`Self::top_k_by_id_as`].
+    pub fn top_k_by_id(
+        &self,
+        store: &GraphStore,
+        id: GraphId,
+        k: usize,
+    ) -> Result<SearchResult, GedError> {
+        self.top_k_by_id_as(self.method, store, id, k)
+    }
+
+    /// Ranks `store` by estimated GED to the stored graph `id` with an
+    /// explicit method. The query graph itself stays in the candidate set
+    /// (its self-distance ranks it first for any sane solver).
+    ///
+    /// # Errors
+    /// [`GedError::UnknownGraphId`] if `id` is foreign to `store` or was
+    /// removed; otherwise see [`Self::query_as`].
+    pub fn top_k_by_id_as(
+        &self,
+        method: MethodKind,
+        store: &GraphStore,
+        id: GraphId,
+        k: usize,
+    ) -> Result<SearchResult, GedError> {
+        let query = resolve(store, id)?;
+        self.top_k_as(method, query, store, k)
+    }
+
+    /// Retrieves every stored graph within GED ≤ `tau` of `query`, with
+    /// the default method. See [`Self::range_as`].
+    ///
+    /// # Errors
+    /// See [`Self::query_as`].
+    pub fn range(
+        &self,
+        query: &Graph,
+        store: &GraphStore,
+        tau: f64,
+    ) -> Result<SearchResult, GedError> {
+        self.range_as(self.method, query, store, tau)
+    }
+
+    /// Retrieves every stored graph within GED ≤ `tau` of `query` with an
+    /// explicit method, through the filter–verify plan of the
+    /// [module docs](self): the label-set bound discards first, the
+    /// degree-sequence bound second, and only the surviving candidates
+    /// are verified (in parallel through the engine's [`BatchRunner`]).
+    /// Results sort by ascending (bound-refined) GED with ties broken by
+    /// id, exactly equal to a brute-force scan.
+    ///
+    /// # Errors
+    /// [`GedError::Config`] if `tau` is NaN or infinite; otherwise see
+    /// [`Self::query_as`].
+    pub fn range_as(
+        &self,
+        method: MethodKind,
+        query: &Graph,
+        store: &GraphStore,
+        tau: f64,
+    ) -> Result<SearchResult, GedError> {
+        if !tau.is_finite() {
+            return Err(GedError::Config(format!(
+                "range threshold must be finite, got {tau}"
+            )));
+        }
+        ensure_nonempty(query, "query")?;
+        let solver = self.solver(method)?;
+        ensure_store_valid(store)?;
+
+        let qsig = GraphSignature::of(query);
+        let mut stats = SearchStats {
+            candidates: store.len(),
+            ..SearchStats::default()
+        };
+        let mut survivors: Vec<Candidate> = Vec::new();
+        for (id, _, sig) in store.entries() {
+            let lb_label = label_set_lower_bound_sig(&qsig, sig);
+            if (lb_label as f64) > tau {
+                stats.pruned_label += 1;
+                continue;
+            }
+            let lb = lb_label.max(degree_sequence_lower_bound_sig(&qsig, sig));
+            if (lb as f64) > tau {
+                stats.pruned_degree += 1;
+                continue;
+            }
+            survivors.push(Candidate { id, lb_label, lb });
+        }
+        let verified = self.verify(method, solver, query, store, &survivors);
+        stats.verified = verified.len();
+        let mut neighbors: Vec<Neighbor> = verified.into_iter().filter(|n| n.ged <= tau).collect();
+        neighbors.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.id.cmp(&b.id)));
+        Ok(SearchResult { neighbors, stats })
+    }
+
+    /// The verify phase shared by `TopK` and `Range`: runs the solver on
+    /// every candidate in parallel and refines each prediction with the
+    /// candidate's admissible lower bound (`max(prediction, lb)` — the
+    /// bound never exceeds the true GED, so this only corrects certain
+    /// under-estimates, and it is what makes bound-based pruning exactly
+    /// consistent with a full scan).
+    fn verify(
+        &self,
+        method: MethodKind,
+        solver: &dyn GedSolver,
+        query: &Graph,
+        store: &GraphStore,
+        candidates: &[Candidate],
+    ) -> Vec<Neighbor> {
+        self.runner.map(candidates, |c| {
+            let graph = store.get(c.id).expect("candidate ids come from this store");
+            let pair = GedPair::new(query.clone(), graph.clone());
+            let prediction = self.predict_cached(method, solver, &pair);
+            Neighbor {
+                id: c.id,
+                // f64::max ignores a NaN prediction, keeping the no-panic,
+                // no-NaN contract of the ranking.
+                ged: prediction.max(c.lb as f64),
+            }
+        })
+    }
+
+    /// Computes the pairwise distance matrix of `store` with the
     /// default method. See [`Self::distance_matrix_as`].
     ///
     /// # Errors
     /// See [`Self::query_as`].
-    pub fn distance_matrix(&self, dataset: &GraphDataset) -> Result<DistanceMatrix, GedError> {
-        self.distance_matrix_as(self.method, dataset)
+    pub fn distance_matrix(&self, store: &GraphStore) -> Result<DistanceMatrix, GedError> {
+        self.distance_matrix_as(self.method, store)
     }
 
-    /// Computes the pairwise distance matrix of `dataset` with an
+    /// Computes the pairwise distance matrix of `store` with an
     /// explicit method. Only the upper triangle is evaluated (GED is
     /// symmetric) — `n·(n−1)/2` predictions, parallelized through the
     /// engine's [`BatchRunner`] — then mirrored; the diagonal is zero.
+    /// Entries are raw solver predictions (no bound refinement), matching
+    /// per-pair [`Self::predict_as`] calls bit for bit.
     ///
     /// # Errors
     /// See [`Self::query_as`].
     pub fn distance_matrix_as(
         &self,
         method: MethodKind,
-        dataset: &GraphDataset,
+        store: &GraphStore,
     ) -> Result<DistanceMatrix, GedError> {
         let solver = self.solver(method)?;
-        ensure_dataset_nonempty(dataset)?;
-        let n = dataset.len();
+        ensure_store_valid(store)?;
+        let graphs: Vec<(GraphId, &Graph)> = store.iter().collect();
+        let n = graphs.len();
         let mut index_pairs = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
@@ -636,10 +971,10 @@ impl GedEngine {
             }
         }
         let geds = self.runner.map(&index_pairs, |&(i, j)| {
-            let pair = GedPair::new(dataset.graphs[i].clone(), dataset.graphs[j].clone());
+            let pair = GedPair::new(graphs[i].1.clone(), graphs[j].1.clone());
             self.predict_cached(method, solver, &pair)
         });
-        let mut matrix = DistanceMatrix::new(n);
+        let mut matrix = DistanceMatrix::new(graphs.into_iter().map(|(id, _)| id).collect());
         for (&(i, j), ged) in index_pairs.iter().zip(geds) {
             matrix.data[i * n + j] = ged;
             matrix.data[j * n + i] = ged;
@@ -683,13 +1018,21 @@ impl GedEngine {
     }
 }
 
-/// Rejects empty datasets and datasets containing node-less graphs.
-fn ensure_dataset_nonempty(dataset: &GraphDataset) -> Result<(), GedError> {
-    if dataset.is_empty() {
-        return Err(GedError::EmptyDataset);
+/// Resolves `id` in `store`, surfacing a typed error instead of a panic.
+fn resolve(store: &GraphStore, id: GraphId) -> Result<&Graph, GedError> {
+    store.get(id).ok_or(GedError::UnknownGraphId(id))
+}
+
+/// Rejects empty stores and stores containing node-less graphs. Reads
+/// only the precomputed signatures, so validation never touches a graph.
+fn ensure_store_valid(store: &GraphStore) -> Result<(), GedError> {
+    if store.is_empty() {
+        return Err(GedError::EmptyStore);
     }
-    for (i, g) in dataset.graphs.iter().enumerate() {
-        ensure_nonempty(g, &format!("dataset[{i}]"))?;
+    for (id, _, sig) in store.entries() {
+        if sig.num_nodes() == 0 {
+            return Err(GedError::EmptyGraph(format!("store graph {id}")));
+        }
     }
     Ok(())
 }
@@ -706,7 +1049,9 @@ fn ensure_nonempty(g: &Graph, which: &str) -> Result<(), GedError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lower_bound::{degree_sequence_lower_bound, label_set_lower_bound};
     use crate::solver::GedgwSolver;
+    use ged_graph::GraphDataset;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -723,6 +1068,24 @@ mod tests {
     fn small_dataset(count: usize, seed: u64) -> GraphDataset {
         let mut rng = SmallRng::seed_from_u64(seed);
         GraphDataset::aids_like(count, &mut rng)
+    }
+
+    /// The brute-force reference: the bound-refined estimate for every
+    /// stored graph, sorted ascending with id tie-breaks.
+    fn brute_force(store: &GraphStore, query: &Graph) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = store
+            .iter()
+            .map(|(id, g)| {
+                let pair = GedPair::new(query.clone(), g.clone());
+                let lb = label_set_lower_bound(query, g).max(degree_sequence_lower_bound(query, g));
+                Neighbor {
+                    id,
+                    ged: GedgwSolver.predict(&pair).ged.max(lb as f64),
+                }
+            })
+            .collect();
+        all.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.id.cmp(&b.id)));
+        all
     }
 
     #[test]
@@ -762,7 +1125,8 @@ mod tests {
     fn value_and_path_queries_agree_with_direct_solver_calls() {
         let engine = gedgw_engine();
         let ds = small_dataset(4, 42);
-        let pair = GedPair::new(ds.graphs[0].clone(), ds.graphs[1].clone());
+        let gs: Vec<&Graph> = ds.graphs().collect();
+        let pair = GedPair::new(gs[0].clone(), gs[1].clone());
 
         let direct = GedgwSolver.predict(&pair);
         let value = engine
@@ -788,7 +1152,7 @@ mod tests {
     fn empty_graphs_are_typed_errors() {
         let engine = gedgw_engine();
         let empty = Graph::new();
-        let ok = small_dataset(1, 7).graphs[0].clone();
+        let ok = small_dataset(1, 7).graphs().next().unwrap().clone();
         let err = engine.ged(&empty, &ok).unwrap_err();
         assert_eq!(err, GedError::EmptyGraph("g1".to_string()));
         let err = engine.ged(&ok, &empty).unwrap_err();
@@ -799,24 +1163,129 @@ mod tests {
     fn top_k_errors_and_clamping() {
         let engine = gedgw_engine();
         let ds = small_dataset(5, 3);
-        let query = ds.graphs[0].clone();
+        let query = ds.graphs().next().unwrap().clone();
 
         let err = engine.top_k(&query, &ds, 0).unwrap_err();
         assert_eq!(err, GedError::InvalidK { what: "top-k" });
 
-        let empty = GraphDataset {
-            kind: ds.kind,
-            graphs: Vec::new(),
-        };
+        let empty = GraphStore::new();
         let err = engine.top_k(&query, &empty, 3).unwrap_err();
-        assert_eq!(err, GedError::EmptyDataset);
+        assert_eq!(err, GedError::EmptyStore);
 
-        // k beyond the dataset is clamped: everything comes back, ranked.
+        // k beyond the store is clamped: everything comes back, ranked.
         let all = engine.top_k(&query, &ds, 100).unwrap();
-        assert_eq!(all.len(), ds.len());
-        for w in all.windows(2) {
+        assert_eq!(all.neighbors.len(), ds.len());
+        for w in all.neighbors.windows(2) {
             assert!(w[0].ged <= w[1].ged, "ranking must be ascending");
         }
+        assert_eq!(
+            all.stats.pruned() + all.stats.verified,
+            all.stats.candidates
+        );
+    }
+
+    #[test]
+    fn top_k_equals_brute_force_and_prunes() {
+        let engine = gedgw_engine();
+        let ds = small_dataset(40, 99);
+        let mut rng = SmallRng::seed_from_u64(100);
+        let query = GraphDataset::aids_like(1, &mut rng)
+            .graphs()
+            .next()
+            .unwrap()
+            .clone();
+        let brute = brute_force(&ds, &query);
+        for k in [1usize, 3, 10] {
+            let result = engine.top_k(&query, &ds, k).unwrap();
+            assert_eq!(result.neighbors.len(), k);
+            for (got, want) in result.neighbors.iter().zip(&brute) {
+                assert_eq!(got.id, want.id, "k={k}");
+                assert_eq!(got.ged.to_bits(), want.ged.to_bits(), "k={k}");
+            }
+            assert_eq!(
+                result.stats.pruned() + result.stats.verified,
+                result.stats.candidates
+            );
+        }
+        // Small k over a labeled dataset must save solver calls.
+        let result = engine.top_k(&query, &ds, 1).unwrap();
+        assert!(
+            result.stats.verified < ds.len(),
+            "stats: {:?}",
+            result.stats
+        );
+        assert!(result.stats.pruned() > 0, "stats: {:?}", result.stats);
+    }
+
+    #[test]
+    fn range_equals_brute_force_and_prunes() {
+        let engine = gedgw_engine();
+        let ds = small_dataset(40, 77);
+        let mut rng = SmallRng::seed_from_u64(101);
+        let query = GraphDataset::aids_like(1, &mut rng)
+            .graphs()
+            .next()
+            .unwrap()
+            .clone();
+        let brute = brute_force(&ds, &query);
+        // A threshold at the 8th-smallest distance keeps the result
+        // non-trivial on both sides.
+        let tau = brute[7].ged;
+        let result = engine
+            .query(GedQuery::Range {
+                query: &query,
+                store: &ds,
+                tau,
+            })
+            .unwrap()
+            .into_range()
+            .unwrap();
+        let want: Vec<&Neighbor> = brute.iter().filter(|n| n.ged <= tau).collect();
+        assert_eq!(result.neighbors.len(), want.len());
+        for (got, want) in result.neighbors.iter().zip(want) {
+            assert_eq!(got.id, want.id);
+            assert_eq!(got.ged.to_bits(), want.ged.to_bits());
+        }
+        assert!(result.stats.pruned() > 0, "stats: {:?}", result.stats);
+        assert_eq!(
+            result.stats.pruned() + result.stats.verified,
+            result.stats.candidates
+        );
+
+        // Non-finite thresholds are rejected, negative ones match nothing.
+        assert!(matches!(
+            engine.range(&query, &ds, f64::NAN).unwrap_err(),
+            GedError::Config(_)
+        ));
+        let none = engine.range(&query, &ds, -1.0).unwrap();
+        assert!(none.neighbors.is_empty());
+    }
+
+    #[test]
+    fn by_id_queries_resolve_and_error() {
+        let engine = gedgw_engine();
+        let ds = small_dataset(6, 5);
+        let ids = ds.ids();
+
+        let direct = engine.ged(&ds[ids[0]], &ds[ids[1]]).unwrap();
+        let by_id = engine.ged_by_ids(&ds, ids[0], ids[1]).unwrap();
+        assert_eq!(direct, by_id);
+
+        let result = engine.top_k_by_id(&ds, ids[2], 3).unwrap();
+        assert_eq!(result.neighbors[0].id, ids[2], "self-distance ranks first");
+
+        // A foreign id comes from another store entirely.
+        let foreign = small_dataset(2, 6).ids()[0];
+        let err = engine.ged_by_ids(&ds, foreign, ids[1]).unwrap_err();
+        assert_eq!(err, GedError::UnknownGraphId(foreign));
+        let err = engine.top_k_by_id(&ds, foreign, 2).unwrap_err();
+        assert_eq!(err, GedError::UnknownGraphId(foreign));
+
+        // A removed id stops resolving.
+        let mut ds = ds;
+        ds.remove(ids[3]);
+        let err = engine.top_k_by_id(&ds, ids[3], 2).unwrap_err();
+        assert_eq!(err, GedError::UnknownGraphId(ids[3]));
     }
 
     #[test]
@@ -825,13 +1294,17 @@ mod tests {
         let ds = small_dataset(6, 11);
         let m = engine.distance_matrix(&ds).unwrap();
         assert_eq!(m.size(), 6);
+        assert_eq!(m.ids(), ds.ids().as_slice());
         for i in 0..6 {
             assert_eq!(m.get(i, i), 0.0);
             for j in 0..6 {
                 assert_eq!(m.get(i, j).to_bits(), m.get(j, i).to_bits());
+                assert_eq!(m.get_by_ids(m.ids()[i], m.ids()[j]), Some(m.get(i, j)));
             }
             assert_eq!(m.row(i).len(), 6);
         }
+        let foreign = small_dataset(1, 12).ids()[0];
+        assert_eq!(m.get_by_ids(foreign, m.ids()[0]), None);
     }
 
     #[test]
@@ -846,7 +1319,8 @@ mod tests {
         let plain = gedgw_engine();
 
         let ds = small_dataset(4, 21);
-        let pair = GedPair::new(ds.graphs[0].clone(), ds.graphs[1].clone());
+        let gs: Vec<&Graph> = ds.graphs().collect();
+        let pair = GedPair::new(gs[0].clone(), gs[1].clone());
         let a = cached.predict(&pair).unwrap();
         assert_eq!(cached.cached_predictions(), Some(1));
         let b = cached.predict(&pair).unwrap();
@@ -861,8 +1335,9 @@ mod tests {
     fn batch_queries_preserve_order() {
         let engine = gedgw_engine();
         let ds = small_dataset(6, 33);
+        let gs: Vec<&Graph> = ds.graphs().collect();
         let pairs: Vec<GedPair> = (0..ds.len() - 1)
-            .map(|i| GedPair::new(ds.graphs[i].clone(), ds.graphs[i + 1].clone()))
+            .map(|i| GedPair::new(gs[i].clone(), gs[i + 1].clone()))
             .collect();
         let queries: Vec<GedQuery<'_>> =
             pairs.iter().map(|pair| GedQuery::Value { pair }).collect();

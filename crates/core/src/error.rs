@@ -4,10 +4,11 @@
 //! configuration plumbing feeding it) returns [`GedError`] instead of
 //! panicking: unknown method names, methods missing from a registry,
 //! structurally invalid inputs (empty graphs, zero search budgets, empty
-//! datasets) and malformed environment configuration all surface as
-//! matchable variants.
+//! stores, foreign or removed [`GraphId`]s) and malformed environment
+//! configuration all surface as matchable variants.
 
 use crate::method::MethodKind;
+use ged_graph::GraphId;
 use std::fmt;
 
 /// Everything that can go wrong answering a GED query.
@@ -31,9 +32,12 @@ pub enum GedError {
         /// What the `k` parameterizes (`"beam width"` / `"top-k"`).
         what: &'static str,
     },
-    /// A dataset-level query (`TopK` / `Matrix`) was issued against an
-    /// empty dataset.
-    EmptyDataset,
+    /// A store-level query (`TopK` / `Range` / `Matrix`) was issued
+    /// against an empty [`ged_graph::GraphStore`].
+    EmptyStore,
+    /// A [`GraphId`] did not resolve in the queried store — it was minted
+    /// by a different store or its graph has been removed.
+    UnknownGraphId(GraphId),
     /// Malformed configuration (e.g. an unparsable `GED_THREADS` value).
     Config(String),
 }
@@ -54,7 +58,11 @@ impl fmt::Display for GedError {
             }
             GedError::EmptyGraph(which) => write!(f, "graph {which} has no nodes"),
             GedError::InvalidK { what } => write!(f, "{what} must be at least 1, got 0"),
-            GedError::EmptyDataset => write!(f, "dataset-level query against an empty dataset"),
+            GedError::EmptyStore => write!(f, "store-level query against an empty store"),
+            GedError::UnknownGraphId(id) => write!(
+                f,
+                "graph id {id} does not resolve in this store (foreign or removed)"
+            ),
             GedError::Config(msg) => write!(f, "configuration error: {msg}"),
         }
     }
@@ -68,13 +76,16 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
+        let mut store = ged_graph::GraphStore::new();
+        let id = store.insert(ged_graph::Graph::unlabeled_from_edges(1, &[]));
         let cases: Vec<(GedError, &str)> = vec![
+            (GedError::UnknownGraphId(id), "does not resolve"),
             (GedError::UnknownMethod("GEDX".into()), "GEDX"),
             (GedError::MethodNotRegistered(MethodKind::Gediot), "GEDIOT"),
             (GedError::PathsUnsupported(MethodKind::TaGSim), "TaGSim"),
             (GedError::EmptyGraph("g1".into()), "g1"),
             (GedError::InvalidK { what: "top-k" }, "top-k"),
-            (GedError::EmptyDataset, "empty dataset"),
+            (GedError::EmptyStore, "empty store"),
             (GedError::Config("bad".into()), "bad"),
         ];
         for (err, needle) in cases {

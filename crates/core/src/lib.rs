@@ -11,7 +11,8 @@
 //!   and the shorter edit path of the two.
 //! * [`kbest`] — GEP generation from any coupling matrix via the k-best
 //!   matching framework with lower-bound pruning (Section 4.5, Algorithm 4).
-//! * [`lower_bound`] — the label-set GED lower bound (Eq. 22).
+//! * [`lower_bound`] — the label-set and degree-sequence GED lower
+//!   bounds (Eq. 22), in per-pair and precomputed-signature forms.
 //! * [`pairs`] — training/evaluation pair plumbing shared by the models.
 //! * [`solver`] — the [`solver::GedSolver`] trait every method implements,
 //!   the [`solver::SolverRegistry`] that maps [`method::MethodKind`]s to
@@ -20,7 +21,8 @@
 //!   (registry key, CLI-parsable via `FromStr`).
 //! * [`engine`] — the [`engine::GedEngine`] typed request/response query
 //!   API ([`engine::GedQuery`] in, [`engine::GedResponse`] out) with
-//!   method selection, top-k similarity search and pairwise matrices.
+//!   method selection, filter–verify top-k and range similarity search
+//!   over [`ged_graph::GraphStore`]s, and pairwise matrices.
 //! * [`error`] — [`error::GedError`], the unified error type of the
 //!   query API.
 
@@ -40,16 +42,22 @@ pub mod search;
 pub mod solver;
 
 pub use edge_labeled::{gedgw_edge_labeled, EdgeLabeledGraph};
-pub use engine::{DistanceMatrix, GedEngine, GedEngineBuilder, GedQuery, GedResponse, Neighbor};
+pub use engine::{
+    DistanceMatrix, GedEngine, GedEngineBuilder, GedQuery, GedResponse, Neighbor, SearchResult,
+    SearchStats,
+};
 pub use ensemble::{Gedhot, GedhotPrediction};
 pub use error::GedError;
 pub use gedgw::{Gedgw, GedgwOptions, GedgwResult};
 pub use gediot::{Gediot, GediotConfig, GediotPrediction};
 pub use kbest::{kbest_edit_path, KBestResult};
-pub use lower_bound::{degree_sequence_lower_bound, label_set_lower_bound};
+pub use lower_bound::{
+    degree_sequence_lower_bound, degree_sequence_lower_bound_sig, label_set_lower_bound,
+    label_set_lower_bound_sig,
+};
 pub use method::MethodKind;
 pub use pairs::{ordered, GedPair};
-pub use search::{bounded_exact_ged, similarity_search, SearchStats, Verdict};
+pub use search::{bounded_exact_ged, similarity_search, ExactSearchStats, Verdict};
 pub use solver::{
     BatchRunner, GedEstimate, GedSolver, GedgwSolver, GedhotSolver, GediotSolver, PathEstimate,
     SolverRegistry,

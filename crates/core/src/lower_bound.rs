@@ -7,28 +7,21 @@
 //!
 //! where `⊕` is the multiset symmetric difference. Computable in linear
 //! time; used by the k-best matching framework to prune unpromising
-//! subspaces.
+//! subspaces, and — in the [`GraphSignature`]-based variants
+//! ([`label_set_lower_bound_sig`], [`degree_sequence_lower_bound_sig`]) —
+//! by the engine's filter–verify similarity search, where the sorted
+//! multisets the bounds consume are precomputed once per stored graph
+//! instead of re-derived per pair.
 
-use ged_graph::Graph;
+use ged_graph::{Graph, GraphSignature, Label};
 
-/// The label-multiset + edge-count lower bound on `GED(g1, g2)`.
-///
-/// The node term counts the label relabels/insertions any edit path must
-/// perform. The multiset symmetric difference `|A ⊕ B|` overcounts by
-/// pairing a surplus label in `G1` with a surplus label in `G2` as *two*
-/// entries while one relabel fixes both, so the node term is
-/// `max(surplus1, surplus2)` = `max(|A\B|, |B\A|)` — the standard tight
-/// variant used for uniform costs.
-#[must_use]
-pub fn label_set_lower_bound(g1: &Graph, g2: &Graph) -> usize {
-    let mut l1 = g1.label_multiset();
-    let mut l2 = g2.label_multiset();
-
-    // Multiset differences via merge over the sorted label lists.
+/// Surplus counts of two sorted multisets: `(|A \ B|, |B \ A|)`, via one
+/// merge pass.
+fn sorted_multiset_surplus(a: &[Label], b: &[Label]) -> (usize, usize) {
     let (mut i, mut j) = (0usize, 0usize);
     let (mut only1, mut only2) = (0usize, 0usize);
-    while i < l1.len() && j < l2.len() {
-        match l1[i].cmp(&l2[j]) {
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Less => {
                 only1 += 1;
                 i += 1;
@@ -43,14 +36,49 @@ pub fn label_set_lower_bound(g1: &Graph, g2: &Graph) -> usize {
             }
         }
     }
-    only1 += l1.len() - i;
-    only2 += l2.len() - j;
-    l1.clear();
-    l2.clear();
+    (only1 + a.len() - i, only2 + b.len() - j)
+}
 
-    let node_term = only1.max(only2);
-    let edge_term = g1.num_edges().abs_diff(g2.num_edges());
-    node_term + edge_term
+/// [`label_set_lower_bound`] evaluated on precomputed signatures — the
+/// form the filter stage of the engine's similarity search consumes
+/// (identical value, no per-pair sorting).
+#[must_use]
+pub fn label_set_lower_bound_sig(a: &GraphSignature, b: &GraphSignature) -> usize {
+    let (only1, only2) = sorted_multiset_surplus(a.labels(), b.labels());
+    only1.max(only2) + a.num_edges().abs_diff(b.num_edges())
+}
+
+/// [`degree_sequence_lower_bound`] evaluated on precomputed signatures
+/// (identical value, no per-pair sorting).
+#[must_use]
+pub fn degree_sequence_lower_bound_sig(a: &GraphSignature, b: &GraphSignature) -> usize {
+    let n = a.num_nodes().max(b.num_nodes());
+    // Zero-padding the shorter sorted sequence puts the zeros up front, so
+    // aligned position `i` reads from sequence position `i - pad`.
+    let (d1, d2) = (a.degrees(), b.degrees());
+    let (pad1, pad2) = (n - d1.len(), n - d2.len());
+    let mut diff = 0usize;
+    for i in 0..n {
+        let x = if i < pad1 { 0 } else { d1[i - pad1] };
+        let y = if i < pad2 { 0 } else { d2[i - pad2] };
+        diff += x.abs_diff(y);
+    }
+    let (only1, only2) = sorted_multiset_surplus(a.labels(), b.labels());
+    only1.max(only2) + diff.div_ceil(2)
+}
+
+/// The label-multiset + edge-count lower bound on `GED(g1, g2)`.
+///
+/// The node term counts the label relabels/insertions any edit path must
+/// perform. The multiset symmetric difference `|A ⊕ B|` overcounts by
+/// pairing a surplus label in `G1` with a surplus label in `G2` as *two*
+/// entries while one relabel fixes both, so the node term is
+/// `max(surplus1, surplus2)` = `max(|A\B|, |B\A|)` — the standard tight
+/// variant used for uniform costs.
+#[must_use]
+pub fn label_set_lower_bound(g1: &Graph, g2: &Graph) -> usize {
+    let (only1, only2) = sorted_multiset_surplus(&g1.label_multiset(), &g2.label_multiset());
+    only1.max(only2) + g1.num_edges().abs_diff(g2.num_edges())
 }
 
 /// Lower bound refined with a partial (forced) matching: forced pairs
@@ -79,26 +107,7 @@ pub fn partial_matching_lower_bound(g1: &Graph, g2: &Graph, forced: &[(usize, us
         .collect();
     rest1.sort_unstable();
     rest2.sort_unstable();
-    let (mut i, mut j) = (0usize, 0usize);
-    let (mut only1, mut only2) = (0usize, 0usize);
-    while i < rest1.len() && j < rest2.len() {
-        match rest1[i].cmp(&rest2[j]) {
-            std::cmp::Ordering::Less => {
-                only1 += 1;
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                only2 += 1;
-                j += 1;
-            }
-            std::cmp::Ordering::Equal => {
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    only1 += rest1.len() - i;
-    only2 += rest2.len() - j;
+    let (only1, only2) = sorted_multiset_surplus(&rest1, &rest2);
 
     fixed_cost + only1.max(only2) + g1.num_edges().abs_diff(g2.num_edges())
 }
@@ -189,29 +198,7 @@ pub fn degree_sequence_lower_bound(g1: &Graph, g2: &Graph) -> usize {
     let edge_term = diff.div_ceil(2);
 
     // Node term: same label-multiset argument as the label-set bound.
-    let mut l1 = g1.label_multiset();
-    let mut l2 = g2.label_multiset();
-    let (mut i, mut j, mut o1, mut o2) = (0usize, 0usize, 0usize, 0usize);
-    while i < l1.len() && j < l2.len() {
-        match l1[i].cmp(&l2[j]) {
-            std::cmp::Ordering::Less => {
-                o1 += 1;
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                o2 += 1;
-                j += 1;
-            }
-            std::cmp::Ordering::Equal => {
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    o1 += l1.len() - i;
-    o2 += l2.len() - j;
-    l1.clear();
-    l2.clear();
+    let (o1, o2) = sorted_multiset_surplus(&g1.label_multiset(), &g2.label_multiset());
     o1.max(o2) + edge_term
 }
 
@@ -288,5 +275,27 @@ mod degree_bound_tests {
     fn identical_graphs_zero() {
         let g = Graph::unlabeled_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
         assert_eq!(degree_sequence_lower_bound(&g, &g), 0);
+    }
+
+    #[test]
+    fn signature_bounds_equal_graph_bounds() {
+        let mut rng = SmallRng::seed_from_u64(302);
+        for _ in 0..60 {
+            let n1 = rng.gen_range(1..=8);
+            let n2 = rng.gen_range(1..=8);
+            let g1 = generate::random_connected(n1, 1, &[0.4, 0.3, 0.3], &mut rng);
+            let g2 = generate::random_connected(n2, 2, &[0.4, 0.3, 0.3], &mut rng);
+            let (s1, s2) = (GraphSignature::of(&g1), GraphSignature::of(&g2));
+            assert_eq!(
+                label_set_lower_bound_sig(&s1, &s2),
+                label_set_lower_bound(&g1, &g2),
+                "{g1:?} / {g2:?}"
+            );
+            assert_eq!(
+                degree_sequence_lower_bound_sig(&s1, &s2),
+                degree_sequence_lower_bound(&g1, &g2),
+                "{g1:?} / {g2:?}"
+            );
+        }
     }
 }

@@ -45,9 +45,11 @@ pub enum Verdict {
     VerifiedNonMatch,
 }
 
-/// Search statistics (how much work each stage saved).
+/// Statistics of the τ-exact filter–prune–verify pipeline (how much work
+/// each stage saved). The engine's approximate store search reports the
+/// analogous [`crate::engine::SearchStats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct SearchStats {
+pub struct ExactSearchStats {
     /// Candidates discarded by lower bounds.
     pub filtered: usize,
     /// Candidates accepted by the upper bound.
@@ -211,8 +213,8 @@ pub fn similarity_search(
     database: &[Graph],
     query: &Graph,
     tau: usize,
-) -> (Vec<Verdict>, SearchStats) {
-    let mut stats = SearchStats::default();
+) -> (Vec<Verdict>, ExactSearchStats) {
+    let mut stats = ExactSearchStats::default();
     let verdicts = database
         .iter()
         .map(|cand| {

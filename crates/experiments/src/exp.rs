@@ -15,7 +15,7 @@ use ged_core::gediot::{ConvKind, Gediot, GediotConfig};
 use ged_core::kbest::kbest_edit_path;
 use ged_core::pairs::GedPair;
 use ged_eval::metrics::{self, PairOutcome};
-use ged_graph::{generate, DatasetKind, GraphDataset};
+use ged_graph::{generate, DatasetKind, GraphDataset, GraphId};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::fmt::Write as _;
@@ -231,7 +231,7 @@ fn imdb_small_train_large_test(cfg: &ExpConfig, rng: &mut SmallRng) -> PreparedD
     // Rebuild test groups on large graphs only (synthetic partners).
     let mut groups = Vec::new();
     for &q in &prep.split.test {
-        let g = &prep.dataset.graphs[q];
+        let g = &prep.dataset[q];
         if g.num_nodes() > 10 {
             let mut group = Vec::new();
             for _ in 0..cfg.partners {
@@ -311,12 +311,12 @@ pub fn run_fig12(cfg: &ExpConfig) -> String {
     let engine = models.engine(cfg.kbest_k);
 
     // Large test graphs to perturb.
-    let large: Vec<usize> = prep_small
+    let large: Vec<GraphId> = prep_small
         .split
         .test
         .iter()
         .copied()
-        .filter(|&i| prep_small.dataset.graphs[i].num_nodes() > 10)
+        .filter(|&i| prep_small.dataset[i].num_nodes() > 10)
         .take(cfg.max_queries)
         .collect();
 
@@ -329,7 +329,7 @@ pub fn run_fig12(cfg: &ExpConfig) -> String {
     for r in [0.1, 0.2, 0.3, 0.4, 0.5] {
         let mut pairs = Vec::new();
         for &i in &large {
-            let g = &prep_small.dataset.graphs[i];
+            let g = &prep_small.dataset[i];
             let delta = ((g.num_nodes() as f64 * r).ceil() as usize).max(1);
             let p = generate::perturb_with_edits(g, delta, 1, &mut rng);
             pairs.push(GedPair::supervised(
@@ -439,9 +439,9 @@ pub fn run_fig14(cfg: &ExpConfig) -> String {
             let mut ok = 0usize;
             let mut total = 0usize;
             for t in 0..triples {
-                let a = &prep.dataset.graphs[idx[t % idx.len()]];
-                let b = &prep.dataset.graphs[idx[(t + 1) % idx.len()]];
-                let c = &prep.dataset.graphs[idx[(t + 2) % idx.len()]];
+                let a = &prep.dataset[idx[t % idx.len()]];
+                let b = &prep.dataset[idx[(t + 1) % idx.len()]];
+                let c = &prep.dataset[idx[(t + 2) % idx.len()]];
                 let value = |x: &ged_graph::Graph, y: &ged_graph::Graph| -> f64 {
                     engine.ged_as(method, x, y).expect("full registry").ged
                 };

@@ -16,7 +16,7 @@ use ged_core::gediot::{Gediot, GediotConfig};
 use ged_core::pairs::GedPair;
 use ged_core::solver::{BatchRunner, GedgwSolver, GedhotSolver, GediotSolver, SolverRegistry};
 use ged_eval::metrics::{self, GroupedRanking, PairOutcome};
-use ged_graph::{generate, DatasetKind, GraphDataset, Split};
+use ged_graph::{generate, DatasetKind, GraphDataset, GraphId, Split};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -97,9 +97,9 @@ impl ExpConfig {
 pub struct PreparedDataset {
     /// Which dataset this imitates.
     pub kind: DatasetKind,
-    /// The graphs.
+    /// The graphs, behind stable [`GraphId`]s.
     pub dataset: GraphDataset,
-    /// 60/20/20 split.
+    /// 60/20/20 split (graph ids into `dataset`).
     pub split: Split,
     /// Supervised training pairs.
     pub train_pairs: Vec<GedPair>,
@@ -151,11 +151,11 @@ pub fn prepare(
     // Training pairs: all pairs of small training graphs (exact GT), plus
     // perturbation pairs for large training graphs.
     let mut train_pairs = Vec::new();
-    let small_train: Vec<usize> = split
+    let small_train: Vec<GraphId> = split
         .train
         .iter()
         .copied()
-        .filter(|&i| dataset.graphs[i].num_nodes() <= 10)
+        .filter(|&i| dataset[i].num_nodes() <= 10)
         .collect();
     let mut all = ged_graph::dataset::all_pairs(&small_train);
     all.shuffle(rng);
@@ -163,39 +163,39 @@ pub fn prepare(
         if train_pairs.len() >= cfg.train_pair_cap {
             break;
         }
-        if let Some(p) = label_pair(&dataset.graphs[i], &dataset.graphs[j]) {
+        if let Some(p) = label_pair(&dataset[i], &dataset[j]) {
             train_pairs.push(p);
         }
     }
     for &i in &split.train {
-        if dataset.graphs[i].num_nodes() > 10 && train_pairs.len() < cfg.train_pair_cap + 60 {
+        if dataset[i].num_nodes() > 10 && train_pairs.len() < cfg.train_pair_cap + 60 {
             let delta = 1 + rng.gen_range(0..8);
-            train_pairs.push(perturbed_pair(&dataset.graphs[i], delta, num_labels, rng));
+            train_pairs.push(perturbed_pair(&dataset[i], delta, num_labels, rng));
         }
     }
 
     // Test groups.
-    let pool: &[usize] = if partners_from_test {
+    let pool: &[GraphId] = if partners_from_test {
         &split.test
     } else {
         &split.train
     };
     let mut test_groups = Vec::new();
     for &q in split.test.iter().take(cfg.max_queries) {
-        let qg = &dataset.graphs[q];
+        let qg = &dataset[q];
         let mut group = Vec::new();
         if qg.num_nodes() <= 10 {
-            let candidates: Vec<usize> = pool
+            let candidates: Vec<GraphId> = pool
                 .iter()
                 .copied()
-                .filter(|&i| i != q && dataset.graphs[i].num_nodes() <= 10)
+                .filter(|&i| i != q && dataset[i].num_nodes() <= 10)
                 .collect();
-            let sample: Vec<usize> = candidates
+            let sample: Vec<GraphId> = candidates
                 .choose_multiple(rng, cfg.partners)
                 .copied()
                 .collect();
             for i in sample {
-                if let Some(p) = label_pair(qg, &dataset.graphs[i]) {
+                if let Some(p) = label_pair(qg, &dataset[i]) {
                     group.push(p);
                 }
             }

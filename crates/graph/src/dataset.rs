@@ -9,13 +9,19 @@
 //! | LINUX   | 1000   | 7.6   | 1      | sparse unlabeled PDGs |
 //! | IMDB    | 1500   | 13    | 1      | dense unlabeled ego-nets, heavy >10-node tail |
 //!
-//! The same 60/20/20 train/val/test protocol and the "100 partners per test
-//! graph" pairing scheme of Section 6.1 are implemented here.
+//! Every builder fills a [`GraphStore`], so each dataset graph carries a
+//! stable [`GraphId`] and a precomputed search signature from the moment
+//! it exists; [`GraphDataset`] is just a store plus the [`DatasetKind`]
+//! it imitates (and derefs to the store). The same 60/20/20
+//! train/val/test protocol and the "100 partners per test graph" pairing
+//! scheme of Section 6.1 are implemented here, in terms of ids.
 
 use crate::generate::{ego_net, random_connected, random_connected_unlabeled};
 use crate::graph::Graph;
+use crate::store::{GraphId, GraphStore};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::ops::{Deref, DerefMut};
 
 /// Which real-world dataset a synthetic dataset imitates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -49,24 +55,38 @@ impl DatasetKind {
     }
 }
 
-/// A collection of graphs plus metadata.
+/// An indexed collection of graphs imitating one of the paper's datasets:
+/// a [`GraphStore`] (which it derefs to) plus its [`DatasetKind`].
 #[derive(Clone, Debug)]
 pub struct GraphDataset {
     /// Which dataset this imitates.
     pub kind: DatasetKind,
-    /// The graphs.
-    pub graphs: Vec<Graph>,
+    store: GraphStore,
 }
 
-/// Index sets for the 60/20/20 split of Section 6.1.
+impl Deref for GraphDataset {
+    type Target = GraphStore;
+
+    fn deref(&self) -> &GraphStore {
+        &self.store
+    }
+}
+
+impl DerefMut for GraphDataset {
+    fn deref_mut(&mut self) -> &mut GraphStore {
+        &mut self.store
+    }
+}
+
+/// Id sets for the 60/20/20 split of Section 6.1.
 #[derive(Clone, Debug)]
 pub struct Split {
-    /// Training graph indices (60%).
-    pub train: Vec<usize>,
-    /// Validation graph indices (20%).
-    pub val: Vec<usize>,
-    /// Test graph indices (20%).
-    pub test: Vec<usize>,
+    /// Training graph ids (60%).
+    pub train: Vec<GraphId>,
+    /// Validation graph ids (20%).
+    pub val: Vec<GraphId>,
+    /// Test graph ids (20%).
+    pub test: Vec<GraphId>,
 }
 
 /// Summary statistics in the shape of the paper's Table 2.
@@ -87,46 +107,69 @@ pub struct DatasetStats {
 }
 
 impl GraphDataset {
+    /// Wraps an existing store as a dataset of the given kind.
+    #[must_use]
+    pub fn new(kind: DatasetKind, store: GraphStore) -> Self {
+        GraphDataset { kind, store }
+    }
+
+    /// Builds a dataset by inserting every graph of `graphs` into a fresh
+    /// store, in order.
+    #[must_use]
+    pub fn from_graphs<I: IntoIterator<Item = Graph>>(kind: DatasetKind, graphs: I) -> Self {
+        GraphDataset {
+            kind,
+            store: GraphStore::from_graphs(graphs),
+        }
+    }
+
+    /// The underlying indexed store.
+    #[must_use]
+    pub fn store(&self) -> &GraphStore {
+        &self.store
+    }
+
+    /// Consumes the dataset, returning the underlying store.
+    #[must_use]
+    pub fn into_store(self) -> GraphStore {
+        self.store
+    }
+
     /// AIDS-like: `count` connected labeled graphs, 4–10 nodes, skewed
     /// 29-symbol label distribution (carbon/oxygen/nitrogen-heavy, like
     /// chemical compounds).
     pub fn aids_like<R: Rng>(count: usize, rng: &mut R) -> Self {
         // Zipf-ish weights over 29 labels: a few dominant atoms.
         let weights: Vec<f64> = (0..29).map(|i| 1.0 / (1.0 + i as f64).powf(1.4)).collect();
-        let graphs = (0..count)
-            .map(|_| {
+        Self::from_graphs(
+            DatasetKind::Aids,
+            (0..count).map(|_| {
                 let n = rng.gen_range(4..=10);
                 let extra = rng.gen_range(0..=(n / 3));
                 random_connected(n, extra, &weights, rng)
-            })
-            .collect();
-        GraphDataset {
-            kind: DatasetKind::Aids,
-            graphs,
-        }
+            }),
+        )
     }
 
     /// LINUX-like: `count` connected unlabeled sparse graphs, 4–10 nodes.
     pub fn linux_like<R: Rng>(count: usize, rng: &mut R) -> Self {
-        let graphs = (0..count)
-            .map(|_| {
+        Self::from_graphs(
+            DatasetKind::Linux,
+            (0..count).map(|_| {
                 let n = rng.gen_range(4..=10);
                 let extra = rng.gen_range(0..=(n / 4));
                 random_connected_unlabeled(n, extra, rng)
-            })
-            .collect();
-        GraphDataset {
-            kind: DatasetKind::Linux,
-            graphs,
-        }
+            }),
+        )
     }
 
     /// IMDB-like: `count` unlabeled ego-nets. Roughly 60% small (5–10 nodes)
     /// and 40% large (11..=`max_large` nodes), mirroring IMDB's heavy tail.
     pub fn imdb_like<R: Rng>(count: usize, max_large: usize, rng: &mut R) -> Self {
         let max_large = max_large.max(12);
-        let graphs = (0..count)
-            .map(|_| {
+        Self::from_graphs(
+            DatasetKind::Imdb,
+            (0..count).map(|_| {
                 let n = if rng.gen_bool(0.6) {
                     rng.gen_range(5..=10)
                 } else {
@@ -134,12 +177,8 @@ impl GraphDataset {
                 };
                 let communities = 1 + n / 6;
                 ego_net(n, communities, rng)
-            })
-            .collect();
-        GraphDataset {
-            kind: DatasetKind::Imdb,
-            graphs,
-        }
+            }),
+        )
     }
 
     /// Builds the dataset of the given kind with default sizing (scaled-down
@@ -152,25 +191,13 @@ impl GraphDataset {
         }
     }
 
-    /// Number of graphs.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.graphs.len()
-    }
-
-    /// Whether the dataset is empty.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.graphs.is_empty()
-    }
-
     /// Table 2 statistics.
     #[must_use]
     pub fn stats(&self) -> DatasetStats {
-        let count = self.graphs.len();
+        let count = self.store.len();
         let (mut sn, mut se, mut mn, mut me) = (0usize, 0usize, 0usize, 0usize);
         let mut labels: Vec<u32> = Vec::new();
-        for g in &self.graphs {
+        for g in self.store.graphs() {
             sn += g.num_nodes();
             se += g.num_edges();
             mn = mn.max(g.num_nodes());
@@ -189,43 +216,44 @@ impl GraphDataset {
         }
     }
 
-    /// Random 60/20/20 split of graph indices (Section 6.1).
+    /// Random 60/20/20 split of graph ids (Section 6.1).
     pub fn split<R: Rng>(&self, rng: &mut R) -> Split {
-        let mut idx: Vec<usize> = (0..self.graphs.len()).collect();
-        idx.shuffle(rng);
-        let n = idx.len();
+        let mut ids = self.store.ids();
+        ids.shuffle(rng);
+        let n = ids.len();
         let n_train = (n * 6) / 10;
         let n_val = n / 5;
         Split {
-            train: idx[..n_train].to_vec(),
-            val: idx[n_train..n_train + n_val].to_vec(),
-            test: idx[n_train + n_val..].to_vec(),
+            train: ids[..n_train].to_vec(),
+            val: ids[n_train..n_train + n_val].to_vec(),
+            test: ids[n_train + n_val..].to_vec(),
         }
     }
 }
 
-/// All ordered index pairs `(i, j)`, `i < j`, over a slice of graph indices —
-/// the paper pairs every two training graphs to create the training set.
+/// All ordered pairs `(a, b)` with `a` before `b` in `items` — the paper
+/// pairs every two training graphs to create the training set. Generic so
+/// it works over [`GraphId`] lists and plain index lists alike.
 #[must_use]
-pub fn all_pairs(indices: &[usize]) -> Vec<(usize, usize)> {
-    let mut out = Vec::with_capacity(indices.len() * indices.len().saturating_sub(1) / 2);
-    for (a, &i) in indices.iter().enumerate() {
-        for &j in &indices[a + 1..] {
+pub fn all_pairs<T: Copy>(items: &[T]) -> Vec<(T, T)> {
+    let mut out = Vec::with_capacity(items.len() * items.len().saturating_sub(1) / 2);
+    for (a, &i) in items.iter().enumerate() {
+        for &j in &items[a + 1..] {
             out.push((i, j));
         }
     }
     out
 }
 
-/// For each query index, samples `partners` indices from `pool` (with
-/// replacement across queries, without within a query when possible) — the
-/// "100 graphs per test graph" pairing scheme of Section 6.1.
-pub fn query_pairs<R: Rng>(
-    queries: &[usize],
-    pool: &[usize],
+/// For each query, samples `partners` items from `pool` (with replacement
+/// across queries, without within a query when possible) — the "100 graphs
+/// per test graph" pairing scheme of Section 6.1.
+pub fn query_pairs<T: Copy + PartialEq, R: Rng>(
+    queries: &[T],
+    pool: &[T],
     partners: usize,
     rng: &mut R,
-) -> Vec<(usize, usize)> {
+) -> Vec<(T, T)> {
     let mut out = Vec::with_capacity(queries.len() * partners);
     for &q in queries {
         if pool.len() <= partners {
@@ -235,7 +263,7 @@ pub fn query_pairs<R: Rng>(
                 }
             }
         } else {
-            let sample: Vec<usize> = pool.choose_multiple(rng, partners + 1).copied().collect();
+            let sample: Vec<T> = pool.choose_multiple(rng, partners + 1).copied().collect();
             let mut taken = 0;
             for p in sample {
                 if p != q && taken < partners {
@@ -271,7 +299,7 @@ mod tests {
             "should use a rich alphabet, got {}",
             s.num_labels
         );
-        for g in &ds.graphs {
+        for g in ds.graphs() {
             assert!(g.is_connected());
         }
     }
@@ -300,6 +328,17 @@ mod tests {
     }
 
     #[test]
+    fn builders_precompute_signatures() {
+        let mut rng = SmallRng::seed_from_u64(16);
+        let ds = GraphDataset::aids_like(10, &mut rng);
+        for (id, g, sig) in ds.entries() {
+            assert_eq!(sig.num_nodes(), g.num_nodes(), "{id}");
+            assert_eq!(sig.num_edges(), g.num_edges(), "{id}");
+            assert_eq!(sig.labels(), g.label_multiset().as_slice(), "{id}");
+        }
+    }
+
+    #[test]
     fn split_proportions() {
         let mut rng = SmallRng::seed_from_u64(14);
         let ds = GraphDataset::linux_like(100, &mut rng);
@@ -307,7 +346,7 @@ mod tests {
         assert_eq!(split.train.len(), 60);
         assert_eq!(split.val.len(), 20);
         assert_eq!(split.test.len(), 20);
-        let mut all: Vec<usize> = split
+        let mut all: Vec<GraphId> = split
             .train
             .iter()
             .chain(&split.val)
@@ -315,16 +354,20 @@ mod tests {
             .copied()
             .collect();
         all.sort_unstable();
-        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        assert_eq!(all, ds.ids(), "the split partitions exactly the store");
+        // Split ids resolve in the dataset's store.
+        for id in all {
+            assert!(ds.contains(id));
+        }
     }
 
     #[test]
     fn pairing_helpers() {
-        let pairs = all_pairs(&[3, 5, 9]);
+        let pairs = all_pairs(&[3usize, 5, 9]);
         assert_eq!(pairs, vec![(3, 5), (3, 9), (5, 9)]);
 
         let mut rng = SmallRng::seed_from_u64(15);
-        let qp = query_pairs(&[0, 1], &(2..50).collect::<Vec<_>>(), 10, &mut rng);
+        let qp = query_pairs(&[0usize, 1], &(2..50).collect::<Vec<_>>(), 10, &mut rng);
         assert_eq!(qp.len(), 20);
         for &(q, p) in &qp {
             assert!(q < 2 && p >= 2);

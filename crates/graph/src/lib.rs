@@ -9,8 +9,13 @@
 //! * [`NodeMapping`] — injective node matchings `V1 -> V2` together with
 //!   `EPGen` (Algorithm 3 of the paper), which realizes any matching as a
 //!   concrete edit path, and the induced-cost formula of Section 3.1;
+//! * [`store::GraphStore`] — indexed graph collections with stable
+//!   [`store::GraphId`] handles and per-graph search signatures
+//!   precomputed at insert time (the substrate of the engine's
+//!   filter–verify similarity search);
 //! * random graph [`generate`]-ors and the synthetic stand-ins for the
-//!   AIDS / LINUX / IMDB [`dataset`]s used throughout the evaluation;
+//!   AIDS / LINUX / IMDB [`dataset`]s used throughout the evaluation
+//!   (each dataset is a [`store::GraphStore`] tagged with its kind);
 //! * a small VF2-style [`isomorphism`] checker used by tests to prove that
 //!   generated edit paths really transform `G1` into `G2`.
 //!
@@ -26,11 +31,13 @@ pub mod graph;
 pub mod io;
 pub mod isomorphism;
 pub mod mapping;
+pub mod store;
 
 pub use dataset::{DatasetKind, GraphDataset, Split};
 pub use edit::{EditOp, EditPath};
 pub use graph::{Graph, Label};
 pub use mapping::{CanonicalOp, NodeMapping};
+pub use store::{GraphId, GraphSignature, GraphStore};
 
 /// The maximum number of edit operations that can possibly be needed to turn
 /// `g1` into `g2`: relabel/insert every node and rewrite every edge.

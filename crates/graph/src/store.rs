@@ -1,0 +1,363 @@
+//! Indexed graph collections: the dataset-facing entry point of every
+//! search workload.
+//!
+//! A [`GraphStore`] owns a collection of graphs behind stable [`GraphId`]
+//! handles. At insert time the store precomputes a [`GraphSignature`] for
+//! each graph — the sorted node-label multiset, the sorted degree
+//! sequence, and the node/edge counts — which is exactly the data the
+//! classic filter–verify GED search pipeline needs to evaluate cheap
+//! lower bounds without touching the graph itself. Stores support
+//! incremental [`GraphStore::insert`] / [`GraphStore::remove`], so one
+//! store can live across many queries.
+//!
+//! Iteration order is always ascending [`GraphId`], which equals
+//! insertion order (ids are never reused), so every store traversal is
+//! deterministic.
+//!
+//! ```
+//! use ged_graph::{Graph, GraphStore, Label};
+//!
+//! let mut store = GraphStore::new();
+//! let a = store.insert(Graph::from_edges(vec![Label(1), Label(2)], &[(0, 1)]));
+//! let b = store.insert(Graph::unlabeled_from_edges(3, &[(0, 1), (1, 2)]));
+//! assert_eq!(store.len(), 2);
+//! assert_eq!(store.signature(a).unwrap().num_nodes(), 2);
+//!
+//! // Removal invalidates the handle; other ids stay stable.
+//! store.remove(a);
+//! assert!(store.get(a).is_none());
+//! assert!(store.get(b).is_some());
+//! ```
+
+use crate::graph::{Graph, Label};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Index;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global id allocator: sequence numbers are unique across every
+/// store (and every clone of a store), so two handles are equal only
+/// when they name the same inserted graph.
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A stable handle to one graph inside a [`GraphStore`].
+///
+/// Ids are minted by [`GraphStore::insert`] and stay valid until the
+/// graph is removed; they are never reused — not even across stores or
+/// across clones that later diverge — so a foreign or removed id returns
+/// `None` instead of ever aliasing a different graph. Ordering follows
+/// insertion order, which makes id tie-breaking deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GraphId {
+    seq: u64,
+}
+
+impl fmt::Display for GraphId {
+    /// Renders as `g<seq>`. Sequence numbers are process-global, so the
+    /// numbering of a store's ids starts wherever the previous store (or
+    /// test thread) left off — compare ids, don't parse them.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.seq)
+    }
+}
+
+/// The per-graph summary a [`GraphStore`] precomputes at insert time.
+///
+/// Signatures carry everything the label-set and degree-sequence GED
+/// lower bounds consume — sorted label multiset, sorted degree sequence,
+/// node and edge counts — so the filter stage of a filter–verify search
+/// never re-derives them per query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphSignature {
+    num_nodes: usize,
+    num_edges: usize,
+    labels: Vec<Label>,
+    degrees: Vec<usize>,
+}
+
+impl GraphSignature {
+    /// Computes the signature of `g`.
+    #[must_use]
+    pub fn of(g: &Graph) -> Self {
+        let mut degrees: Vec<usize> = (0..g.num_nodes() as u32).map(|u| g.degree(u)).collect();
+        degrees.sort_unstable();
+        GraphSignature {
+            num_nodes: g.num_nodes(),
+            num_edges: g.num_edges(),
+            labels: g.label_multiset(),
+            degrees,
+        }
+    }
+
+    /// Number of nodes of the summarized graph.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of (undirected) edges of the summarized graph.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The node-label multiset, sorted ascending.
+    #[must_use]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The degree sequence, sorted ascending.
+    #[must_use]
+    pub fn degrees(&self) -> &[usize] {
+        &self.degrees
+    }
+}
+
+/// One stored graph plus its precomputed signature.
+#[derive(Clone, Debug)]
+struct StoreEntry {
+    graph: Graph,
+    signature: GraphSignature,
+}
+
+/// An indexed, incrementally updatable collection of graphs.
+///
+/// See the [module docs](self) for the design; in short: stable
+/// [`GraphId`] handles, per-graph [`GraphSignature`]s built at insert
+/// time, deterministic id-ordered iteration, and `O(log n)`
+/// insert/remove/lookup.
+///
+/// Cloning a store preserves every id (the clone is a snapshot in which
+/// existing handles keep resolving); the clone and the original then
+/// evolve independently, and ids minted after the clone never collide
+/// between the two (the id space is process-global).
+#[derive(Clone, Debug, Default)]
+pub struct GraphStore {
+    entries: BTreeMap<u64, StoreEntry>,
+}
+
+impl GraphStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        GraphStore {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a store by inserting every graph of `graphs` in order.
+    #[must_use]
+    pub fn from_graphs<I: IntoIterator<Item = Graph>>(graphs: I) -> Self {
+        let mut store = Self::new();
+        for g in graphs {
+            store.insert(g);
+        }
+        store
+    }
+
+    /// Inserts `graph`, precomputing its [`GraphSignature`], and returns
+    /// the freshly minted [`GraphId`]. Ids are never reused, even after
+    /// removals.
+    pub fn insert(&mut self, graph: Graph) -> GraphId {
+        let id = GraphId {
+            seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
+        };
+        let signature = GraphSignature::of(&graph);
+        self.entries.insert(id.seq, StoreEntry { graph, signature });
+        id
+    }
+
+    /// Removes the graph behind `id`, returning it, or `None` if `id` is
+    /// foreign to this store or was already removed. All other ids stay
+    /// valid.
+    pub fn remove(&mut self, id: GraphId) -> Option<Graph> {
+        self.entries.remove(&id.seq).map(|e| e.graph)
+    }
+
+    /// The graph behind `id`, or `None` for a foreign or removed id.
+    #[must_use]
+    pub fn get(&self, id: GraphId) -> Option<&Graph> {
+        self.entries.get(&id.seq).map(|e| &e.graph)
+    }
+
+    /// The precomputed signature of the graph behind `id`, or `None` for
+    /// a foreign or removed id.
+    #[must_use]
+    pub fn signature(&self, id: GraphId) -> Option<&GraphSignature> {
+        self.entries.get(&id.seq).map(|e| &e.signature)
+    }
+
+    /// Whether `id` currently resolves in this store.
+    #[must_use]
+    pub fn contains(&self, id: GraphId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Number of stored graphs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no graphs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Every live id, ascending (= insertion order).
+    #[must_use]
+    pub fn ids(&self) -> Vec<GraphId> {
+        self.entries.keys().map(|&seq| GraphId { seq }).collect()
+    }
+
+    /// Iterates `(id, graph)` in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (GraphId, &Graph)> {
+        self.entries
+            .iter()
+            .map(|(&seq, e)| (GraphId { seq }, &e.graph))
+    }
+
+    /// Iterates `(id, graph, signature)` in ascending id order — the
+    /// traversal the filter–verify search plan consumes.
+    pub fn entries(&self) -> impl Iterator<Item = (GraphId, &Graph, &GraphSignature)> {
+        self.entries
+            .iter()
+            .map(|(&seq, e)| (GraphId { seq }, &e.graph, &e.signature))
+    }
+
+    /// Iterates the stored graphs in ascending id order.
+    pub fn graphs(&self) -> impl Iterator<Item = &Graph> {
+        self.entries.values().map(|e| &e.graph)
+    }
+}
+
+impl Index<GraphId> for GraphStore {
+    type Output = Graph;
+
+    /// Direct access for callers that know the id is live (e.g. the
+    /// experiment harness walking its own split lists). Query layers
+    /// should use [`GraphStore::get`] and surface a typed error instead.
+    ///
+    /// # Panics
+    /// Panics if `id` is foreign to this store or was removed.
+    fn index(&self, id: GraphId) -> &Graph {
+        self.get(id)
+            .unwrap_or_else(|| panic!("GraphStore: no graph with id {id} (foreign or removed)"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        Graph::from_edges(labels.iter().map(|&l| Label(l)).collect(), edges)
+    }
+
+    #[test]
+    fn insert_get_contains_roundtrip() {
+        let mut store = GraphStore::new();
+        let ga = g(&[1, 2, 3], &[(0, 1), (1, 2)]);
+        let a = store.insert(ga.clone());
+        assert_eq!(store.get(a), Some(&ga));
+        assert!(store.contains(a));
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn signatures_are_sorted_summaries() {
+        let mut store = GraphStore::new();
+        let id = store.insert(g(&[5, 1, 5], &[(0, 1), (0, 2)]));
+        let sig = store.signature(id).unwrap();
+        assert_eq!(sig.num_nodes(), 3);
+        assert_eq!(sig.num_edges(), 2);
+        assert_eq!(sig.labels(), &[Label(1), Label(5), Label(5)]);
+        assert_eq!(sig.degrees(), &[1, 1, 2]); // node 0 has degree 2
+    }
+
+    #[test]
+    fn removal_invalidates_only_the_removed_id() {
+        let mut store = GraphStore::new();
+        let a = store.insert(g(&[1], &[]));
+        let b = store.insert(g(&[2], &[]));
+        let removed = store.remove(a).expect("live id");
+        assert_eq!(removed.labels(), &[Label(1)]);
+        assert!(store.get(a).is_none());
+        assert!(store.signature(a).is_none());
+        assert!(store.remove(a).is_none(), "double remove is a no-op");
+        assert!(store.contains(b));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_never_reused_and_iteration_is_insertion_ordered() {
+        let mut store = GraphStore::new();
+        let a = store.insert(g(&[1], &[]));
+        let b = store.insert(g(&[2], &[]));
+        store.remove(a);
+        let c = store.insert(g(&[3], &[]));
+        assert!(a < b && b < c, "ids ascend in insertion order");
+        assert_eq!(store.ids(), vec![b, c]);
+        let labels: Vec<u32> = store.graphs().map(|g| g.labels()[0].0).collect();
+        assert_eq!(labels, vec![2, 3]);
+        let via_iter: Vec<GraphId> = store.iter().map(|(id, _)| id).collect();
+        let via_entries: Vec<GraphId> = store.entries().map(|(id, _, _)| id).collect();
+        assert_eq!(via_iter, store.ids());
+        assert_eq!(via_entries, store.ids());
+    }
+
+    #[test]
+    fn foreign_ids_do_not_resolve() {
+        let mut a = GraphStore::new();
+        let mut b = GraphStore::new();
+        let id_a = a.insert(g(&[1], &[]));
+        let id_b = b.insert(g(&[2], &[]));
+        assert!(b.get(id_a).is_none());
+        assert!(b.remove(id_a).is_none());
+        assert!(a.get(id_b).is_none());
+        assert_ne!(id_a, id_b);
+    }
+
+    #[test]
+    fn clones_are_snapshots_preserving_ids() {
+        let mut store = GraphStore::new();
+        let a = store.insert(g(&[7], &[]));
+        let snapshot = store.clone();
+        store.remove(a);
+        assert!(store.get(a).is_none());
+        assert_eq!(snapshot.get(a).map(|g| g.labels()[0]), Some(Label(7)));
+    }
+
+    #[test]
+    fn diverging_clones_never_mint_aliasing_ids() {
+        let mut a = GraphStore::new();
+        let mut b = a.clone();
+        let id_a = a.insert(g(&[1], &[]));
+        let id_b = b.insert(g(&[2], &[]));
+        assert_ne!(id_a, id_b, "post-clone inserts mint distinct ids");
+        assert!(b.get(id_a).is_none(), "a's id must not alias b's graph");
+        assert!(a.get(id_b).is_none(), "b's id must not alias a's graph");
+    }
+
+    #[test]
+    fn index_panics_on_dead_ids() {
+        let mut store = GraphStore::new();
+        let a = store.insert(g(&[1], &[]));
+        assert_eq!(store[a].num_nodes(), 1);
+        store.remove(a);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| store[a].num_nodes()));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn display_is_compact_and_distinct() {
+        let mut store = GraphStore::new();
+        let a = store.insert(g(&[1], &[]));
+        let b = store.insert(g(&[2], &[]));
+        assert!(a.to_string().starts_with('g'));
+        assert_ne!(a.to_string(), b.to_string());
+    }
+}

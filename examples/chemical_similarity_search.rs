@@ -4,9 +4,9 @@
 //! with the smallest GED.
 //!
 //! The example trains a small GEDIOT model on exact ground truth, builds
-//! a [`GedEngine`] whose default method is the GEDHOT ensemble, ranks the
-//! database with a `TopK` query, and compares the top-5 against the exact
-//! ranking.
+//! a [`GedEngine`] whose default method is the GEDHOT ensemble, indexes
+//! the training compounds in a [`GraphStore`], ranks them with a `TopK`
+//! query, and compares the top-5 against the exact ranking.
 //!
 //! Run with: `cargo run --release --example chemical_similarity_search`
 
@@ -31,7 +31,7 @@ fn main() {
     let mut train_pairs = Vec::new();
     for (a, &i) in split.train.iter().enumerate() {
         for &j in split.train.iter().skip(a + 1).take(14) {
-            let (g1, g2, _) = ot_ged::core::pairs::ordered(&db.graphs[i], &db.graphs[j]);
+            let (g1, g2, _) = ot_ged::core::pairs::ordered(&db[i], &db[j]);
             let res = astar_exact(g1, g2);
             train_pairs.push(GedPair::supervised(
                 g1.clone(),
@@ -64,25 +64,35 @@ fn main() {
         .build()
         .expect("GEDHOT is registered");
 
-    // Query: first test compound; candidates: the training database.
-    let query = &db.graphs[split.test[0]];
-    let candidates = GraphDataset {
-        kind: db.kind,
-        graphs: split.train.iter().map(|&i| db.graphs[i].clone()).collect(),
-    };
-    let ranked = engine
+    // Query: first test compound; candidates: the training compounds,
+    // indexed in their own store.
+    let query = &db[split.test[0]];
+    let candidates = GraphStore::from_graphs(split.train.iter().map(|&i| db[i].clone()));
+    // Ranking metrics need every candidate scored, so this query cannot
+    // prune; the top-5 retrieval below is where filter–verify saves work.
+    let full = engine
         .top_k(query, &candidates, candidates.len())
         .expect("valid query");
+    let result = engine.top_k(query, &candidates, 5).expect("valid query");
+    // On a 28-graph candidate set the filter rarely beats the first
+    // verification block; see examples/range_search.rs for the stats at
+    // sizes where pruning dominates.
+    println!(
+        "filter–verify for the top-5 query: {} of {} candidates verified ({} pruned)",
+        result.stats.verified,
+        result.stats.candidates,
+        result.stats.pruned()
+    );
 
+    // `full.neighbors` is sorted by GED; restore the candidates' id
+    // (= insertion) order for the metrics.
     let preds: Vec<f64> = {
-        // `ranked` is sorted; restore candidate order for the metrics.
-        let mut by_index = ranked.clone();
-        by_index.sort_by_key(|n| n.index);
-        by_index.iter().map(|n| n.ged).collect()
+        let mut by_id = full.neighbors.clone();
+        by_id.sort_by_key(|n| n.id);
+        by_id.iter().map(|n| n.ged).collect()
     };
     let exacts: Vec<f64> = candidates
-        .graphs
-        .iter()
+        .graphs()
         .map(|cand| astar_exact(query, cand).ged as f64)
         .collect();
     println!(
@@ -91,14 +101,20 @@ fn main() {
         precision_at_k(&preds, &exacts, 5)
     );
 
+    // Positions of candidate-store ids back into the exact-GED list.
+    let cand_ids = candidates.ids();
     println!("\ntop-5 most similar compounds (predicted | exact GED):");
-    for (rank, n) in ranked.iter().take(5).enumerate() {
+    for (rank, n) in result.neighbors.iter().take(5).enumerate() {
+        let pos = cand_ids
+            .iter()
+            .position(|&id| id == n.id)
+            .expect("neighbor ids come from the candidate store");
         println!(
-            "  #{} compound {:>3}: {:>6.2} | {}",
+            "  #{} compound {:>4}: {:>6.2} | {}",
             rank + 1,
-            split.train[n.index],
+            n.id,
             n.ged,
-            exacts[n.index]
+            exacts[pos]
         );
     }
 }

@@ -56,7 +56,8 @@ pub mod prelude {
     pub use ged_baselines::astar::{astar_beam, astar_exact};
     pub use ged_baselines::classic::{classic_ged, hungarian_ged, vj_ged};
     pub use ged_core::engine::{
-        DistanceMatrix, GedEngine, GedEngineBuilder, GedQuery, GedResponse, Neighbor,
+        DistanceMatrix, GedEngine, GedEngineBuilder, GedQuery, GedResponse, Neighbor, SearchResult,
+        SearchStats,
     };
     pub use ged_core::ensemble::Gedhot;
     pub use ged_core::error::GedError;
@@ -69,7 +70,7 @@ pub mod prelude {
     };
     pub use ged_eval::metrics;
     pub use ged_graph::{
-        max_edit_ops, normalized_ged, DatasetKind, EditOp, EditPath, Graph, GraphDataset, Label,
-        NodeMapping, Split,
+        max_edit_ops, normalized_ged, DatasetKind, EditOp, EditPath, Graph, GraphDataset, GraphId,
+        GraphSignature, GraphStore, Label, NodeMapping, Split,
     };
 }

@@ -1,0 +1,30 @@
+//! Shared oracle for the search integration tests.
+
+use ot_ged::core::lower_bound::{degree_sequence_lower_bound, label_set_lower_bound};
+use ot_ged::core::pairs::GedPair;
+use ot_ged::core::solver::GedSolver;
+use ot_ged::prelude::*;
+
+/// The brute-force reference a filter–verify search must reproduce
+/// exactly: evaluate every stored graph directly on the solver, refine
+/// each prediction with the admissible lower bound the engine applies
+/// (`max(prediction, lb)`), and sort by (ged, id).
+pub fn brute_force_refined(
+    store: &GraphStore,
+    query: &Graph,
+    solver: &dyn GedSolver,
+) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = store
+        .iter()
+        .map(|(id, g)| {
+            let pair = GedPair::new(query.clone(), g.clone());
+            let lb = label_set_lower_bound(query, g).max(degree_sequence_lower_bound(query, g));
+            Neighbor {
+                id,
+                ged: solver.predict(&pair).ged.max(lb as f64),
+            }
+        })
+        .collect();
+    all.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.id.cmp(&b.id)));
+    all
+}

@@ -1,14 +1,17 @@
 //! Integration tests for the `GedEngine` query API.
 //!
-//! The load-bearing contract: `GedQuery::TopK` must return exactly the
-//! ranking a brute-force per-pair evaluation produces (on a ≥ 50-graph
-//! synthetic dataset), and every documented error path must surface as a
-//! typed `GedError` instead of a panic.
+//! The load-bearing contract: `GedQuery::TopK` over a `GraphStore` must
+//! return exactly the ranking a brute-force per-pair evaluation produces
+//! (on a ≥ 50-graph synthetic dataset) while invoking the solver on
+//! strictly fewer candidates, and every documented error path must
+//! surface as a typed `GedError` instead of a panic.
 
 use ot_ged::core::pairs::GedPair;
 use ot_ged::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+mod common;
 
 /// An engine over the training-free solvers (GEDGW default), so tests
 /// need no model training.
@@ -22,47 +25,58 @@ fn engine() -> GedEngine {
         .expect("valid configuration")
 }
 
+/// The ranking the engine promises to reproduce exactly.
+fn brute_force(store: &GraphStore, query: &Graph) -> Vec<Neighbor> {
+    common::brute_force_refined(store, query, &GedgwSolver)
+}
+
 #[test]
-fn top_k_matches_brute_force_ranking_on_50_graph_dataset() {
+fn top_k_matches_brute_force_ranking_on_50_graph_store() {
     let mut rng = SmallRng::seed_from_u64(20_260_728);
     let dataset = GraphDataset::aids_like(50, &mut rng);
     assert!(dataset.len() >= 50);
-    let query = GraphDataset::aids_like(1, &mut rng).graphs[0].clone();
-
-    // Brute force: evaluate every pair directly on the solver, then sort
-    // by (ged, index) — the engine promises exactly this ranking.
-    let mut brute: Vec<(usize, f64)> = dataset
-        .graphs
-        .iter()
-        .enumerate()
-        .map(|(i, g)| {
-            let pair = GedPair::new(query.clone(), g.clone());
-            (i, GedgwSolver.predict(&pair).ged)
-        })
-        .collect();
-    brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    let query = GraphDataset::aids_like(1, &mut rng)
+        .graphs()
+        .next()
+        .unwrap()
+        .clone();
+    let brute = brute_force(&dataset, &query);
 
     let engine = engine();
     for k in [1usize, 5, 10, 50] {
         let response = engine
             .query(GedQuery::TopK {
                 query: &query,
-                dataset: &dataset,
+                store: &dataset,
                 k,
             })
             .expect("valid top-k query");
-        let neighbors = response.into_top_k().expect("TopK yields TopK");
-        assert_eq!(neighbors.len(), k.min(dataset.len()));
-        for (n, (want_idx, want_ged)) in neighbors.iter().zip(&brute) {
-            assert_eq!(n.index, *want_idx, "k={k}: rank order differs");
+        let result = response.into_top_k().expect("TopK yields TopK");
+        assert_eq!(result.neighbors.len(), k.min(dataset.len()));
+        for (n, want) in result.neighbors.iter().zip(&brute) {
+            assert_eq!(n.id, want.id, "k={k}: rank order differs");
             assert_eq!(
                 n.ged.to_bits(),
-                want_ged.to_bits(),
-                "k={k}: distance differs at index {}",
-                n.index
+                want.ged.to_bits(),
+                "k={k}: distance differs at id {}",
+                n.id
             );
         }
+        // Filter–verify accounting always closes.
+        assert_eq!(result.stats.candidates, dataset.len());
+        assert_eq!(
+            result.stats.pruned() + result.stats.verified,
+            result.stats.candidates
+        );
     }
+    // For small k the lower bounds must save solver invocations.
+    let result = engine.top_k(&query, &dataset, 5).expect("valid query");
+    assert!(
+        result.stats.verified < dataset.len(),
+        "filter–verify must call the solver on strictly fewer pairs: {:?}",
+        result.stats
+    );
+    assert!(result.stats.pruned() > 0, "stats: {:?}", result.stats);
 }
 
 #[test]
@@ -71,15 +85,17 @@ fn distance_matrix_agrees_with_per_pair_evaluation() {
     let dataset = GraphDataset::linux_like(8, &mut rng);
     let engine = engine();
     let m = engine
-        .query(GedQuery::Matrix { dataset: &dataset })
+        .query(GedQuery::Matrix { store: &dataset })
         .unwrap()
         .into_matrix()
         .unwrap();
     assert_eq!(m.size(), dataset.len());
+    assert_eq!(m.ids(), dataset.ids().as_slice());
+    let graphs: Vec<&Graph> = dataset.graphs().collect();
     for i in 0..dataset.len() {
         assert_eq!(m.get(i, i), 0.0, "diagonal must be zero");
         for j in (i + 1)..dataset.len() {
-            let pair = GedPair::new(dataset.graphs[i].clone(), dataset.graphs[j].clone());
+            let pair = GedPair::new(graphs[i].clone(), graphs[j].clone());
             let want = GedgwSolver.predict(&pair).ged;
             assert_eq!(m.get(i, j).to_bits(), want.to_bits(), "({i},{j})");
             assert_eq!(m.get(j, i).to_bits(), want.to_bits(), "symmetry ({j},{i})");
@@ -100,7 +116,8 @@ fn unregistered_method_is_a_typed_error() {
     let engine = engine();
     let mut rng = SmallRng::seed_from_u64(3);
     let ds = GraphDataset::aids_like(2, &mut rng);
-    let pair = GedPair::new(ds.graphs[0].clone(), ds.graphs[1].clone());
+    let gs: Vec<&Graph> = ds.graphs().collect();
+    let pair = GedPair::new(gs[0].clone(), gs[1].clone());
     let err = engine
         .query_as(MethodKind::Gediot, GedQuery::Value { pair: &pair })
         .unwrap_err();
@@ -114,30 +131,40 @@ fn empty_graph_queries_error_instead_of_panicking() {
     let ds = GraphDataset::aids_like(3, &mut rng);
     let empty = Graph::new();
 
-    let err = engine.ged(&empty, &ds.graphs[0]).unwrap_err();
+    let err = engine.ged(&empty, ds.graphs().next().unwrap()).unwrap_err();
     assert_eq!(err, GedError::EmptyGraph("g1".to_string()));
 
     let err = engine
         .query(GedQuery::TopK {
             query: &empty,
-            dataset: &ds,
+            store: &ds,
             k: 2,
         })
         .unwrap_err();
     assert_eq!(err, GedError::EmptyGraph("query".to_string()));
+
+    // A node-less graph *inside* the store is caught by the signature
+    // scan and named by id.
+    let mut ds = ds;
+    let bad = ds.insert(Graph::new());
+    let query = ds.graphs().next().unwrap().clone();
+    let err = engine.top_k(&query, &ds, 2).unwrap_err();
+    assert_eq!(err, GedError::EmptyGraph(format!("store graph {bad}")));
 }
 
 #[test]
-fn zero_k_and_empty_datasets_are_typed_errors() {
+fn zero_k_and_empty_stores_are_typed_errors() {
     let engine = engine();
     let mut rng = SmallRng::seed_from_u64(5);
     let ds = GraphDataset::aids_like(3, &mut rng);
-    let pair = GedPair::new(ds.graphs[0].clone(), ds.graphs[1].clone());
+    let gs: Vec<&Graph> = ds.graphs().collect();
+    let pair = GedPair::new(gs[0].clone(), gs[1].clone());
+    let query = gs[0].clone();
 
     let err = engine
         .query(GedQuery::TopK {
-            query: &ds.graphs[0],
-            dataset: &ds,
+            query: &query,
+            store: &ds,
             k: 0,
         })
         .unwrap_err();
@@ -151,34 +178,75 @@ fn zero_k_and_empty_datasets_are_typed_errors() {
         .unwrap_err();
     assert_eq!(err, GedError::InvalidK { what: "beam width" });
 
-    let empty = GraphDataset {
-        kind: ds.kind,
-        graphs: Vec::new(),
-    };
+    let empty = GraphStore::new();
     let err = engine
         .query(GedQuery::TopK {
-            query: &ds.graphs[0],
-            dataset: &empty,
+            query: &query,
+            store: &empty,
             k: 3,
         })
         .unwrap_err();
-    assert_eq!(err, GedError::EmptyDataset);
+    assert_eq!(err, GedError::EmptyStore);
     let err = engine
-        .query(GedQuery::Matrix { dataset: &empty })
+        .query(GedQuery::Range {
+            query: &query,
+            store: &empty,
+            tau: 3.0,
+        })
         .unwrap_err();
-    assert_eq!(err, GedError::EmptyDataset);
+    assert_eq!(err, GedError::EmptyStore);
+    let err = engine
+        .query(GedQuery::Matrix { store: &empty })
+        .unwrap_err();
+    assert_eq!(err, GedError::EmptyStore);
 }
 
 #[test]
-fn top_k_larger_than_dataset_returns_all_graphs_ranked() {
+fn foreign_and_removed_ids_are_typed_errors() {
+    let engine = engine();
+    let mut rng = SmallRng::seed_from_u64(8);
+    let mut ds = GraphDataset::aids_like(4, &mut rng);
+    let other = GraphDataset::aids_like(2, &mut rng);
+    let ids = ds.ids();
+
+    // Foreign id: minted by a different store.
+    let foreign = other.ids()[0];
+    assert_eq!(
+        engine.top_k_by_id(&ds, foreign, 2).unwrap_err(),
+        GedError::UnknownGraphId(foreign)
+    );
+    assert_eq!(
+        engine.ged_by_ids(&ds, ids[0], foreign).unwrap_err(),
+        GedError::UnknownGraphId(foreign)
+    );
+
+    // Removed id: was valid, is not anymore.
+    ds.remove(ids[1]);
+    assert_eq!(
+        engine.top_k_by_id(&ds, ids[1], 2).unwrap_err(),
+        GedError::UnknownGraphId(ids[1])
+    );
+    // And the removed graph no longer appears in results.
+    let result = engine.top_k_by_id(&ds, ids[0], 10).unwrap();
+    assert!(result.neighbors.iter().all(|n| n.id != ids[1]));
+    assert_eq!(result.neighbors.len(), ds.len());
+}
+
+#[test]
+fn top_k_larger_than_store_returns_all_graphs_ranked() {
     let engine = engine();
     let mut rng = SmallRng::seed_from_u64(6);
     let ds = GraphDataset::aids_like(7, &mut rng);
-    let neighbors = engine.top_k(&ds.graphs[0], &ds, 1000).expect("clamped");
-    assert_eq!(neighbors.len(), ds.len(), "k is clamped to the dataset");
-    for w in neighbors.windows(2) {
+    let first = ds.ids()[0];
+    let result = engine.top_k_by_id(&ds, first, 1000).expect("clamped");
+    assert_eq!(
+        result.neighbors.len(),
+        ds.len(),
+        "k is clamped to the store"
+    );
+    for w in result.neighbors.windows(2) {
         assert!(w[0].ged <= w[1].ged, "ascending ranking");
     }
-    // The query itself is in the dataset: its self-distance ranks first.
-    assert_eq!(neighbors[0].index, 0);
+    // The query itself is in the store: its self-distance ranks first.
+    assert_eq!(result.neighbors[0].id, first);
 }

@@ -1,0 +1,208 @@
+//! Property-style integration tests for the filter–verify store search:
+//! over ≥ 50-graph stores and across two solver methods, `GedQuery::TopK`
+//! and `GedQuery::Range` must return *exactly* the brute-force answer
+//! (every stored graph evaluated, same bound refinement) while invoking
+//! the solver on strictly fewer candidates — observable through
+//! `SearchStats`.
+
+use ot_ged::baselines::solvers::ClassicSolver;
+use ot_ged::core::solver::GedSolver;
+use ot_ged::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+mod common;
+
+/// An engine over the two training-free methods the properties sweep.
+fn engine() -> GedEngine {
+    let mut registry = SolverRegistry::new();
+    registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+    registry.register(MethodKind::Classic, Box::new(ClassicSolver));
+    GedEngine::builder(registry)
+        .method(MethodKind::Gedgw)
+        .build()
+        .expect("valid configuration")
+}
+
+fn solver_for(method: MethodKind) -> Box<dyn GedSolver> {
+    match method {
+        MethodKind::Gedgw => Box::new(GedgwSolver),
+        MethodKind::Classic => Box::new(ClassicSolver),
+        _ => unreachable!("tests sweep training-free methods only"),
+    }
+}
+
+/// Brute force over the whole store, exactly as the engine computes it.
+fn brute_force(store: &GraphStore, query: &Graph, method: MethodKind) -> Vec<Neighbor> {
+    common::brute_force_refined(store, query, solver_for(method).as_ref())
+}
+
+fn assert_same(got: &[Neighbor], want: &[Neighbor], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: result size");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.id, w.id, "{ctx}: id order");
+        assert_eq!(g.ged.to_bits(), w.ged.to_bits(), "{ctx}: value at {}", g.id);
+    }
+}
+
+fn stores() -> Vec<GraphDataset> {
+    let mut rng = SmallRng::seed_from_u64(20_270_101);
+    vec![
+        GraphDataset::aids_like(60, &mut rng),
+        GraphDataset::linux_like(50, &mut rng),
+    ]
+}
+
+#[test]
+fn top_k_equals_brute_force_across_methods_and_stores() {
+    let engine = engine();
+    for ds in stores() {
+        assert!(ds.len() >= 50);
+        // Query with a member of the collection — the similarity-search
+        // scenario: close neighbors exist, so the k-th-best threshold
+        // tightens and the bounds can discard the far candidates.
+        let query = ds.graphs().next().unwrap().clone();
+        for method in [MethodKind::Gedgw, MethodKind::Classic] {
+            let brute = brute_force(&ds, &query, method);
+            let mut pruned_somewhere = false;
+            for k in [1usize, 5, 13, ds.len()] {
+                let ctx = format!("{}/{}/k={}", ds.kind.name(), method, k);
+                let result = engine
+                    .top_k_as(method, &query, &ds, k)
+                    .expect("valid query");
+                assert_same(&result.neighbors, &brute[..k.min(brute.len())], &ctx);
+                assert_eq!(result.stats.candidates, ds.len(), "{ctx}");
+                assert_eq!(
+                    result.stats.pruned() + result.stats.verified,
+                    result.stats.candidates,
+                    "{ctx}: accounting must close"
+                );
+                if k < ds.len() / 2 {
+                    assert!(
+                        result.stats.verified < ds.len(),
+                        "{ctx}: must invoke the solver on strictly fewer pairs: {:?}",
+                        result.stats
+                    );
+                }
+                pruned_somewhere |= result.stats.pruned() > 0;
+            }
+            assert!(
+                pruned_somewhere,
+                "{}/{method}: pruning never fired",
+                ds.kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn range_equals_brute_force_across_methods_and_stores() {
+    let engine = engine();
+    for ds in stores() {
+        let query = ds.graphs().next().unwrap().clone();
+        for method in [MethodKind::Gedgw, MethodKind::Classic] {
+            let brute = brute_force(&ds, &query, method);
+            // Thresholds spanning tight to loose, data-derived so every
+            // regime is non-trivial.
+            let taus = [
+                brute[2].ged,
+                brute[brute.len() / 4].ged,
+                brute[brute.len() / 2].ged,
+            ];
+            let mut pruned_somewhere = false;
+            for tau in taus {
+                let ctx = format!("{}/{}/tau={:.3}", ds.kind.name(), method, tau);
+                let result = engine
+                    .range_as(method, &query, &ds, tau)
+                    .expect("valid query");
+                let want: Vec<Neighbor> = brute.iter().copied().filter(|n| n.ged <= tau).collect();
+                assert_same(&result.neighbors, &want, &ctx);
+                assert!(!result.neighbors.is_empty(), "{ctx}: τ chosen non-trivial");
+                assert_eq!(
+                    result.stats.pruned() + result.stats.verified,
+                    result.stats.candidates,
+                    "{ctx}: accounting must close"
+                );
+                pruned_somewhere |= result.stats.pruned() > 0;
+                if result.stats.pruned() > 0 {
+                    assert!(
+                        result.stats.verified < ds.len(),
+                        "{ctx}: pruning must save solver calls: {:?}",
+                        result.stats
+                    );
+                }
+            }
+            assert!(
+                pruned_somewhere,
+                "{}/{method}: pruning never fired",
+                ds.kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn search_stays_consistent_across_incremental_updates() {
+    let engine = engine();
+    let mut rng = SmallRng::seed_from_u64(44);
+    let mut ds = GraphDataset::aids_like(50, &mut rng);
+    let query = GraphDataset::aids_like(1, &mut rng)
+        .graphs()
+        .next()
+        .unwrap()
+        .clone();
+
+    // Remove the current best, insert a fresh graph, re-query: the store
+    // is live, and filter–verify stays exactly brute-force-equal.
+    for round in 0..3 {
+        let result = engine.top_k(&query, &ds, 5).expect("valid query");
+        let brute = brute_force(&ds, &query, MethodKind::Gedgw);
+        assert_same(&result.neighbors, &brute[..5], &format!("round {round}"));
+
+        let best = result.neighbors[0].id;
+        ds.remove(best);
+        let fresh = GraphDataset::aids_like(1, &mut rng)
+            .graphs()
+            .next()
+            .unwrap()
+            .clone();
+        let new_id = ds.insert(fresh);
+        assert!(ds.contains(new_id));
+        let rerun = engine.top_k(&query, &ds, ds.len()).expect("valid query");
+        assert!(rerun.neighbors.iter().all(|n| n.id != best));
+        assert!(rerun.neighbors.iter().any(|n| n.id == new_id));
+    }
+}
+
+#[test]
+fn parallel_verification_is_bit_identical_to_sequential() {
+    // The verify phase runs through BatchRunner; thread count must never
+    // change a search answer.
+    let mut rng = SmallRng::seed_from_u64(45);
+    let ds = GraphDataset::aids_like(50, &mut rng);
+    let query = GraphDataset::aids_like(1, &mut rng)
+        .graphs()
+        .next()
+        .unwrap()
+        .clone();
+    let build = |threads: usize| {
+        let mut registry = SolverRegistry::new();
+        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        GedEngine::builder(registry)
+            .threads(threads)
+            .build()
+            .expect("valid configuration")
+    };
+    let sequential = build(1);
+    let parallel = build(4);
+    let a = sequential.top_k(&query, &ds, 7).unwrap();
+    let b = parallel.top_k(&query, &ds, 7).unwrap();
+    assert_eq!(a.stats, b.stats, "plan is thread-independent");
+    assert_same(&a.neighbors, &b.neighbors, "threads=1 vs threads=4");
+
+    let tau = a.neighbors[3].ged;
+    let ra = sequential.range(&query, &ds, tau).unwrap();
+    let rb = parallel.range(&query, &ds, tau).unwrap();
+    assert_eq!(ra.stats, rb.stats);
+    assert_same(&ra.neighbors, &rb.neighbors, "range threads=1 vs 4");
+}
