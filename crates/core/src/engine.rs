@@ -18,7 +18,8 @@
 //! | [`GedQuery::Value`] | [`GedResponse::Value`] | one pair, value estimate |
 //! | [`GedQuery::Path`] | [`GedResponse::Path`] | one pair, feasible edit path |
 //! | [`GedQuery::TopK`] | [`GedResponse::TopK`] | query graph vs. store, ranked neighbors |
-//! | [`GedQuery::Range`] | [`GedResponse::Range`] | query graph vs. store, all within GED ≤ τ |
+//! | [`GedQuery::Range`] | [`GedResponse::Range`] | query graph vs. store, all within estimated GED ≤ τ |
+//! | [`GedQuery::RangeExact`] | [`GedResponse::RangeExact`] | query graph vs. store, all within **exact** GED ≤ τ |
 //! | [`GedQuery::Matrix`] | [`GedResponse::Matrix`] | full pairwise distance matrix |
 //!
 //! # Filter–verify search
@@ -42,6 +43,36 @@
 //! graph (enforced by `tests/store_search.rs`). Each search answer
 //! carries [`SearchStats`] counting candidates pruned per filter tier
 //! vs. verified, so the saved solver invocations are observable.
+//!
+//! # Exact range search
+//!
+//! [`GedQuery::RangeExact`] is the τ-**exact** variant of `Range`: it
+//! retrieves every stored graph whose *true* GED to the query is `≤ τ`,
+//! with exact distances, through the paper's three-tier
+//! filter–prune–verify plan (Section 2; see [`crate::search`]):
+//!
+//! 1. **filter** — the signature-fed label-set and degree-sequence lower
+//!    bounds discard candidates with `bound > τ` (no graph access at all);
+//! 2. **prune** — the feasible GEDGW best-matching-rounding upper bound
+//!    ([`crate::search::fast_upper_bound`]) *accepts* candidates with
+//!    `bound ≤ τ` without any τ-bounded search (the exact distance is then
+//!    recovered by a search bounded by the tighter feasible bound itself);
+//! 3. **verify** — survivors run the τ-bounded exact A\*
+//!    ([`crate::search::bounded_exact_ged_with_budget`]) in parallel
+//!    through the engine's [`BatchRunner`].
+//!
+//! Unlike the approximate plan, no solver is consulted: every tier is
+//! exact or admissible, so the answer is **provably** equal to running
+//! [`crate::search::bounded_exact_ged`] against every stored graph —
+//! independent of the selected method, the thread count, and the order
+//! candidates are processed in. Exact search can still blow up on a
+//! pathological pair, so [`GedEngineBuilder::verify_budget`] caps the
+//! node expansions any single verification may spend; candidates that
+//! exhaust the budget are reported per-id in
+//! [`RangeExactResult::budget_exhausted`] — keeping whatever membership
+//! evidence was already proven ([`UndecidedCandidate::known_match_ub`])
+//! — instead of failing or stalling the whole query.
+//! [`ExactSearchStats`] accounts every stored graph to exactly one tier.
 //!
 //! # Example
 //!
@@ -88,6 +119,7 @@ use crate::error::GedError;
 use crate::lower_bound::{degree_sequence_lower_bound_sig, label_set_lower_bound_sig};
 use crate::method::MethodKind;
 use crate::pairs::GedPair;
+use crate::search::{prune_or_verify, CandidateOutcome, ExactSearchStats};
 use crate::solver::{BatchRunner, GedEstimate, GedSolver, PathEstimate, SolverRegistry};
 use ged_graph::{Graph, GraphId, GraphSignature, GraphStore};
 use std::collections::HashMap;
@@ -137,6 +169,52 @@ pub struct SearchResult {
     pub neighbors: Vec<Neighbor>,
     /// How the filter–verify plan spent its work.
     pub stats: SearchStats,
+}
+
+/// One match of a [`GedQuery::RangeExact`] search: a stored graph whose
+/// **exact** GED to the query is within the threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExactNeighbor {
+    /// Stable id of the matching graph in the searched [`GraphStore`].
+    pub id: GraphId,
+    /// The exact GED between the query and that graph (`≤ τ`).
+    pub ged: usize,
+}
+
+/// A candidate a [`GedQuery::RangeExact`] verify budget could not fully
+/// resolve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UndecidedCandidate {
+    /// Stable id of the candidate in the searched [`GraphStore`].
+    pub id: GraphId,
+    /// `Some(ub)` when the prune tier had already proven membership
+    /// (`GED ≤ ub ≤ τ`) and only the exact-distance recovery ran out of
+    /// budget — the candidate **is** a match, with `ub` its best known
+    /// distance; `None` when the τ-bounded verification itself was cut
+    /// short and membership is genuinely unknown.
+    pub known_match_ub: Option<usize>,
+}
+
+/// The answer to a [`GedQuery::RangeExact`] search (see the
+/// [module docs](self)): every match with its exact GED, the candidates
+/// the expansion budget could not fully resolve, and per-tier
+/// statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RangeExactResult {
+    /// Every stored graph with exact GED ≤ τ, in ascending [`GraphId`]
+    /// order (deterministic, equal to a brute-force τ-bounded scan).
+    /// Distances here are always exact; a proven match whose exact
+    /// distance the budget could not recover is reported in
+    /// [`Self::budget_exhausted`] with its feasible bound instead.
+    pub matches: Vec<ExactNeighbor>,
+    /// Candidates whose bounded search ran out of node expansions
+    /// ([`GedEngineBuilder::verify_budget`]), in ascending [`GraphId`]
+    /// order — each with the membership evidence that survived. Empty
+    /// when the budget is unlimited (the default).
+    pub budget_exhausted: Vec<UndecidedCandidate>,
+    /// How the three-tier plan spent its work;
+    /// [`ExactSearchStats::total`] always equals the store size.
+    pub stats: ExactSearchStats,
 }
 
 /// A symmetric pairwise distance matrix over a store
@@ -244,8 +322,22 @@ pub enum GedQuery<'a> {
         query: &'a Graph,
         /// The store to search.
         store: &'a GraphStore,
-        /// The GED threshold τ (must be finite; a negative τ simply
-        /// matches nothing).
+        /// The GED threshold τ (NaN is rejected; `+∞` degrades to a full
+        /// scan; a negative τ simply matches nothing).
+        tau: f64,
+    },
+    /// Retrieve every stored graph whose **exact** GED to `query` is at
+    /// most `tau`, with exact distances, via the three-tier
+    /// filter–prune–verify plan of the [module docs](self).
+    RangeExact {
+        /// The query graph.
+        query: &'a Graph,
+        /// The store to search.
+        store: &'a GraphStore,
+        /// The GED threshold τ. GED is integral, so a fractional τ means
+        /// `GED ≤ ⌊τ⌋`; NaN is rejected; `+∞` degrades to exact GED
+        /// computation over the whole store (full scan); a negative τ
+        /// matches nothing.
         tau: f64,
     },
     /// Compute the full pairwise distance matrix of a store.
@@ -268,6 +360,9 @@ pub enum GedResponse {
     /// Answer to [`GedQuery::Range`]: every neighbor within τ, sorted by
     /// ascending GED (ties broken by [`GraphId`]), plus search stats.
     Range(SearchResult),
+    /// Answer to [`GedQuery::RangeExact`]: every exact match in id order,
+    /// budget-undecided candidates, and per-tier stats.
+    RangeExact(RangeExactResult),
     /// Answer to [`GedQuery::Matrix`].
     Matrix(DistanceMatrix),
 }
@@ -305,6 +400,15 @@ impl GedResponse {
     pub fn into_range(self) -> Option<SearchResult> {
         match self {
             GedResponse::Range(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The exact search result, if this is a [`GedResponse::RangeExact`].
+    #[must_use]
+    pub fn into_range_exact(self) -> Option<RangeExactResult> {
+        match self {
+            GedResponse::RangeExact(r) => Some(r),
             _ => None,
         }
     }
@@ -370,6 +474,7 @@ pub struct GedEngineBuilder {
     runner: BatchRunner,
     beam_width: usize,
     cache_capacity: usize,
+    verify_budget: usize,
 }
 
 impl GedEngineBuilder {
@@ -383,6 +488,7 @@ impl GedEngineBuilder {
             runner: BatchRunner::default(),
             beam_width: 16,
             cache_capacity: 0,
+            verify_budget: usize::MAX,
         }
     }
 
@@ -427,16 +533,33 @@ impl GedEngineBuilder {
         self
     }
 
+    /// Caps the node expansions any single τ-bounded exact verification
+    /// ([`GedQuery::RangeExact`]) may spend, so one pathological pair
+    /// cannot blow up a store-level query. Candidates that exhaust the
+    /// budget surface per-id in [`RangeExactResult::budget_exhausted`]
+    /// instead of failing the query. The default (`usize::MAX`) is
+    /// unlimited; must be ≥ 1 at [`Self::build`] time.
+    #[must_use]
+    pub fn verify_budget(mut self, budget: usize) -> Self {
+        self.verify_budget = budget;
+        self
+    }
+
     /// Validates the configuration and builds the engine.
     ///
     /// # Errors
     /// * [`GedError::Config`] — the registry is empty.
     /// * [`GedError::MethodNotRegistered`] — the selected default method
     ///   has no solver in the registry.
-    /// * [`GedError::InvalidK`] — the beam width is zero.
+    /// * [`GedError::InvalidK`] — the beam width or verify budget is zero.
     pub fn build(self) -> Result<GedEngine, GedError> {
         if self.beam_width == 0 {
             return Err(GedError::InvalidK { what: "beam width" });
+        }
+        if self.verify_budget == 0 {
+            return Err(GedError::InvalidK {
+                what: "verify budget",
+            });
         }
         let method = match self.method {
             Some(m) => m,
@@ -459,6 +582,7 @@ impl GedEngineBuilder {
             method,
             runner: self.runner,
             beam_width: self.beam_width,
+            verify_budget: self.verify_budget,
             cache,
         })
     }
@@ -485,6 +609,7 @@ pub struct GedEngine {
     method: MethodKind,
     runner: BatchRunner,
     beam_width: usize,
+    verify_budget: usize,
     cache: Option<Mutex<PredictionCache>>,
 }
 
@@ -494,6 +619,7 @@ impl std::fmt::Debug for GedEngine {
             .field("method", &self.method)
             .field("methods", &self.registry.methods())
             .field("beam_width", &self.beam_width)
+            .field("verify_budget", &self.verify_budget)
             .field("threads", &self.runner.threads())
             .field("cache", &self.cache.is_some())
             .finish()
@@ -517,6 +643,13 @@ impl GedEngine {
     #[must_use]
     pub fn beam_width(&self) -> usize {
         self.beam_width
+    }
+
+    /// The per-candidate node-expansion cap of exact verifications
+    /// (`usize::MAX` = unlimited).
+    #[must_use]
+    pub fn verify_budget(&self) -> usize {
+        self.verify_budget
     }
 
     /// Every method this engine can answer for, in registration order.
@@ -566,7 +699,7 @@ impl GedEngine {
     /// * [`GedError::InvalidK`] — a zero beam width or top-k size.
     /// * [`GedError::EmptyStore`] — a store-level query against an
     ///   empty store.
-    /// * [`GedError::Config`] — a non-finite range threshold.
+    /// * [`GedError::Config`] — a NaN range threshold.
     pub fn query_as(
         &self,
         method: MethodKind,
@@ -581,6 +714,9 @@ impl GedEngine {
             GedQuery::Range { query, store, tau } => self
                 .range_as(method, query, store, tau)
                 .map(GedResponse::Range),
+            GedQuery::RangeExact { query, store, tau } => self
+                .range_exact_as(method, query, store, tau)
+                .map(GedResponse::RangeExact),
             GedQuery::Matrix { store } => self
                 .distance_matrix_as(method, store)
                 .map(GedResponse::Matrix),
@@ -684,14 +820,22 @@ impl GedEngine {
     }
 
     /// Generates a feasible edit path for two graphs with the default
-    /// method and beam width.
+    /// method and beam width. The path transforms the pair's smaller
+    /// graph into its larger one; for equal node counts the caller's
+    /// orientation is preserved ([`GedPair::directed`] — edit paths are
+    /// direction-sensitive, so the equal-size canonicalization of
+    /// [`GedPair::new`] must not silently invert them).
     ///
     /// # Errors
     /// See [`Self::query_as`].
     pub fn edit_path(&self, g1: &Graph, g2: &Graph) -> Result<PathEstimate, GedError> {
         ensure_nonempty(g1, "g1")?;
         ensure_nonempty(g2, "g2")?;
-        self.edit_path_as(self.method, &GedPair::new(g1.clone(), g2.clone()), None)
+        self.edit_path_as(
+            self.method,
+            &GedPair::directed(g1.clone(), g2.clone()),
+            None,
+        )
     }
 
     /// Generates a feasible edit path for a prepared pair with an
@@ -863,10 +1007,12 @@ impl GedEngine {
     /// degree-sequence bound second, and only the surviving candidates
     /// are verified (in parallel through the engine's [`BatchRunner`]).
     /// Results sort by ascending (bound-refined) GED with ties broken by
-    /// id, exactly equal to a brute-force scan.
+    /// id, exactly equal to a brute-force scan. `tau = +∞` degrades to a
+    /// full scan — every candidate is verified and returned — matching
+    /// the τ = ∞ semantics of [`crate::search`].
     ///
     /// # Errors
-    /// [`GedError::Config`] if `tau` is NaN or infinite; otherwise see
+    /// [`GedError::Config`] if `tau` is NaN; otherwise see
     /// [`Self::query_as`].
     pub fn range_as(
         &self,
@@ -875,10 +1021,10 @@ impl GedEngine {
         store: &GraphStore,
         tau: f64,
     ) -> Result<SearchResult, GedError> {
-        if !tau.is_finite() {
-            return Err(GedError::Config(format!(
-                "range threshold must be finite, got {tau}"
-            )));
+        if tau.is_nan() {
+            return Err(GedError::Config(
+                "range threshold must not be NaN".to_string(),
+            ));
         }
         ensure_nonempty(query, "query")?;
         let solver = self.solver(method)?;
@@ -908,6 +1054,151 @@ impl GedEngine {
         let mut neighbors: Vec<Neighbor> = verified.into_iter().filter(|n| n.ged <= tau).collect();
         neighbors.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.id.cmp(&b.id)));
         Ok(SearchResult { neighbors, stats })
+    }
+
+    /// Retrieves every stored graph whose **exact** GED to `query` is
+    /// ≤ `tau`, with the default method. See [`Self::range_exact_as`].
+    ///
+    /// # Errors
+    /// See [`Self::range_exact_as`].
+    pub fn range_exact(
+        &self,
+        query: &Graph,
+        store: &GraphStore,
+        tau: f64,
+    ) -> Result<RangeExactResult, GedError> {
+        self.range_exact_as(self.method, query, store, tau)
+    }
+
+    /// Retrieves every stored graph whose **exact** GED to `query` is
+    /// ≤ `tau`, through the three-tier filter–prune–verify plan of the
+    /// [module docs](self): the signature-fed lower bounds discard,
+    /// the feasible GEDGW upper bound accepts early, and survivors run
+    /// the τ-bounded exact search in parallel through the engine's
+    /// [`BatchRunner`], each capped at [`Self::verify_budget`] node
+    /// expansions.
+    ///
+    /// Every tier is exact or admissible, so — unlike every other store
+    /// query — the answer does **not** depend on `method`: the parameter
+    /// is validated for dispatch symmetry with [`Self::query_as`] but
+    /// cannot change the result. `tau` follows [`GedQuery::RangeExact`]:
+    /// fractional τ floors, `+∞` is a full exact scan, negative matches
+    /// nothing.
+    ///
+    /// # Errors
+    /// [`GedError::Config`] if `tau` is NaN; otherwise see
+    /// [`Self::query_as`].
+    pub fn range_exact_as(
+        &self,
+        method: MethodKind,
+        query: &Graph,
+        store: &GraphStore,
+        tau: f64,
+    ) -> Result<RangeExactResult, GedError> {
+        if tau.is_nan() {
+            return Err(GedError::Config(
+                "exact range threshold must not be NaN".to_string(),
+            ));
+        }
+        // Exact search never consults the solver; validate the method
+        // anyway so `query_as(method, ..)` behaves uniformly.
+        let _ = self.solver(method)?;
+        ensure_nonempty(query, "query")?;
+        ensure_store_valid(store)?;
+
+        let mut stats = ExactSearchStats::default();
+        if tau < 0.0 {
+            // Every lower bound (≥ 0) exceeds a negative τ: the filter
+            // tier discards the whole store.
+            stats.filtered = store.len();
+            return Ok(RangeExactResult {
+                matches: Vec::new(),
+                budget_exhausted: Vec::new(),
+                stats,
+            });
+        }
+        // GED is integral: GED ≤ τ ⟺ GED ≤ ⌊τ⌋. `+∞` (and any τ beyond
+        // usize) saturates to an effectively unbounded threshold — τ is
+        // only ever compared, never added, so no overflow.
+        let tau = if tau.is_infinite() {
+            usize::MAX
+        } else {
+            tau.floor() as usize
+        };
+
+        // Tier 1 (filter): signature-fed admissible bounds, no graph
+        // access. The cheaper label-set bound goes first and
+        // short-circuits the degree bound, as in `range_as`. Survivors
+        // stay in ascending-id order.
+        let qsig = GraphSignature::of(query);
+        let mut survivors: Vec<GraphId> = Vec::new();
+        for (id, _, sig) in store.entries() {
+            if label_set_lower_bound_sig(&qsig, sig) > tau
+                || degree_sequence_lower_bound_sig(&qsig, sig) > tau
+            {
+                stats.filtered += 1;
+            } else {
+                survivors.push(id);
+            }
+        }
+
+        // Tiers 2 + 3 (prune / verify): per-candidate, embarrassingly
+        // parallel, deterministic — so thread count never changes the
+        // answer and input (id) order is preserved.
+        let outcomes = self.runner.map(&survivors, |&id| {
+            let cand = store.get(id).expect("survivor ids come from this store");
+            prune_or_verify(query, cand, tau, self.verify_budget)
+        });
+
+        let mut matches = Vec::new();
+        let mut budget_exhausted = Vec::new();
+        for (&id, outcome) in survivors.iter().zip(outcomes) {
+            match outcome {
+                CandidateOutcome::AcceptedEarly { ged } => {
+                    stats.accepted_early += 1;
+                    matches.push(ExactNeighbor { id, ged });
+                }
+                CandidateOutcome::Verified { ged } => {
+                    stats.verified += 1;
+                    matches.push(ExactNeighbor { id, ged });
+                }
+                CandidateOutcome::Rejected => stats.verified += 1,
+                CandidateOutcome::BudgetExhausted { accepted_ub } => {
+                    stats.budget_exceeded += 1;
+                    budget_exhausted.push(UndecidedCandidate {
+                        id,
+                        known_match_ub: accepted_ub,
+                    });
+                }
+            }
+        }
+        debug_assert_eq!(
+            stats.total(),
+            store.len(),
+            "every candidate lands in one tier"
+        );
+        Ok(RangeExactResult {
+            matches,
+            budget_exhausted,
+            stats,
+        })
+    }
+
+    /// Exact range search around the *stored* graph `id`, with the
+    /// default method. The query graph itself stays in the candidate set
+    /// (its self-distance 0 always matches for τ ≥ 0).
+    ///
+    /// # Errors
+    /// [`GedError::UnknownGraphId`] if `id` is foreign to `store` or was
+    /// removed; otherwise see [`Self::range_exact_as`].
+    pub fn range_exact_by_id(
+        &self,
+        store: &GraphStore,
+        id: GraphId,
+        tau: f64,
+    ) -> Result<RangeExactResult, GedError> {
+        let query = resolve(store, id)?;
+        self.range_exact_as(self.method, query, store, tau)
     }
 
     /// The verify phase shared by `TopK` and `Range`: runs the solver on
@@ -1119,6 +1410,19 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, GedError::InvalidK { what: "beam width" });
+
+        let mut registry = SolverRegistry::new();
+        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        let err = GedEngine::builder(registry)
+            .verify_budget(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GedError::InvalidK {
+                what: "verify budget"
+            }
+        );
     }
 
     #[test]
@@ -1146,6 +1450,39 @@ mod tests {
             .into_path()
             .unwrap();
         assert_eq!(path, direct_path);
+    }
+
+    #[test]
+    fn edit_path_preserves_equal_size_orientation() {
+        // Edit paths are direction-sensitive: the equal-size
+        // canonicalization of GedPair::new must not invert the caller's
+        // requested transformation.
+        let engine = gedgw_engine();
+        let mut rng = SmallRng::seed_from_u64(62);
+        let ds = GraphDataset::aids_like(30, &mut rng);
+        let gs: Vec<&Graph> = ds.graphs().collect();
+        let mut checked = 0;
+        for i in 0..gs.len() {
+            for j in (i + 1)..gs.len() {
+                let (a, b) = (gs[i], gs[j]);
+                if a.num_nodes() != b.num_nodes() || a == b {
+                    continue;
+                }
+                let got = engine.edit_path(a, b).unwrap();
+                let want = GedgwSolver
+                    .edit_path(
+                        &GedPair::directed(a.clone(), b.clone()),
+                        engine.beam_width(),
+                    )
+                    .unwrap();
+                assert_eq!(got, want, "path must transform a into b, not b into a");
+                checked += 1;
+                if checked >= 5 {
+                    return;
+                }
+            }
+        }
+        assert!(checked > 0, "the sweep must exercise equal-size pairs");
     }
 
     #[test]
@@ -1252,13 +1589,223 @@ mod tests {
             result.stats.candidates
         );
 
-        // Non-finite thresholds are rejected, negative ones match nothing.
+        // NaN thresholds are rejected, negative ones match nothing.
         assert!(matches!(
             engine.range(&query, &ds, f64::NAN).unwrap_err(),
             GedError::Config(_)
         ));
         let none = engine.range(&query, &ds, -1.0).unwrap();
         assert!(none.neighbors.is_empty());
+    }
+
+    #[test]
+    fn range_with_infinite_tau_is_a_full_scan() {
+        // The search module promises "τ = ∞ degrades to exact GED
+        // computation"; the approximate plan analogously degrades to a
+        // full verified scan returning every stored graph.
+        let engine = gedgw_engine();
+        let ds = small_dataset(20, 78);
+        let mut rng = SmallRng::seed_from_u64(102);
+        let query = GraphDataset::aids_like(1, &mut rng)
+            .graphs()
+            .next()
+            .unwrap()
+            .clone();
+        let result = engine.range(&query, &ds, f64::INFINITY).unwrap();
+        assert_eq!(result.neighbors.len(), ds.len(), "every graph matches");
+        assert_eq!(result.stats.verified, ds.len(), "nothing can be pruned");
+        assert_eq!(result.stats.pruned(), 0);
+        let brute = brute_force(&ds, &query);
+        for (got, want) in result.neighbors.iter().zip(&brute) {
+            assert_eq!(got.id, want.id);
+            assert_eq!(got.ged.to_bits(), want.ged.to_bits());
+        }
+    }
+
+    /// The brute-force reference for exact range search: τ-bounded exact
+    /// search against every stored graph, in id order.
+    fn brute_force_exact(store: &GraphStore, query: &Graph, tau: usize) -> Vec<ExactNeighbor> {
+        store
+            .iter()
+            .filter_map(|(id, g)| {
+                crate::search::bounded_exact_ged(query, g, tau).map(|ged| ExactNeighbor { id, ged })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn range_exact_equals_brute_force_bounded_scan() {
+        let engine = gedgw_engine();
+        let ds = small_dataset(25, 55);
+        let query = ds.graphs().next().unwrap().clone();
+        for tau in [0.0, 2.0, 4.0, 6.5] {
+            let result = engine
+                .query(GedQuery::RangeExact {
+                    query: &query,
+                    store: &ds,
+                    tau,
+                })
+                .unwrap()
+                .into_range_exact()
+                .unwrap();
+            let want = brute_force_exact(&ds, &query, tau.floor() as usize);
+            assert_eq!(result.matches, want, "tau={tau}");
+            assert!(result.budget_exhausted.is_empty(), "unlimited budget");
+            assert_eq!(result.stats.total(), ds.len(), "accounting closes");
+        }
+        // The member query matches itself with exact distance zero.
+        let self_hit = engine.range_exact(&query, &ds, 0.0).unwrap();
+        assert!(self_hit.matches.iter().any(|m| m.ged == 0));
+    }
+
+    #[test]
+    fn range_exact_tau_edge_cases() {
+        let engine = gedgw_engine();
+        let ds = small_dataset(10, 56);
+        let query = ds.graphs().next().unwrap().clone();
+
+        assert!(matches!(
+            engine.range_exact(&query, &ds, f64::NAN).unwrap_err(),
+            GedError::Config(_)
+        ));
+
+        // Negative τ matches nothing; the filter discards everything.
+        let none = engine.range_exact(&query, &ds, -3.0).unwrap();
+        assert!(none.matches.is_empty());
+        assert_eq!(none.stats.filtered, ds.len());
+
+        // τ = +∞ degrades to exact GED computation over the whole store.
+        let all = engine.range_exact(&query, &ds, f64::INFINITY).unwrap();
+        assert_eq!(all.matches.len(), ds.len(), "every graph matches at ∞");
+        assert_eq!(all.stats.filtered, 0, "nothing can be filtered at ∞");
+        let unbounded = brute_force_exact(&ds, &query, usize::MAX);
+        assert_eq!(all.matches, unbounded, "distances are plain exact GEDs");
+    }
+
+    #[test]
+    fn range_exact_is_method_independent_and_resolves_ids() {
+        use crate::gediot::{Gediot, GediotConfig};
+        use crate::solver::GedhotSolver;
+        use std::sync::Arc;
+
+        let mut rng = SmallRng::seed_from_u64(57);
+        let gediot = Arc::new(Gediot::new(GediotConfig::small(29), &mut rng));
+        let mut registry = SolverRegistry::new();
+        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        registry.register(MethodKind::Gedhot, Box::new(GedhotSolver::new(gediot)));
+        let engine = GedEngine::builder(registry).threads(1).build().unwrap();
+
+        let ds = small_dataset(12, 58);
+        let ids = ds.ids();
+        let query = ds[ids[0]].clone();
+
+        // Exact search consults no solver: every method gives the answer.
+        let a = engine
+            .range_exact_as(MethodKind::Gedgw, &query, &ds, 4.0)
+            .unwrap();
+        let b = engine
+            .range_exact_as(MethodKind::Gedhot, &query, &ds, 4.0)
+            .unwrap();
+        assert_eq!(a, b, "exact answers cannot depend on the method");
+        // ... but an unregistered method still errors, like every query.
+        let err = engine
+            .range_exact_as(MethodKind::Classic, &query, &ds, 4.0)
+            .unwrap_err();
+        assert_eq!(err, GedError::MethodNotRegistered(MethodKind::Classic));
+
+        let by_id = engine.range_exact_by_id(&ds, ids[0], 4.0).unwrap();
+        assert_eq!(by_id, a, "by-id resolves to the same query");
+        assert!(by_id.matches.iter().any(|m| m.id == ids[0] && m.ged == 0));
+
+        let foreign = small_dataset(1, 59).ids()[0];
+        let err = engine.range_exact_by_id(&ds, foreign, 4.0).unwrap_err();
+        assert_eq!(err, GedError::UnknownGraphId(foreign));
+    }
+
+    #[test]
+    fn range_exact_budget_surfaces_per_id_instead_of_poisoning() {
+        let mut registry = SolverRegistry::new();
+        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        let strangled = GedEngine::builder(registry)
+            .threads(1)
+            .verify_budget(1)
+            .build()
+            .unwrap();
+
+        let ds = small_dataset(15, 60);
+        let query = ds.graphs().next().unwrap().clone();
+        let result = strangled.range_exact(&query, &ds, 3.0).unwrap();
+        assert_eq!(result.stats.total(), ds.len(), "accounting still closes");
+        assert_eq!(
+            result.stats.budget_exceeded,
+            result.budget_exhausted.len(),
+            "stats mirror the per-id list"
+        );
+        // Whatever *was* decided must agree with the unbudgeted truth.
+        let want = brute_force_exact(&ds, &query, 3);
+        for m in &result.matches {
+            assert!(want.contains(m), "budgeted match must be a true match");
+        }
+        for w in &want {
+            assert!(
+                result.matches.contains(w) || result.budget_exhausted.iter().any(|u| u.id == w.id),
+                "a true match may only be missing because it was undecided"
+            );
+        }
+        // An exhausted candidate with a surviving membership proof really
+        // is a match, and the reported bound really bounds its GED.
+        for u in &result.budget_exhausted {
+            if let Some(ub) = u.known_match_ub {
+                assert!(ub <= 3, "the accepting bound must be within τ");
+                let truth = want.iter().find(|w| w.id == u.id);
+                let truth = truth.expect("proven membership must be true membership");
+                assert!(truth.ged <= ub, "ub must upper-bound the exact GED");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_size_pair_predictions_are_symmetric_and_cache_once() {
+        // Regression: GedPair::new only swapped on node count, so
+        // equal-size pairs kept caller orientation — predict(a, b) and
+        // predict(b, a) could differ and occupied two cache entries.
+        let mut registry = SolverRegistry::new();
+        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        let engine = GedEngine::builder(registry)
+            .prediction_cache(64)
+            .threads(1)
+            .build()
+            .unwrap();
+
+        let mut rng = SmallRng::seed_from_u64(61);
+        let ds = GraphDataset::aids_like(40, &mut rng);
+        let gs: Vec<&Graph> = ds.graphs().collect();
+        // Sweep equal-size pairs — the regression shape: only the node
+        // count used to decide the orientation, so these kept whatever
+        // order the caller happened to use.
+        let mut checked = 0;
+        for i in 0..gs.len() {
+            for j in (i + 1)..gs.len() {
+                let (a, b) = (gs[i], gs[j]);
+                if a.num_nodes() != b.num_nodes() || a == b {
+                    continue;
+                }
+                checked += 1;
+                let before = engine.cached_predictions().unwrap();
+                let ab = engine.ged(a, b).unwrap();
+                let ba = engine.ged(b, a).unwrap();
+                assert_eq!(ab.ged.to_bits(), ba.ged.to_bits());
+                assert_eq!(
+                    engine.cached_predictions(),
+                    Some(before + 1),
+                    "equal-size swapped query must be one cache entry"
+                );
+                if checked >= 25 {
+                    return;
+                }
+            }
+        }
+        assert!(checked > 5, "the sweep must exercise real pairs");
     }
 
     #[test]

@@ -27,9 +27,11 @@ pub enum GedError {
     /// (`"g1"`, `"g2"`, `"query"`, or a dataset position).
     EmptyGraph(String),
     /// A search budget or result size of zero was requested where at
-    /// least one is required (edit-path beam width, top-k size).
+    /// least one is required (edit-path beam width, top-k size, exact
+    /// verification budget).
     InvalidK {
-        /// What the `k` parameterizes (`"beam width"` / `"top-k"`).
+        /// What the `k` parameterizes (`"beam width"` / `"top-k"` /
+        /// `"verify budget"`).
         what: &'static str,
     },
     /// A store-level query (`TopK` / `Range` / `Matrix`) was issued
@@ -38,7 +40,9 @@ pub enum GedError {
     /// A [`GraphId`] did not resolve in the queried store — it was minted
     /// by a different store or its graph has been removed.
     UnknownGraphId(GraphId),
-    /// Malformed configuration (e.g. an unparsable `GED_THREADS` value).
+    /// Malformed configuration (e.g. an unparsable `GED_THREADS` value,
+    /// or a NaN range-search threshold — note `τ = +∞` is *valid* and
+    /// means a full scan).
     Config(String),
 }
 

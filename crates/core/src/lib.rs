@@ -13,6 +13,9 @@
 //!   matching framework with lower-bound pruning (Section 4.5, Algorithm 4).
 //! * [`lower_bound`] — the label-set and degree-sequence GED lower
 //!   bounds (Eq. 22), in per-pair and precomputed-signature forms.
+//! * [`search`] — the τ-exact filter–prune–verify threshold pipeline
+//!   (budgeted bounded A\*, feasible GEDGW upper bound) whose store-level
+//!   form is [`engine::GedQuery::RangeExact`].
 //! * [`pairs`] — training/evaluation pair plumbing shared by the models.
 //! * [`solver`] — the [`solver::GedSolver`] trait every method implements,
 //!   the [`solver::SolverRegistry`] that maps [`method::MethodKind`]s to
@@ -43,8 +46,8 @@ pub mod solver;
 
 pub use edge_labeled::{gedgw_edge_labeled, EdgeLabeledGraph};
 pub use engine::{
-    DistanceMatrix, GedEngine, GedEngineBuilder, GedQuery, GedResponse, Neighbor, SearchResult,
-    SearchStats,
+    DistanceMatrix, ExactNeighbor, GedEngine, GedEngineBuilder, GedQuery, GedResponse, Neighbor,
+    RangeExactResult, SearchResult, SearchStats, UndecidedCandidate,
 };
 pub use ensemble::{Gedhot, GedhotPrediction};
 pub use error::GedError;
@@ -57,7 +60,10 @@ pub use lower_bound::{
 };
 pub use method::MethodKind;
 pub use pairs::{ordered, GedPair};
-pub use search::{bounded_exact_ged, similarity_search, ExactSearchStats, Verdict};
+pub use search::{
+    bounded_exact_ged, bounded_exact_ged_with_budget, fast_upper_bound, prune_or_verify,
+    similarity_search, BoundedSearch, CandidateOutcome, ExactSearchStats, Verdict,
+};
 pub use solver::{
     BatchRunner, GedEstimate, GedSolver, GedgwSolver, GedhotSolver, GediotSolver, PathEstimate,
     SolverRegistry,

@@ -259,6 +259,33 @@ mod degree_bound_tests {
     }
 
     #[test]
+    fn bounded_search_prefilter_stays_admissible() {
+        // `bounded_exact_ged` pre-filters with BOTH bounds; if either were
+        // inadmissible the search would wrongly reject a pair whose true
+        // GED is within τ. Sweep random pairs: τ = exact must succeed with
+        // the exact value, τ = exact - 1 must reject.
+        use crate::search::bounded_exact_ged;
+        let mut rng = SmallRng::seed_from_u64(303);
+        for _ in 0..40 {
+            let n1 = rng.gen_range(2..=5);
+            let n2 = rng.gen_range(n1..=6);
+            let g1 = generate::random_connected(n1, 1, &[0.5, 0.5], &mut rng);
+            let g2 = generate::random_connected(n2, 2, &[0.5, 0.5], &mut rng);
+            let exact = brute_ged(&g1, &g2);
+            let lb = label_set_lower_bound(&g1, &g2).max(degree_sequence_lower_bound(&g1, &g2));
+            assert!(lb <= exact, "combined pre-filter bound must be admissible");
+            assert_eq!(
+                bounded_exact_ged(&g1, &g2, exact),
+                Some(exact),
+                "pre-filter must never reject a pair with GED ≤ τ: {g1:?} / {g2:?}"
+            );
+            if exact > 0 {
+                assert_eq!(bounded_exact_ged(&g1, &g2, exact - 1), None);
+            }
+        }
+    }
+
+    #[test]
     fn degree_bound_can_beat_label_bound() {
         // Same label multisets and edge counts, very different degrees:
         // star K1,4 vs path P5 (both unlabeled, 4 edges).

@@ -6,6 +6,7 @@
 //! evaluation.
 
 use ged_graph::{Graph, NodeMapping};
+use std::cmp::Ordering;
 
 /// Returns `(smaller, larger, swapped)` so that
 /// `smaller.num_nodes() <= larger.num_nodes()`.
@@ -18,8 +19,23 @@ pub fn ordered<'a>(g1: &'a Graph, g2: &'a Graph) -> (&'a Graph, &'a Graph, bool)
     }
 }
 
-/// A normalized graph pair (`g1.num_nodes() <= g2.num_nodes()`) with
-/// optional supervision.
+/// A total, representation-level order on graphs: node count, then edge
+/// count, then the label vector, then the sorted edge list. Used by
+/// [`GedPair::new`] to canonicalize equal-size pairs — two structurally
+/// identical graphs compare `Equal`, and for any `a != b` exactly one of
+/// the two orientations is canonical, so the orientation never depends on
+/// argument order.
+fn structural_cmp(a: &Graph, b: &Graph) -> Ordering {
+    a.num_nodes()
+        .cmp(&b.num_nodes())
+        .then_with(|| a.num_edges().cmp(&b.num_edges()))
+        .then_with(|| a.labels().cmp(b.labels()))
+        .then_with(|| a.edges().cmp(b.edges()))
+}
+
+/// A normalized graph pair (`g1.num_nodes() <= g2.num_nodes()`, with a
+/// deterministic structural tie-break when the node counts are equal)
+/// with optional supervision.
 #[derive(Clone, Debug)]
 pub struct GedPair {
     /// The smaller graph.
@@ -34,9 +50,22 @@ pub struct GedPair {
 
 impl GedPair {
     /// Builds an unsupervised pair, swapping so `n1 <= n2`.
+    ///
+    /// Equal-size pairs are canonicalized with a deterministic structural
+    /// tie-break (edge count, then labels, then edge lists), so
+    /// `new(a, b)` and `new(b, a)` always produce the *same* orientation.
+    /// GED is symmetric but individual solvers need not be, and the
+    /// engine's prediction cache keys on the normalized pair — without
+    /// the tie-break, the "same" equal-size pair could be predicted (and
+    /// cached) twice with two different values.
     #[must_use]
     pub fn new(g1: Graph, g2: Graph) -> Self {
-        if g1.num_nodes() <= g2.num_nodes() {
+        let keep = match g1.num_nodes().cmp(&g2.num_nodes()) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => structural_cmp(&g1, &g2) != Ordering::Greater,
+        };
+        if keep {
             GedPair {
                 g1,
                 g2,
@@ -53,9 +82,35 @@ impl GedPair {
         }
     }
 
+    /// Builds an unsupervised pair preserving the caller's orientation
+    /// whenever the node counts allow it (`n1 <= n2`), swapping only when
+    /// they force it.
+    ///
+    /// Use this for direction-sensitive workloads — edit paths transform
+    /// `g1` *into* `g2`, and [`Self::new`]'s equal-size canonicalization
+    /// would silently invert the requested direction. Value workloads
+    /// should prefer [`Self::new`], whose canonical orientation makes
+    /// symmetric queries share one prediction (and one cache entry).
+    #[must_use]
+    pub fn directed(g1: Graph, g2: Graph) -> Self {
+        let (g1, g2) = if g1.num_nodes() <= g2.num_nodes() {
+            (g1, g2)
+        } else {
+            (g2, g1)
+        };
+        GedPair {
+            g1,
+            g2,
+            ged: None,
+            mapping: None,
+        }
+    }
+
     /// Builds a supervised pair. The mapping must map the smaller graph into
     /// the larger one; the caller is responsible for providing it in that
-    /// orientation (swap before calling if needed).
+    /// orientation (swap before calling if needed). Unlike [`Self::new`],
+    /// equal-size pairs keep the caller's orientation — the mapping pins
+    /// it, so a structural tie-break would silently invert supervision.
     ///
     /// # Panics
     /// Panics if `g1` has more nodes than `g2` (supervised pairs cannot be
@@ -100,6 +155,72 @@ mod tests {
 
         let pair = GedPair::new(big.clone(), small.clone());
         assert!(pair.g1.num_nodes() <= pair.g2.num_nodes());
+    }
+
+    #[test]
+    fn equal_size_pairs_canonicalize_independently_of_argument_order() {
+        // Same node count, different structure: the orientation must be a
+        // property of the pair, not of the call.
+        let a = Graph::from_edges(vec![Label(1), Label(2), Label(3)], &[(0, 1), (1, 2)]);
+        let b = Graph::from_edges(
+            vec![Label(1), Label(1), Label(3)],
+            &[(0, 1), (0, 2), (1, 2)],
+        );
+        let ab = GedPair::new(a.clone(), b.clone());
+        let ba = GedPair::new(b.clone(), a.clone());
+        assert_eq!(ab.g1, ba.g1, "canonical smaller side must agree");
+        assert_eq!(ab.g2, ba.g2, "canonical larger side must agree");
+
+        // Ties deeper in the comparison chain (same n and m) still break.
+        let c = Graph::from_edges(vec![Label(5), Label(2), Label(3)], &[(0, 1), (1, 2)]);
+        let ac = GedPair::new(a.clone(), c.clone());
+        let ca = GedPair::new(c, a.clone());
+        assert_eq!(ac.g1, ca.g1);
+        assert_eq!(ac.g2, ca.g2);
+
+        // Identical graphs: both orientations are the same pair anyway.
+        let aa = GedPair::new(a.clone(), a.clone());
+        assert_eq!(aa.g1, aa.g2);
+    }
+
+    #[test]
+    fn unequal_size_pairs_still_order_by_node_count() {
+        let small = Graph::from_edges(vec![Label(9)], &[]);
+        let big = Graph::from_edges(vec![Label(0), Label(0)], &[(0, 1)]);
+        for pair in [
+            GedPair::new(small.clone(), big.clone()),
+            GedPair::new(big, small),
+        ] {
+            assert_eq!(pair.g1.num_nodes(), 1);
+            assert_eq!(pair.g2.num_nodes(), 2);
+        }
+    }
+
+    #[test]
+    fn directed_pairs_keep_caller_orientation_for_equal_sizes() {
+        let a = Graph::from_edges(vec![Label(1), Label(2), Label(3)], &[(0, 1), (1, 2)]);
+        let b = Graph::from_edges(
+            vec![Label(1), Label(1), Label(3)],
+            &[(0, 1), (0, 2), (1, 2)],
+        );
+        let ab = GedPair::directed(a.clone(), b.clone());
+        let ba = GedPair::directed(b.clone(), a.clone());
+        assert_eq!(ab.g1, a, "equal sizes: g1 stays the first argument");
+        assert_eq!(ba.g1, b);
+
+        // Node counts still force the swap when they must.
+        let small = Graph::from_edges(vec![Label(9)], &[]);
+        let forced = GedPair::directed(b.clone(), small.clone());
+        assert_eq!(forced.g1, small);
+    }
+
+    #[test]
+    fn supervised_equal_size_pairs_keep_caller_orientation() {
+        // The mapping pins the orientation; no tie-break may apply.
+        let a = Graph::from_edges(vec![Label(7), Label(8)], &[(0, 1)]);
+        let b = Graph::from_edges(vec![Label(1), Label(2)], &[(0, 1)]);
+        let pair = GedPair::supervised(a.clone(), b, 2.0, NodeMapping::identity(2));
+        assert_eq!(pair.g1, a, "supervised pairs are never swapped");
     }
 
     #[test]

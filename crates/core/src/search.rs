@@ -13,7 +13,27 @@
 //!    that aborts as soon as the optimum provably exceeds `τ`.
 //!
 //! Setting `τ = ∞` degrades to exact GED computation, exactly as the paper
-//! notes for Nass / AStar-BMao.
+//! notes for Nass / AStar-BMao; the engine's
+//! [`crate::engine::GedQuery::RangeExact`] accepts `τ = +∞` with exactly
+//! that full-scan meaning.
+//!
+//! The tiers are exposed individually — [`label_set_lower_bound`] /
+//! [`degree_sequence_lower_bound`] (re-exported from
+//! [`crate::lower_bound`]), [`fast_upper_bound`], and
+//! [`bounded_exact_ged_with_budget`] — and composed twice:
+//!
+//! * [`similarity_search`] — the per-pair, slice-of-graphs form. Its
+//!   [`Verdict`]s accept by upper bound *without* any exact search, so
+//!   accepted candidates report a feasible bound, not an exact distance.
+//! * [`prune_or_verify`] — the per-candidate form the store-level
+//!   [`crate::engine::GedQuery::RangeExact`] plan runs after its
+//!   signature-fed filter tier. Its [`CandidateOutcome`]s always carry
+//!   exact distances: an upper-bound accept decides *membership* without
+//!   τ-bounded search, then recovers the exact distance with a search
+//!   bounded by the (tighter) feasible bound itself.
+//!
+//! [`label_set_lower_bound`]: crate::lower_bound::label_set_lower_bound
+//! [`degree_sequence_lower_bound`]: crate::lower_bound::degree_sequence_lower_bound
 
 use crate::gedgw::Gedgw;
 use crate::lower_bound::{degree_sequence_lower_bound, label_set_lower_bound};
@@ -46,8 +66,11 @@ pub enum Verdict {
 }
 
 /// Statistics of the τ-exact filter–prune–verify pipeline (how much work
-/// each stage saved). The engine's approximate store search reports the
-/// analogous [`crate::engine::SearchStats`].
+/// each stage saved). Every candidate lands in exactly one tier, so
+/// [`ExactSearchStats::total`] always equals the number of candidates
+/// examined (for a store-level query, the store size). The engine's
+/// approximate store search reports the analogous
+/// [`crate::engine::SearchStats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExactSearchStats {
     /// Candidates discarded by lower bounds.
@@ -56,18 +79,71 @@ pub struct ExactSearchStats {
     pub accepted_early: usize,
     /// Candidates that required bounded exact verification.
     pub verified: usize,
+    /// Candidates whose bounded search exhausted its node-expansion
+    /// budget before reaching a decision (see
+    /// [`crate::engine::GedEngineBuilder::verify_budget`]). Always zero
+    /// when the budget is unlimited.
+    pub budget_exceeded: usize,
+}
+
+impl ExactSearchStats {
+    /// Total candidates accounted for — the per-tier counts always close
+    /// to the number of candidates examined.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.filtered + self.accepted_early + self.verified + self.budget_exceeded
+    }
+}
+
+/// The result of a budgeted τ-bounded exact search
+/// ([`bounded_exact_ged_with_budget`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundedSearch {
+    /// `GED(g1, g2) = ged ≤ τ`, proven exactly.
+    Within(
+        /// The exact GED.
+        usize,
+    ),
+    /// `GED(g1, g2) > τ`, proven exactly.
+    Exceeds,
+    /// The node-expansion budget ran out before either proof: the pair is
+    /// undecided. Never produced by an (effectively) unlimited budget.
+    BudgetExhausted,
 }
 
 /// τ-bounded exact GED: returns `Some(ged)` if `GED(g1,g2) <= tau`, `None`
 /// otherwise. A* with the admissible heuristic, aborting any branch whose
 /// `f`-value exceeds `tau` — far cheaper than unbounded exact search for
-/// small thresholds.
+/// small thresholds. Candidate pairs are pre-filtered with *both*
+/// admissible lower bounds (label-set and degree-sequence), so a provably
+/// distant pair never starts a search at all.
 #[must_use]
 pub fn bounded_exact_ged(g1: &Graph, g2: &Graph, tau: usize) -> Option<usize> {
+    match bounded_exact_ged_with_budget(g1, g2, tau, usize::MAX) {
+        BoundedSearch::Within(ged) => Some(ged),
+        // A `usize::MAX` expansion budget can never actually exhaust.
+        BoundedSearch::Exceeds | BoundedSearch::BudgetExhausted => None,
+    }
+}
+
+/// [`bounded_exact_ged`] with a node-expansion budget: the search gives up
+/// with [`BoundedSearch::BudgetExhausted`] after popping `budget` states
+/// from the open list, so one pathological pair cannot blow up a
+/// store-level query. `budget = usize::MAX` is effectively unlimited and
+/// recovers [`bounded_exact_ged`] exactly.
+#[must_use]
+pub fn bounded_exact_ged_with_budget(
+    g1: &Graph,
+    g2: &Graph,
+    tau: usize,
+    budget: usize,
+) -> BoundedSearch {
     let (a, b, _) = ordered(g1, g2);
     let n1 = a.num_nodes();
-    if label_set_lower_bound(a, b) > tau {
-        return None;
+    // Both admissible bounds: each can dominate the other, and a bound
+    // above τ proves GED > τ without expanding a single state.
+    if label_set_lower_bound(a, b) > tau || degree_sequence_lower_bound(a, b) > tau {
+        return BoundedSearch::Exceeds;
     }
 
     #[derive(Clone)]
@@ -82,15 +158,20 @@ pub fn bounded_exact_ged(g1: &Graph, g2: &Graph, tau: usize) -> Option<usize> {
     }];
     heap.push(Reverse((0, n1, 0)));
 
+    let mut expanded = 0usize;
     while let Some(Reverse((f, _, idx))) = heap.pop() {
         if f > tau {
-            return None; // smallest f already exceeds τ => GED > τ
+            return BoundedSearch::Exceeds; // smallest f exceeds τ => GED > τ
         }
+        if expanded >= budget {
+            return BoundedSearch::BudgetExhausted;
+        }
+        expanded += 1;
         let state = states[idx].clone();
         if state.mapping.len() == n1 {
             let total = state.g + closing_cost(b, &state.mapping);
             if total <= tau {
-                return Some(total);
+                return BoundedSearch::Within(total);
             }
             continue;
         }
@@ -128,7 +209,7 @@ pub fn bounded_exact_ged(g1: &Graph, g2: &Graph, tau: usize) -> Option<usize> {
             heap.push(Reverse((f, n1 - depth, states.len() - 1)));
         }
     }
-    None
+    BoundedSearch::Exceeds
 }
 
 fn closing_cost(g2: &Graph, mapping: &[u32]) -> usize {
@@ -207,8 +288,77 @@ pub fn fast_upper_bound(g1: &Graph, g2: &Graph) -> usize {
     mapping.induced_cost(a, b)
 }
 
+/// Outcome of one candidate in the store-level exact pipeline
+/// ([`prune_or_verify`]): unlike [`Verdict`], matching outcomes always
+/// carry the **exact** GED.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CandidateOutcome {
+    /// The feasible upper bound proved membership (`ub ≤ τ`) without any
+    /// τ-bounded search; the exact distance was then recovered by a
+    /// search bounded by the (tighter) upper bound itself.
+    AcceptedEarly {
+        /// The exact GED (`≤ τ`).
+        ged: usize,
+    },
+    /// τ-bounded exact verification concluded `GED = ged ≤ τ`.
+    Verified {
+        /// The exact GED (`≤ τ`).
+        ged: usize,
+    },
+    /// τ-bounded exact verification concluded `GED > τ`.
+    Rejected,
+    /// The node-expansion budget ran out before the candidate could be
+    /// fully resolved. When the prune tier had already proven membership
+    /// (`ub ≤ τ`) and only the exact-distance recovery was cut short,
+    /// `accepted_ub` carries that feasible bound — the proof is
+    /// preserved, not discarded; `None` means membership is genuinely
+    /// unknown.
+    BudgetExhausted {
+        /// `Some(ub)` when `GED ≤ ub ≤ τ` is already proven (the
+        /// candidate *is* a match, only its exact distance is unknown);
+        /// `None` when the τ-bounded verification itself ran out.
+        accepted_ub: Option<usize>,
+    },
+}
+
+/// Tiers 2 + 3 of the exact pipeline for one filter survivor: the prune
+/// tier computes the feasible [`fast_upper_bound`] and accepts when it is
+/// `≤ tau` (recovering the exact distance with an `ub`-bounded search —
+/// strictly cheaper than a τ-bounded one, and never wasted because
+/// membership is already proven); otherwise the verify tier runs the
+/// τ-bounded exact search. `budget` caps the node expansions of either
+/// search (`usize::MAX` = unlimited).
+///
+/// This is the per-candidate unit [`crate::engine::GedQuery::RangeExact`]
+/// parallelizes over a store; callers are expected to have already run
+/// the lower-bound filter tier (the searches re-check the bounds, so
+/// skipping the filter costs speed, never correctness).
+#[must_use]
+pub fn prune_or_verify(query: &Graph, cand: &Graph, tau: usize, budget: usize) -> CandidateOutcome {
+    let ub = fast_upper_bound(query, cand);
+    if ub <= tau {
+        // Membership is decided search-free; `GED ≤ ub` makes the
+        // ub-bounded recovery search guaranteed to succeed (modulo budget).
+        return match bounded_exact_ged_with_budget(query, cand, ub, budget) {
+            BoundedSearch::Within(ged) => CandidateOutcome::AcceptedEarly { ged },
+            BoundedSearch::Exceeds => unreachable!("feasible bound: GED ≤ ub always holds"),
+            BoundedSearch::BudgetExhausted => CandidateOutcome::BudgetExhausted {
+                accepted_ub: Some(ub),
+            },
+        };
+    }
+    match bounded_exact_ged_with_budget(query, cand, tau, budget) {
+        BoundedSearch::Within(ged) => CandidateOutcome::Verified { ged },
+        BoundedSearch::Exceeds => CandidateOutcome::Rejected,
+        BoundedSearch::BudgetExhausted => CandidateOutcome::BudgetExhausted { accepted_ub: None },
+    }
+}
+
 /// Runs the filter–prune–verify pipeline over a database. Returns the
 /// per-candidate verdicts (indexed like `database`) and stage statistics.
+/// Upper-bound accepts carry the feasible bound, not an exact distance —
+/// see [`prune_or_verify`] for the exact-distance form the engine's
+/// store-level [`crate::engine::GedQuery::RangeExact`] uses.
 pub fn similarity_search(
     database: &[Graph],
     query: &Graph,
@@ -300,6 +450,111 @@ mod tests {
                 assert_eq!(claimed, truth, "tau={tau}: verdict {verdict:?}");
             }
         }
+    }
+
+    #[test]
+    fn budget_caps_expansions_and_unlimited_budget_matches_unbudgeted() {
+        let mut rng = SmallRng::seed_from_u64(205);
+        for _ in 0..10 {
+            let g1 = generate::random_connected(rng.gen_range(4..=6), 1, &[0.5, 0.5], &mut rng);
+            let g2 = generate::random_connected(rng.gen_range(4..=6), 1, &[0.5, 0.5], &mut rng);
+            let d = exact(&g1, &g2);
+            assert_eq!(
+                bounded_exact_ged_with_budget(&g1, &g2, d, usize::MAX),
+                BoundedSearch::Within(d)
+            );
+            if d > 0 {
+                assert_eq!(
+                    bounded_exact_ged_with_budget(&g1, &g2, d - 1, usize::MAX),
+                    BoundedSearch::Exceeds
+                );
+                // A one-expansion budget cannot decide a nonzero-GED pair
+                // whose bounds don't already settle it.
+                let one = bounded_exact_ged_with_budget(&g1, &g2, d, 1);
+                assert!(
+                    matches!(one, BoundedSearch::BudgetExhausted | BoundedSearch::Exceeds),
+                    "one expansion can at most prove Exceeds via bounds, got {one:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_bound_prefilters_without_search() {
+        // Star vs path: label-set bound is 0, degree bound is ≥ 2 — the
+        // pre-filter must prove Exceeds for τ = 1 with zero expansions
+        // (observable through a zero budget still returning Exceeds).
+        let star = Graph::unlabeled_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let path = Graph::unlabeled_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(
+            crate::lower_bound::label_set_lower_bound(&star, &path),
+            0,
+            "label bound must be blind to this pair"
+        );
+        assert_eq!(
+            bounded_exact_ged_with_budget(&star, &path, 1, 0),
+            BoundedSearch::Exceeds,
+            "degree bound must reject before any expansion"
+        );
+        assert_eq!(bounded_exact_ged(&star, &path, 1), None);
+    }
+
+    #[test]
+    fn prune_or_verify_outcomes_carry_exact_distances() {
+        let mut rng = SmallRng::seed_from_u64(206);
+        for _ in 0..20 {
+            let g1 =
+                generate::random_connected(rng.gen_range(4..=6), 1, &[0.5, 0.3, 0.2], &mut rng);
+            let g2 =
+                generate::random_connected(rng.gen_range(4..=6), 1, &[0.5, 0.3, 0.2], &mut rng);
+            let d = exact(&g1, &g2);
+            for tau in [d.saturating_sub(1), d, d + 2] {
+                match prune_or_verify(&g1, &g2, tau, usize::MAX) {
+                    CandidateOutcome::AcceptedEarly { ged }
+                    | CandidateOutcome::Verified { ged } => {
+                        assert_eq!(ged, d, "matching outcomes must be exact");
+                        assert!(d <= tau, "a match implies GED ≤ τ");
+                    }
+                    CandidateOutcome::Rejected => {
+                        assert!(d > tau, "rejection implies GED > τ");
+                    }
+                    CandidateOutcome::BudgetExhausted { .. } => {
+                        unreachable!("unlimited budget never exhausts")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prune_or_verify_accepts_identical_graphs_early() {
+        let mut rng = SmallRng::seed_from_u64(207);
+        let g = generate::random_connected(6, 1, &[0.5, 0.5], &mut rng);
+        // GED(g, g) = 0 and the rounded GEDGW bound of an identical pair
+        // is 0, so the prune tier fires with the exact distance.
+        assert_eq!(
+            prune_or_verify(&g, &g, 3, usize::MAX),
+            CandidateOutcome::AcceptedEarly { ged: 0 }
+        );
+        // A zero budget surfaces as BudgetExhausted — never a wrong
+        // answer — and the prune tier's membership proof survives it.
+        assert_eq!(
+            prune_or_verify(&g, &g, 3, 0),
+            CandidateOutcome::BudgetExhausted {
+                accepted_ub: Some(0)
+            }
+        );
+    }
+
+    #[test]
+    fn stats_total_closes() {
+        let stats = ExactSearchStats {
+            filtered: 3,
+            accepted_early: 2,
+            verified: 4,
+            budget_exceeded: 1,
+        };
+        assert_eq!(stats.total(), 10);
     }
 
     #[test]

@@ -1,0 +1,6 @@
+//! Regenerates the exact range-search tier report (the store-level form
+//! of the paper's Section 2 threshold workload).
+fn main() {
+    let cfg = ged_experiments::ExpConfig::from_env();
+    print!("{}", ged_experiments::exp::run_exact_search(&cfg));
+}

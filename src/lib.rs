@@ -56,8 +56,8 @@ pub mod prelude {
     pub use ged_baselines::astar::{astar_beam, astar_exact};
     pub use ged_baselines::classic::{classic_ged, hungarian_ged, vj_ged};
     pub use ged_core::engine::{
-        DistanceMatrix, GedEngine, GedEngineBuilder, GedQuery, GedResponse, Neighbor, SearchResult,
-        SearchStats,
+        DistanceMatrix, ExactNeighbor, GedEngine, GedEngineBuilder, GedQuery, GedResponse,
+        Neighbor, RangeExactResult, SearchResult, SearchStats, UndecidedCandidate,
     };
     pub use ged_core::ensemble::Gedhot;
     pub use ged_core::error::GedError;
@@ -65,6 +65,9 @@ pub mod prelude {
     pub use ged_core::gediot::{Gediot, GediotConfig};
     pub use ged_core::kbest::kbest_edit_path;
     pub use ged_core::method::MethodKind;
+    pub use ged_core::search::{
+        bounded_exact_ged, bounded_exact_ged_with_budget, BoundedSearch, ExactSearchStats,
+    };
     pub use ged_core::solver::{
         BatchRunner, GedEstimate, GedSolver, GedgwSolver, PathEstimate, SolverRegistry,
     };

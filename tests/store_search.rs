@@ -3,7 +3,9 @@
 //! and `GedQuery::Range` must return *exactly* the brute-force answer
 //! (every stored graph evaluated, same bound refinement) while invoking
 //! the solver on strictly fewer candidates — observable through
-//! `SearchStats`.
+//! `SearchStats`. `GedQuery::RangeExact` must additionally equal a
+//! brute-force τ-bounded **exact** scan, with every pipeline tier firing
+//! and `ExactSearchStats` accounting closing to the store size.
 
 use ot_ged::baselines::solvers::ClassicSolver;
 use ot_ged::core::solver::GedSolver;
@@ -172,6 +174,151 @@ fn search_stays_consistent_across_incremental_updates() {
         assert!(rerun.neighbors.iter().all(|n| n.id != best));
         assert!(rerun.neighbors.iter().any(|n| n.id == new_id));
     }
+}
+
+/// The brute-force reference for exact range search: run the τ-bounded
+/// exact search against every stored graph, in ascending id order.
+fn brute_force_exact(store: &GraphStore, query: &Graph, tau: usize) -> Vec<ExactNeighbor> {
+    store
+        .iter()
+        .filter_map(|(id, g)| bounded_exact_ged(query, g, tau).map(|ged| ExactNeighbor { id, ged }))
+        .collect()
+}
+
+#[test]
+fn range_exact_equals_brute_force_with_every_tier_firing() {
+    let engine = engine();
+    for ds in stores() {
+        assert!(ds.len() >= 50);
+        // Query with a member: a GED-0 self-match guarantees the
+        // upper-bound tier has something to accept.
+        let query = ds.graphs().next().unwrap().clone();
+        let mut fired = ExactSearchStats::default();
+        for tau in [1usize, 3, 5] {
+            let ctx = format!("{}/tau={}", ds.kind.name(), tau);
+            let result = engine
+                .query(GedQuery::RangeExact {
+                    query: &query,
+                    store: &ds,
+                    tau: tau as f64,
+                })
+                .expect("valid query")
+                .into_range_exact()
+                .expect("RangeExact yields RangeExact");
+
+            // Exactly the brute-force τ-bounded scan: same ids, same
+            // exact distances, same (ascending id) order.
+            let want = brute_force_exact(&ds, &query, tau);
+            assert_eq!(result.matches, want, "{ctx}: brute-force equality");
+            assert!(!result.matches.is_empty(), "{ctx}: member query matches");
+            assert!(
+                result.budget_exhausted.is_empty(),
+                "{ctx}: unlimited budget never exhausts"
+            );
+            assert_eq!(
+                result.stats.total(),
+                ds.len(),
+                "{ctx}: accounting must close to the store size: {:?}",
+                result.stats
+            );
+            fired.filtered += result.stats.filtered;
+            fired.accepted_early += result.stats.accepted_early;
+            fired.verified += result.stats.verified;
+        }
+        // Every tier must fire on every store across the τ sweep.
+        assert!(
+            fired.filtered > 0,
+            "{}: filter tier never fired",
+            ds.kind.name()
+        );
+        assert!(
+            fired.accepted_early > 0,
+            "{}: upper-bound accept tier never fired",
+            ds.kind.name()
+        );
+        assert!(
+            fired.verified > 0,
+            "{}: verify tier never fired",
+            ds.kind.name()
+        );
+    }
+}
+
+#[test]
+fn range_exact_is_thread_count_invariant() {
+    let mut rng = SmallRng::seed_from_u64(46);
+    let ds = GraphDataset::aids_like(50, &mut rng);
+    let query = ds.graphs().next().unwrap().clone();
+    let build = |threads: usize| {
+        let mut registry = SolverRegistry::new();
+        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        GedEngine::builder(registry)
+            .threads(threads)
+            .build()
+            .expect("valid configuration")
+    };
+    let sequential = build(1).range_exact(&query, &ds, 4.0).unwrap();
+    let parallel = build(4).range_exact(&query, &ds, 4.0).unwrap();
+    assert_eq!(sequential, parallel, "exact answers are thread-independent");
+    assert_eq!(sequential.matches, brute_force_exact(&ds, &query, 4));
+}
+
+#[test]
+fn range_exact_budget_degrades_per_candidate_not_per_query() {
+    let mut rng = SmallRng::seed_from_u64(47);
+    let ds = GraphDataset::aids_like(50, &mut rng);
+    let query = ds.graphs().next().unwrap().clone();
+    let build = |budget: usize| {
+        let mut registry = SolverRegistry::new();
+        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        GedEngine::builder(registry)
+            .threads(2)
+            .verify_budget(budget)
+            .build()
+            .expect("valid configuration")
+    };
+    let truth = brute_force_exact(&ds, &query, 4);
+    for budget in [1usize, 16, usize::MAX] {
+        let result = build(budget).range_exact(&query, &ds, 4.0).unwrap();
+        assert_eq!(
+            result.stats.total(),
+            ds.len(),
+            "budget={budget}: accounting closes"
+        );
+        assert_eq!(
+            result.stats.budget_exceeded,
+            result.budget_exhausted.len(),
+            "budget={budget}: stats mirror the undecided list"
+        );
+        // Everything the budgeted query *did* decide agrees with truth;
+        // anything missing is exactly the undecided set.
+        for m in &result.matches {
+            assert!(
+                truth.contains(m),
+                "budget={budget}: decided matches are true"
+            );
+        }
+        for t in &truth {
+            assert!(
+                result.matches.contains(t) || result.budget_exhausted.iter().any(|u| u.id == t.id),
+                "budget={budget}: true match {t:?} lost without being reported undecided"
+            );
+        }
+        // Membership evidence that survived the budget must be true: a
+        // `known_match_ub` candidate is a real match and the bound holds.
+        for u in &result.budget_exhausted {
+            if let Some(ub) = u.known_match_ub {
+                let t = truth.iter().find(|t| t.id == u.id).unwrap_or_else(|| {
+                    panic!("budget={budget}: proven member {u:?} must truly match")
+                });
+                assert!(t.ged <= ub, "budget={budget}: bound must hold");
+            }
+        }
+    }
+    // The unlimited run is the brute-force answer outright.
+    let unlimited = build(usize::MAX).range_exact(&query, &ds, 4.0).unwrap();
+    assert_eq!(unlimited.matches, truth);
+    assert!(unlimited.budget_exhausted.is_empty());
 }
 
 #[test]
