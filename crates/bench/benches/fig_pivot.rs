@@ -1,0 +1,63 @@
+//! Pivot vs. signature-only filter–verify: exact range search over
+//! growing stores with `p ∈ {0, 2, 4, 8}` pivots (`p = 0` is the plain
+//! three-tier plan of `fig_exact_search`). The pivot table is built (and
+//! amortized) outside the measurement loop — exactly the serving-store
+//! scenario the index exists for — so the measured per-query cost is the
+//! `p` query-to-pivot distances plus however much of the store the
+//! triangle-inequality bounds decide search-free.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ged_core::engine::GedEngine;
+use ged_core::method::MethodKind;
+use ged_core::solver::{GedgwSolver, SolverRegistry};
+use ged_graph::GraphDataset;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const TAU: usize = 4;
+
+fn engine(pivots: usize) -> GedEngine {
+    let mut registry = SolverRegistry::new();
+    registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+    GedEngine::builder(registry)
+        .threads(1) // isolate plan cost from parallel speedup
+        .pivots(pivots)
+        .build()
+        .expect("GEDGW is registered")
+}
+
+fn bench_pivot_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_pivot_range_exact");
+    group.sample_size(10);
+    for size in [25usize, 50, 100] {
+        let mut rng = SmallRng::seed_from_u64(9_000 + size as u64);
+        let store = GraphDataset::aids_like(size, &mut rng).into_store();
+        let query = store.graphs().next().expect("non-empty").clone();
+
+        for pivots in [0usize, 2, 4, 8] {
+            let engine = engine(pivots);
+            // Build + sync the pivot table outside the timed region.
+            let warm = engine
+                .range_exact(&query, &store, TAU as f64)
+                .expect("valid query");
+            assert_eq!(warm.stats.total(), store.len());
+            group.bench_with_input(
+                BenchmarkId::new(format!("p{pivots}"), size),
+                &size,
+                |b, _| {
+                    b.iter(|| {
+                        let result = engine
+                            .range_exact(&query, &store, TAU as f64)
+                            .expect("valid query");
+                        black_box(result)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pivot_search);
+criterion_main!(benches);

@@ -64,8 +64,12 @@
 //! Unlike the approximate plan, no solver is consulted: every tier is
 //! exact or admissible, so the answer is **provably** equal to running
 //! [`crate::search::bounded_exact_ged`] against every stored graph —
-//! independent of the selected method, the thread count, and the order
-//! candidates are processed in. Exact search can still blow up on a
+//! independent of the selected method, the thread count, the order
+//! candidates are processed in, and (under an unlimited
+//! [`GedEngineBuilder::verify_budget`]) whether the pivot tier below is
+//! enabled; a finite budget decides the same candidates correctly but
+//! may split them differently between `matches` and `budget_exhausted`
+//! depending on which bound each plan searched under. Exact search can still blow up on a
 //! pathological pair, so [`GedEngineBuilder::verify_budget`] caps the
 //! node expansions any single verification may spend; candidates that
 //! exhaust the budget are reported per-id in
@@ -73,6 +77,43 @@
 //! evidence was already proven ([`UndecidedCandidate::known_match_ub`])
 //! — instead of failing or stalling the whole query.
 //! [`ExactSearchStats`] accounts every stored graph to exactly one tier.
+//!
+//! # The pivot tier
+//!
+//! GED is a metric, so exact distances to a few reference graphs bound
+//! every query–candidate distance through the triangle inequality:
+//! `max_i |d(q,p_i) − d(p_i,g)| ≤ GED(q,g) ≤ min_i d(q,p_i) + d(p_i,g)`.
+//! [`GedEngineBuilder::pivots`] makes the engine maintain a
+//! [`ged_graph::PivotIndex`] — `p` pivots chosen by deterministic
+//! farthest-point selection, graph-to-pivot GEDs computed by the
+//! τ-free budgeted exact search ([`crate::search::pivot_distance`],
+//! degrading to admissible `[lb, ub]` intervals when
+//! [`GedEngineBuilder::verify_budget`] bites) and kept in sync with the
+//! queried store incrementally. Each store query then spends `p`
+//! query-to-pivot distance computations to get per-candidate metric
+//! bounds for free, wired in as:
+//!
+//! * **`TopK` / `Range`** — the pivot lower bound joins the filter phase
+//!   (prune when `lb > ` k-th best / τ; [`SearchStats::pruned_pivot`]),
+//!   and verified estimates clamp into `[lb, ub]`
+//!   (`min(max(prediction, lb), ub)`). The interval provably contains
+//!   the exact GED, so clamping only moves estimates toward it; for
+//!   `Range`, a pivot upper bound within τ additionally *certifies*
+//!   membership before the solver runs ([`SearchStats::accepted_pivot`]).
+//!   The plans stay exactly equal to a brute-force scan applying the
+//!   same two-sided refinement (the PR-3 contract, extended) — but note
+//!   the refinement means reported *estimates* can differ from (and are
+//!   never worse than) the pivot-disabled ones.
+//! * **`RangeExact`** — the pivot lower bound discards *before* the
+//!   signature bounds ([`ExactSearchStats::pruned_pivot`]) and the pivot
+//!   upper bound accepts *before* the GEDGW bound
+//!   ([`ExactSearchStats::accepted_pivot`], exact distance recovered by
+//!   a pivot-ub-bounded search). Every tier is exact or admissible, so
+//!   with an unlimited verify budget results are bit-identical to the
+//!   pivot-disabled plan — the tier only saves work. Under a finite
+//!   budget every decided answer is still correct, but the two plans
+//!   search under different bounds, so a candidate can land in
+//!   `matches` under one and in `budget_exhausted` under the other.
 //!
 //! # Example
 //!
@@ -119,11 +160,13 @@ use crate::error::GedError;
 use crate::lower_bound::{degree_sequence_lower_bound_sig, label_set_lower_bound_sig};
 use crate::method::MethodKind;
 use crate::pairs::GedPair;
-use crate::search::{prune_or_verify, CandidateOutcome, ExactSearchStats};
+use crate::search::{
+    pivot_distance, prune_or_verify_with_pivot, CandidateOutcome, ExactSearchStats,
+};
 use crate::solver::{BatchRunner, GedEstimate, GedSolver, PathEstimate, SolverRegistry};
-use ged_graph::{Graph, GraphId, GraphSignature, GraphStore};
-use std::collections::HashMap;
-use std::sync::Mutex;
+use ged_graph::{Graph, GraphId, GraphSignature, GraphStore, PivotIndex};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// One ranked result of a [`GedQuery::TopK`] or [`GedQuery::Range`]
 /// search.
@@ -148,15 +191,26 @@ pub struct SearchStats {
     /// Candidates that survived the label-set bound but were discarded by
     /// the degree-sequence lower bound.
     pub pruned_degree: usize,
+    /// Candidates that survived both signature bounds but were discarded
+    /// by the pivot-table triangle-inequality lower bound
+    /// ([`GedEngineBuilder::pivots`]). Always zero without a pivot index.
+    pub pruned_pivot: usize,
     /// Candidates verified by the solver (actual solver invocations).
     pub verified: usize,
+    /// Of the verified candidates of a `Range` query, how many the
+    /// pivot-table upper bound had already certified as true matches
+    /// (`ub ≤ τ` proves exact GED ≤ τ) before the solver ran — an overlay
+    /// over `verified`, **not** an extra accounting tier. Always zero for
+    /// `TopK` (no fixed threshold to certify against) and without a pivot
+    /// index.
+    pub accepted_pivot: usize,
 }
 
 impl SearchStats {
     /// Total candidates discarded without a solver invocation.
     #[must_use]
     pub fn pruned(&self) -> usize {
-        self.pruned_label + self.pruned_degree
+        self.pruned_label + self.pruned_degree + self.pruned_pivot
     }
 }
 
@@ -475,6 +529,7 @@ pub struct GedEngineBuilder {
     beam_width: usize,
     cache_capacity: usize,
     verify_budget: usize,
+    pivots: usize,
 }
 
 impl GedEngineBuilder {
@@ -489,6 +544,7 @@ impl GedEngineBuilder {
             beam_width: 16,
             cache_capacity: 0,
             verify_budget: usize::MAX,
+            pivots: 0,
         }
     }
 
@@ -545,6 +601,22 @@ impl GedEngineBuilder {
         self
     }
 
+    /// Enables the triangle-inequality pivot tier for store-level
+    /// queries: the engine maintains a [`ged_graph::PivotIndex`] of up to
+    /// `p` pivots (`0` disables it, the default; a `p` beyond the store
+    /// size is clamped at selection time) whose exact graph-to-pivot GEDs
+    /// it computes once and keeps in sync with the queried store
+    /// incrementally. Each query then derives per-candidate metric
+    /// `[lb, ub]` bounds from `p` query-to-pivot distances — see the
+    /// [module docs](self) for how each plan consumes them. Pivot
+    /// distance computations respect [`Self::verify_budget`], degrading
+    /// to admissible intervals when a pair blows the budget.
+    #[must_use]
+    pub fn pivots(mut self, p: usize) -> Self {
+        self.pivots = p;
+        self
+    }
+
     /// Validates the configuration and builds the engine.
     ///
     /// # Errors
@@ -583,18 +655,23 @@ impl GedEngineBuilder {
             runner: self.runner,
             beam_width: self.beam_width,
             verify_budget: self.verify_budget,
+            pivot_target: self.pivots,
+            pivot_cache: Mutex::new(None),
             cache,
         })
     }
 }
 
-/// One filter-phase survivor: a candidate id plus its combined
-/// (label-set ∨ degree-sequence) lower bound.
+/// One filter-phase survivor: a candidate id plus its per-tier lower
+/// bounds (label-set, combined signature, combined-with-pivot) and the
+/// pivot-table upper bound (`usize::MAX` when no pivot index is active).
 #[derive(Clone, Copy)]
 struct Candidate {
     id: GraphId,
     lb_label: usize,
+    lb_sig: usize,
     lb: usize,
+    ub: usize,
 }
 
 /// How many candidates each verification round hands to the parallel
@@ -610,6 +687,14 @@ pub struct GedEngine {
     runner: BatchRunner,
     beam_width: usize,
     verify_budget: usize,
+    /// How many pivots store-level queries may lean on (0 = disabled).
+    pivot_target: usize,
+    /// The lazily built, incrementally synced pivot table. One index
+    /// serves one store at a time: alternating queries between stores
+    /// re-syncs it wholesale (correct, but wasteful — prefer one engine
+    /// per long-lived store when pivots are enabled). `Arc` so an
+    /// unchanged store hands queries an `O(1)` snapshot.
+    pivot_cache: Mutex<Option<Arc<PivotIndex>>>,
     cache: Option<Mutex<PredictionCache>>,
 }
 
@@ -620,6 +705,7 @@ impl std::fmt::Debug for GedEngine {
             .field("methods", &self.registry.methods())
             .field("beam_width", &self.beam_width)
             .field("verify_budget", &self.verify_budget)
+            .field("pivots", &self.pivot_target)
             .field("threads", &self.runner.threads())
             .field("cache", &self.cache.is_some())
             .finish()
@@ -650,6 +736,81 @@ impl GedEngine {
     #[must_use]
     pub fn verify_budget(&self) -> usize {
         self.verify_budget
+    }
+
+    /// The pivot count store-level queries aim for (`0` = pivot tier
+    /// disabled; see [`GedEngineBuilder::pivots`]).
+    #[must_use]
+    pub fn pivot_target(&self) -> usize {
+        self.pivot_target
+    }
+
+    /// Syncs (or lazily builds) the cached pivot index against `store`
+    /// and returns a snapshot of it. The mutex is held only for the
+    /// sync itself — on an unchanged store that is an `O(1)` revision
+    /// check plus an `Arc` bump — so concurrent queries never serialize
+    /// on the expensive per-query distance computations, and the table
+    /// is only deep-copied when a mutated store must be re-synced while
+    /// other queries still hold the previous snapshot. `None` when the
+    /// pivot tier is disabled or the store is empty.
+    fn synced_pivot_index(&self, store: &GraphStore) -> Option<Arc<PivotIndex>> {
+        if self.pivot_target == 0 || store.is_empty() {
+            return None;
+        }
+        let mut oracle = |a: &Graph, b: &Graph| pivot_distance(a, b, self.verify_budget);
+        let mut cache = self.pivot_cache.lock().expect("pivot cache lock");
+        match cache.as_mut() {
+            Some(index) if index.revision() == store.revision() => {}
+            Some(index) => Arc::make_mut(index).sync(store, &mut oracle),
+            None => {
+                *cache = Some(Arc::new(PivotIndex::build(
+                    store,
+                    self.pivot_target,
+                    &mut oracle,
+                )));
+            }
+        }
+        cache.clone()
+    }
+
+    /// The ids currently serving as pivots for `store`, after syncing the
+    /// engine's pivot index to it (building it on first use). Empty when
+    /// the pivot tier is disabled or the store is empty. Primarily an
+    /// observability hook — tests use it to remove a live pivot and watch
+    /// reselection keep queries exact.
+    #[must_use]
+    pub fn pivot_ids(&self, store: &GraphStore) -> Vec<GraphId> {
+        self.synced_pivot_index(store)
+            .map(|index| index.pivots().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// The triangle-inequality `[lb, ub]` bounds on the exact GED between
+    /// `query` and every graph of `store`, derived from the engine's
+    /// pivot table (synced to the store first, built on first use; the
+    /// `p` query-to-pivot distances are computed once per call, outside
+    /// the index lock). `None` when the pivot tier is disabled or the
+    /// store is empty.
+    ///
+    /// This is the tier the store-level plans consume; it is public so
+    /// callers (and the `ged-testkit` brute-force oracles) can observe
+    /// exactly the bounds a query used.
+    #[must_use]
+    pub fn pivot_bounds(
+        &self,
+        query: &Graph,
+        store: &GraphStore,
+    ) -> Option<BTreeMap<GraphId, (usize, usize)>> {
+        let index = self.synced_pivot_index(store)?;
+        let mut oracle = |a: &Graph, b: &Graph| pivot_distance(a, b, self.verify_budget);
+        let qdists = index.query_distances(store, query, &mut oracle);
+        Some(
+            store
+                .ids()
+                .into_iter()
+                .map(|id| (id, index.bounds(&qdists, id).expect("index is synced")))
+                .collect(),
+        )
     }
 
     /// Every method this engine can answer for, in registration order.
@@ -902,13 +1063,21 @@ impl GedEngine {
         let solver = self.solver(method)?;
         ensure_store_valid(store)?;
 
+        let pivot = self.pivot_bounds(query, store);
         let qsig = GraphSignature::of(query);
         let mut candidates: Vec<Candidate> = store
             .entries()
             .map(|(id, _, sig)| {
                 let lb_label = label_set_lower_bound_sig(&qsig, sig);
-                let lb = lb_label.max(degree_sequence_lower_bound_sig(&qsig, sig));
-                Candidate { id, lb_label, lb }
+                let lb_sig = lb_label.max(degree_sequence_lower_bound_sig(&qsig, sig));
+                let (lb_pivot, ub) = pivot_bounds_for(&pivot, id);
+                Candidate {
+                    id,
+                    lb_label,
+                    lb_sig,
+                    lb: lb_sig.max(lb_pivot),
+                    ub,
+                }
             })
             .collect();
         // Ascending lower bounds: the most promising candidates are
@@ -934,8 +1103,10 @@ impl GedEngine {
                     for c in &candidates[i..] {
                         if (c.lb_label as f64) > kth {
                             stats.pruned_label += 1;
-                        } else {
+                        } else if (c.lb_sig as f64) > kth {
                             stats.pruned_degree += 1;
+                        } else {
+                            stats.pruned_pivot += 1;
                         }
                     }
                     break;
@@ -1030,6 +1201,7 @@ impl GedEngine {
         let solver = self.solver(method)?;
         ensure_store_valid(store)?;
 
+        let pivot = self.pivot_bounds(query, store);
         let qsig = GraphSignature::of(query);
         let mut stats = SearchStats {
             candidates: store.len(),
@@ -1042,12 +1214,32 @@ impl GedEngine {
                 stats.pruned_label += 1;
                 continue;
             }
-            let lb = lb_label.max(degree_sequence_lower_bound_sig(&qsig, sig));
-            if (lb as f64) > tau {
+            let lb_sig = lb_label.max(degree_sequence_lower_bound_sig(&qsig, sig));
+            if (lb_sig as f64) > tau {
                 stats.pruned_degree += 1;
                 continue;
             }
-            survivors.push(Candidate { id, lb_label, lb });
+            let (lb_pivot, ub) = pivot_bounds_for(&pivot, id);
+            if (lb_pivot as f64) > tau {
+                stats.pruned_pivot += 1;
+                continue;
+            }
+            if ub != usize::MAX && (ub as f64) <= tau {
+                // The pivot table proves this candidate's exact GED is
+                // within τ: membership is decided before the solver runs
+                // (the solver still supplies the reported estimate, which
+                // the ub-clamp keeps ≤ τ). The `usize::MAX` guard keeps
+                // the vacuous no-pivot bound from counting as a
+                // certificate when τ itself is unbounded.
+                stats.accepted_pivot += 1;
+            }
+            survivors.push(Candidate {
+                id,
+                lb_label,
+                lb_sig,
+                lb: lb_sig.max(lb_pivot),
+                ub,
+            });
         }
         let verified = self.verify(method, solver, query, store, &survivors);
         stats.verified = verified.len();
@@ -1126,34 +1318,55 @@ impl GedEngine {
             tau.floor() as usize
         };
 
-        // Tier 1 (filter): signature-fed admissible bounds, no graph
-        // access. The cheaper label-set bound goes first and
-        // short-circuits the degree bound, as in `range_as`. Survivors
-        // stay in ascending-id order.
+        // Tier 0 (pivot filter) + tier 1 (signature filter): admissible
+        // bounds, no graph access. The pivot lower bound goes first — it
+        // is one table-row scan and, with good pivots, the strictest of
+        // the three — then the cheaper label-set bound short-circuits the
+        // degree bound, as in `range_as`. A pivot upper bound within τ is
+        // carried to the prune tier as a membership certificate.
+        // Survivors stay in ascending-id order.
+        let pivot = self.pivot_bounds(query, store);
         let qsig = GraphSignature::of(query);
-        let mut survivors: Vec<GraphId> = Vec::new();
+        let mut survivors: Vec<(GraphId, Option<usize>)> = Vec::new();
         for (id, _, sig) in store.entries() {
+            let (lb_pivot, ub_pivot) = pivot_bounds_for(&pivot, id);
+            if lb_pivot > tau {
+                stats.pruned_pivot += 1;
+                continue;
+            }
             if label_set_lower_bound_sig(&qsig, sig) > tau
                 || degree_sequence_lower_bound_sig(&qsig, sig) > tau
             {
                 stats.filtered += 1;
             } else {
-                survivors.push(id);
+                // A certificate must be a *real* pivot bound: the vacuous
+                // `usize::MAX` of a disabled pivot tier would otherwise
+                // "certify" everything whenever τ saturates to
+                // `usize::MAX`, replacing the tight GEDGW-ub recovery
+                // search with an effectively unbounded one.
+                let certificate = (ub_pivot != usize::MAX && ub_pivot <= tau).then_some(ub_pivot);
+                survivors.push((id, certificate));
             }
         }
 
         // Tiers 2 + 3 (prune / verify): per-candidate, embarrassingly
         // parallel, deterministic — so thread count never changes the
-        // answer and input (id) order is preserved.
-        let outcomes = self.runner.map(&survivors, |&id| {
+        // answer and input (id) order is preserved. A pivot-certified
+        // candidate skips the GEDGW bound and goes straight to the
+        // (pivot-ub-bounded) exact-distance recovery.
+        let outcomes = self.runner.map(&survivors, |&(id, pivot_ub)| {
             let cand = store.get(id).expect("survivor ids come from this store");
-            prune_or_verify(query, cand, tau, self.verify_budget)
+            prune_or_verify_with_pivot(query, cand, tau, self.verify_budget, pivot_ub)
         });
 
         let mut matches = Vec::new();
         let mut budget_exhausted = Vec::new();
-        for (&id, outcome) in survivors.iter().zip(outcomes) {
+        for (&(id, _), outcome) in survivors.iter().zip(outcomes) {
             match outcome {
+                CandidateOutcome::AcceptedByPivot { ged } => {
+                    stats.accepted_pivot += 1;
+                    matches.push(ExactNeighbor { id, ged });
+                }
                 CandidateOutcome::AcceptedEarly { ged } => {
                     stats.accepted_early += 1;
                     matches.push(ExactNeighbor { id, ged });
@@ -1202,11 +1415,15 @@ impl GedEngine {
     }
 
     /// The verify phase shared by `TopK` and `Range`: runs the solver on
-    /// every candidate in parallel and refines each prediction with the
-    /// candidate's admissible lower bound (`max(prediction, lb)` — the
-    /// bound never exceeds the true GED, so this only corrects certain
-    /// under-estimates, and it is what makes bound-based pruning exactly
-    /// consistent with a full scan).
+    /// every candidate in parallel and refines each prediction into the
+    /// candidate's admissible `[lb, ub]` interval
+    /// (`min(max(prediction, lb), ub)`). The interval provably contains
+    /// the true GED, so clamping only ever moves an estimate *toward* it
+    /// — and it is what makes bound-based pruning (and pivot-ub range
+    /// acceptance) exactly consistent with a full scan applying the same
+    /// refinement. Without a pivot index `ub` is `usize::MAX` and this is
+    /// the classic one-sided `max(prediction, lb)` of the signature
+    /// tiers.
     fn verify(
         &self,
         method: MethodKind,
@@ -1222,8 +1439,9 @@ impl GedEngine {
             Neighbor {
                 id: c.id,
                 // f64::max ignores a NaN prediction, keeping the no-panic,
-                // no-NaN contract of the ranking.
-                ged: prediction.max(c.lb as f64),
+                // no-NaN contract of the ranking; lb ≤ ub always (both
+                // bound the same exact GED), so the clamp is well formed.
+                ged: prediction.max(c.lb as f64).min(c.ub as f64),
             }
         })
     }
@@ -1312,6 +1530,19 @@ impl GedEngine {
 /// Resolves `id` in `store`, surfacing a typed error instead of a panic.
 fn resolve(store: &GraphStore, id: GraphId) -> Result<&Graph, GedError> {
     store.get(id).ok_or(GedError::UnknownGraphId(id))
+}
+
+/// The pivot `[lb, ub]` bounds of `id`, or the vacuous `(0, usize::MAX)`
+/// when the pivot tier is disabled (so every consumer can treat the
+/// bounds as unconditionally present).
+fn pivot_bounds_for(
+    bounds: &Option<BTreeMap<GraphId, (usize, usize)>>,
+    id: GraphId,
+) -> (usize, usize) {
+    bounds
+        .as_ref()
+        .and_then(|m| m.get(&id).copied())
+        .unwrap_or((0, usize::MAX))
 }
 
 /// Rejects empty stores and stores containing node-less graphs. Reads
@@ -1762,6 +1993,93 @@ mod tests {
                 assert!(truth.ged <= ub, "ub must upper-bound the exact GED");
             }
         }
+    }
+
+    #[test]
+    fn pivot_tier_preserves_exact_results_and_saves_work() {
+        let ds = small_dataset(20, 63);
+        let query = ds.graphs().next().unwrap().clone();
+        let plain = gedgw_engine();
+        let mut registry = SolverRegistry::new();
+        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        let pivoted = GedEngine::builder(registry)
+            .threads(1)
+            .pivots(3)
+            .build()
+            .unwrap();
+        assert_eq!(pivoted.pivot_target(), 3);
+        assert_eq!(plain.pivot_target(), 0);
+        assert!(plain.pivot_ids(&ds).is_empty());
+        assert!(plain.pivot_bounds(&query, &ds).is_none());
+
+        let pivots = pivoted.pivot_ids(&ds);
+        assert_eq!(pivots.len(), 3);
+        assert!(pivots.iter().all(|&p| ds.contains(p)));
+
+        // The pivot bounds sandwich the true GED for every stored graph.
+        let bounds = pivoted.pivot_bounds(&query, &ds).expect("pivots enabled");
+        assert_eq!(bounds.len(), ds.len());
+        for (id, g) in ds.iter() {
+            let (lb, ub) = bounds[&id];
+            let exact = crate::search::bounded_exact_ged(&query, g, usize::MAX / 2).unwrap();
+            assert!(
+                lb <= exact && exact <= ub,
+                "[{lb}, {ub}] must contain {exact} for {id}"
+            );
+        }
+
+        // RangeExact: bit-identical to the pivot-disabled plan, with the
+        // pivot tiers visibly firing (the member query certifies itself).
+        for tau in [0.0, 2.0, 4.0] {
+            let with = pivoted.range_exact(&query, &ds, tau).unwrap();
+            let without = plain.range_exact(&query, &ds, tau).unwrap();
+            assert_eq!(with.matches, without.matches, "tau={tau}");
+            assert_eq!(with.budget_exhausted, without.budget_exhausted);
+            assert_eq!(with.stats.total(), ds.len(), "accounting closes");
+            assert!(
+                with.stats.pruned_pivot + with.stats.accepted_pivot > 0,
+                "tau={tau}: pivot tier must fire: {:?}",
+                with.stats
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_pivot_tier_never_certifies_at_infinite_tau() {
+        // Regression: the vacuous (0, usize::MAX) bound of a pivot-less
+        // engine must not count as a membership certificate when τ
+        // saturates to usize::MAX — accepted_pivot stayed "certifying"
+        // the whole store and the exact-distance recovery ran bounded by
+        // usize::MAX instead of the tight GEDGW upper bound.
+        let engine = gedgw_engine();
+        let ds = small_dataset(12, 64);
+        let query = ds.graphs().next().unwrap().clone();
+
+        let exact = engine.range_exact(&query, &ds, f64::INFINITY).unwrap();
+        assert_eq!(exact.stats.pruned_pivot, 0, "no pivot index, no tier");
+        assert_eq!(exact.stats.accepted_pivot, 0, "no pivot index, no tier");
+        assert_eq!(
+            exact.stats.accepted_pivot + exact.stats.accepted_early + exact.stats.verified,
+            ds.len(),
+            "τ = ∞ still resolves every candidate through the real tiers"
+        );
+
+        let range = engine.range(&query, &ds, f64::INFINITY).unwrap();
+        assert_eq!(range.stats.pruned_pivot, 0);
+        assert_eq!(range.stats.accepted_pivot, 0);
+
+        // With pivots enabled the exact table is finite, so τ = ∞ *does*
+        // certify — through real bounds, not the vacuous one.
+        let mut registry = SolverRegistry::new();
+        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        let pivoted = GedEngine::builder(registry)
+            .threads(1)
+            .pivots(2)
+            .build()
+            .unwrap();
+        let exact = pivoted.range_exact(&query, &ds, f64::INFINITY).unwrap();
+        assert_eq!(exact.stats.accepted_pivot, ds.len());
+        assert_eq!(exact.matches.len(), ds.len());
     }
 
     #[test]

@@ -61,8 +61,9 @@ pub use lower_bound::{
 pub use method::MethodKind;
 pub use pairs::{ordered, GedPair};
 pub use search::{
-    bounded_exact_ged, bounded_exact_ged_with_budget, fast_upper_bound, prune_or_verify,
-    similarity_search, BoundedSearch, CandidateOutcome, ExactSearchStats, Verdict,
+    bounded_exact_ged, bounded_exact_ged_with_budget, fast_upper_bound, pivot_distance,
+    prune_or_verify, prune_or_verify_with_pivot, similarity_search, BoundedSearch,
+    CandidateOutcome, ExactSearchStats, Verdict,
 };
 pub use solver::{
     BatchRunner, GedEstimate, GedSolver, GedgwSolver, GedhotSolver, GediotSolver, PathEstimate,

@@ -38,7 +38,7 @@
 use crate::gedgw::Gedgw;
 use crate::lower_bound::{degree_sequence_lower_bound, label_set_lower_bound};
 use crate::pairs::ordered;
-use ged_graph::{Graph, NodeMapping};
+use ged_graph::{Graph, NodeMapping, PivotDistance};
 use ged_linalg::lsap_min;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -73,9 +73,19 @@ pub enum Verdict {
 /// [`crate::engine::SearchStats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExactSearchStats {
-    /// Candidates discarded by lower bounds.
+    /// Candidates discarded by the pivot-table lower bound
+    /// (`|d(q,p) − d(p,g)| > τ` for some pivot `p`) before the signature
+    /// bounds were even consulted. Always zero when the engine has no
+    /// pivot index ([`crate::engine::GedEngineBuilder::pivots`]).
+    pub pruned_pivot: usize,
+    /// Candidates discarded by the signature lower bounds.
     pub filtered: usize,
-    /// Candidates accepted by the upper bound.
+    /// Candidates whose membership the pivot-table upper bound
+    /// (`d(q,p) + d(p,g) ≤ τ`) certified before the GEDGW upper bound ran
+    /// (the exact distance is then recovered by a search bounded by that
+    /// pivot bound). Always zero without a pivot index.
+    pub accepted_pivot: usize,
+    /// Candidates accepted by the GEDGW upper bound.
     pub accepted_early: usize,
     /// Candidates that required bounded exact verification.
     pub verified: usize,
@@ -88,10 +98,16 @@ pub struct ExactSearchStats {
 
 impl ExactSearchStats {
     /// Total candidates accounted for — the per-tier counts always close
-    /// to the number of candidates examined.
+    /// to the number of candidates examined, whether or not the pivot
+    /// tiers fired.
     #[must_use]
     pub fn total(&self) -> usize {
-        self.filtered + self.accepted_early + self.verified + self.budget_exceeded
+        self.pruned_pivot
+            + self.filtered
+            + self.accepted_pivot
+            + self.accepted_early
+            + self.verified
+            + self.budget_exceeded
     }
 }
 
@@ -293,6 +309,13 @@ pub fn fast_upper_bound(g1: &Graph, g2: &Graph) -> usize {
 /// carry the **exact** GED.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CandidateOutcome {
+    /// The pivot-table upper bound proved membership (`ub_pivot ≤ τ`)
+    /// before the GEDGW upper bound was even computed; the exact distance
+    /// was then recovered by a search bounded by that pivot bound.
+    AcceptedByPivot {
+        /// The exact GED (`≤ τ`).
+        ged: usize,
+    },
     /// The feasible upper bound proved membership (`ub ≤ τ`) without any
     /// τ-bounded search; the exact distance was then recovered by a
     /// search bounded by the (tighter) upper bound itself.
@@ -351,6 +374,61 @@ pub fn prune_or_verify(query: &Graph, cand: &Graph, tau: usize, budget: usize) -
         BoundedSearch::Within(ged) => CandidateOutcome::Verified { ged },
         BoundedSearch::Exceeds => CandidateOutcome::Rejected,
         BoundedSearch::BudgetExhausted => CandidateOutcome::BudgetExhausted { accepted_ub: None },
+    }
+}
+
+/// [`prune_or_verify`] with a triangle-inequality head start: when the
+/// caller's pivot table already proved membership (`pivot_ub ≤ τ`,
+/// [`ged_graph::PivotIndex::bounds`]), the GEDGW upper bound is skipped
+/// entirely and the exact distance is recovered by a search bounded by
+/// `pivot_ub` ([`CandidateOutcome::AcceptedByPivot`]); a budget
+/// exhaustion during that recovery keeps the membership proof
+/// (`accepted_ub = Some(pivot_ub)`). `pivot_ub = None` (or a bound above
+/// τ, which the caller should not pass) falls back to [`prune_or_verify`]
+/// unchanged.
+#[must_use]
+pub fn prune_or_verify_with_pivot(
+    query: &Graph,
+    cand: &Graph,
+    tau: usize,
+    budget: usize,
+    pivot_ub: Option<usize>,
+) -> CandidateOutcome {
+    if let Some(ub) = pivot_ub.filter(|&ub| ub <= tau) {
+        return match bounded_exact_ged_with_budget(query, cand, ub, budget) {
+            BoundedSearch::Within(ged) => CandidateOutcome::AcceptedByPivot { ged },
+            // A sound pivot table makes `GED ≤ ub` a theorem, so this arm
+            // is unreachable; fall back to the regular tiers rather than
+            // trusting a table the caller may have corrupted.
+            BoundedSearch::Exceeds => prune_or_verify(query, cand, tau, budget),
+            BoundedSearch::BudgetExhausted => CandidateOutcome::BudgetExhausted {
+                accepted_ub: Some(ub),
+            },
+        };
+    }
+    prune_or_verify(query, cand, tau, budget)
+}
+
+/// The pivot-table distance oracle ([`ged_graph::PivotIndex`]): the exact
+/// GED of the pair when an exact search fits the node-expansion `budget`,
+/// otherwise the admissible `[lb, ub]` interval built from the signature
+/// lower bounds and the feasible GEDGW upper bound.
+///
+/// The exact search is bounded by the feasible upper bound itself —
+/// `GED ≤ ub` always holds, so the search can only return the optimum or
+/// run out of budget; it is never cut off by a too-small threshold.
+#[must_use]
+pub fn pivot_distance(g1: &Graph, g2: &Graph, budget: usize) -> PivotDistance {
+    let lb = label_set_lower_bound(g1, g2).max(degree_sequence_lower_bound(g1, g2));
+    if lb == 0 && g1 == g2 {
+        return PivotDistance::exact(0);
+    }
+    let ub = fast_upper_bound(g1, g2);
+    match bounded_exact_ged_with_budget(g1, g2, ub, budget) {
+        BoundedSearch::Within(ged) => PivotDistance::exact(ged),
+        // `Exceeds` cannot happen for a feasible bound; treat it like an
+        // exhausted budget instead of unwinding a store-level query.
+        BoundedSearch::Exceeds | BoundedSearch::BudgetExhausted => PivotDistance::interval(lb, ub),
     }
 }
 
@@ -510,6 +588,9 @@ mod tests {
             let d = exact(&g1, &g2);
             for tau in [d.saturating_sub(1), d, d + 2] {
                 match prune_or_verify(&g1, &g2, tau, usize::MAX) {
+                    CandidateOutcome::AcceptedByPivot { .. } => {
+                        unreachable!("no pivot certificate was supplied")
+                    }
                     CandidateOutcome::AcceptedEarly { ged }
                     | CandidateOutcome::Verified { ged } => {
                         assert_eq!(ged, d, "matching outcomes must be exact");
@@ -549,12 +630,75 @@ mod tests {
     #[test]
     fn stats_total_closes() {
         let stats = ExactSearchStats {
+            pruned_pivot: 5,
             filtered: 3,
+            accepted_pivot: 6,
             accepted_early: 2,
             verified: 4,
             budget_exceeded: 1,
         };
-        assert_eq!(stats.total(), 10);
+        assert_eq!(stats.total(), 21, "every tier participates in total()");
+    }
+
+    #[test]
+    fn pivot_distance_is_exact_until_the_budget_bites() {
+        let mut rng = SmallRng::seed_from_u64(208);
+        for _ in 0..15 {
+            let g1 =
+                generate::random_connected(rng.gen_range(4..=6), 1, &[0.5, 0.3, 0.2], &mut rng);
+            let g2 =
+                generate::random_connected(rng.gen_range(4..=6), 1, &[0.5, 0.3, 0.2], &mut rng);
+            let d = exact(&g1, &g2);
+
+            let unlimited = pivot_distance(&g1, &g2, usize::MAX);
+            assert!(unlimited.is_exact(), "unlimited budgets compute exactly");
+            assert_eq!(unlimited.lb(), d);
+
+            // A zero budget degrades to the admissible [lb, ub] interval.
+            let strangled = pivot_distance(&g1, &g2, 0);
+            assert!(
+                strangled.lb() <= d && d <= strangled.ub(),
+                "interval [{}, {}] must contain {d}",
+                strangled.lb(),
+                strangled.ub()
+            );
+        }
+        // Identical graphs short-circuit to exact 0 at any budget.
+        let g = generate::random_connected(5, 1, &[0.5, 0.5], &mut rng);
+        assert_eq!(pivot_distance(&g, &g, 0), PivotDistance::exact(0));
+    }
+
+    #[test]
+    fn pivot_accept_recovers_the_exact_distance() {
+        let mut rng = SmallRng::seed_from_u64(209);
+        for _ in 0..15 {
+            let g1 =
+                generate::random_connected(rng.gen_range(4..=6), 1, &[0.5, 0.3, 0.2], &mut rng);
+            let g2 =
+                generate::random_connected(rng.gen_range(4..=6), 1, &[0.5, 0.3, 0.2], &mut rng);
+            let d = exact(&g1, &g2);
+            let tau = d + 2;
+            // A (sound) pivot certificate: any ub with d ≤ ub ≤ τ.
+            match prune_or_verify_with_pivot(&g1, &g2, tau, usize::MAX, Some(d + 1)) {
+                CandidateOutcome::AcceptedByPivot { ged } => {
+                    assert_eq!(ged, d, "the recovery search must return the optimum");
+                }
+                other => panic!("a within-τ pivot ub must accept, got {other:?}"),
+            }
+            // Without a certificate the regular tiers decide, identically
+            // to prune_or_verify.
+            assert_eq!(
+                prune_or_verify_with_pivot(&g1, &g2, tau, usize::MAX, None),
+                prune_or_verify(&g1, &g2, tau, usize::MAX)
+            );
+            // A zero budget surfaces the preserved membership proof.
+            assert_eq!(
+                prune_or_verify_with_pivot(&g1, &g2, tau, 0, Some(d + 1)),
+                CandidateOutcome::BudgetExhausted {
+                    accepted_ub: Some(d + 1)
+                }
+            );
+        }
     }
 
     #[test]

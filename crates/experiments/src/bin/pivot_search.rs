@@ -1,0 +1,6 @@
+//! Regenerates the pivot-index pruning report (triangle-inequality
+//! bounds as an extra tier of the exact range-search plan).
+fn main() {
+    let cfg = ged_experiments::ExpConfig::from_env();
+    print!("{}", ged_experiments::exp::run_pivot_search(&cfg));
+}

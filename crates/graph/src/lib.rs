@@ -13,6 +13,10 @@
 //!   [`store::GraphId`] handles and per-graph search signatures
 //!   precomputed at insert time (the substrate of the engine's
 //!   filter–verify similarity search);
+//! * [`pivot::PivotIndex`] — triangle-inequality pivot tables over a
+//!   store: exact (or interval-valued) distances to a few reference
+//!   graphs, maintained incrementally, from which per-candidate metric
+//!   `[lb, ub]` bounds are derived at query time;
 //! * random graph [`generate`]-ors and the synthetic stand-ins for the
 //!   AIDS / LINUX / IMDB [`dataset`]s used throughout the evaluation
 //!   (each dataset is a [`store::GraphStore`] tagged with its kind);
@@ -31,12 +35,14 @@ pub mod graph;
 pub mod io;
 pub mod isomorphism;
 pub mod mapping;
+pub mod pivot;
 pub mod store;
 
 pub use dataset::{DatasetKind, GraphDataset, Split};
 pub use edit::{EditOp, EditPath};
 pub use graph::{Graph, Label};
 pub use mapping::{CanonicalOp, NodeMapping};
+pub use pivot::{PivotDistance, PivotIndex};
 pub use store::{GraphId, GraphSignature, GraphStore};
 
 /// The maximum number of edit operations that can possibly be needed to turn

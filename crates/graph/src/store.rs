@@ -135,6 +135,7 @@ struct StoreEntry {
 #[derive(Clone, Debug, Default)]
 pub struct GraphStore {
     entries: BTreeMap<u64, StoreEntry>,
+    revision: u64,
 }
 
 impl GraphStore {
@@ -143,6 +144,7 @@ impl GraphStore {
     pub fn new() -> Self {
         GraphStore {
             entries: BTreeMap::new(),
+            revision: 0,
         }
     }
 
@@ -165,6 +167,9 @@ impl GraphStore {
         };
         let signature = GraphSignature::of(&graph);
         self.entries.insert(id.seq, StoreEntry { graph, signature });
+        // Sequence numbers are globally unique, so `seq + 1` is a revision
+        // no other mutation (of any store) can ever produce.
+        self.revision = id.seq + 1;
         id
     }
 
@@ -172,7 +177,27 @@ impl GraphStore {
     /// foreign to this store or was already removed. All other ids stay
     /// valid.
     pub fn remove(&mut self, id: GraphId) -> Option<Graph> {
-        self.entries.remove(&id.seq).map(|e| e.graph)
+        let removed = self.entries.remove(&id.seq).map(|e| e.graph);
+        if removed.is_some() {
+            self.revision = NEXT_SEQ.fetch_add(1, Ordering::Relaxed) + 1;
+        }
+        removed
+    }
+
+    /// A cheap content fingerprint for change detection: bumped to a
+    /// globally unique value by every successful [`GraphStore::insert`] /
+    /// [`GraphStore::remove`] (no-op removals of foreign or dead ids do
+    /// not bump it).
+    ///
+    /// Because [`GraphId`]s are never reused and stored graphs are
+    /// immutable, two stores reporting the same revision hold the same
+    /// `id → graph` map — either both are freshly created (revision 0,
+    /// both empty) or one is an unmutated clone of the other. Derived
+    /// indexes (e.g. [`crate::pivot::PivotIndex`]) use this to skip
+    /// re-synchronisation in `O(1)` when nothing changed.
+    #[must_use]
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// The graph behind `id`, or `None` for a foreign or removed id.
@@ -350,6 +375,31 @@ mod tests {
         store.remove(a);
         let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| store[a].num_nodes()));
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn revision_bumps_only_on_real_mutations() {
+        let mut store = GraphStore::new();
+        assert_eq!(store.revision(), 0, "fresh stores start at revision 0");
+        let a = store.insert(g(&[1], &[]));
+        let r1 = store.revision();
+        assert_ne!(r1, 0);
+        let _b = store.insert(g(&[2], &[]));
+        let r2 = store.revision();
+        assert_ne!(r2, r1, "insert bumps");
+        store.remove(a);
+        let r3 = store.revision();
+        assert_ne!(r3, r2, "remove bumps");
+        store.remove(a);
+        assert_eq!(store.revision(), r3, "no-op remove does not bump");
+
+        // A clone shares the revision until either side mutates; the two
+        // diverging mutations mint distinct revisions.
+        let mut clone = store.clone();
+        assert_eq!(clone.revision(), store.revision());
+        store.insert(g(&[3], &[]));
+        clone.insert(g(&[4], &[]));
+        assert_ne!(store.revision(), clone.revision());
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Shared test harness for the `ot-ged` workspace: deterministic
+//! store/dataset builders, seeded RNG fixtures, engine constructors over
+//! the training-free solvers, and the brute-force oracles every
+//! filter–verify search plan must reproduce exactly.
+//!
+//! The integration suites (`tests/engine.rs`, `tests/store_search.rs`,
+//! `tests/pivot_search.rs`) had accreted copy-pasted store builders and
+//! per-file brute-force scans; this crate is their single home. Every
+//! fixture is seeded, so each helper returns bit-identical data on every
+//! call, in every test binary, at any thread count.
+//!
+//! # Oracles
+//!
+//! * [`brute_force_refined`] — the full bound-refined ranking the
+//!   approximate plans (`TopK` / `Range`) must equal: one solver call
+//!   per stored graph, each prediction clamped into the admissible
+//!   bound interval the engine applies, sorted by `(ged, id)`.
+//! * [`brute_top_k`] / [`brute_range`] — the same ranking truncated /
+//!   thresholded exactly like the engine's queries.
+//! * [`brute_range_exact`] — the τ-bounded **exact** scan
+//!   (`GedQuery::RangeExact` ground truth): every stored graph searched
+//!   directly, ascending id order.
+//!
+//! The approximate oracles take the engine's pivot bounds
+//! ([`ged_core::engine::GedEngine::pivot_bounds`]) as an `Option` so one
+//! oracle covers both the signature-only plan (`None` — the classic
+//! `max(prediction, lb)` refinement) and the pivot plan (`Some` — the
+//! two-sided `min(max(prediction, lb), ub)` refinement).
+
+#![warn(missing_docs)]
+
+use ged_baselines::solvers::ClassicSolver;
+use ged_core::engine::{ExactNeighbor, GedEngine, GedEngineBuilder, Neighbor};
+use ged_core::lower_bound::{degree_sequence_lower_bound, label_set_lower_bound};
+use ged_core::method::MethodKind;
+use ged_core::pairs::GedPair;
+use ged_core::search::bounded_exact_ged;
+use ged_core::solver::{GedSolver, GedgwSolver, SolverRegistry};
+use ged_graph::{Graph, GraphDataset, GraphId, GraphStore};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// The canonical seed of the property-test stores ([`property_stores`]).
+pub const PROPERTY_SEED: u64 = 20_270_101;
+
+/// The engine's per-candidate pivot bounds, as returned by
+/// [`ged_core::engine::GedEngine::pivot_bounds`].
+pub type PivotBounds = BTreeMap<GraphId, (usize, usize)>;
+
+/// A deterministically seeded RNG — the single fixture every builder
+/// below derives from.
+#[must_use]
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// A `count`-graph AIDS-like store (labeled sparse compound graphs —
+/// the label-set filter tier bites).
+#[must_use]
+pub fn aids_store(count: usize, seed: u64) -> GraphDataset {
+    GraphDataset::aids_like(count, &mut rng(seed))
+}
+
+/// A `count`-graph LINUX-like store (unlabeled sparse graphs — only the
+/// structural bounds can prune).
+#[must_use]
+pub fn linux_store(count: usize, seed: u64) -> GraphDataset {
+    GraphDataset::linux_like(count, &mut rng(seed))
+}
+
+/// The two stores the property suites sweep: a 60-graph AIDS-like and a
+/// 50-graph LINUX-like dataset, drawn from one [`PROPERTY_SEED`] stream
+/// (bit-identical on every call).
+#[must_use]
+pub fn property_stores() -> Vec<GraphDataset> {
+    let mut rng = rng(PROPERTY_SEED);
+    vec![
+        GraphDataset::aids_like(60, &mut rng),
+        GraphDataset::linux_like(50, &mut rng),
+    ]
+}
+
+/// One AIDS-like query graph that is a member of no store built by the
+/// helpers above (a fresh seed stream per call site keeps queries and
+/// stores independent).
+#[must_use]
+pub fn external_query(seed: u64) -> Graph {
+    GraphDataset::aids_like(1, &mut rng(seed))
+        .graphs()
+        .next()
+        .expect("one graph")
+        .clone()
+}
+
+/// A boxed solver for the training-free methods the suites sweep.
+///
+/// # Panics
+/// Panics for methods that would require model training — tests stick to
+/// GEDGW and Classic on purpose.
+#[must_use]
+pub fn solver_for(method: MethodKind) -> Box<dyn GedSolver> {
+    match method {
+        MethodKind::Gedgw => Box::new(GedgwSolver),
+        MethodKind::Classic => Box::new(ClassicSolver),
+        other => panic!("ged-testkit only covers training-free methods, not {other}"),
+    }
+}
+
+/// A builder over a registry holding the given training-free methods
+/// (see [`solver_for`]) — tweak threads / pivots / budgets, then
+/// `build()`. The first listed method becomes the default.
+#[must_use]
+pub fn engine_builder(methods: &[MethodKind]) -> GedEngineBuilder {
+    let mut registry = SolverRegistry::new();
+    for &m in methods {
+        registry.register(m, solver_for(m));
+    }
+    let mut builder = GedEngine::builder(registry);
+    if let Some(&first) = methods.first() {
+        builder = builder.method(first);
+    }
+    builder
+}
+
+/// The standard single-method engine of the suites: GEDGW, `threads`
+/// worker threads, no pivots.
+#[must_use]
+pub fn gedgw_engine(threads: usize) -> GedEngine {
+    engine_builder(&[MethodKind::Gedgw])
+        .threads(threads)
+        .build()
+        .expect("GEDGW is registered")
+}
+
+/// The two-method engine the method-sweep properties use (GEDGW default,
+/// Classic registered alongside).
+#[must_use]
+pub fn gedgw_classic_engine() -> GedEngine {
+    engine_builder(&[MethodKind::Gedgw, MethodKind::Classic])
+        .build()
+        .expect("both methods are registered")
+}
+
+/// The brute-force reference a filter–verify search must reproduce
+/// exactly: evaluate every stored graph directly on the solver, refine
+/// each prediction into the admissible bound interval the engine applies
+/// — `max(prediction, lb)` against the signature lower bounds, further
+/// clamped into the pivot `[lb, ub]` interval when `pivot` carries one —
+/// and sort by `(ged, id)`.
+#[must_use]
+pub fn brute_force_refined(
+    store: &GraphStore,
+    query: &Graph,
+    solver: &dyn GedSolver,
+    pivot: Option<&PivotBounds>,
+) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = store
+        .iter()
+        .map(|(id, g)| {
+            let pair = GedPair::new(query.clone(), g.clone());
+            let mut lb = label_set_lower_bound(query, g).max(degree_sequence_lower_bound(query, g));
+            let mut ub = usize::MAX;
+            if let Some((plb, pub_)) = pivot.and_then(|m| m.get(&id).copied()) {
+                lb = lb.max(plb);
+                ub = pub_;
+            }
+            Neighbor {
+                id,
+                ged: solver.predict(&pair).ged.max(lb as f64).min(ub as f64),
+            }
+        })
+        .collect();
+    all.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.id.cmp(&b.id)));
+    all
+}
+
+/// [`brute_force_refined`] truncated to the `k` nearest neighbors —
+/// exactly what `GedQuery::TopK` promises (`k` beyond the store clamps).
+#[must_use]
+pub fn brute_top_k(
+    store: &GraphStore,
+    query: &Graph,
+    solver: &dyn GedSolver,
+    k: usize,
+    pivot: Option<&PivotBounds>,
+) -> Vec<Neighbor> {
+    let mut all = brute_force_refined(store, query, solver, pivot);
+    all.truncate(k);
+    all
+}
+
+/// [`brute_force_refined`] thresholded at `tau` — exactly what
+/// `GedQuery::Range` promises.
+#[must_use]
+pub fn brute_range(
+    store: &GraphStore,
+    query: &Graph,
+    solver: &dyn GedSolver,
+    tau: f64,
+    pivot: Option<&PivotBounds>,
+) -> Vec<Neighbor> {
+    brute_force_refined(store, query, solver, pivot)
+        .into_iter()
+        .filter(|n| n.ged <= tau)
+        .collect()
+}
+
+/// The brute-force reference for exact range search: the τ-bounded exact
+/// search run against every stored graph, in ascending id order —
+/// exactly what `GedQuery::RangeExact` promises (for any pivot
+/// configuration and any thread count).
+#[must_use]
+pub fn brute_range_exact(store: &GraphStore, query: &Graph, tau: usize) -> Vec<ExactNeighbor> {
+    store
+        .iter()
+        .filter_map(|(id, g)| bounded_exact_ged(query, g, tau).map(|ged| ExactNeighbor { id, ged }))
+        .collect()
+}
+
+/// Asserts two neighbor lists are bit-identical (ids, order, and the
+/// exact f64 bits of every distance).
+///
+/// # Panics
+/// Panics with `ctx` on the first divergence.
+pub fn assert_same_neighbors(got: &[Neighbor], want: &[Neighbor], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: result size");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.id, w.id, "{ctx}: id order");
+        assert_eq!(g.ged.to_bits(), w.ged.to_bits(), "{ctx}: value at {}", g.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = property_stores();
+        let b = property_stores();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            // GraphIds are process-global (never reused), so only the
+            // *content* repeats across calls — not the id values.
+            assert_eq!(x.len(), y.len());
+            for (gx, gy) in x.graphs().zip(y.graphs()) {
+                assert_eq!(gx, gy, "graphs are bit-identical across calls");
+            }
+        }
+        assert_eq!(external_query(7), external_query(7));
+        assert_eq!(aids_store(5, 3).len(), 5);
+        assert_eq!(linux_store(4, 3).len(), 4);
+    }
+
+    #[test]
+    fn property_stores_have_the_contracted_shape() {
+        let stores = property_stores();
+        assert_eq!(stores[0].len(), 60, "AIDS-like store");
+        assert_eq!(stores[1].len(), 50, "LINUX-like store");
+        assert!(stores[0].len() >= 50 && stores[1].len() >= 50);
+    }
+
+    #[test]
+    fn brute_force_refined_is_sorted_and_complete() {
+        let ds = aids_store(12, 11);
+        let query = external_query(12);
+        let ranking = brute_force_refined(&ds, &query, &GedgwSolver, None);
+        assert_eq!(ranking.len(), ds.len());
+        for w in ranking.windows(2) {
+            assert!(
+                w[0].ged < w[1].ged || (w[0].ged == w[1].ged && w[0].id < w[1].id),
+                "(ged, id) order"
+            );
+        }
+        // Refinement: every value respects the admissible lower bound.
+        for n in &ranking {
+            let g = ds.get(n.id).unwrap();
+            let lb = label_set_lower_bound(&query, g).max(degree_sequence_lower_bound(&query, g));
+            assert!(n.ged >= lb as f64);
+        }
+        // top-k / range are plain views of the same ranking.
+        assert_eq!(
+            brute_top_k(&ds, &query, &GedgwSolver, 3, None),
+            ranking[..3]
+        );
+        let tau = ranking[4].ged;
+        let within = brute_range(&ds, &query, &GedgwSolver, tau, None);
+        assert!(within.iter().all(|n| n.ged <= tau));
+        assert!(within.len() >= 5);
+    }
+
+    #[test]
+    fn pivot_bounds_clamp_the_refined_ranking() {
+        let ds = aids_store(10, 21);
+        let query = ds.graphs().next().unwrap().clone();
+        // A fake — but sound — pivot table: exact two-sided bounds.
+        let bounds: PivotBounds = ds
+            .iter()
+            .map(|(id, g)| {
+                let d = bounded_exact_ged(&query, g, usize::MAX / 2).unwrap();
+                (id, (d, d))
+            })
+            .collect();
+        let clamped = brute_force_refined(&ds, &query, &GedgwSolver, Some(&bounds));
+        for n in &clamped {
+            let (lb, ub) = bounds[&n.id];
+            assert!(
+                n.ged >= lb as f64 && n.ged <= ub as f64,
+                "clamped into [lb, ub]"
+            );
+        }
+    }
+
+    #[test]
+    fn brute_range_exact_is_id_ordered_ground_truth() {
+        let ds = aids_store(10, 31);
+        let query = ds.graphs().next().unwrap().clone();
+        let hits = brute_range_exact(&ds, &query, 3);
+        assert!(
+            hits.iter().any(|m| m.ged == 0),
+            "the member query matches itself"
+        );
+        for w in hits.windows(2) {
+            assert!(w[0].id < w[1].id, "ascending id order");
+        }
+        for m in &hits {
+            assert!(m.ged <= 3);
+            let g = ds.get(m.id).unwrap();
+            assert_eq!(bounded_exact_ged(&query, g, 3), Some(m.ged));
+        }
+    }
+
+    #[test]
+    fn engine_builders_cover_the_training_free_methods() {
+        let e = gedgw_engine(2);
+        assert_eq!(e.method(), MethodKind::Gedgw);
+        let e2 = gedgw_classic_engine();
+        assert_eq!(e2.method(), MethodKind::Gedgw);
+        assert_eq!(
+            e2.methods(),
+            vec![MethodKind::Gedgw, MethodKind::Classic],
+            "registration order"
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Triangle-inequality pivot pruning: the same store queries with and
+//! without a pivot index (`GedEngineBuilder::pivots`), side by side.
+//!
+//! GED is a metric, so exact distances to a few reference graphs bound
+//! every query–candidate distance for free:
+//!
+//! ```text
+//! max_i |d(q,p_i) − d(p_i,g)|  ≤  GED(q,g)  ≤  min_i d(q,p_i) + d(p_i,g)
+//! ```
+//!
+//! The engine materializes the `p × n` pivot table once (kept in sync
+//! with the store incrementally), spends `p` distance computations per
+//! query, and wires the derived bounds in as an extra tier of every
+//! store plan: `RangeExact` discards by pivot lb before the signature
+//! bounds and accepts by pivot ub before the GEDGW bound; `TopK`/`Range`
+//! prune by pivot lb and clamp estimates into `[lb, ub]`.
+//!
+//! Run with: `cargo run --release --example pivot_search`
+
+use ot_ged::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn engine(pivots: usize) -> GedEngine {
+    let mut registry = SolverRegistry::new();
+    registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+    GedEngine::builder(registry)
+        .threads(1)
+        .pivots(pivots)
+        .build()
+        .expect("GEDGW is registered")
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2029);
+    let store = GraphDataset::aids_like(60, &mut rng).into_store();
+    let query = store.graphs().next().expect("non-empty").clone();
+    println!("store: {} compounds; query: a member\n", store.len());
+
+    let plain = engine(0);
+    let pivoted = engine(4);
+    let pivots = pivoted.pivot_ids(&store);
+    println!(
+        "pivots (farthest-point selection): {}",
+        pivots
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // The derived bounds sandwich the exact GED for every stored graph.
+    let bounds = pivoted
+        .pivot_bounds(&query, &store)
+        .expect("pivots enabled");
+    let exact_rows = bounds.values().filter(|(lb, ub)| lb == ub).count();
+    println!(
+        "per-candidate bounds derived from {} query-to-pivot distances ({exact_rows}/{} already exact)\n",
+        pivots.len(),
+        bounds.len()
+    );
+
+    // Exact range search: identical answers, fewer τ-bounded searches.
+    println!("RangeExact, pivot tier off vs on (identical matches):");
+    println!(
+        "{:>5} {:>8} | {:>9} {:>15} {:>9} | {:>7} {:>9} {:>7} {:>15} {:>9}",
+        "tau",
+        "matches",
+        "filtered",
+        "accepted-early",
+        "verified",
+        "pr-piv",
+        "filtered",
+        "ac-piv",
+        "accepted-early",
+        "verified"
+    );
+    let mut total_with = 0usize;
+    let mut total_without = 0usize;
+    for tau in [1.0, 2.0, 4.0, 6.0] {
+        let off = plain.range_exact(&query, &store, tau).expect("valid");
+        let on = pivoted.range_exact(&query, &store, tau).expect("valid");
+        assert_eq!(
+            off.matches, on.matches,
+            "pivot tier must not change results"
+        );
+        assert_eq!(on.stats.total(), store.len(), "accounting closes");
+        println!(
+            "{tau:>5} {:>8} | {:>9} {:>15} {:>9} | {:>7} {:>9} {:>7} {:>15} {:>9}",
+            on.matches.len(),
+            off.stats.filtered,
+            off.stats.accepted_early,
+            off.stats.verified,
+            on.stats.pruned_pivot,
+            on.stats.filtered,
+            on.stats.accepted_pivot,
+            on.stats.accepted_early,
+            on.stats.verified,
+        );
+        total_without += off.stats.verified;
+        total_with += on.stats.verified;
+    }
+    assert!(
+        total_with < total_without,
+        "pivots must strictly reduce τ-bounded verifications"
+    );
+    println!(
+        "\nτ-bounded exact searches across the sweep: {total_without} → {total_with} \
+         (strictly fewer, same answers)\n"
+    );
+
+    // Approximate top-k: the pivot lower bound joins the filter phase and
+    // the [lb, ub] clamp tightens the reported estimates.
+    let off = plain.top_k(&query, &store, 5).expect("valid");
+    let on = pivoted.top_k(&query, &store, 5).expect("valid");
+    println!(
+        "TopK(5) solver invocations: {} → {}",
+        off.stats.verified, on.stats.verified
+    );
+    println!(
+        "  pruned per tier with pivots: label {} / degree {} / pivot {}",
+        on.stats.pruned_label, on.stats.pruned_degree, on.stats.pruned_pivot
+    );
+    assert!(
+        on.stats.verified < off.stats.verified,
+        "pivot pruning must save solver calls on this workload"
+    );
+    assert!(on.stats.pruned_pivot > 0, "the pivot tier must fire");
+
+    // The store stays live: dropping a pivot forces reselection, and the
+    // exact plan keeps answering identically to a fresh engine.
+    let mut store = store;
+    let victim = pivots[0];
+    store.remove(victim);
+    let after = pivoted.range_exact(&query, &store, 4.0).expect("valid");
+    let fresh = engine(4).range_exact(&query, &store, 4.0).expect("valid");
+    assert_eq!(after.matches, fresh.matches);
+    println!(
+        "\nremoved pivot {victim}; index reselected {} pivots and still matches a fresh build ✓",
+        pivoted.pivot_ids(&store).len()
+    );
+}

@@ -66,7 +66,8 @@ pub mod prelude {
     pub use ged_core::kbest::kbest_edit_path;
     pub use ged_core::method::MethodKind;
     pub use ged_core::search::{
-        bounded_exact_ged, bounded_exact_ged_with_budget, BoundedSearch, ExactSearchStats,
+        bounded_exact_ged, bounded_exact_ged_with_budget, pivot_distance, BoundedSearch,
+        ExactSearchStats,
     };
     pub use ged_core::solver::{
         BatchRunner, GedEstimate, GedSolver, GedgwSolver, PathEstimate, SolverRegistry,
@@ -74,6 +75,6 @@ pub mod prelude {
     pub use ged_eval::metrics;
     pub use ged_graph::{
         max_edit_ops, normalized_ged, DatasetKind, EditOp, EditPath, Graph, GraphDataset, GraphId,
-        GraphSignature, GraphStore, Label, NodeMapping, Split,
+        GraphSignature, GraphStore, Label, NodeMapping, PivotDistance, PivotIndex, Split,
     };
 }

@@ -11,15 +11,10 @@ use ot_ged::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-mod common;
-
 /// An engine over the training-free solvers (GEDGW default), so tests
 /// need no model training.
 fn engine() -> GedEngine {
-    let mut registry = SolverRegistry::new();
-    registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
-    GedEngine::builder(registry)
-        .method(MethodKind::Gedgw)
+    ged_testkit::engine_builder(&[MethodKind::Gedgw])
         .beam_width(8)
         .build()
         .expect("valid configuration")
@@ -27,7 +22,7 @@ fn engine() -> GedEngine {
 
 /// The ranking the engine promises to reproduce exactly.
 fn brute_force(store: &GraphStore, query: &Graph) -> Vec<Neighbor> {
-    common::brute_force_refined(store, query, &GedgwSolver)
+    ged_testkit::brute_force_refined(store, query, &GedgwSolver, None)
 }
 
 #[test]

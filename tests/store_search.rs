@@ -7,52 +7,19 @@
 //! brute-force τ-bounded **exact** scan, with every pipeline tier firing
 //! and `ExactSearchStats` accounting closing to the store size.
 
-use ot_ged::baselines::solvers::ClassicSolver;
-use ot_ged::core::solver::GedSolver;
+use ged_testkit::{assert_same_neighbors as assert_same, property_stores as stores, solver_for};
 use ot_ged::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-mod common;
-
 /// An engine over the two training-free methods the properties sweep.
 fn engine() -> GedEngine {
-    let mut registry = SolverRegistry::new();
-    registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
-    registry.register(MethodKind::Classic, Box::new(ClassicSolver));
-    GedEngine::builder(registry)
-        .method(MethodKind::Gedgw)
-        .build()
-        .expect("valid configuration")
-}
-
-fn solver_for(method: MethodKind) -> Box<dyn GedSolver> {
-    match method {
-        MethodKind::Gedgw => Box::new(GedgwSolver),
-        MethodKind::Classic => Box::new(ClassicSolver),
-        _ => unreachable!("tests sweep training-free methods only"),
-    }
+    ged_testkit::gedgw_classic_engine()
 }
 
 /// Brute force over the whole store, exactly as the engine computes it.
 fn brute_force(store: &GraphStore, query: &Graph, method: MethodKind) -> Vec<Neighbor> {
-    common::brute_force_refined(store, query, solver_for(method).as_ref())
-}
-
-fn assert_same(got: &[Neighbor], want: &[Neighbor], ctx: &str) {
-    assert_eq!(got.len(), want.len(), "{ctx}: result size");
-    for (g, w) in got.iter().zip(want) {
-        assert_eq!(g.id, w.id, "{ctx}: id order");
-        assert_eq!(g.ged.to_bits(), w.ged.to_bits(), "{ctx}: value at {}", g.id);
-    }
-}
-
-fn stores() -> Vec<GraphDataset> {
-    let mut rng = SmallRng::seed_from_u64(20_270_101);
-    vec![
-        GraphDataset::aids_like(60, &mut rng),
-        GraphDataset::linux_like(50, &mut rng),
-    ]
+    ged_testkit::brute_force_refined(store, query, solver_for(method).as_ref(), None)
 }
 
 #[test]
@@ -148,11 +115,7 @@ fn search_stays_consistent_across_incremental_updates() {
     let engine = engine();
     let mut rng = SmallRng::seed_from_u64(44);
     let mut ds = GraphDataset::aids_like(50, &mut rng);
-    let query = GraphDataset::aids_like(1, &mut rng)
-        .graphs()
-        .next()
-        .unwrap()
-        .clone();
+    let query = ged_testkit::external_query(440);
 
     // Remove the current best, insert a fresh graph, re-query: the store
     // is live, and filter–verify stays exactly brute-force-equal.
@@ -176,14 +139,7 @@ fn search_stays_consistent_across_incremental_updates() {
     }
 }
 
-/// The brute-force reference for exact range search: run the τ-bounded
-/// exact search against every stored graph, in ascending id order.
-fn brute_force_exact(store: &GraphStore, query: &Graph, tau: usize) -> Vec<ExactNeighbor> {
-    store
-        .iter()
-        .filter_map(|(id, g)| bounded_exact_ged(query, g, tau).map(|ged| ExactNeighbor { id, ged }))
-        .collect()
-}
+use ged_testkit::brute_range_exact as brute_force_exact;
 
 #[test]
 fn range_exact_equals_brute_force_with_every_tier_firing() {
@@ -246,32 +202,24 @@ fn range_exact_equals_brute_force_with_every_tier_firing() {
 
 #[test]
 fn range_exact_is_thread_count_invariant() {
-    let mut rng = SmallRng::seed_from_u64(46);
-    let ds = GraphDataset::aids_like(50, &mut rng);
+    let ds = ged_testkit::aids_store(50, 46);
     let query = ds.graphs().next().unwrap().clone();
-    let build = |threads: usize| {
-        let mut registry = SolverRegistry::new();
-        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
-        GedEngine::builder(registry)
-            .threads(threads)
-            .build()
-            .expect("valid configuration")
-    };
-    let sequential = build(1).range_exact(&query, &ds, 4.0).unwrap();
-    let parallel = build(4).range_exact(&query, &ds, 4.0).unwrap();
+    let sequential = ged_testkit::gedgw_engine(1)
+        .range_exact(&query, &ds, 4.0)
+        .unwrap();
+    let parallel = ged_testkit::gedgw_engine(4)
+        .range_exact(&query, &ds, 4.0)
+        .unwrap();
     assert_eq!(sequential, parallel, "exact answers are thread-independent");
     assert_eq!(sequential.matches, brute_force_exact(&ds, &query, 4));
 }
 
 #[test]
 fn range_exact_budget_degrades_per_candidate_not_per_query() {
-    let mut rng = SmallRng::seed_from_u64(47);
-    let ds = GraphDataset::aids_like(50, &mut rng);
+    let ds = ged_testkit::aids_store(50, 47);
     let query = ds.graphs().next().unwrap().clone();
     let build = |budget: usize| {
-        let mut registry = SolverRegistry::new();
-        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
-        GedEngine::builder(registry)
+        ged_testkit::engine_builder(&[MethodKind::Gedgw])
             .threads(2)
             .verify_budget(budget)
             .build()
@@ -325,23 +273,10 @@ fn range_exact_budget_degrades_per_candidate_not_per_query() {
 fn parallel_verification_is_bit_identical_to_sequential() {
     // The verify phase runs through BatchRunner; thread count must never
     // change a search answer.
-    let mut rng = SmallRng::seed_from_u64(45);
-    let ds = GraphDataset::aids_like(50, &mut rng);
-    let query = GraphDataset::aids_like(1, &mut rng)
-        .graphs()
-        .next()
-        .unwrap()
-        .clone();
-    let build = |threads: usize| {
-        let mut registry = SolverRegistry::new();
-        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
-        GedEngine::builder(registry)
-            .threads(threads)
-            .build()
-            .expect("valid configuration")
-    };
-    let sequential = build(1);
-    let parallel = build(4);
+    let ds = ged_testkit::aids_store(50, 45);
+    let query = ged_testkit::external_query(450);
+    let sequential = ged_testkit::gedgw_engine(1);
+    let parallel = ged_testkit::gedgw_engine(4);
     let a = sequential.top_k(&query, &ds, 7).unwrap();
     let b = parallel.top_k(&query, &ds, 7).unwrap();
     assert_eq!(a.stats, b.stats, "plan is thread-independent");
