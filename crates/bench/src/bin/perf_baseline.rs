@@ -1,0 +1,311 @@
+//! Committed performance baseline for the hot kernels and search plans.
+//!
+//! Runs deterministic quick-mode versions of the `kernels`, `fig_search`,
+//! `fig_exact_search`, and `fig_pivot` workloads and writes
+//! `BENCH_kernels.json` / `BENCH_search.json` (median ns per op, workload
+//! params, git rev) to the current directory — the repo root when invoked
+//! as `cargo run -p ged-bench --bin perf_baseline --release`.
+//!
+//! The JSON files are committed so every perf PR has an observable
+//! before/after trajectory; regenerate them after any change to the
+//! kernels or plans. `--smoke` runs tiny sizes and writes under `target/`
+//! (CI uses it to keep the binary and schema green without touching the
+//! committed numbers).
+
+use ged_core::engine::GedEngine;
+use ged_core::method::MethodKind;
+use ged_core::pairs::GedPair;
+use ged_core::solver::{BatchRunner, GedgwSolver, SolverRegistry};
+use ged_graph::GraphDataset;
+use ged_linalg::{lsap_min, lsap_min_munkres, Matrix};
+use ged_ot::gw::gw_tensor_apply;
+use ged_ot::sinkhorn::{sinkhorn, sinkhorn_dummy_row};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Samples per workload; the reported number is their median.
+const SAMPLES: usize = 9;
+
+struct Measurement {
+    name: &'static str,
+    params: String,
+    median_ns_per_op: u128,
+    ops_per_sample: usize,
+}
+
+/// Times `iters` consecutive runs of `f`, `SAMPLES` times (plus one
+/// discarded warmup), and returns the median ns-per-op measurement.
+fn measure<F: FnMut()>(name: &'static str, params: String, iters: usize, mut f: F) -> Measurement {
+    let mut per_op: Vec<u128> = Vec::with_capacity(SAMPLES);
+    for sample in 0..=SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() / iters as u128;
+        if sample > 0 {
+            // Sample 0 is warmup.
+            per_op.push(ns);
+        }
+    }
+    per_op.sort_unstable();
+    let median = per_op[per_op.len() / 2];
+    eprintln!("  {name:<28} {median:>12} ns/op   [{params}]");
+    Measurement {
+        name,
+        params,
+        median_ns_per_op: median,
+        ops_per_sample: iters,
+    }
+}
+
+fn rand_matrix(n: usize, m: usize, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(n, m, |_, _| rng.gen_range(0.0..2.0))
+}
+
+fn rand_adjacency(n: usize, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(0.3) {
+                a[(i, j)] = 1.0;
+                a[(j, i)] = 1.0;
+            }
+        }
+    }
+    a
+}
+
+fn gedgw_engine(pivots: usize) -> GedEngine {
+    let mut registry = SolverRegistry::new();
+    registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+    GedEngine::builder(registry)
+        .threads(1) // isolate plan cost from parallel speedup
+        .pivots(pivots)
+        .build()
+        .expect("GEDGW is registered")
+}
+
+fn kernels_suite(smoke: bool) -> Vec<Measurement> {
+    eprintln!("kernels:");
+    let mut out = Vec::new();
+
+    // Mirrors the `kernels` criterion bench: Sinkhorn, LSAP, L ⊗ π.
+    let n = if smoke { 8 } else { 30 };
+    let cost = rand_matrix(n, n, 1);
+    let mu = vec![1.0; n];
+    let nu = vec![1.0; n];
+    out.push(measure(
+        "sinkhorn_balanced",
+        format!("n={n},eps=0.05,iters=5"),
+        50,
+        || {
+            black_box(sinkhorn(&cost, &mu, &nu, 0.05, 5));
+        },
+    ));
+
+    let rect = rand_matrix(n, n + n / 2, 2);
+    out.push(measure(
+        "sinkhorn_dummy_row",
+        format!("n={n},m={},eps=0.05,iters=5", n + n / 2),
+        50,
+        || {
+            black_box(sinkhorn_dummy_row(&rect, 0.05, 5));
+        },
+    ));
+
+    let n = if smoke { 10 } else { 50 };
+    let lsap_cost = rand_matrix(n, n, 3);
+    out.push(measure(
+        "lsap_jonker_volgenant",
+        format!("n={n}"),
+        50,
+        || {
+            black_box(lsap_min(&lsap_cost));
+        },
+    ));
+    out.push(measure("lsap_munkres", format!("n={n}"), 20, || {
+        black_box(lsap_min_munkres(&lsap_cost));
+    }));
+
+    let n = if smoke { 10 } else { 60 };
+    let a1 = rand_adjacency(n, 4);
+    let a2 = rand_adjacency(n, 5);
+    let pi = rand_matrix(n, n, 6).scale(1.0 / n as f64);
+    out.push(measure("gw_tensor_fast", format!("n={n}"), 50, || {
+        black_box(gw_tensor_apply(&a1, &a2, &pi));
+    }));
+
+    // The batched workload the workspace layer targets: one GEDGW solve
+    // per pair through the BatchRunner seam.
+    let pairs_n = if smoke { 8 } else { 64 };
+    let mut rng = SmallRng::seed_from_u64(6_000);
+    let store = GraphDataset::aids_like(2 * pairs_n, &mut rng).into_store();
+    let graphs: Vec<_> = store.graphs().cloned().collect();
+    let pairs: Vec<GedPair> = graphs
+        .chunks_exact(2)
+        .map(|c| GedPair::new(c[0].clone(), c[1].clone()))
+        .collect();
+    let runner = BatchRunner::new(1);
+    out.push(measure(
+        "gedgw_batch_predict",
+        format!("pairs={pairs_n},threads=1,dataset=aids_like"),
+        1,
+        || {
+            black_box(runner.predict_batch(&GedgwSolver, &pairs));
+        },
+    ));
+
+    out
+}
+
+fn search_suite(smoke: bool) -> Vec<Measurement> {
+    eprintln!("search:");
+    let mut out = Vec::new();
+    let size = if smoke { 12 } else { 100 };
+    let tau = 4usize;
+
+    // fig_search: top-k filter–verify (same seeds as the criterion bench).
+    {
+        let mut rng = SmallRng::seed_from_u64(7_000 + size as u64);
+        let store = GraphDataset::aids_like(size, &mut rng).into_store();
+        let query = store.graphs().next().expect("non-empty").clone();
+        let engine = gedgw_engine(0);
+        out.push(measure(
+            "fig_search_topk",
+            format!("store={size},k=5,threads=1"),
+            1,
+            || {
+                black_box(engine.top_k(&query, &store, 5).expect("valid query"));
+            },
+        ));
+    }
+
+    // fig_exact_search: exact range search, three-tier plan.
+    {
+        let mut rng = SmallRng::seed_from_u64(8_000 + size as u64);
+        let store = GraphDataset::aids_like(size, &mut rng).into_store();
+        let query = store.graphs().next().expect("non-empty").clone();
+        let engine = gedgw_engine(0);
+        out.push(measure(
+            "fig_exact_search_range",
+            format!("store={size},tau={tau},threads=1"),
+            1,
+            || {
+                black_box(
+                    engine
+                        .range_exact(&query, &store, tau as f64)
+                        .expect("valid query"),
+                );
+            },
+        ));
+    }
+
+    // fig_pivot: exact range search through the pivot index (warmed).
+    {
+        let pivots = if smoke { 2 } else { 4 };
+        let mut rng = SmallRng::seed_from_u64(9_000 + size as u64);
+        let store = GraphDataset::aids_like(size, &mut rng).into_store();
+        let query = store.graphs().next().expect("non-empty").clone();
+        let engine = gedgw_engine(pivots);
+        // Build + sync the pivot table outside the timed region.
+        let warm = engine
+            .range_exact(&query, &store, tau as f64)
+            .expect("valid query");
+        assert_eq!(warm.stats.total(), store.len());
+        out.push(measure(
+            "fig_pivot_range_exact",
+            format!("store={size},tau={tau},pivots={pivots},threads=1"),
+            1,
+            || {
+                black_box(
+                    engine
+                        .range_exact(&query, &store, tau as f64)
+                        .expect("valid query"),
+                );
+            },
+        ));
+    }
+
+    out
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string())
+}
+
+fn write_json(path: &Path, suite: &str, mode: &str, rev: &str, results: &[Measurement]) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": 1,\n");
+    s.push_str(&format!("  \"suite\": \"{suite}\",\n"));
+    s.push_str(&format!("  \"git_rev\": \"{rev}\",\n"));
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!("  \"samples\": {SAMPLES},\n"));
+    s.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"params\": \"{}\", \"median_ns_per_op\": {}, \"ops_per_sample\": {}}}{}\n",
+            m.name,
+            m.params,
+            m.median_ns_per_op,
+            m.ops_per_sample,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_dir: PathBuf = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(
+            || {
+                if smoke {
+                    PathBuf::from("target/perf_smoke")
+                } else {
+                    PathBuf::from(".")
+                }
+            },
+            PathBuf::from,
+        );
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let mode = if smoke { "smoke" } else { "quick" };
+    let rev = git_rev();
+    eprintln!("perf_baseline mode={mode} rev={rev}");
+
+    let kernels = kernels_suite(smoke);
+    write_json(
+        &out_dir.join("BENCH_kernels.json"),
+        "kernels",
+        mode,
+        &rev,
+        &kernels,
+    );
+
+    let search = search_suite(smoke);
+    write_json(
+        &out_dir.join("BENCH_search.json"),
+        "search",
+        mode,
+        &rev,
+        &search,
+    );
+}

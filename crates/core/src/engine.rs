@@ -161,9 +161,12 @@ use crate::lower_bound::{degree_sequence_lower_bound_sig, label_set_lower_bound_
 use crate::method::MethodKind;
 use crate::pairs::GedPair;
 use crate::search::{
-    pivot_distance, prune_or_verify_with_pivot, CandidateOutcome, ExactSearchStats,
+    pivot_distance_in, prune_or_verify_with_pivot_in, CandidateOutcome, ExactSearchStats,
 };
-use crate::solver::{BatchRunner, GedEstimate, GedSolver, PathEstimate, SolverRegistry};
+use crate::solver::{
+    BatchRunner, GedEstimate, GedSolver, PathEstimate, SolverRegistry, SolverScratch,
+};
+use crate::workspace::GedWorkspace;
 use ged_graph::{Graph, GraphId, GraphSignature, GraphStore, PivotIndex};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
@@ -757,7 +760,9 @@ impl GedEngine {
         if self.pivot_target == 0 || store.is_empty() {
             return None;
         }
-        let mut oracle = |a: &Graph, b: &Graph| pivot_distance(a, b, self.verify_budget);
+        let mut ws = GedWorkspace::new();
+        let mut oracle =
+            |a: &Graph, b: &Graph| pivot_distance_in(a, b, self.verify_budget, &mut ws);
         let mut cache = self.pivot_cache.lock().expect("pivot cache lock");
         match cache.as_mut() {
             Some(index) if index.revision() == store.revision() => {}
@@ -802,7 +807,9 @@ impl GedEngine {
         store: &GraphStore,
     ) -> Option<BTreeMap<GraphId, (usize, usize)>> {
         let index = self.synced_pivot_index(store)?;
-        let mut oracle = |a: &Graph, b: &Graph| pivot_distance(a, b, self.verify_budget);
+        let mut ws = GedWorkspace::new();
+        let mut oracle =
+            |a: &Graph, b: &Graph| pivot_distance_in(a, b, self.verify_budget, &mut ws);
         let qdists = index.query_distances(store, query, &mut oracle);
         Some(
             store
@@ -976,7 +983,7 @@ impl GedEngine {
         ensure_nonempty(&pair.g2, "g2")?;
         let solver = self.solver(method)?;
         Ok(GedEstimate {
-            ged: self.predict_cached(method, solver, pair),
+            ged: self.predict_cached(method, solver, pair, &mut SolverScratch::new()),
         })
     }
 
@@ -1354,10 +1361,19 @@ impl GedEngine {
         // answer and input (id) order is preserved. A pivot-certified
         // candidate skips the GEDGW bound and goes straight to the
         // (pivot-ub-bounded) exact-distance recovery.
-        let outcomes = self.runner.map(&survivors, |&(id, pivot_ub)| {
-            let cand = store.get(id).expect("survivor ids come from this store");
-            prune_or_verify_with_pivot(query, cand, tau, self.verify_budget, pivot_ub)
-        });
+        let outcomes =
+            self.runner
+                .map_init(&survivors, GedWorkspace::new, |ws, &(id, pivot_ub)| {
+                    let cand = store.get(id).expect("survivor ids come from this store");
+                    prune_or_verify_with_pivot_in(
+                        query,
+                        cand,
+                        tau,
+                        self.verify_budget,
+                        pivot_ub,
+                        ws,
+                    )
+                });
 
         let mut matches = Vec::new();
         let mut budget_exhausted = Vec::new();
@@ -1432,18 +1448,19 @@ impl GedEngine {
         store: &GraphStore,
         candidates: &[Candidate],
     ) -> Vec<Neighbor> {
-        self.runner.map(candidates, |c| {
-            let graph = store.get(c.id).expect("candidate ids come from this store");
-            let pair = GedPair::new(query.clone(), graph.clone());
-            let prediction = self.predict_cached(method, solver, &pair);
-            Neighbor {
-                id: c.id,
-                // f64::max ignores a NaN prediction, keeping the no-panic,
-                // no-NaN contract of the ranking; lb ≤ ub always (both
-                // bound the same exact GED), so the clamp is well formed.
-                ged: prediction.max(c.lb as f64).min(c.ub as f64),
-            }
-        })
+        self.runner
+            .map_init(candidates, SolverScratch::new, |scratch, c| {
+                let graph = store.get(c.id).expect("candidate ids come from this store");
+                let pair = GedPair::new(query.clone(), graph.clone());
+                let prediction = self.predict_cached(method, solver, &pair, scratch);
+                Neighbor {
+                    id: c.id,
+                    // f64::max ignores a NaN prediction, keeping the no-panic,
+                    // no-NaN contract of the ranking; lb ≤ ub always (both
+                    // bound the same exact GED), so the clamp is well formed.
+                    ged: prediction.max(c.lb as f64).min(c.ub as f64),
+                }
+            })
     }
 
     /// Computes the pairwise distance matrix of `store` with the
@@ -1479,10 +1496,12 @@ impl GedEngine {
                 index_pairs.push((i, j));
             }
         }
-        let geds = self.runner.map(&index_pairs, |&(i, j)| {
-            let pair = GedPair::new(graphs[i].1.clone(), graphs[j].1.clone());
-            self.predict_cached(method, solver, &pair)
-        });
+        let geds = self
+            .runner
+            .map_init(&index_pairs, SolverScratch::new, |scratch, &(i, j)| {
+                let pair = GedPair::new(graphs[i].1.clone(), graphs[j].1.clone());
+                self.predict_cached(method, solver, &pair, scratch)
+            });
         let mut matrix = DistanceMatrix::new(graphs.into_iter().map(|(id, _)| id).collect());
         for (&(i, j), ged) in index_pairs.iter().zip(geds) {
             matrix.data[i * n + j] = ged;
@@ -1492,10 +1511,17 @@ impl GedEngine {
     }
 
     /// Predicts through the cache when one is configured. Predictions
-    /// are deterministic, so memoization never changes a result.
-    fn predict_cached(&self, method: MethodKind, solver: &dyn GedSolver, pair: &GedPair) -> f64 {
+    /// are deterministic (and scratch-independent), so memoization never
+    /// changes a result.
+    fn predict_cached(
+        &self,
+        method: MethodKind,
+        solver: &dyn GedSolver,
+        pair: &GedPair,
+        scratch: &mut SolverScratch,
+    ) -> f64 {
         let Some(cache) = &self.cache else {
-            return solver.predict(pair).ged;
+            return solver.predict_scratch(pair, scratch).ged;
         };
         let key = (method, pair_fingerprint(pair));
         {
@@ -1511,7 +1537,7 @@ impl GedEngine {
         }
         // Compute outside the lock: predictions can be expensive and the
         // cache must not serialize them.
-        let ged = solver.predict(pair).ged;
+        let ged = solver.predict_scratch(pair, scratch).ged;
         let mut cache = cache.lock().expect("cache lock");
         if cache.entries >= cache.capacity {
             cache.map.clear();

@@ -21,9 +21,10 @@
 
 use crate::kbest::{kbest_edit_path, KBestResult};
 use crate::pairs::ordered;
+use crate::workspace::GedWorkspace;
 use ged_graph::Graph;
 use ged_linalg::Matrix;
-use ged_ot::cg::{conditional_gradient, CgOptions};
+use ged_ot::cg::{conditional_gradient_in, CgOptions};
 
 /// Options for the GEDGW solver.
 #[derive(Clone, Copy, Debug)]
@@ -106,6 +107,15 @@ impl<'a> Gedgw<'a> {
     /// Runs conditional gradient and returns the GED estimate and coupling.
     #[must_use]
     pub fn solve(&self) -> GedgwResult {
+        self.solve_in(&mut GedWorkspace::new())
+    }
+
+    /// [`Self::solve`] with every problem matrix and solver buffer drawn
+    /// from `ws`, so batched callers allocate per thread instead of per
+    /// pair. Bit-identical to [`Self::solve`] for any (possibly dirty)
+    /// workspace.
+    #[must_use]
+    pub fn solve_in(&self, ws: &mut GedWorkspace) -> GedgwResult {
         let n1 = self.g1.num_nodes();
         let n = self.g2.num_nodes();
         if n == 0 {
@@ -116,26 +126,64 @@ impl<'a> Gedgw<'a> {
                 iterations: 0,
             };
         }
-        let m = self.node_cost_matrix();
-        let a1 = Matrix::from_vec(n, n, self.g1.adjacency_matrix_padded(n));
-        let a2 = Matrix::from_vec(n, n, self.g2.adjacency_matrix());
+        let GedWorkspace {
+            ot,
+            m,
+            a1,
+            a2,
+            pi,
+            csr1,
+            csr2,
+            ..
+        } = ws;
+        csr1.rebuild_from(self.g1);
+        csr2.rebuild_from(self.g2);
+
+        // Node-cost matrix M over the flat label arenas (dummy rows of the
+        // padded G1 always mismatch: matching them is a node insertion).
+        let (l1, l2) = (csr1.labels(), csr2.labels());
+        m.resize_zeroed(n, n);
+        for i in 0..n {
+            let row = m.row_mut(i);
+            let li = l1.get(i);
+            for (k, lk) in l2.iter().enumerate() {
+                row[k] = if li != Some(lk) { 1.0 } else { 0.0 };
+            }
+        }
+        // Padded adjacencies straight from the flat neighbor arenas
+        // (dummy nodes of G1 are edge-less, so their rows stay zero).
+        a1.resize_zeroed(n, n);
+        for u in 0..n1 {
+            let row = a1.row_mut(u);
+            for &v in csr1.neighbors(u as u32) {
+                row[v as usize] = 1.0;
+            }
+        }
+        a2.resize_zeroed(n, n);
+        for u in 0..n {
+            let row = a2.row_mut(u);
+            for &v in csr2.neighbors(u as u32) {
+                row[v as usize] = 1.0;
+            }
+        }
 
         // Uniform doubly-stochastic start (the barycenter of the polytope).
-        let init = Matrix::filled(n, n, 1.0 / n as f64);
+        pi.resize_zeroed(n, n);
+        pi.as_mut_slice().fill(1.0 / n as f64);
         let opts = CgOptions {
             max_iter: self.options.max_iter,
             tol: self.options.tol,
             quad_weight: 1.0,
         };
-        let res = conditional_gradient(&m, &a1, &a2, init, &opts);
+        let run = conditional_gradient_in(m, a1, a2, pi, &opts, ot);
 
         // Keep only the real (non-dummy) rows for downstream GEP generation.
-        let coupling = Matrix::from_fn(n1, n, |i, k| res.coupling[(i, k)]);
+        let coupling = Matrix::from_fn(n1, n, |i, k| pi[(i, k)]);
         GedgwResult {
-            ged: res.objective,
+            ged: run.objective,
             coupling,
             swapped: self.swapped,
-            iterations: res.iterations,
+            iterations: run.iterations,
         }
     }
 

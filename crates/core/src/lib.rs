@@ -43,6 +43,7 @@ pub mod method;
 pub mod pairs;
 pub mod search;
 pub mod solver;
+pub mod workspace;
 
 pub use edge_labeled::{gedgw_edge_labeled, EdgeLabeledGraph};
 pub use engine::{
@@ -61,11 +62,13 @@ pub use lower_bound::{
 pub use method::MethodKind;
 pub use pairs::{ordered, GedPair};
 pub use search::{
-    bounded_exact_ged, bounded_exact_ged_with_budget, fast_upper_bound, pivot_distance,
-    prune_or_verify, prune_or_verify_with_pivot, similarity_search, BoundedSearch,
-    CandidateOutcome, ExactSearchStats, Verdict,
+    bounded_exact_ged, bounded_exact_ged_with_budget, bounded_exact_ged_with_budget_in,
+    fast_upper_bound, fast_upper_bound_in, pivot_distance, pivot_distance_in, prune_or_verify,
+    prune_or_verify_in, prune_or_verify_with_pivot, prune_or_verify_with_pivot_in,
+    similarity_search, BoundedSearch, CandidateOutcome, ExactSearchStats, Verdict,
 };
 pub use solver::{
     BatchRunner, GedEstimate, GedSolver, GedgwSolver, GedhotSolver, GediotSolver, PathEstimate,
-    SolverRegistry,
+    SolverRegistry, SolverScratch,
 };
+pub use workspace::GedWorkspace;

@@ -36,10 +36,13 @@
 //! [`degree_sequence_lower_bound`]: crate::lower_bound::degree_sequence_lower_bound
 
 use crate::gedgw::Gedgw;
-use crate::lower_bound::{degree_sequence_lower_bound, label_set_lower_bound};
+use crate::lower_bound::{
+    degree_sequence_lower_bound, label_set_lower_bound, sorted_multiset_surplus,
+};
 use crate::pairs::ordered;
-use ged_graph::{Graph, NodeMapping, PivotDistance};
-use ged_linalg::lsap_min;
+use crate::workspace::{reset, GedWorkspace};
+use ged_graph::{CsrView, Graph, NodeMapping, PivotDistance};
+use ged_linalg::lsap_min_in;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -154,11 +157,65 @@ pub fn bounded_exact_ged_with_budget(
     tau: usize,
     budget: usize,
 ) -> BoundedSearch {
+    bounded_exact_ged_with_budget_in(g1, g2, tau, budget, &mut GedWorkspace::new())
+}
+
+/// [`bounded_exact_ged_with_budget`] with the pre-filter bounds and the
+/// per-expansion mark/label scratch drawn from `ws`, and both graphs read
+/// through flat [`CsrView`]s rebuilt into the workspace. The state
+/// traversal (expansion order, heap tie-breaks, budget accounting) is
+/// identical to the allocating version, so results match for any
+/// (possibly dirty) workspace.
+#[must_use]
+pub fn bounded_exact_ged_with_budget_in(
+    g1: &Graph,
+    g2: &Graph,
+    tau: usize,
+    budget: usize,
+    ws: &mut GedWorkspace,
+) -> BoundedSearch {
     let (a, b, _) = ordered(g1, g2);
-    let n1 = a.num_nodes();
+    let GedWorkspace {
+        csr1,
+        csr2,
+        used,
+        matched,
+        rest1,
+        rest2,
+        deg1,
+        deg2,
+        ..
+    } = ws;
+    csr1.rebuild_from(a);
+    csr2.rebuild_from(b);
+    let n1 = csr1.num_nodes();
+    let n2 = csr2.num_nodes();
+
     // Both admissible bounds: each can dominate the other, and a bound
-    // above τ proves GED > τ without expanding a single state.
-    if label_set_lower_bound(a, b) > tau || degree_sequence_lower_bound(a, b) > tau {
+    // above τ proves GED > τ without expanding a single state. The label
+    // surplus is shared by both, so it is merged once.
+    rest1.clear();
+    rest1.extend_from_slice(csr1.labels());
+    rest1.sort_unstable();
+    rest2.clear();
+    rest2.extend_from_slice(csr2.labels());
+    rest2.sort_unstable();
+    let (o1, o2) = sorted_multiset_surplus(rest1, rest2);
+    let node_term = o1.max(o2);
+    if node_term + csr1.num_edges().abs_diff(csr2.num_edges()) > tau {
+        return BoundedSearch::Exceeds;
+    }
+    let n = n1.max(n2);
+    deg1.clear();
+    deg1.extend((0..n1 as u32).map(|u| csr1.degree(u)));
+    deg1.resize(n, 0);
+    deg1.sort_unstable();
+    deg2.clear();
+    deg2.extend((0..n2 as u32).map(|u| csr2.degree(u)));
+    deg2.resize(n, 0);
+    deg2.sort_unstable();
+    let diff: usize = deg1.iter().zip(&*deg2).map(|(&x, &y)| x.abs_diff(y)).sum();
+    if node_term + diff.div_ceil(2) > tau {
         return BoundedSearch::Exceeds;
     }
 
@@ -185,27 +242,27 @@ pub fn bounded_exact_ged_with_budget(
         expanded += 1;
         let state = states[idx].clone();
         if state.mapping.len() == n1 {
-            let total = state.g + closing_cost(b, &state.mapping);
+            let total = state.g + closing_cost(csr2, &state.mapping, matched);
             if total <= tau {
                 return BoundedSearch::Within(total);
             }
             continue;
         }
-        let mut used = vec![false; b.num_nodes()];
+        reset(used, n2, false);
         for &v in &state.mapping {
             used[v as usize] = true;
         }
         let u = state.mapping.len() as u32;
-        for v in 0..b.num_nodes() as u32 {
+        for v in 0..n2 as u32 {
             if used[v as usize] {
                 continue;
             }
             let mut delta = 0;
-            if a.label(u) != b.label(v) {
+            if csr1.label(u) != csr2.label(v) {
                 delta += 1;
             }
             for (w, &mw) in state.mapping.iter().enumerate() {
-                if a.has_edge(u, w as u32) != b.has_edge(v, mw) {
+                if csr1.has_edge(u, w as u32) != csr2.has_edge(v, mw) {
                     delta += 1;
                 }
             }
@@ -213,9 +270,14 @@ pub fn bounded_exact_ged_with_budget(
             mapping.push(v);
             let g = state.g + delta;
             let f = if mapping.len() == n1 {
-                g + closing_cost(b, &mapping)
+                g + closing_cost(csr2, &mapping, matched)
             } else {
-                g + remainder_bound(a, b, &mapping)
+                // `used` + v is exactly the mark set of the extended
+                // mapping; undone right after the bound.
+                used[v as usize] = true;
+                let bound = remainder_bound(csr1, csr2, &mapping, used, rest1, rest2);
+                used[v as usize] = false;
+                g + bound
             };
             if f > tau {
                 continue;
@@ -228,13 +290,13 @@ pub fn bounded_exact_ged_with_budget(
     BoundedSearch::Exceeds
 }
 
-fn closing_cost(g2: &Graph, mapping: &[u32]) -> usize {
-    let mut matched = vec![false; g2.num_nodes()];
+fn closing_cost(csr2: &CsrView, mapping: &[u32], matched: &mut Vec<bool>) -> usize {
+    reset(matched, csr2.num_nodes(), false);
     for &v in mapping {
         matched[v as usize] = true;
     }
-    let mut cost = g2.num_nodes() - mapping.len();
-    for (v, w) in g2.edges() {
+    let mut cost = csr2.num_nodes() - mapping.len();
+    for (v, w) in csr2.edges() {
         if !matched[v as usize] || !matched[w as usize] {
             cost += 1;
         }
@@ -242,45 +304,33 @@ fn closing_cost(g2: &Graph, mapping: &[u32]) -> usize {
     cost
 }
 
-fn remainder_bound(g1: &Graph, g2: &Graph, mapping: &[u32]) -> usize {
+fn remainder_bound(
+    csr1: &CsrView,
+    csr2: &CsrView,
+    mapping: &[u32],
+    used: &[bool],
+    rest1: &mut Vec<ged_graph::Label>,
+    rest2: &mut Vec<ged_graph::Label>,
+) -> usize {
     let depth = mapping.len();
-    let mut used = vec![false; g2.num_nodes()];
-    for &v in mapping {
-        used[v as usize] = true;
-    }
-    let mut rest1: Vec<_> = (depth..g1.num_nodes())
-        .map(|u| g1.label(u as u32))
-        .collect();
-    let mut rest2: Vec<_> = (0..g2.num_nodes())
-        .filter(|&v| !used[v])
-        .map(|v| g2.label(v as u32))
-        .collect();
+    rest1.clear();
+    rest1.extend_from_slice(&csr1.labels()[depth..]);
+    rest2.clear();
+    rest2.extend(
+        csr2.labels()
+            .iter()
+            .enumerate()
+            .filter(|&(v, _)| !used[v])
+            .map(|(_, &l)| l),
+    );
     rest1.sort_unstable();
     rest2.sort_unstable();
-    let (mut i, mut j, mut o1, mut o2) = (0, 0, 0usize, 0usize);
-    while i < rest1.len() && j < rest2.len() {
-        match rest1[i].cmp(&rest2[j]) {
-            std::cmp::Ordering::Less => {
-                o1 += 1;
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                o2 += 1;
-                j += 1;
-            }
-            std::cmp::Ordering::Equal => {
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    o1 += rest1.len() - i;
-    o2 += rest2.len() - j;
-    let e1 = g1
+    let (o1, o2) = sorted_multiset_surplus(rest1, rest2);
+    let e1 = csr1
         .edges()
         .filter(|&(x, y)| (x as usize) >= depth || (y as usize) >= depth)
         .count();
-    let e2 = g2
+    let e2 = csr2
         .edges()
         .filter(|&(x, y)| !used[x as usize] || !used[y as usize])
         .count();
@@ -291,15 +341,34 @@ fn remainder_bound(g1: &Graph, g2: &Graph, mapping: &[u32]) -> usize {
 /// and take the induced cost.
 #[must_use]
 pub fn fast_upper_bound(g1: &Graph, g2: &Graph) -> usize {
+    fast_upper_bound_in(g1, g2, &mut GedWorkspace::new())
+}
+
+/// [`fast_upper_bound`] with the GEDGW solve and the rounding LSAP drawn
+/// from `ws`. Bit-identical to the allocating version for any (possibly
+/// dirty) workspace.
+#[must_use]
+pub fn fast_upper_bound_in(g1: &Graph, g2: &Graph, ws: &mut GedWorkspace) -> usize {
     let (a, b, _) = ordered(g1, g2);
     let solve = Gedgw::new(a, b)
         .with_options(crate::gedgw::GedgwOptions {
             max_iter: 15,
             tol: 1e-7,
         })
-        .solve();
-    let neg = solve.coupling.scale(-1.0);
-    let assignment = lsap_min(&neg);
+        .solve_in(ws);
+    let (rows, cols) = solve.coupling.shape();
+    ws.neg.resize_zeroed(rows, cols);
+    for (o, &x) in ws
+        .neg
+        .as_mut_slice()
+        .iter_mut()
+        .zip(solve.coupling.as_slice())
+    {
+        // Sign flip, bit-identical to the `scale(-1.0)` of the allocating
+        // path (IEEE-754 negation for every finite or zero value).
+        *o = -x;
+    }
+    let assignment = lsap_min_in(&ws.neg, &mut ws.ot.lsap);
     let mapping = NodeMapping::new(assignment.row_to_col.iter().map(|&c| c as u32).collect());
     mapping.induced_cost(a, b)
 }
@@ -358,11 +427,24 @@ pub enum CandidateOutcome {
 /// skipping the filter costs speed, never correctness).
 #[must_use]
 pub fn prune_or_verify(query: &Graph, cand: &Graph, tau: usize, budget: usize) -> CandidateOutcome {
-    let ub = fast_upper_bound(query, cand);
+    prune_or_verify_in(query, cand, tau, budget, &mut GedWorkspace::new())
+}
+
+/// [`prune_or_verify`] with both tiers running out of `ws` — the unit the
+/// engine's store-level exact plan hands each worker thread.
+#[must_use]
+pub fn prune_or_verify_in(
+    query: &Graph,
+    cand: &Graph,
+    tau: usize,
+    budget: usize,
+    ws: &mut GedWorkspace,
+) -> CandidateOutcome {
+    let ub = fast_upper_bound_in(query, cand, ws);
     if ub <= tau {
         // Membership is decided search-free; `GED ≤ ub` makes the
         // ub-bounded recovery search guaranteed to succeed (modulo budget).
-        return match bounded_exact_ged_with_budget(query, cand, ub, budget) {
+        return match bounded_exact_ged_with_budget_in(query, cand, ub, budget, ws) {
             BoundedSearch::Within(ged) => CandidateOutcome::AcceptedEarly { ged },
             BoundedSearch::Exceeds => unreachable!("feasible bound: GED ≤ ub always holds"),
             BoundedSearch::BudgetExhausted => CandidateOutcome::BudgetExhausted {
@@ -370,7 +452,7 @@ pub fn prune_or_verify(query: &Graph, cand: &Graph, tau: usize, budget: usize) -
             },
         };
     }
-    match bounded_exact_ged_with_budget(query, cand, tau, budget) {
+    match bounded_exact_ged_with_budget_in(query, cand, tau, budget, ws) {
         BoundedSearch::Within(ged) => CandidateOutcome::Verified { ged },
         BoundedSearch::Exceeds => CandidateOutcome::Rejected,
         BoundedSearch::BudgetExhausted => CandidateOutcome::BudgetExhausted { accepted_ub: None },
@@ -394,19 +476,33 @@ pub fn prune_or_verify_with_pivot(
     budget: usize,
     pivot_ub: Option<usize>,
 ) -> CandidateOutcome {
+    prune_or_verify_with_pivot_in(query, cand, tau, budget, pivot_ub, &mut GedWorkspace::new())
+}
+
+/// [`prune_or_verify_with_pivot`] running out of `ws` (see
+/// [`prune_or_verify_in`]).
+#[must_use]
+pub fn prune_or_verify_with_pivot_in(
+    query: &Graph,
+    cand: &Graph,
+    tau: usize,
+    budget: usize,
+    pivot_ub: Option<usize>,
+    ws: &mut GedWorkspace,
+) -> CandidateOutcome {
     if let Some(ub) = pivot_ub.filter(|&ub| ub <= tau) {
-        return match bounded_exact_ged_with_budget(query, cand, ub, budget) {
+        return match bounded_exact_ged_with_budget_in(query, cand, ub, budget, ws) {
             BoundedSearch::Within(ged) => CandidateOutcome::AcceptedByPivot { ged },
             // A sound pivot table makes `GED ≤ ub` a theorem, so this arm
             // is unreachable; fall back to the regular tiers rather than
             // trusting a table the caller may have corrupted.
-            BoundedSearch::Exceeds => prune_or_verify(query, cand, tau, budget),
+            BoundedSearch::Exceeds => prune_or_verify_in(query, cand, tau, budget, ws),
             BoundedSearch::BudgetExhausted => CandidateOutcome::BudgetExhausted {
                 accepted_ub: Some(ub),
             },
         };
     }
-    prune_or_verify(query, cand, tau, budget)
+    prune_or_verify_in(query, cand, tau, budget, ws)
 }
 
 /// The pivot-table distance oracle ([`ged_graph::PivotIndex`]): the exact
@@ -419,12 +515,24 @@ pub fn prune_or_verify_with_pivot(
 /// run out of budget; it is never cut off by a too-small threshold.
 #[must_use]
 pub fn pivot_distance(g1: &Graph, g2: &Graph, budget: usize) -> PivotDistance {
+    pivot_distance_in(g1, g2, budget, &mut GedWorkspace::new())
+}
+
+/// [`pivot_distance`] running out of `ws`, so the engine's pivot-table
+/// (re)builds reuse one workspace across every oracle call.
+#[must_use]
+pub fn pivot_distance_in(
+    g1: &Graph,
+    g2: &Graph,
+    budget: usize,
+    ws: &mut GedWorkspace,
+) -> PivotDistance {
     let lb = label_set_lower_bound(g1, g2).max(degree_sequence_lower_bound(g1, g2));
     if lb == 0 && g1 == g2 {
         return PivotDistance::exact(0);
     }
-    let ub = fast_upper_bound(g1, g2);
-    match bounded_exact_ged_with_budget(g1, g2, ub, budget) {
+    let ub = fast_upper_bound_in(g1, g2, ws);
+    match bounded_exact_ged_with_budget_in(g1, g2, ub, budget, ws) {
         BoundedSearch::Within(ged) => PivotDistance::exact(ged),
         // `Exceeds` cannot happen for a feasible bound; treat it like an
         // exhausted budget instead of unwinding a store-level query.

@@ -44,10 +44,29 @@ use crate::gediot::Gediot;
 use crate::kbest::kbest_edit_path;
 use crate::method::MethodKind;
 use crate::pairs::GedPair;
+use crate::workspace::GedWorkspace;
 use ged_graph::{CanonicalOp, NodeMapping};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Per-thread scratch state batched prediction hands each worker
+/// ([`BatchRunner::map_init`]); solvers that implement
+/// [`GedSolver::predict_scratch`] draw their buffers from it instead of
+/// allocating per pair. Opaque on purpose — the contents track whatever
+/// the workspace-backed solvers need.
+#[derive(Debug, Default)]
+pub struct SolverScratch {
+    pub(crate) ged: GedWorkspace,
+}
+
+impl SolverScratch {
+    /// An empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A value-only GED estimate.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -101,6 +120,15 @@ pub trait GedSolver: Send + Sync {
     /// Estimates the GED of `pair` (value only, possibly infeasible).
     fn predict(&self, pair: &GedPair) -> GedEstimate;
 
+    /// [`Self::predict`] with caller-provided scratch buffers. The default
+    /// ignores the scratch and delegates to [`Self::predict`]; solvers
+    /// with a workspace-backed hot path (GEDGW) override it. Must return
+    /// results bit-identical to [`Self::predict`] — batched drivers pick
+    /// freely between the two.
+    fn predict_scratch(&self, pair: &GedPair, _scratch: &mut SolverScratch) -> GedEstimate {
+        self.predict(pair)
+    }
+
     /// Produces a feasible edit path with search effort `k`, or `None` if
     /// this method cannot generate paths.
     fn edit_path(&self, pair: &GedPair, k: usize) -> Option<PathEstimate>;
@@ -153,6 +181,14 @@ impl GedSolver for GedgwSolver {
     fn predict(&self, pair: &GedPair) -> GedEstimate {
         GedEstimate {
             ged: Gedgw::new(&pair.g1, &pair.g2).solve().ged,
+        }
+    }
+
+    fn predict_scratch(&self, pair: &GedPair, scratch: &mut SolverScratch) -> GedEstimate {
+        GedEstimate {
+            ged: Gedgw::new(&pair.g1, &pair.g2)
+                .solve_in(&mut scratch.ged)
+                .ged,
         }
     }
 
@@ -358,11 +394,30 @@ impl BatchRunner {
         T: Send,
         F: Fn(&I) -> T + Sync,
     {
+        self.map_init(items, || (), |(), item| f(item))
+    }
+
+    /// [`Self::map`] with per-worker state: `init` runs once per worker
+    /// thread (once total on the sequential path) and the resulting state
+    /// is threaded through every call that worker makes. This is how
+    /// batched queries share one [`SolverScratch`]/workspace per thread —
+    /// `O(threads)` allocations instead of `O(items)` — and it is only
+    /// sound because workspace-backed computations are bit-identical
+    /// regardless of the scratch state they start from, which keeps the
+    /// output independent of how chunks land on workers.
+    pub fn map_init<S, I, T, N, F>(&self, items: &[I], init: N, f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        N: Fn() -> S + Sync,
+        F: Fn(&mut S, &I) -> T + Sync,
+    {
         if items.is_empty() {
             return Vec::new();
         }
         if self.threads == 1 || items.len() <= self.chunk_size {
-            return items.iter().map(f).collect();
+            let mut state = init();
+            return items.iter().map(|item| f(&mut state, item)).collect();
         }
         let num_chunks = items.len().div_ceil(self.chunk_size);
         // One slot per chunk: written exactly once by whichever worker
@@ -373,17 +428,23 @@ impl BatchRunner {
         let workers = self.threads.min(num_chunks);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= num_chunks {
-                        break;
+                scope.spawn(|| {
+                    let mut state = init();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= num_chunks {
+                            break;
+                        }
+                        let lo = c * self.chunk_size;
+                        let hi = (lo + self.chunk_size).min(items.len());
+                        let out: Vec<T> = items[lo..hi]
+                            .iter()
+                            .map(|item| f(&mut state, item))
+                            .collect();
+                        *slots[c]
+                            .lock()
+                            .expect("no worker panicked holding the slot") = Some(out);
                     }
-                    let lo = c * self.chunk_size;
-                    let hi = (lo + self.chunk_size).min(items.len());
-                    let out: Vec<T> = items[lo..hi].iter().map(&f).collect();
-                    *slots[c]
-                        .lock()
-                        .expect("no worker panicked holding the slot") = Some(out);
                 });
             }
         });
@@ -398,10 +459,13 @@ impl BatchRunner {
         results
     }
 
-    /// Batch [`GedSolver::predict`], in input order.
+    /// Batch [`GedSolver::predict`], in input order, with one
+    /// [`SolverScratch`] per worker thread.
     #[must_use]
     pub fn predict_batch(&self, solver: &dyn GedSolver, pairs: &[GedPair]) -> Vec<GedEstimate> {
-        self.map(pairs, |p| solver.predict(p))
+        self.map_init(pairs, SolverScratch::new, |scratch, p| {
+            solver.predict_scratch(p, scratch)
+        })
     }
 
     /// Batch [`GedSolver::edit_path`], in input order.

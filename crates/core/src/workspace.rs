@@ -1,0 +1,61 @@
+//! The per-thread scratch state of the GED hot path.
+//!
+//! A [`GedWorkspace`] owns every reusable buffer one thread needs to run
+//! GEDGW solves ([`crate::gedgw::Gedgw::solve_in`]), feasible upper
+//! bounds ([`crate::search::fast_upper_bound_in`]), and τ-bounded exact
+//! verification ([`crate::search::bounded_exact_ged_with_budget_in`])
+//! back to back: the OT/Frank–Wolfe buffers of
+//! [`ged_ot::OtWorkspace`], the GEDGW problem matrices, a pair of
+//! [`ged_graph::CsrView`]s the search and cost-matrix readers iterate,
+//! and the mark/label scratch of the A\* bounds.
+//!
+//! Batched drivers keep one workspace per worker thread
+//! (`BatchRunner::map_init`) so a store-level query allocates
+//! `O(threads)` instead of `O(pairs)`. Every `_in` entry point fully
+//! re-initializes the state it reads, so a workspace left dirty by any
+//! previous call — including one over differently-sized graphs — is
+//! always safe to reuse, and the results are bit-identical to the
+//! allocating entry points.
+
+use ged_graph::{CsrView, Label};
+use ged_linalg::Matrix;
+use ged_ot::OtWorkspace;
+
+/// Reusable scratch for the GEDGW + exact-search hot path. See the
+/// [module docs](self).
+#[derive(Clone, Debug, Default)]
+pub struct GedWorkspace {
+    /// Scratch for the Sinkhorn / conditional-gradient / LSAP kernels.
+    pub ot: OtWorkspace,
+    // GEDGW problem state: cost matrix, padded adjacencies, coupling,
+    // negated coupling (for the best-matching rounding LSAP).
+    pub(crate) m: Matrix,
+    pub(crate) a1: Matrix,
+    pub(crate) a2: Matrix,
+    pub(crate) pi: Matrix,
+    pub(crate) neg: Matrix,
+    // Flat adjacency views of the current (ordered) pair.
+    pub(crate) csr1: CsrView,
+    pub(crate) csr2: CsrView,
+    // A* bound scratch: node marks and sorted label/degree multisets.
+    pub(crate) used: Vec<bool>,
+    pub(crate) matched: Vec<bool>,
+    pub(crate) rest1: Vec<Label>,
+    pub(crate) rest2: Vec<Label>,
+    pub(crate) deg1: Vec<usize>,
+    pub(crate) deg2: Vec<usize>,
+}
+
+impl GedWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Resets `buf` to `len` copies of `value`, reusing its capacity.
+pub(crate) fn reset<T: Copy>(buf: &mut Vec<T>, len: usize, value: T) {
+    buf.clear();
+    buf.resize(len, value);
+}

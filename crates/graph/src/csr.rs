@@ -1,0 +1,159 @@
+//! Flat CSR (compressed sparse row) view of a [`Graph`].
+//!
+//! [`Graph`] keeps a `Vec<Vec<u32>>` adjacency, which is convenient for
+//! edits but scatters the hot read loops (successor expansion, lower
+//! bounds, cost matrices) across one heap allocation per node. A
+//! [`CsrView`] packs the same data into three flat arenas — offsets,
+//! neighbors, labels — built once per graph and cached per store entry,
+//! so per-pair readers touch two contiguous slices instead of `n`
+//! pointer-chased lists.
+//!
+//! The view is a *snapshot*: it does not track later mutations of the
+//! source graph. [`crate::GraphStore`] rebuilds it on insert, which is
+//! the only mutation point for stored graphs.
+
+use crate::graph::{Graph, Label};
+
+/// A flat, read-only adjacency view: `neighbors(u)` is the slice
+/// `neighbors[offsets[u]..offsets[u + 1]]`, sorted ascending.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CsrView {
+    /// `n + 1` prefix offsets into `neighbors` (empty graph: `[0]`).
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbor lists, length `2m`.
+    neighbors: Vec<u32>,
+    /// Node labels, indexed by node id.
+    labels: Vec<Label>,
+    /// Number of undirected edges.
+    num_edges: usize,
+}
+
+impl CsrView {
+    /// Builds the flat view of `g`.
+    #[must_use]
+    pub fn of(g: &Graph) -> Self {
+        let mut view = CsrView::default();
+        view.rebuild_from(g);
+        view
+    }
+
+    /// Rebuilds this view from `g`, reusing the existing buffers.
+    pub fn rebuild_from(&mut self, g: &Graph) {
+        let n = g.num_nodes();
+        self.offsets.clear();
+        self.neighbors.clear();
+        self.labels.clear();
+        self.offsets.reserve(n + 1);
+        self.neighbors.reserve(2 * g.num_edges());
+        self.offsets.push(0);
+        for u in 0..n as u32 {
+            self.neighbors.extend_from_slice(g.neighbors(u));
+            self.offsets.push(self.neighbors.len() as u32);
+        }
+        self.labels.extend_from_slice(g.labels());
+        self.num_edges = g.num_edges();
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of (undirected) edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The label of node `u`.
+    #[must_use]
+    pub fn label(&self, u: u32) -> Label {
+        self.labels[u as usize]
+    }
+
+    /// All node labels, indexed by node id.
+    #[must_use]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The sorted neighbor list of node `u`.
+    #[must_use]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// The degree of node `u`.
+    #[must_use]
+    pub fn degree(&self, u: u32) -> usize {
+        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as usize
+    }
+
+    /// Returns `true` if the undirected edge `(u, v)` is present.
+    #[must_use]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        (u as usize) < self.num_nodes() && self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over edges as `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_nodes() as u32).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        Graph::from_edges(
+            vec![Label(3), Label(1), Label(1), Label(7)],
+            &[(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)],
+        )
+    }
+
+    #[test]
+    fn matches_graph_accessors() {
+        let g = sample();
+        let v = CsrView::of(&g);
+        assert_eq!(v.num_nodes(), g.num_nodes());
+        assert_eq!(v.num_edges(), g.num_edges());
+        assert_eq!(v.labels(), g.labels());
+        for u in 0..g.num_nodes() as u32 {
+            assert_eq!(v.neighbors(u), g.neighbors(u));
+            assert_eq!(v.degree(u), g.degree(u));
+            assert_eq!(v.label(u), g.label(u));
+            for w in 0..=g.num_nodes() as u32 {
+                assert_eq!(v.has_edge(u, w), g.has_edge(u, w));
+            }
+        }
+        assert_eq!(v.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let v = CsrView::of(&Graph::new());
+        assert_eq!(v.num_nodes(), 0);
+        assert_eq!(v.num_edges(), 0);
+        assert_eq!(v.edges().count(), 0);
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers() {
+        let mut v = CsrView::of(&sample());
+        let small = Graph::from_edges(vec![Label(0), Label(2)], &[(0, 1)]);
+        v.rebuild_from(&small);
+        assert_eq!(v, CsrView::of(&small));
+        assert_eq!(v.neighbors(0), &[1]);
+        assert_eq!(v.neighbors(1), &[0]);
+    }
+}

@@ -42,13 +42,19 @@ pub struct Graph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct Edges<'a>(&'a Graph);
+        impl fmt::Debug for Edges<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_list().entries(self.0.edges()).finish()
+            }
+        }
         write!(
             f,
             "Graph(n={}, m={}, labels={:?}, edges={:?})",
             self.num_nodes(),
             self.num_edges,
             self.labels,
-            self.edges().collect::<Vec<_>>()
+            Edges(self)
         )
     }
 }
@@ -162,10 +168,14 @@ impl Graph {
     /// Removes node `u` and all incident edges. Nodes after `u` are shifted
     /// down by one (ids stay dense).
     pub fn remove_node(&mut self, u: u32) {
-        let neighbors: Vec<u32> = self.adj[u as usize].clone();
-        for v in neighbors {
-            self.remove_edge(u, v);
+        let neighbors = std::mem::take(&mut self.adj[u as usize]);
+        for &v in &neighbors {
+            let pos = self.adj[v as usize]
+                .binary_search(&u)
+                .expect("asymmetric adjacency");
+            self.adj[v as usize].remove(pos);
         }
+        self.num_edges -= neighbors.len();
         self.labels.remove(u as usize);
         self.adj.remove(u as usize);
         for list in &mut self.adj {

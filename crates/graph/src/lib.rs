@@ -10,9 +10,9 @@
 //!   `EPGen` (Algorithm 3 of the paper), which realizes any matching as a
 //!   concrete edit path, and the induced-cost formula of Section 3.1;
 //! * [`store::GraphStore`] — indexed graph collections with stable
-//!   [`store::GraphId`] handles and per-graph search signatures
-//!   precomputed at insert time (the substrate of the engine's
-//!   filter–verify similarity search);
+//!   [`store::GraphId`] handles and per-graph search signatures plus flat
+//!   [`csr::CsrView`]s precomputed at insert time (the substrate of the
+//!   engine's filter–verify similarity search);
 //! * [`pivot::PivotIndex`] — triangle-inequality pivot tables over a
 //!   store: exact (or interval-valued) distances to a few reference
 //!   graphs, maintained incrementally, from which per-candidate metric
@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod dataset;
 pub mod edit;
 pub mod generate;
@@ -38,6 +39,7 @@ pub mod mapping;
 pub mod pivot;
 pub mod store;
 
+pub use csr::CsrView;
 pub use dataset::{DatasetKind, GraphDataset, Split};
 pub use edit::{EditOp, EditPath};
 pub use graph::{Graph, Label};

@@ -29,6 +29,7 @@
 //! assert!(store.get(b).is_some());
 //! ```
 
+use crate::csr::CsrView;
 use crate::graph::{Graph, Label};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -114,11 +115,12 @@ impl GraphSignature {
     }
 }
 
-/// One stored graph plus its precomputed signature.
+/// One stored graph plus its precomputed signature and flat CSR view.
 #[derive(Clone, Debug)]
 struct StoreEntry {
     graph: Graph,
     signature: GraphSignature,
+    csr: CsrView,
 }
 
 /// An indexed, incrementally updatable collection of graphs.
@@ -158,15 +160,23 @@ impl GraphStore {
         store
     }
 
-    /// Inserts `graph`, precomputing its [`GraphSignature`], and returns
-    /// the freshly minted [`GraphId`]. Ids are never reused, even after
-    /// removals.
+    /// Inserts `graph`, precomputing its [`GraphSignature`] and flat
+    /// [`CsrView`], and returns the freshly minted [`GraphId`]. Ids are
+    /// never reused, even after removals.
     pub fn insert(&mut self, graph: Graph) -> GraphId {
         let id = GraphId {
             seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
         };
         let signature = GraphSignature::of(&graph);
-        self.entries.insert(id.seq, StoreEntry { graph, signature });
+        let csr = CsrView::of(&graph);
+        self.entries.insert(
+            id.seq,
+            StoreEntry {
+                graph,
+                signature,
+                csr,
+            },
+        );
         // Sequence numbers are globally unique, so `seq + 1` is a revision
         // no other mutation (of any store) can ever produce.
         self.revision = id.seq + 1;
@@ -211,6 +221,13 @@ impl GraphStore {
     #[must_use]
     pub fn signature(&self, id: GraphId) -> Option<&GraphSignature> {
         self.entries.get(&id.seq).map(|e| &e.signature)
+    }
+
+    /// The precomputed flat CSR view of the graph behind `id`, or `None`
+    /// for a foreign or removed id.
+    #[must_use]
+    pub fn csr(&self, id: GraphId) -> Option<&CsrView> {
+        self.entries.get(&id.seq).map(|e| &e.csr)
     }
 
     /// Whether `id` currently resolves in this store.
@@ -332,6 +349,17 @@ mod tests {
         let via_entries: Vec<GraphId> = store.entries().map(|(id, _, _)| id).collect();
         assert_eq!(via_iter, store.ids());
         assert_eq!(via_entries, store.ids());
+    }
+
+    #[test]
+    fn csr_views_are_built_at_insert() {
+        let mut store = GraphStore::new();
+        let graph = g(&[5, 1, 5], &[(0, 1), (0, 2)]);
+        let id = store.insert(graph.clone());
+        let csr = store.csr(id).expect("live id");
+        assert_eq!(*csr, CsrView::of(&graph));
+        store.remove(id);
+        assert!(store.csr(id).is_none());
     }
 
     #[test]

@@ -9,14 +9,19 @@
 //! machinery behind the paper's "VJ" baseline) and a classical Munkres
 //! implementation (the "Hungarian" baseline) — plus a constrained variant
 //! (forced / forbidden pairs) that powers the k-best matching framework in
-//! [`kbest`].
+//! [`kbest`]. Hot loops reuse scratch buffers across solves through
+//! [`workspace::LsapWorkspace`] and the `_in` entry points.
 
 #![warn(missing_docs)]
 
 pub mod kbest;
 pub mod lsap;
 pub mod matrix;
+pub mod workspace;
 
 pub use kbest::{best_matching, second_best_matching};
-pub use lsap::{lsap_min, lsap_min_constrained, lsap_min_munkres, Assignment};
+pub use lsap::{
+    lsap_min, lsap_min_constrained, lsap_min_in, lsap_min_munkres, lsap_min_munkres_in, Assignment,
+};
 pub use matrix::Matrix;
+pub use workspace::LsapWorkspace;

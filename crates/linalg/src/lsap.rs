@@ -14,6 +14,7 @@
 //! framework needs for solution-space splitting.
 
 use crate::matrix::Matrix;
+use crate::workspace::{reset, LsapWorkspace};
 
 /// Sentinel cost for forbidden assignments. Large enough to dominate any
 /// realistic objective, small enough that sums stay finite.
@@ -53,10 +54,23 @@ impl Assignment {
 /// Minimum-cost assignment via shortest augmenting paths with potentials
 /// (Jonker–Volgenant style). `rows <= cols` required.
 ///
+/// Allocates fresh scratch per call; hot loops should hold a
+/// [`LsapWorkspace`] and call [`lsap_min_in`] instead.
+///
 /// # Panics
 /// Panics if `rows > cols` or the matrix is empty with nonzero rows.
 #[must_use]
 pub fn lsap_min(cost: &Matrix) -> Assignment {
+    lsap_min_in(cost, &mut LsapWorkspace::new())
+}
+
+/// [`lsap_min`] with caller-provided scratch buffers. Bit-identical to
+/// the allocating version for any (possibly dirty) workspace.
+///
+/// # Panics
+/// Panics if `rows > cols` or the matrix is empty with nonzero rows.
+#[must_use]
+pub fn lsap_min_in(cost: &Matrix, ws: &mut LsapWorkspace) -> Assignment {
     let n = cost.rows();
     let m = cost.cols();
     assert!(n <= m, "lsap_min requires rows <= cols (got {n}x{m})");
@@ -69,16 +83,20 @@ pub fn lsap_min(cost: &Matrix) -> Assignment {
 
     // 1-indexed arrays, following the classical potentials formulation.
     let inf = f64::INFINITY;
-    let mut u = vec![0.0; n + 1];
-    let mut v = vec![0.0; m + 1];
-    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j (0 = none)
-    let mut way = vec![0usize; m + 1];
+    reset(&mut ws.u, n + 1, 0.0);
+    reset(&mut ws.v, m + 1, 0.0);
+    reset(&mut ws.p, m + 1, 0usize); // p[j] = row matched to column j (0 = none)
+    reset(&mut ws.way, m + 1, 0usize);
+    reset(&mut ws.minv, m + 1, inf);
+    reset(&mut ws.used, m + 1, false);
+    let (u, v, p, way) = (&mut ws.u, &mut ws.v, &mut ws.p, &mut ws.way);
+    let (minv, used) = (&mut ws.minv, &mut ws.used);
 
     for i in 1..=n {
         p[0] = i;
         let mut j0 = 0usize;
-        let mut minv = vec![inf; m + 1];
-        let mut used = vec![false; m + 1];
+        minv[..=m].fill(inf);
+        used[..=m].fill(false);
         loop {
             used[j0] = true;
             let i0 = p[j0];
@@ -145,10 +163,24 @@ pub fn lsap_min(cost: &Matrix) -> Assignment {
 /// Rectangular inputs (`rows <= cols`) are padded internally with zero-cost
 /// dummy rows.
 ///
+/// Allocates fresh scratch per call; hot loops should hold a
+/// [`LsapWorkspace`] and call [`lsap_min_munkres_in`] instead.
+///
 /// # Panics
 /// Panics if `rows > cols`.
 #[must_use]
 pub fn lsap_min_munkres(cost: &Matrix) -> Assignment {
+    lsap_min_munkres_in(cost, &mut LsapWorkspace::new())
+}
+
+/// [`lsap_min_munkres`] with caller-provided scratch buffers.
+/// Bit-identical to the allocating version for any (possibly dirty)
+/// workspace.
+///
+/// # Panics
+/// Panics if `rows > cols`.
+#[must_use]
+pub fn lsap_min_munkres_in(cost: &Matrix, ws: &mut LsapWorkspace) -> Assignment {
     let n = cost.rows();
     let m = cost.cols();
     assert!(
@@ -163,7 +195,8 @@ pub fn lsap_min_munkres(cost: &Matrix) -> Assignment {
     }
     // Pad to square with zero rows (dummy rows absorb the extra columns).
     let size = m;
-    let mut c = Matrix::zeros(size, size);
+    let c = &mut ws.square;
+    c.resize_zeroed(size, size);
     for r in 0..n {
         c.row_mut(r).copy_from_slice(cost.row(r));
     }
@@ -171,7 +204,9 @@ pub fn lsap_min_munkres(cost: &Matrix) -> Assignment {
     // reasoning). The shift changes the total by a constant per row.
     let min_val = c.min();
     if min_val < 0.0 {
-        c = c.map(|x| x - min_val);
+        for x in c.as_mut_slice() {
+            *x -= min_val;
+        }
     }
 
     // Step 1: subtract row minima.
@@ -183,11 +218,17 @@ pub fn lsap_min_munkres(cost: &Matrix) -> Assignment {
         }
     }
 
-    let mut starred = vec![usize::MAX; size]; // row -> starred col
-    let mut star_col = vec![usize::MAX; size]; // col -> starred row
-    let mut primed = vec![usize::MAX; size]; // row -> primed col
-    let mut row_covered = vec![false; size];
-    let mut col_covered = vec![false; size];
+    reset(&mut ws.starred, size, usize::MAX); // row -> starred col
+    reset(&mut ws.star_col, size, usize::MAX); // col -> starred row
+    reset(&mut ws.primed, size, usize::MAX); // row -> primed col
+    reset(&mut ws.row_covered, size, false);
+    reset(&mut ws.col_covered, size, false);
+    let starred = &mut ws.starred;
+    let star_col = &mut ws.star_col;
+    let primed = &mut ws.primed;
+    let row_covered = &mut ws.row_covered;
+    let col_covered = &mut ws.col_covered;
+    let path = &mut ws.path;
 
     // Step 2: greedy initial stars.
     for r in 0..size {
@@ -227,7 +268,8 @@ pub fn lsap_min_munkres(cost: &Matrix) -> Assignment {
                     primed[r] = cc;
                     if starred[r] == usize::MAX {
                         // Step 5: augmenting path of alternating primes/stars.
-                        let mut path = vec![(r, cc)];
+                        path.clear();
+                        path.push((r, cc));
                         loop {
                             let col = path.last().unwrap().1;
                             let sr = star_col[col];

@@ -8,7 +8,7 @@ use std::ops::{Index, IndexMut};
 /// Sized for this project's regime (graphs with tens to a few hundred
 /// nodes): simple contiguous storage, `ikj` multiplication order, and a rich
 /// set of element-wise helpers used by the OT kernels and the autodiff tape.
-#[derive(Clone, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -159,18 +159,48 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes to `rows x cols` with every element zero, reusing the
+    /// existing buffer when its capacity suffices. This is the workspace
+    /// primitive: repeated solves of similar sizes stop reallocating.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` an exact copy of `other` (shape and data), reusing the
+    /// existing buffer when possible.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Matrix product `self * other`.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     #[must_use]
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Self::matmul`] into a caller-provided output matrix (reshaped as
+    /// needed). Bit-identical to the allocating version.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul dims: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.resize_zeroed(self.rows, other.cols);
         // ikj order: stream over other's rows, accumulate into out's row.
         for i in 0..self.rows {
             let arow = self.row(i);
@@ -185,7 +215,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `self * otherᵀ` without materializing the transpose.
@@ -194,14 +223,26 @@ impl Matrix {
     /// Panics if `self.cols != other.cols`.
     #[must_use]
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_transpose_b_into(other, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_transpose_b`] into a caller-provided output matrix
+    /// (reshaped as needed). Bit-identical to the allocating version.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_transpose_b_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_transpose_b inner dims");
-        Matrix::from_fn(self.rows, other.rows, |i, j| {
-            self.row(i)
-                .iter()
-                .zip(other.row(j))
-                .map(|(a, b)| a * b)
-                .sum()
-        })
+        out.resize_zeroed(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                out.data[i * other.rows + j] =
+                    arow.iter().zip(other.row(j)).map(|(a, b)| a * b).sum();
+            }
+        }
     }
 
     /// The transpose.
@@ -524,5 +565,44 @@ mod tests {
     fn matmul_shape_checked() {
         let a = Matrix::zeros(2, 3);
         let _ = a.matmul(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn resize_zeroed_reuses_capacity_and_clears() {
+        let mut m = Matrix::from_fn(4, 5, |i, j| (i * 5 + j) as f64 + 1.0);
+        let cap = m.data.capacity();
+        m.resize_zeroed(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(m.data.capacity(), cap, "shrinking must not reallocate");
+        // Growing within capacity also stays zeroed (no stale data).
+        m[(0, 0)] = 7.0;
+        m.resize_zeroed(4, 5);
+        assert_eq!(m.shape(), (4, 5));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        // Growing beyond capacity works too.
+        m.resize_zeroed(8, 9);
+        assert_eq!(m.len(), 72);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64 * 0.25);
+        let mut b = Matrix::filled(7, 7, 9.0);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn into_variants_bit_identical_with_dirty_output() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i * 7 + j) as f64 * 0.3 - 1.0);
+        let b = Matrix::from_fn(4, 5, |i, j| (i + j * 2) as f64 * 0.7);
+        let mut dirty = Matrix::filled(2, 9, f64::NAN);
+        a.matmul_into(&b, &mut dirty);
+        assert_eq!(dirty, a.matmul(&b));
+        let c = Matrix::from_fn(6, 4, |i, j| (i * 4 + j) as f64 - 5.5);
+        a.matmul_transpose_b_into(&c, &mut dirty);
+        assert_eq!(dirty, a.matmul_transpose_b(&c));
     }
 }

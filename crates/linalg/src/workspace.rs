@@ -1,0 +1,54 @@
+//! Reusable scratch buffers for the LSAP solvers.
+//!
+//! The assignment solvers are the innermost kernel of every GED method —
+//! a single GEDGW solve calls LSAP once per Frank–Wolfe iteration, and a
+//! batched query calls GEDGW once per surviving candidate. Allocating the
+//! dual/potential/cover buffers per call makes malloc the dominant cost
+//! at this problem's matrix sizes (tens of rows). A [`LsapWorkspace`]
+//! owns those buffers; the `_in` entry points ([`crate::lsap_min_in`],
+//! [`crate::lsap_min_munkres_in`]) reuse them across calls and are
+//! bit-identical to the allocating versions, which remain as thin
+//! wrappers.
+//!
+//! Workspaces are plain owned data: keep one per thread (see
+//! `BatchRunner::map_init` in `ged-core`) and hand it to every solve on
+//! that thread. A "dirty" workspace left over from a previous call of any
+//! shape is always safe to reuse — every entry point fully re-initializes
+//! the prefix it reads.
+
+use crate::matrix::Matrix;
+
+/// Scratch buffers for [`crate::lsap_min`] (Jonker–Volgenant) and
+/// [`crate::lsap_min_munkres`]. See the [module docs](self).
+#[derive(Clone, Debug, Default)]
+pub struct LsapWorkspace {
+    // Jonker–Volgenant: dual potentials, matching, augmenting-path state.
+    pub(crate) u: Vec<f64>,
+    pub(crate) v: Vec<f64>,
+    pub(crate) p: Vec<usize>,
+    pub(crate) way: Vec<usize>,
+    pub(crate) minv: Vec<f64>,
+    pub(crate) used: Vec<bool>,
+    // Munkres: padded square cost, stars/primes, covers, alternating path.
+    pub(crate) square: Matrix,
+    pub(crate) starred: Vec<usize>,
+    pub(crate) star_col: Vec<usize>,
+    pub(crate) primed: Vec<usize>,
+    pub(crate) row_covered: Vec<bool>,
+    pub(crate) col_covered: Vec<bool>,
+    pub(crate) path: Vec<(usize, usize)>,
+}
+
+impl LsapWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Resets `buf` to `len` copies of `value`, reusing its capacity.
+pub(crate) fn reset<T: Copy>(buf: &mut Vec<T>, len: usize, value: T) {
+    buf.clear();
+    buf.resize(len, value);
+}

@@ -11,8 +11,11 @@
 //! LSAP (see [`crate::exact`]), and the step size comes from exact line
 //! search on the quadratic objective (Appendix B.4 / Eq. 21).
 
-use crate::gw::gw_tensor_apply;
-use ged_linalg::{lsap_min, Matrix};
+use crate::gw::{gw_tensor_apply, gw_tensor_apply_into};
+use crate::workspace::OtWorkspace;
+#[cfg(test)]
+use ged_linalg::lsap_min;
+use ged_linalg::{lsap_min_in, Matrix};
 
 /// Options for the conditional-gradient solver.
 #[derive(Clone, Copy, Debug)]
@@ -49,6 +52,19 @@ pub struct CgResult {
     pub history: Vec<f64>,
 }
 
+/// Result of an in-place conditional-gradient run
+/// ([`conditional_gradient_in`]); the coupling lives in the caller's
+/// matrix.
+#[derive(Clone, Debug)]
+pub struct CgRun {
+    /// Objective value at the final coupling.
+    pub objective: f64,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Objective value after each iteration (for convergence tests/plots).
+    pub history: Vec<f64>,
+}
+
 /// Objective `⟨π, M⟩ + (q/2)⟨π, L⊗π⟩`.
 #[must_use]
 pub fn qp_objective(linear: &Matrix, c1: &Matrix, c2: &Matrix, q: f64, pi: &Matrix) -> f64 {
@@ -67,14 +83,51 @@ pub fn conditional_gradient(
     init: Matrix,
     opts: &CgOptions,
 ) -> CgResult {
-    let (n, m) = init.shape();
+    let mut pi = init;
+    let run = conditional_gradient_in(linear, c1, c2, &mut pi, opts, &mut OtWorkspace::new());
+    CgResult {
+        coupling: pi,
+        objective: run.objective,
+        iterations: run.iterations,
+        history: run.history,
+    }
+}
+
+/// [`conditional_gradient`] operating on the coupling in place, with all
+/// per-iteration buffers drawn from `ws`. Bit-identical to the allocating
+/// version for any (possibly dirty) workspace.
+///
+/// # Panics
+/// Panics on shape mismatches between `linear`, `c1`, `c2` and `pi`.
+#[must_use]
+pub fn conditional_gradient_in(
+    linear: &Matrix,
+    c1: &Matrix,
+    c2: &Matrix,
+    pi: &mut Matrix,
+    opts: &CgOptions,
+    ws: &mut OtWorkspace,
+) -> CgRun {
+    let (n, m) = pi.shape();
     assert_eq!(linear.shape(), (n, m), "linear term shape");
     assert_eq!(c1.shape(), (n, n), "c1 shape");
     assert_eq!(c2.shape(), (m, m), "c2 shape");
     let q = opts.quad_weight;
 
-    let mut pi = init;
-    let mut obj = qp_objective(linear, c1, c2, q, &pi);
+    let OtWorkspace {
+        lsap,
+        gw,
+        lpi,
+        grad,
+        dir,
+        delta,
+        ldelta,
+        ..
+    } = ws;
+
+    // Objective ⟨π, M⟩ + (q/2)⟨π, L⊗π⟩ with L⊗π landing in `ldelta`.
+    gw_tensor_apply_into(c1, c2, pi, ldelta, gw);
+    let mut obj = pi.dot(linear) + 0.5 * q * pi.dot(ldelta);
     let mut history = vec![obj];
     let mut iters = 0;
 
@@ -82,12 +135,20 @@ pub fn conditional_gradient(
         iters += 1;
         // Gradient of the objective. For symmetric squared-loss L the
         // gradient of (q/2)⟨π, L⊗π⟩ is q·(L⊗π).
-        let lpi = gw_tensor_apply(c1, c2, &pi);
-        let grad = Matrix::from_fn(n, m, |i, j| linear[(i, j)] + q * lpi[(i, j)]);
+        gw_tensor_apply_into(c1, c2, pi, lpi, gw);
+        grad.resize_zeroed(n, m);
+        for i in 0..n {
+            let grow = grad.row_mut(i);
+            let lrow = linear.row(i);
+            let prow = lpi.row(i);
+            for j in 0..m {
+                grow[j] = lrow[j] + q * prow[j];
+            }
+        }
 
         // Linear minimization oracle: vertex of the Birkhoff polytope.
-        let a = lsap_min(&grad);
-        let mut dir = Matrix::zeros(n, m);
+        let a = lsap_min_in(grad, lsap);
+        dir.resize_zeroed(n, m);
         for (r, &c) in a.row_to_col.iter().enumerate() {
             dir[(r, c)] = 1.0;
         }
@@ -95,16 +156,25 @@ pub fn conditional_gradient(
         // Exact line search along Δ = dir − π for the quadratic
         // f(γ) = f(π) + b γ + a γ², with
         //   b = ⟨Δ, M⟩ + q ⟨Δ, L⊗π⟩,  a = (q/2) ⟨Δ, L⊗Δ⟩.
-        let delta = dir.sub(&pi);
-        let b = delta.dot(linear) + q * delta.dot(&lpi);
-        let a_coef = 0.5 * q * delta.dot(&gw_tensor_apply(c1, c2, &delta));
+        delta.resize_zeroed(n, m);
+        for (o, (&d, &p)) in delta
+            .as_mut_slice()
+            .iter_mut()
+            .zip(dir.as_slice().iter().zip(pi.as_slice()))
+        {
+            *o = d - p;
+        }
+        let b = delta.dot(linear) + q * delta.dot(lpi);
+        gw_tensor_apply_into(c1, c2, delta, ldelta, gw);
+        let a_coef = 0.5 * q * delta.dot(ldelta);
         let gamma = optimal_step(a_coef, b);
         if gamma <= 0.0 {
             break;
         }
-        pi.add_scaled_assign(&delta, gamma);
+        pi.add_scaled_assign(delta, gamma);
 
-        let new_obj = qp_objective(linear, c1, c2, q, &pi);
+        gw_tensor_apply_into(c1, c2, pi, ldelta, gw);
+        let new_obj = pi.dot(linear) + 0.5 * q * pi.dot(ldelta);
         history.push(new_obj);
         let improved = obj - new_obj;
         obj = new_obj;
@@ -113,8 +183,7 @@ pub fn conditional_gradient(
         }
     }
 
-    CgResult {
-        coupling: pi,
+    CgRun {
         objective: obj,
         iterations: iters,
         history,

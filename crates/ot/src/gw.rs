@@ -19,35 +19,82 @@
 //! cost from `O(n⁴)` to `O(n³)` — the optimization Appendix E.2 of the paper
 //! relies on.
 
+use crate::workspace::{reset, GwScratch};
 use ged_linalg::Matrix;
 
 /// Computes `L(C1, C2) ⊗ π` in `O(n³)` time.
+///
+/// Allocates fresh scratch per call; the conditional-gradient hot loop
+/// uses the workspace-backed `gw_tensor_apply_into` (crate-private)
+/// instead.
 ///
 /// # Panics
 /// Panics if `c1`/`c2` are not square or `π` has mismatched shape.
 #[must_use]
 pub fn gw_tensor_apply(c1: &Matrix, c2: &Matrix, pi: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    gw_tensor_apply_into(c1, c2, pi, &mut out, &mut GwScratch::default());
+    out
+}
+
+/// [`gw_tensor_apply`] into a caller-provided output matrix, with every
+/// intermediate buffer drawn from `scratch`. Bit-identical to the
+/// allocating version.
+pub(crate) fn gw_tensor_apply_into(
+    c1: &Matrix,
+    c2: &Matrix,
+    pi: &Matrix,
+    out: &mut Matrix,
+    scratch: &mut GwScratch,
+) {
     let n = c1.rows();
     let m = c2.rows();
     assert_eq!(c1.shape(), (n, n), "c1 must be square");
     assert_eq!(c2.shape(), (m, m), "c2 must be square");
     assert_eq!(pi.shape(), (n, m), "pi shape mismatch");
 
-    let r = pi.row_sums(); // length n
-    let c = pi.col_sums(); // length m
+    // r = π 1 (row sums), c = πᵀ 1 (column sums).
+    scratch.r.clear();
+    scratch
+        .r
+        .extend((0..n).map(|i| pi.row(i).iter().sum::<f64>()));
+    reset(&mut scratch.c, m, 0.0);
+    for i in 0..n {
+        for (o, &x) in scratch.c.iter_mut().zip(pi.row(i)) {
+            *o += x;
+        }
+    }
 
     // term1_{i,k} = Σ_j C1_{i,j}² r_j   (constant in k)
-    let t1: Vec<f64> = (0..n)
-        .map(|i| c1.row(i).iter().zip(&r).map(|(&a, &rj)| a * a * rj).sum())
-        .collect();
+    scratch.t1.clear();
+    scratch.t1.extend((0..n).map(|i| {
+        c1.row(i)
+            .iter()
+            .zip(&scratch.r)
+            .map(|(&a, &rj)| a * a * rj)
+            .sum::<f64>()
+    }));
     // term2_{i,k} = Σ_l C2_{k,l}² c_l   (constant in i)
-    let t2: Vec<f64> = (0..m)
-        .map(|k| c2.row(k).iter().zip(&c).map(|(&b, &cl)| b * b * cl).sum())
-        .collect();
+    scratch.t2.clear();
+    scratch.t2.extend((0..m).map(|k| {
+        c2.row(k)
+            .iter()
+            .zip(&scratch.c)
+            .map(|(&b, &cl)| b * b * cl)
+            .sum::<f64>()
+    }));
     // term3 = C1 π C2ᵀ
-    let t3 = c1.matmul(pi).matmul_transpose_b(c2);
+    c1.matmul_into(pi, &mut scratch.tmp);
+    scratch.tmp.matmul_transpose_b_into(c2, &mut scratch.t3);
 
-    Matrix::from_fn(n, m, |i, k| t1[i] + t2[k] - 2.0 * t3[(i, k)])
+    out.resize_zeroed(n, m);
+    for i in 0..n {
+        let orow = out.row_mut(i);
+        let trow = scratch.t3.row(i);
+        for k in 0..m {
+            orow[k] = scratch.t1[i] + scratch.t2[k] - 2.0 * trow[k];
+        }
+    }
 }
 
 /// Reference `O(n⁴)` implementation of `L ⊗ π`, used to validate

@@ -11,7 +11,9 @@
 //!   `L(C1,C2) ⊗ π` evaluated in `O(n³)` via the Peyré–Cuturi–Solomon
 //!   decomposition;
 //! * [`cg`] — the conditional-gradient (Frank–Wolfe) solver used by GEDGW
-//!   (Algorithm 2), with exact line search for the quadratic objective.
+//!   (Algorithm 2), with exact line search for the quadratic objective;
+//! * [`workspace`] — reusable scratch buffers ([`OtWorkspace`]) behind the
+//!   allocation-free `_in` entry points of the kernels above.
 
 #![warn(missing_docs)]
 
@@ -19,8 +21,13 @@ pub mod cg;
 pub mod exact;
 pub mod gw;
 pub mod sinkhorn;
+pub mod workspace;
 
-pub use cg::{conditional_gradient, CgOptions, CgResult};
+pub use cg::{conditional_gradient, conditional_gradient_in, CgOptions, CgResult, CgRun};
 pub use exact::exact_ot_assignment;
 pub use gw::{gw_objective, gw_tensor_apply};
-pub use sinkhorn::{sinkhorn, sinkhorn_dummy_row, sinkhorn_log, SinkhornResult};
+pub use sinkhorn::{
+    sinkhorn, sinkhorn_dummy_row, sinkhorn_dummy_row_in, sinkhorn_in, sinkhorn_log,
+    sinkhorn_log_in, SinkhornResult,
+};
+pub use workspace::OtWorkspace;

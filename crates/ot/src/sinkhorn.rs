@@ -14,6 +14,7 @@
 //! zero-cost dummy row (a supernode of `G1` that absorbs the `n2 - n1`
 //! unmatched nodes of `G2`) and mass `μ̃ = [1,…,1, n2-n1]`, `ν̃ = 1`.
 
+use crate::workspace::{reset, OtWorkspace};
 use ged_linalg::Matrix;
 
 /// Smallest denominator allowed in the scaling updates; prevents division by
@@ -34,6 +35,9 @@ pub struct SinkhornResult {
 /// Plain Sinkhorn on cost matrix `cost` with marginals `mu` (rows) and `nu`
 /// (columns), regularization `epsilon` and `max_iter` iterations.
 ///
+/// Allocates fresh scratch per call; hot loops should hold an
+/// [`OtWorkspace`] and call [`sinkhorn_in`] instead.
+///
 /// # Panics
 /// Panics if marginal lengths do not match the matrix shape, if
 /// `epsilon <= 0`, or if total row and column mass differ by more than 1e-6.
@@ -44,6 +48,48 @@ pub fn sinkhorn(
     nu: &[f64],
     epsilon: f64,
     max_iter: usize,
+) -> SinkhornResult {
+    sinkhorn_in(cost, mu, nu, epsilon, max_iter, &mut OtWorkspace::new())
+}
+
+/// [`sinkhorn`] with caller-provided scratch buffers. Bit-identical to
+/// the allocating version for any (possibly dirty) workspace.
+///
+/// # Panics
+/// Same contract as [`sinkhorn`].
+#[must_use]
+pub fn sinkhorn_in(
+    cost: &Matrix,
+    mu: &[f64],
+    nu: &[f64],
+    epsilon: f64,
+    max_iter: usize,
+    ws: &mut OtWorkspace,
+) -> SinkhornResult {
+    sinkhorn_core(
+        cost,
+        mu,
+        nu,
+        epsilon,
+        max_iter,
+        &mut ws.kernel,
+        &mut ws.phi,
+        &mut ws.psi,
+    )
+}
+
+/// The shared Sinkhorn loop, with the kernel matrix and both scaling
+/// vectors drawn from caller-provided buffers.
+#[allow(clippy::too_many_arguments)]
+fn sinkhorn_core(
+    cost: &Matrix,
+    mu: &[f64],
+    nu: &[f64],
+    epsilon: f64,
+    max_iter: usize,
+    k: &mut Matrix,
+    phi: &mut Vec<f64>,
+    psi: &mut Vec<f64>,
 ) -> SinkhornResult {
     let (n, m) = cost.shape();
     assert_eq!(mu.len(), n, "mu length");
@@ -56,9 +102,12 @@ pub fn sinkhorn(
         "marginal masses differ: {mass_mu} vs {mass_nu}"
     );
 
-    let k = cost.map(|c| (-c / epsilon).exp());
-    let mut phi = vec![1.0; n];
-    let mut psi = vec![1.0; m];
+    k.resize_zeroed(n, m);
+    for (kk, &c) in k.as_mut_slice().iter_mut().zip(cost.as_slice()) {
+        *kk = (-c / epsilon).exp();
+    }
+    reset(phi, n, 1.0);
+    reset(psi, m, 1.0);
 
     for _ in 0..max_iter {
         // ψ = ν ⊘ (Kᵀ φ)
@@ -103,6 +152,23 @@ pub fn sinkhorn_log(
     epsilon: f64,
     max_iter: usize,
 ) -> SinkhornResult {
+    sinkhorn_log_in(cost, mu, nu, epsilon, max_iter, &mut OtWorkspace::new())
+}
+
+/// [`sinkhorn_log`] with caller-provided scratch buffers. Bit-identical
+/// to the allocating version for any (possibly dirty) workspace.
+///
+/// # Panics
+/// Same contract as [`sinkhorn`].
+#[must_use]
+pub fn sinkhorn_log_in(
+    cost: &Matrix,
+    mu: &[f64],
+    nu: &[f64],
+    epsilon: f64,
+    max_iter: usize,
+    ws: &mut OtWorkspace,
+) -> SinkhornResult {
     let (n, m) = cost.shape();
     assert_eq!(mu.len(), n);
     assert_eq!(nu.len(), m);
@@ -110,29 +176,40 @@ pub fn sinkhorn_log(
 
     // Dual potentials f (rows), g (cols); π_ij = exp((f_i + g_j - C_ij)/ε) m_i n_j
     // with zero-mass marginals handled by -inf potentials.
-    let log_mu: Vec<f64> = mu
-        .iter()
-        .map(|&x| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY })
-        .collect();
-    let log_nu: Vec<f64> = nu
-        .iter()
-        .map(|&x| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY })
-        .collect();
-    let mut f = vec![0.0; n];
-    let mut g = vec![0.0; m];
+    let OtWorkspace {
+        log_mu,
+        log_nu,
+        f,
+        g,
+        lse: buf,
+        ..
+    } = ws;
+    log_mu.clear();
+    log_mu.extend(
+        mu.iter()
+            .map(|&x| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY }),
+    );
+    log_nu.clear();
+    log_nu.extend(
+        nu.iter()
+            .map(|&x| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY }),
+    );
+    reset(f, n, 0.0);
+    reset(g, m, 0.0);
 
-    let logsumexp = |vals: &mut dyn Iterator<Item = f64>| -> f64 {
-        let v: Vec<f64> = vals.collect();
-        let mx = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    fn logsumexp(buf: &mut Vec<f64>, vals: impl Iterator<Item = f64>) -> f64 {
+        buf.clear();
+        buf.extend(vals);
+        let mx = buf.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         if mx == f64::NEG_INFINITY {
             return f64::NEG_INFINITY;
         }
-        mx + v.iter().map(|&x| (x - mx).exp()).sum::<f64>().ln()
-    };
+        mx + buf.iter().map(|&x| (x - mx).exp()).sum::<f64>().ln()
+    }
 
     for _ in 0..max_iter {
         for j in 0..m {
-            let lse = logsumexp(&mut (0..n).map(|i| (f[i] - cost[(i, j)]) / epsilon));
+            let lse = logsumexp(buf, (0..n).map(|i| (f[i] - cost[(i, j)]) / epsilon));
             g[j] = if log_nu[j].is_finite() {
                 epsilon * (log_nu[j] / 1.0 - lse)
             } else {
@@ -140,7 +217,7 @@ pub fn sinkhorn_log(
             };
         }
         for i in 0..n {
-            let lse = logsumexp(&mut (0..m).map(|j| (g[j] - cost[(i, j)]) / epsilon));
+            let lse = logsumexp(buf, (0..m).map(|j| (g[j] - cost[(i, j)]) / epsilon));
             f[i] = if log_mu[i].is_finite() {
                 epsilon * (log_mu[i] - lse)
             } else {
@@ -177,16 +254,44 @@ pub fn sinkhorn_log(
 /// Panics if `n1 > n2` or `epsilon <= 0`.
 #[must_use]
 pub fn sinkhorn_dummy_row(cost: &Matrix, epsilon: f64, max_iter: usize) -> SinkhornResult {
+    sinkhorn_dummy_row_in(cost, epsilon, max_iter, &mut OtWorkspace::new())
+}
+
+/// [`sinkhorn_dummy_row`] with caller-provided scratch buffers.
+/// Bit-identical to the allocating version for any (possibly dirty)
+/// workspace.
+///
+/// # Panics
+/// Panics if `n1 > n2` or `epsilon <= 0`.
+#[must_use]
+pub fn sinkhorn_dummy_row_in(
+    cost: &Matrix,
+    epsilon: f64,
+    max_iter: usize,
+    ws: &mut OtWorkspace,
+) -> SinkhornResult {
     let (n1, n2) = cost.shape();
     assert!(
         n1 <= n2,
         "sinkhorn_dummy_row requires n1 <= n2 (got {n1}x{n2})"
     );
-    let extended = cost.with_appended_row(&vec![0.0; n2]);
-    let mut mu = vec![1.0; n1 + 1];
+    let OtWorkspace {
+        kernel,
+        phi,
+        psi,
+        extended,
+        mu,
+        nu,
+        ..
+    } = ws;
+    extended.resize_zeroed(n1 + 1, n2);
+    for r in 0..n1 {
+        extended.row_mut(r).copy_from_slice(cost.row(r));
+    }
+    reset(mu, n1 + 1, 1.0);
     mu[n1] = (n2 - n1) as f64;
-    let nu = vec![1.0; n2];
-    let res = sinkhorn(&extended, &mu, &nu, epsilon, max_iter);
+    reset(nu, n2, 1.0);
+    let res = sinkhorn_core(extended, mu, nu, epsilon, max_iter, kernel, phi, psi);
     let coupling = res.coupling.without_last_row();
     let cost_val = coupling.dot(cost);
     SinkhornResult {

@@ -1,0 +1,80 @@
+//! Reusable scratch buffers for the OT kernels.
+//!
+//! One GEDGW solve runs dozens of Frank–Wolfe iterations, each of which
+//! evaluates `L ⊗ π` (four intermediate buffers plus two matrix
+//! products), a gradient, a direction, a line-search delta, and an LSAP
+//! solve — all over matrices with at most a few hundred elements, so
+//! per-call allocation dominates the arithmetic. An [`OtWorkspace`] owns
+//! every intermediate buffer the Sinkhorn and conditional-gradient
+//! kernels need; the `_in` entry points ([`crate::sinkhorn::sinkhorn_in`],
+//! [`crate::cg::conditional_gradient_in`], …) reuse them across calls and
+//! are bit-identical to the allocating versions, which remain as thin
+//! wrappers.
+//!
+//! Keep one workspace per thread (see `BatchRunner::map_init` in
+//! `ged-core`) and hand it to every solve on that thread. A "dirty"
+//! workspace left over from a previous call of any shape is always safe
+//! to reuse — every entry point fully re-initializes the prefix it reads.
+
+use ged_linalg::{LsapWorkspace, Matrix};
+
+/// Scratch for one `L(C1,C2) ⊗ π` evaluation (see [`crate::gw`]).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct GwScratch {
+    /// Row sums of `π`.
+    pub(crate) r: Vec<f64>,
+    /// Column sums of `π`.
+    pub(crate) c: Vec<f64>,
+    /// `t1[i] = Σ_j C1_{i,j}² r_j`.
+    pub(crate) t1: Vec<f64>,
+    /// `t2[k] = Σ_l C2_{k,l}² c_l`.
+    pub(crate) t2: Vec<f64>,
+    /// `C1 π`.
+    pub(crate) tmp: Matrix,
+    /// `C1 π C2ᵀ`.
+    pub(crate) t3: Matrix,
+}
+
+/// Scratch buffers for the Sinkhorn and conditional-gradient kernels.
+/// See the [module docs](self).
+#[derive(Clone, Debug, Default)]
+pub struct OtWorkspace {
+    /// Scratch for the LSAP solves inside conditional gradient; also
+    /// usable directly by callers that interleave LSAP with OT kernels.
+    pub lsap: LsapWorkspace,
+    // Sinkhorn: kernel matrix, scaling vectors, dummy-row extension.
+    pub(crate) kernel: Matrix,
+    pub(crate) phi: Vec<f64>,
+    pub(crate) psi: Vec<f64>,
+    pub(crate) extended: Matrix,
+    pub(crate) mu: Vec<f64>,
+    pub(crate) nu: Vec<f64>,
+    // Log-domain Sinkhorn: log-marginals, dual potentials, logsumexp buf.
+    pub(crate) log_mu: Vec<f64>,
+    pub(crate) log_nu: Vec<f64>,
+    pub(crate) f: Vec<f64>,
+    pub(crate) g: Vec<f64>,
+    pub(crate) lse: Vec<f64>,
+    // Conditional gradient: L⊗π, gradient, LMO direction, line-search
+    // delta, and a second L⊗· buffer for the step-size/objective terms.
+    pub(crate) gw: GwScratch,
+    pub(crate) lpi: Matrix,
+    pub(crate) grad: Matrix,
+    pub(crate) dir: Matrix,
+    pub(crate) delta: Matrix,
+    pub(crate) ldelta: Matrix,
+}
+
+impl OtWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Resets `buf` to `len` copies of `value`, reusing its capacity.
+pub(crate) fn reset<T: Copy>(buf: &mut Vec<T>, len: usize, value: T) {
+    buf.clear();
+    buf.resize(len, value);
+}
