@@ -12,7 +12,7 @@
 //! depth, trading optimality for polynomial time [Neuhaus et al. 2006].
 
 use ged_core::pairs::ordered;
-use ged_graph::{Graph, NodeMapping};
+use ged_graph::{Graph, Label, NodeMapping};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -75,18 +75,34 @@ fn closing_cost(g2: &Graph, mapping: &[u32]) -> usize {
 /// Admissible heuristic: label-multiset bound on unmapped nodes plus the
 /// remaining-edge-count gap.
 fn heuristic(g1: &Graph, g2: &Graph, mapping: &[u32]) -> usize {
-    let depth = mapping.len();
     let mut used = vec![false; g2.num_nodes()];
     for &v in mapping {
         used[v as usize] = true;
     }
-    let mut rest1: Vec<_> = (depth..g1.num_nodes())
-        .map(|u| g1.label(u as u32))
-        .collect();
-    let mut rest2: Vec<_> = (0..g2.num_nodes())
-        .filter(|&v| !used[v])
-        .map(|v| g2.label(v as u32))
-        .collect();
+    heuristic_in(g1, g2, mapping, &used, &mut Vec::new(), &mut Vec::new())
+}
+
+/// [`heuristic`] with the `G2` match marks precomputed by the caller
+/// (`used[v]` iff `v` is in `mapping`'s image) and the label multisets
+/// sorted into reusable buffers. Pure integer arithmetic, so reuse is
+/// trivially result-identical.
+fn heuristic_in(
+    g1: &Graph,
+    g2: &Graph,
+    mapping: &[u32],
+    used: &[bool],
+    rest1: &mut Vec<Label>,
+    rest2: &mut Vec<Label>,
+) -> usize {
+    let depth = mapping.len();
+    rest1.clear();
+    rest1.extend((depth..g1.num_nodes()).map(|u| g1.label(u as u32)));
+    rest2.clear();
+    rest2.extend(
+        (0..g2.num_nodes())
+            .filter(|&v| !used[v])
+            .map(|v| g2.label(v as u32)),
+    );
     rest1.sort_unstable();
     rest2.sort_unstable();
     let (mut i, mut j, mut only1, mut only2) = (0, 0, 0usize, 0usize);
@@ -193,6 +209,24 @@ pub fn astar_exact_with_limit(g1: &Graph, g2: &Graph, max_expanded: usize) -> Op
     unreachable!("A* always reaches a complete mapping");
 }
 
+/// Reusable scratch buffers for [`astar_beam_in`], letting batch callers
+/// amortize the per-state mark vector and the heuristic's label-multiset
+/// buffers across many searches.
+#[derive(Clone, Debug, Default)]
+pub struct BeamWorkspace {
+    used: Vec<bool>,
+    rest1: Vec<Label>,
+    rest2: Vec<Label>,
+}
+
+impl BeamWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A*-Beam [Neuhaus et al. 2006]: level-synchronous beam search that keeps
 /// only the `beam` most promising partial mappings per depth. Returns a
 /// feasible (upper-bound) GED.
@@ -201,6 +235,17 @@ pub fn astar_exact_with_limit(g1: &Graph, g2: &Graph, max_expanded: usize) -> Op
 /// Panics if `beam == 0`.
 #[must_use]
 pub fn astar_beam(g1: &Graph, g2: &Graph, beam: usize) -> AstarResult {
+    astar_beam_in(g1, g2, beam, &mut BeamWorkspace::new())
+}
+
+/// [`astar_beam`] reusing caller-owned scratch buffers. The search is pure
+/// integer arithmetic over freshly reset buffers, so the result is
+/// identical to the allocating entry point.
+///
+/// # Panics
+/// Panics if `beam == 0`.
+#[must_use]
+pub fn astar_beam_in(g1: &Graph, g2: &Graph, beam: usize, ws: &mut BeamWorkspace) -> AstarResult {
     assert!(beam >= 1, "beam width must be positive");
     let (a, b, swapped) = ordered(g1, g2);
     let n1 = a.num_nodes();
@@ -215,19 +260,24 @@ pub fn astar_beam(g1: &Graph, g2: &Graph, beam: usize) -> AstarResult {
         let mut next: Vec<(usize, State)> = Vec::with_capacity(frontier.len() * (n2 - depth));
         for state in &frontier {
             expanded += 1;
-            let mut used = vec![false; n2];
+            ws.used.clear();
+            ws.used.resize(n2, false);
             for &v in &state.mapping {
-                used[v as usize] = true;
+                ws.used[v as usize] = true;
             }
             for v in 0..n2 as u32 {
-                if used[v as usize] {
+                if ws.used[v as usize] {
                     continue;
                 }
                 let delta = extension_cost(a, b, &state.mapping, v);
                 let mut mapping = state.mapping.clone();
                 mapping.push(v);
                 let g = state.g + delta;
-                let f = g + heuristic(a, b, &mapping);
+                // Mark v so `used` matches the extended mapping's image for
+                // the heuristic, then restore it for the next sibling.
+                ws.used[v as usize] = true;
+                let f = g + heuristic_in(a, b, &mapping, &ws.used, &mut ws.rest1, &mut ws.rest2);
+                ws.used[v as usize] = false;
                 next.push((f, State { mapping, g }));
             }
         }

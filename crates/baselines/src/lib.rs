@@ -28,7 +28,9 @@ pub mod simgnn;
 pub mod solvers;
 pub mod tagsim;
 
-pub use astar::{astar_beam, astar_exact, astar_exact_with_limit, AstarResult};
+pub use astar::{
+    astar_beam, astar_beam_in, astar_exact, astar_exact_with_limit, AstarResult, BeamWorkspace,
+};
 pub use classic::{classic_ged, hungarian_ged, vj_ged, ClassicResult};
 pub use gedgnn::{Gedgnn, GedgnnConfig};
 pub use noah::noah_like;

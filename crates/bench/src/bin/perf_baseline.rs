@@ -12,11 +12,15 @@
 //! (CI uses it to keep the binary and schema green without touching the
 //! committed numbers).
 
+use ged_baselines::astar::astar_beam;
 use ged_core::engine::GedEngine;
+use ged_core::gedgw::Gedgw;
+use ged_core::kbest::kbest_edit_path;
 use ged_core::method::MethodKind;
 use ged_core::pairs::GedPair;
+use ged_core::search::similarity_search;
 use ged_core::solver::{BatchRunner, GedgwSolver, SolverRegistry};
-use ged_graph::GraphDataset;
+use ged_graph::{generate, Graph, GraphDataset};
 use ged_linalg::{lsap_min, lsap_min_munkres, Matrix};
 use ged_ot::gw::gw_tensor_apply;
 use ged_ot::sinkhorn::{sinkhorn, sinkhorn_dummy_row};
@@ -161,6 +165,47 @@ fn kernels_suite(smoke: bool) -> Vec<Measurement> {
         },
     ));
 
+    // The edit-path generators the workspace layer targets: k-best
+    // matching over precomputed GEDGW couplings, and the A*-Beam
+    // baseline (mirrors `table4_paths` / `fig15_exact`).
+    let path_pairs = if smoke { 2 } else { 8 };
+    let kbest_k = if smoke { 5 } else { 50 };
+    let beam = if smoke { 20 } else { 100 };
+    let mut rng = SmallRng::seed_from_u64(11);
+    let weights: Vec<f64> = (0..29).map(|i| 1.0 / (1.0 + i as f64).powf(1.4)).collect();
+    let data: Vec<(Graph, Graph)> = (0..path_pairs)
+        .map(|_| {
+            (
+                generate::random_connected(8, 2, &weights, &mut rng),
+                generate::random_connected(10, 3, &weights, &mut rng),
+            )
+        })
+        .collect();
+    let couplings: Vec<_> = data
+        .iter()
+        .map(|(g1, g2)| Gedgw::new(g1, g2).solve().coupling)
+        .collect();
+    out.push(measure(
+        "kbest_edit_path",
+        format!("pairs={path_pairs},k={kbest_k},n=8/10"),
+        5,
+        || {
+            for ((g1, g2), pi) in data.iter().zip(&couplings) {
+                black_box(kbest_edit_path(g1, g2, pi, kbest_k).ged);
+            }
+        },
+    ));
+    out.push(measure(
+        "astar_beam",
+        format!("pairs={path_pairs},beam={beam},n=8/10"),
+        5,
+        || {
+            for (g1, g2) in &data {
+                black_box(astar_beam(g1, g2, beam).ged);
+            }
+        },
+    ));
+
     out
 }
 
@@ -228,6 +273,22 @@ fn search_suite(smoke: bool) -> Vec<Measurement> {
                         .range_exact(&query, &store, tau as f64)
                         .expect("valid query"),
                 );
+            },
+        ));
+    }
+
+    // similarity_search: the per-pair slice form of the three-tier plan.
+    {
+        let mut rng = SmallRng::seed_from_u64(10_000 + size as u64);
+        let store = GraphDataset::aids_like(size, &mut rng).into_store();
+        let db: Vec<Graph> = store.graphs().cloned().collect();
+        let query = db[0].clone();
+        out.push(measure(
+            "similarity_search",
+            format!("db={size},tau={tau}"),
+            1,
+            || {
+                black_box(similarity_search(&db, &query, tau));
             },
         ));
     }

@@ -8,7 +8,7 @@
 //! configuration all surface as matchable variants.
 
 use crate::method::MethodKind;
-use ged_graph::GraphId;
+use ged_graph::{GraphId, ParseError};
 use std::fmt;
 
 /// Everything that can go wrong answering a GED query.
@@ -44,6 +44,16 @@ pub enum GedError {
     /// or a NaN range-search threshold — note `τ = +∞` is *valid* and
     /// means a full scan).
     Config(String),
+    /// A graph or dataset payload failed to parse (malformed JSON or a
+    /// violated graph invariant). Wraps the codec's structured
+    /// [`ParseError`] with its byte/line/column position.
+    Parse(ParseError),
+}
+
+impl From<ParseError> for GedError {
+    fn from(e: ParseError) -> Self {
+        GedError::Parse(e)
+    }
 }
 
 impl fmt::Display for GedError {
@@ -68,6 +78,7 @@ impl fmt::Display for GedError {
                 "graph id {id} does not resolve in this store (foreign or removed)"
             ),
             GedError::Config(msg) => write!(f, "configuration error: {msg}"),
+            GedError::Parse(e) => write!(f, "{e}"),
         }
     }
 }
@@ -91,6 +102,10 @@ mod tests {
             (GedError::InvalidK { what: "top-k" }, "top-k"),
             (GedError::EmptyStore, "empty store"),
             (GedError::Config("bad".into()), "bad"),
+            (
+                GedError::Parse(ged_graph::io::graph_from_json("nope").unwrap_err()),
+                "parse error",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

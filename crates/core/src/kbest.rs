@@ -11,7 +11,9 @@
 
 use crate::lower_bound::partial_matching_lower_bound;
 use ged_graph::{EditPath, Graph, NodeMapping};
-use ged_linalg::{best_matching, second_best_matching, Assignment, Matrix};
+use ged_linalg::{
+    best_matching_in, second_best_matching_in, Assignment, MatchingWorkspace, Matrix,
+};
 
 /// Result of k-best edit-path generation.
 #[derive(Clone, Debug)]
@@ -41,10 +43,32 @@ fn mapping_of(a: &Assignment) -> NodeMapping {
 /// Generates an edit path for `(g1, g2)` from coupling `pi` by exploring up
 /// to `k` subspaces of the matching space.
 ///
+/// One generation issues `O(k · n)` constrained LSAP solves; this wrapper
+/// reuses one [`MatchingWorkspace`] across all of them (see
+/// [`kbest_edit_path_in`] for reuse across generations).
+///
 /// # Panics
 /// Panics if `g1` has more nodes than `g2` or `pi` is not `n1 x n2`.
 #[must_use]
 pub fn kbest_edit_path(g1: &Graph, g2: &Graph, pi: &Matrix, k: usize) -> KBestResult {
+    kbest_edit_path_in(g1, g2, pi, k, &mut MatchingWorkspace::new())
+}
+
+/// [`kbest_edit_path`] with the matching-layer scratch drawn from `ws`.
+/// The subspace exploration (split choices, candidate order, pruning) is
+/// identical, so results are bit-identical for any (possibly dirty)
+/// workspace.
+///
+/// # Panics
+/// Panics if `g1` has more nodes than `g2` or `pi` is not `n1 x n2`.
+#[must_use]
+pub fn kbest_edit_path_in(
+    g1: &Graph,
+    g2: &Graph,
+    pi: &Matrix,
+    k: usize,
+    ws: &mut MatchingWorkspace,
+) -> KBestResult {
     let n1 = g1.num_nodes();
     let n2 = g2.num_nodes();
     assert!(n1 <= n2, "kbest_edit_path requires n1 <= n2");
@@ -71,7 +95,7 @@ pub fn kbest_edit_path(g1: &Graph, g2: &Graph, pi: &Matrix, k: usize) -> KBestRe
     };
 
     // Initial subspace: the whole matching space.
-    let m1 = best_matching(pi, &[], &[]).expect("full matching space is non-empty");
+    let m1 = best_matching_in(pi, &[], &[], ws).expect("full matching space is non-empty");
     consider(&m1, &mut candidates, &mut best_len, &mut best_pair);
     let global_lb = partial_matching_lower_bound(g1, g2, &[]);
     if k == 1 || best_len <= global_lb {
@@ -88,7 +112,7 @@ pub fn kbest_edit_path(g1: &Graph, g2: &Graph, pi: &Matrix, k: usize) -> KBestRe
             candidates,
         };
     }
-    let m2 = second_best_matching(pi, &[], &[], &m1);
+    let m2 = second_best_matching_in(pi, &[], &[], &m1, ws);
     if let Some(ref m2a) = m2 {
         consider(m2a, &mut candidates, &mut best_len, &mut best_pair);
     }
@@ -140,7 +164,7 @@ pub fn kbest_edit_path(g1: &Graph, g2: &Graph, pi: &Matrix, k: usize) -> KBestRe
         forced_in.push(e);
         let forbidden_in = subspaces[idx].forbidden.clone();
         let best_in = subspaces[idx].best.clone();
-        let second_in = second_best_matching(pi, &forced_in, &forbidden_in, &best_in);
+        let second_in = second_best_matching_in(pi, &forced_in, &forbidden_in, &best_in, ws);
         if let Some(ref s2) = second_in {
             consider(s2, &mut candidates, &mut best_len, &mut best_pair);
         }
@@ -150,7 +174,7 @@ pub fn kbest_edit_path(g1: &Graph, g2: &Graph, pi: &Matrix, k: usize) -> KBestRe
         let mut forbidden_out = subspaces[idx].forbidden.clone();
         forbidden_out.push(e);
         let best_out = second;
-        let second_out = second_best_matching(pi, &forced_out, &forbidden_out, &best_out);
+        let second_out = second_best_matching_in(pi, &forced_out, &forbidden_out, &best_out, ws);
         if let Some(ref s2) = second_out {
             consider(s2, &mut candidates, &mut best_len, &mut best_pair);
         }

@@ -54,7 +54,7 @@ pub use ensemble::{Gedhot, GedhotPrediction};
 pub use error::GedError;
 pub use gedgw::{Gedgw, GedgwOptions, GedgwResult};
 pub use gediot::{Gediot, GediotConfig, GediotPrediction};
-pub use kbest::{kbest_edit_path, KBestResult};
+pub use kbest::{kbest_edit_path, kbest_edit_path_in, KBestResult};
 pub use lower_bound::{
     degree_sequence_lower_bound, degree_sequence_lower_bound_sig, label_set_lower_bound,
     label_set_lower_bound_sig,
@@ -65,7 +65,8 @@ pub use search::{
     bounded_exact_ged, bounded_exact_ged_with_budget, bounded_exact_ged_with_budget_in,
     fast_upper_bound, fast_upper_bound_in, pivot_distance, pivot_distance_in, prune_or_verify,
     prune_or_verify_in, prune_or_verify_with_pivot, prune_or_verify_with_pivot_in,
-    similarity_search, BoundedSearch, CandidateOutcome, ExactSearchStats, Verdict,
+    similarity_search, similarity_search_in, BoundedSearch, CandidateOutcome, ExactSearchStats,
+    Verdict,
 };
 pub use solver::{
     BatchRunner, GedEstimate, GedSolver, GedgwSolver, GedhotSolver, GediotSolver, PathEstimate,

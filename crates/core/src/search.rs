@@ -545,10 +545,25 @@ pub fn pivot_distance_in(
 /// Upper-bound accepts carry the feasible bound, not an exact distance —
 /// see [`prune_or_verify`] for the exact-distance form the engine's
 /// store-level [`crate::engine::GedQuery::RangeExact`] uses.
+///
+/// One [`GedWorkspace`] is reused across the whole scan; loops issuing
+/// many scans should hold their own and call [`similarity_search_in`].
 pub fn similarity_search(
     database: &[Graph],
     query: &Graph,
     tau: usize,
+) -> (Vec<Verdict>, ExactSearchStats) {
+    similarity_search_in(database, query, tau, &mut GedWorkspace::new())
+}
+
+/// [`similarity_search`] with the GEDGW upper-bound and τ-bounded-search
+/// scratch drawn from `ws`. Bit-identical to the allocating version for
+/// any (possibly dirty) workspace.
+pub fn similarity_search_in(
+    database: &[Graph],
+    query: &Graph,
+    tau: usize,
+    ws: &mut GedWorkspace,
 ) -> (Vec<Verdict>, ExactSearchStats) {
     let mut stats = ExactSearchStats::default();
     let verdicts = database
@@ -560,15 +575,18 @@ pub fn similarity_search(
                 stats.filtered += 1;
                 return Verdict::FilteredOut { bound: lb };
             }
-            let ub = fast_upper_bound(query, cand);
+            let ub = fast_upper_bound_in(query, cand, ws);
             if ub <= tau {
                 stats.accepted_early += 1;
                 return Verdict::AcceptedByUpperBound { bound: ub };
             }
             stats.verified += 1;
-            match bounded_exact_ged(query, cand, tau) {
-                Some(ged) => Verdict::VerifiedMatch { ged },
-                None => Verdict::VerifiedNonMatch,
+            match bounded_exact_ged_with_budget_in(query, cand, tau, usize::MAX, ws) {
+                BoundedSearch::Within(ged) => Verdict::VerifiedMatch { ged },
+                // A `usize::MAX` expansion budget can never actually exhaust.
+                BoundedSearch::Exceeds | BoundedSearch::BudgetExhausted => {
+                    Verdict::VerifiedNonMatch
+                }
             }
         })
         .collect();

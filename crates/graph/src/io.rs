@@ -13,9 +13,86 @@
 
 use crate::dataset::{DatasetKind, GraphDataset};
 use crate::graph::{Graph, Label};
+use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
+
+/// A structured JSON-codec error: what went wrong and exactly where.
+///
+/// Positions are reported three ways — absolute byte offset plus 1-based
+/// line and column — because the codec parses both whole files
+/// ([`load_dataset`]) and single lines of a line-delimited protocol, where
+/// the caller wants to prefix its own line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Absolute byte offset into the input where the error was detected.
+    pub at: usize,
+    /// 1-based line number of `at`.
+    pub line: usize,
+    /// 1-based byte column of `at` within its line.
+    pub column: usize,
+    /// What the parser expected or which invariant the input violated.
+    pub kind: ParseErrorKind,
+}
+
+/// The failure cases of the graph/dataset grammar.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A fixed token of the grammar was expected.
+    Expected(&'static str),
+    /// A decimal number was expected.
+    ExpectedNumber,
+    /// A number does not fit in `u32`.
+    NumberOverflow,
+    /// An edge `(u, u)` — the graphs here are simple.
+    SelfLoop(u32),
+    /// An edge endpoint at or beyond the node count.
+    EdgeOutOfRange {
+        /// The offending edge.
+        edge: (u32, u32),
+        /// The graph's node count.
+        nodes: u32,
+    },
+    /// The same undirected edge listed twice.
+    DuplicateEdge(u32, u32),
+    /// A dataset `kind` string that is not `AIDS`, `Linux`, or `IMDB`.
+    UnknownKind,
+    /// Input continuing past the end of the value.
+    TrailingInput,
+    /// A syntactically well-formed field holding a semantically invalid
+    /// value (used by grammars layered on top of this codec, e.g. the
+    /// `ged-server` wire protocol: unknown op, bad protocol version).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at line {}, column {} (byte {}): ",
+            self.line, self.column, self.at
+        )?;
+        match &self.kind {
+            ParseErrorKind::Expected(token) => write!(f, "expected `{token}`"),
+            ParseErrorKind::ExpectedNumber => write!(f, "expected a number"),
+            ParseErrorKind::NumberOverflow => write!(f, "number does not fit in u32"),
+            ParseErrorKind::SelfLoop(u) => write!(f, "self loop at node {u}"),
+            ParseErrorKind::EdgeOutOfRange {
+                edge: (u, v),
+                nodes,
+            } => {
+                write!(f, "edge ({u},{v}) out of range (n={nodes})")
+            }
+            ParseErrorKind::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u},{v})"),
+            ParseErrorKind::UnknownKind => write!(f, "unknown dataset kind"),
+            ParseErrorKind::TrailingInput => write!(f, "trailing input after value"),
+            ParseErrorKind::Invalid(what) => write!(f, "invalid {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
 
 /// Serializes a graph to a JSON string.
 #[must_use]
@@ -41,13 +118,28 @@ pub fn graph_to_json(g: &Graph) -> String {
 /// Parses a graph from a JSON string.
 ///
 /// # Errors
-/// Returns an error if the JSON is malformed or violates graph invariants
-/// (out-of-range endpoints, self loops, duplicate edges).
-pub fn graph_from_json(s: &str) -> Result<Graph, String> {
+/// Returns a [`ParseError`] if the JSON is malformed or violates graph
+/// invariants (out-of-range endpoints, self loops, duplicate edges).
+pub fn graph_from_json(s: &str) -> Result<Graph, ParseError> {
     let mut p = Parser::new(s);
     let g = p.graph()?;
     p.end()?;
     Ok(g)
+}
+
+/// Parses one graph object from the *front* of `s`, returning the graph
+/// and the number of bytes consumed. Trailing input is left for the
+/// caller — this is the hook grammars embedding graph objects (such as
+/// the `ged-server` wire protocol) use to delegate graph payloads to this
+/// codec.
+///
+/// # Errors
+/// Returns a [`ParseError`] (positions relative to `s`) if the prefix is
+/// not a valid graph object.
+pub fn graph_from_json_prefix(s: &str) -> Result<(Graph, usize), ParseError> {
+    let mut p = Parser::new(s);
+    let g = p.graph()?;
+    Ok((g, p.pos))
 }
 
 /// Serializes a dataset to a JSON string. Graphs are written in id
@@ -69,8 +161,9 @@ pub fn dataset_to_json(ds: &GraphDataset) -> String {
 /// Parses a dataset from a JSON string.
 ///
 /// # Errors
-/// Returns an error if the JSON is malformed or any graph is invalid.
-pub fn dataset_from_json(s: &str) -> Result<GraphDataset, String> {
+/// Returns a [`ParseError`] if the JSON is malformed or any graph is
+/// invalid.
+pub fn dataset_from_json(s: &str) -> Result<GraphDataset, ParseError> {
     let mut p = Parser::new(s);
     let ds = p.dataset()?;
     p.end()?;
@@ -108,20 +201,39 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Builds a [`ParseError`] at byte `at`, deriving line/column from the
+    /// input prefix. Error paths only, so the O(at) scan is fine.
+    fn err(&self, at: usize, kind: ParseErrorKind) -> ParseError {
+        let mut line = 1;
+        let mut line_start = 0;
+        for (i, &b) in self.bytes[..at.min(self.bytes.len())].iter().enumerate() {
+            if b == b'\n' {
+                line += 1;
+                line_start = i + 1;
+            }
+        }
+        ParseError {
+            at,
+            line,
+            column: at - line_start + 1,
+            kind,
+        }
+    }
+
     fn skip_ws(&mut self) {
         while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
     }
 
-    fn expect(&mut self, token: &str) -> Result<(), String> {
+    fn expect(&mut self, token: &'static str) -> Result<(), ParseError> {
         self.skip_ws();
         let end = self.pos + token.len();
         if end <= self.bytes.len() && &self.bytes[self.pos..end] == token.as_bytes() {
             self.pos = end;
             Ok(())
         } else {
-            Err(format!("expected `{token}` at byte {}", self.pos))
+            Err(self.err(self.pos, ParseErrorKind::Expected(token)))
         }
     }
 
@@ -130,26 +242,26 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos) == Some(&byte)
     }
 
-    fn u32(&mut self) -> Result<u32, String> {
+    fn u32(&mut self) -> Result<u32, ParseError> {
         self.skip_ws();
         let start = self.pos;
         while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
             self.pos += 1;
         }
         if start == self.pos {
-            return Err(format!("expected a number at byte {start}"));
+            return Err(self.err(start, ParseErrorKind::ExpectedNumber));
         }
         std::str::from_utf8(&self.bytes[start..self.pos])
             .expect("digits are valid UTF-8")
             .parse::<u32>()
-            .map_err(|e| format!("bad number at byte {start}: {e}"))
+            .map_err(|_| self.err(start, ParseErrorKind::NumberOverflow))
     }
 
     /// `[item, item, ...]` with `item` produced by `f`.
     fn list<T>(
         &mut self,
-        mut f: impl FnMut(&mut Self) -> Result<T, String>,
-    ) -> Result<Vec<T>, String> {
+        mut f: impl FnMut(&mut Self) -> Result<T, ParseError>,
+    ) -> Result<Vec<T>, ParseError> {
         self.expect("[")?;
         let mut out = Vec::new();
         if self.peek_is(b']') {
@@ -167,7 +279,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn graph(&mut self) -> Result<Graph, String> {
+    fn graph(&mut self) -> Result<Graph, ParseError> {
         self.expect("{")?;
         self.expect("\"labels\"")?;
         self.expect(":")?;
@@ -178,19 +290,29 @@ impl<'a> Parser<'a> {
         let n = labels.len() as u32;
         let mut seen = std::collections::HashSet::new();
         let edges = self.list(|p| {
+            let at = {
+                p.skip_ws();
+                p.pos
+            };
             p.expect("[")?;
             let u = p.u32()?;
             p.expect(",")?;
             let v = p.u32()?;
             p.expect("]")?;
             if u == v {
-                return Err(format!("self loop at node {u}"));
+                return Err(p.err(at, ParseErrorKind::SelfLoop(u)));
             }
             if u >= n || v >= n {
-                return Err(format!("edge ({u},{v}) out of range (n={n})"));
+                return Err(p.err(
+                    at,
+                    ParseErrorKind::EdgeOutOfRange {
+                        edge: (u, v),
+                        nodes: n,
+                    },
+                ));
             }
             if !seen.insert((u.min(v), u.max(v))) {
-                return Err(format!("duplicate edge ({u},{v})"));
+                return Err(p.err(at, ParseErrorKind::DuplicateEdge(u, v)));
             }
             Ok((u, v))
         })?;
@@ -198,7 +320,7 @@ impl<'a> Parser<'a> {
         Ok(Graph::from_edges(labels, &edges))
     }
 
-    fn dataset(&mut self) -> Result<GraphDataset, String> {
+    fn dataset(&mut self) -> Result<GraphDataset, ParseError> {
         self.expect("{")?;
         self.expect("\"kind\"")?;
         self.expect(":")?;
@@ -209,7 +331,7 @@ impl<'a> Parser<'a> {
         } else if self.expect("\"IMDB\"").is_ok() {
             DatasetKind::Imdb
         } else {
-            return Err(format!("unknown dataset kind at byte {}", self.pos));
+            return Err(self.err(self.pos, ParseErrorKind::UnknownKind));
         };
         self.expect(",")?;
         self.expect("\"graphs\"")?;
@@ -219,12 +341,12 @@ impl<'a> Parser<'a> {
         Ok(GraphDataset::from_graphs(kind, graphs))
     }
 
-    fn end(&mut self) -> Result<(), String> {
+    fn end(&mut self) -> Result<(), ParseError> {
         self.skip_ws();
         if self.pos == self.bytes.len() {
             Ok(())
         } else {
-            Err(format!("trailing garbage at byte {}", self.pos))
+            Err(self.err(self.pos, ParseErrorKind::TrailingInput))
         }
     }
 }
@@ -253,19 +375,74 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(graph_from_json("not json").is_err());
-        assert!(graph_from_json("{\"labels\":[0,0]}").is_err());
-        assert!(graph_from_json("{\"labels\":[0],\"edges\":[]} tail").is_err());
+        assert_eq!(
+            graph_from_json("not json").unwrap_err().kind,
+            ParseErrorKind::Expected("{")
+        );
+        assert_eq!(
+            graph_from_json("{\"labels\":[0,0]}").unwrap_err().kind,
+            ParseErrorKind::Expected(",")
+        );
+        assert_eq!(
+            graph_from_json("{\"labels\":[0],\"edges\":[]} tail")
+                .unwrap_err()
+                .kind,
+            ParseErrorKind::TrailingInput
+        );
+        assert_eq!(
+            graph_from_json("{\"labels\":[99999999999],\"edges\":[]}")
+                .unwrap_err()
+                .kind,
+            ParseErrorKind::NumberOverflow
+        );
+        assert_eq!(
+            dataset_from_json("{\"kind\":\"QM9\",\"graphs\":[]}")
+                .unwrap_err()
+                .kind,
+            ParseErrorKind::UnknownKind
+        );
     }
 
     #[test]
     fn rejects_invariant_violations() {
-        // Self loop.
-        assert!(graph_from_json("{\"labels\":[0,0],\"edges\":[[1,1]]}").is_err());
-        // Out of range.
-        assert!(graph_from_json("{\"labels\":[0,0],\"edges\":[[0,2]]}").is_err());
-        // Duplicate (also reversed).
-        assert!(graph_from_json("{\"labels\":[0,0],\"edges\":[[0,1],[1,0]]}").is_err());
+        assert_eq!(
+            graph_from_json("{\"labels\":[0,0],\"edges\":[[1,1]]}")
+                .unwrap_err()
+                .kind,
+            ParseErrorKind::SelfLoop(1)
+        );
+        assert_eq!(
+            graph_from_json("{\"labels\":[0,0],\"edges\":[[0,2]]}")
+                .unwrap_err()
+                .kind,
+            ParseErrorKind::EdgeOutOfRange {
+                edge: (0, 2),
+                nodes: 2
+            }
+        );
+        // Duplicate, also when reversed.
+        assert_eq!(
+            graph_from_json("{\"labels\":[0,0],\"edges\":[[0,1],[1,0]]}")
+                .unwrap_err()
+                .kind,
+            ParseErrorKind::DuplicateEdge(1, 0)
+        );
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        // The bad number starts at byte 11 of line 2.
+        let e = graph_from_json("{\"labels\":\n[0],\"edges\":[[0,x]]}").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::ExpectedNumber);
+        assert_eq!(e.line, 2);
+        assert_eq!(e.column, e.at - "{\"labels\":\n".len() + 1);
+        let msg = e.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("expected a number"), "{msg}");
+
+        // Single-line inputs report line 1 and column = byte + 1.
+        let e = graph_from_json("nope").unwrap_err();
+        assert_eq!((e.line, e.column, e.at), (1, 1, 0));
     }
 
     #[test]

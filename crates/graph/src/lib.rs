@@ -43,6 +43,7 @@ pub use csr::CsrView;
 pub use dataset::{DatasetKind, GraphDataset, Split};
 pub use edit::{EditOp, EditPath};
 pub use graph::{Graph, Label};
+pub use io::{ParseError, ParseErrorKind};
 pub use mapping::{CanonicalOp, NodeMapping};
 pub use pivot::{PivotDistance, PivotIndex};
 pub use store::{GraphId, GraphSignature, GraphStore};

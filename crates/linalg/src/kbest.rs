@@ -11,19 +11,44 @@
 //! Weights are **maximized** (they are matching confidences from a coupling
 //! matrix); internally we negate and call the LSAP minimizers.
 
-use crate::lsap::{lsap_min_constrained, Assignment};
+use crate::lsap::{lsap_min_constrained_in, Assignment};
 use crate::matrix::Matrix;
+use crate::workspace::MatchingWorkspace;
 
 /// The best (maximum total weight) injective row-to-column matching subject
 /// to forced/forbidden pairs, or `None` if the subspace is empty.
+///
+/// Allocates fresh scratch per call; hot loops should hold a
+/// [`MatchingWorkspace`] and call [`best_matching_in`] instead.
 #[must_use]
 pub fn best_matching(
     weights: &Matrix,
     forced: &[(usize, usize)],
     forbidden: &[(usize, usize)],
 ) -> Option<Assignment> {
-    let neg = weights.scale(-1.0);
-    let a = lsap_min_constrained(&neg, forced, forbidden)?;
+    best_matching_in(weights, forced, forbidden, &mut MatchingWorkspace::new())
+}
+
+/// [`best_matching`] with caller-provided scratch buffers. Bit-identical
+/// to the allocating version for any (possibly dirty) workspace.
+#[must_use]
+pub fn best_matching_in(
+    weights: &Matrix,
+    forced: &[(usize, usize)],
+    forbidden: &[(usize, usize)],
+    ws: &mut MatchingWorkspace,
+) -> Option<Assignment> {
+    // Negate into the workspace buffer (same `x * -1.0` arithmetic as
+    // `Matrix::scale(-1.0)`, so results are bit-identical).
+    ws.neg.resize_zeroed(weights.rows(), weights.cols());
+    #[allow(clippy::neg_multiply)]
+    for (dst, &src) in ws.neg.as_mut_slice().iter_mut().zip(weights.as_slice()) {
+        *dst = src * -1.0;
+    }
+    let neg = std::mem::take(&mut ws.neg);
+    let a = lsap_min_constrained_in(&neg, forced, forbidden, ws);
+    ws.neg = neg;
+    let a = a?;
     let w = a.cost_under(weights);
     Some(Assignment {
         row_to_col: a.row_to_col,
@@ -39,6 +64,9 @@ pub fn best_matching(
 /// `best` is the second best. `O(n)` constrained LSAP calls — `O(n⁴)`
 /// total, which is fine in this project's `n ≤ tens` regime (the paper's
 /// `O(n³)` variant is an optimization of the same enumeration).
+///
+/// Allocates fresh scratch per call; hot loops should hold a
+/// [`MatchingWorkspace`] and call [`second_best_matching_in`] instead.
 #[must_use]
 pub fn second_best_matching(
     weights: &Matrix,
@@ -46,15 +74,39 @@ pub fn second_best_matching(
     forbidden: &[(usize, usize)],
     best: &Assignment,
 ) -> Option<Assignment> {
-    let forced_rows: Vec<usize> = forced.iter().map(|&(r, _)| r).collect();
+    second_best_matching_in(
+        weights,
+        forced,
+        forbidden,
+        best,
+        &mut MatchingWorkspace::new(),
+    )
+}
+
+/// [`second_best_matching`] with caller-provided scratch buffers.
+/// Bit-identical to the allocating version for any (possibly dirty)
+/// workspace.
+#[must_use]
+pub fn second_best_matching_in(
+    weights: &Matrix,
+    forced: &[(usize, usize)],
+    forbidden: &[(usize, usize)],
+    best: &Assignment,
+    ws: &mut MatchingWorkspace,
+) -> Option<Assignment> {
+    let mut forced_rows = std::mem::take(&mut ws.forced_rows);
+    forced_rows.clear();
+    forced_rows.extend(forced.iter().map(|&(r, _)| r));
     let mut result: Option<Assignment> = None;
-    let mut forb = forbidden.to_vec();
+    let mut forb = std::mem::take(&mut ws.forb);
+    forb.clear();
+    forb.extend_from_slice(forbidden);
     for (r, &c) in best.row_to_col.iter().enumerate() {
         if forced_rows.contains(&r) {
             continue;
         }
         forb.push((r, c));
-        if let Some(cand) = best_matching(weights, forced, &forb) {
+        if let Some(cand) = best_matching_in(weights, forced, &forb, ws) {
             if cand.row_to_col != best.row_to_col {
                 let better = match &result {
                     Some(cur) => cand.cost > cur.cost,
@@ -67,6 +119,8 @@ pub fn second_best_matching(
         }
         forb.pop();
     }
+    ws.forb = forb;
+    ws.forced_rows = forced_rows;
     result
 }
 

@@ -14,7 +14,7 @@
 //! framework needs for solution-space splitting.
 
 use crate::matrix::Matrix;
-use crate::workspace::{reset, LsapWorkspace};
+use crate::workspace::{reset, LsapWorkspace, MatchingWorkspace};
 
 /// Sentinel cost for forbidden assignments. Large enough to dominate any
 /// realistic objective, small enough that sums stay finite.
@@ -353,17 +353,43 @@ pub fn lsap_min_munkres_in(cost: &Matrix, ws: &mut LsapWorkspace) -> Assignment 
 /// Forced pairs fix `row -> col`; forbidden pairs may not be used. Returns
 /// `None` if the constraints are contradictory or no feasible assignment
 /// exists (i.e. the optimum would need a forbidden entry).
+///
+/// Allocates fresh scratch per call; hot loops (the k-best matching
+/// framework issues `O(k · n)` of these) should hold a
+/// [`MatchingWorkspace`] and call [`lsap_min_constrained_in`] instead.
 #[must_use]
 pub fn lsap_min_constrained(
     cost: &Matrix,
     forced: &[(usize, usize)],
     forbidden: &[(usize, usize)],
 ) -> Option<Assignment> {
+    lsap_min_constrained_in(cost, forced, forbidden, &mut MatchingWorkspace::new())
+}
+
+/// [`lsap_min_constrained`] with caller-provided scratch buffers.
+/// Bit-identical to the allocating version for any (possibly dirty)
+/// workspace.
+#[must_use]
+pub fn lsap_min_constrained_in(
+    cost: &Matrix,
+    forced: &[(usize, usize)],
+    forbidden: &[(usize, usize)],
+    ws: &mut MatchingWorkspace,
+) -> Option<Assignment> {
     let n = cost.rows();
     let m = cost.cols();
+    let MatchingWorkspace {
+        lsap,
+        red,
+        forced_row,
+        forced_col,
+        free_rows,
+        free_cols,
+        ..
+    } = ws;
     // Validate forced set: unique rows/cols, not forbidden.
-    let mut forced_row = vec![usize::MAX; n];
-    let mut forced_col = vec![usize::MAX; m];
+    reset(forced_row, n, usize::MAX);
+    reset(forced_col, m, usize::MAX);
     for &(r, c) in forced {
         if r >= n || c >= m {
             return None;
@@ -379,15 +405,21 @@ pub fn lsap_min_constrained(
     }
 
     // Reduced problem over free rows/cols.
-    let free_rows: Vec<usize> = (0..n).filter(|&r| forced_row[r] == usize::MAX).collect();
-    let free_cols: Vec<usize> = (0..m).filter(|&c| forced_col[c] == usize::MAX).collect();
+    free_rows.clear();
+    free_rows.extend((0..n).filter(|&r| forced_row[r] == usize::MAX));
+    free_cols.clear();
+    free_cols.extend((0..m).filter(|&c| forced_col[c] == usize::MAX));
     if free_rows.len() > free_cols.len() {
         return None;
     }
 
-    let mut red = Matrix::from_fn(free_rows.len(), free_cols.len(), |i, j| {
-        cost[(free_rows[i], free_cols[j])]
-    });
+    red.resize_zeroed(free_rows.len(), free_cols.len());
+    for (i, &fr) in free_rows.iter().enumerate() {
+        let row = red.row_mut(i);
+        for (j, &fc) in free_cols.iter().enumerate() {
+            row[j] = cost[(fr, fc)];
+        }
+    }
     for &(r, c) in forbidden {
         if r >= n || c >= m {
             continue;
@@ -397,8 +429,8 @@ pub fn lsap_min_constrained(
         }
     }
 
-    let sub = lsap_min(&red);
-    if !sub.is_feasible(&red) {
+    let sub = lsap_min_in(red, lsap);
+    if !sub.is_feasible(red) {
         return None;
     }
 

@@ -47,6 +47,36 @@ impl LsapWorkspace {
     }
 }
 
+/// Scratch buffers for the constrained-matching layer: the negated weight
+/// matrix of [`crate::best_matching_in`], the reduced cost matrix and
+/// forced/free bookkeeping of [`crate::lsap_min_constrained_in`], the
+/// forbidden-pair scratch of [`crate::second_best_matching_in`], and the
+/// [`LsapWorkspace`] the inner solver draws from. One k-best edit-path
+/// generation issues `O(k · n)` constrained LSAP solves, so reusing these
+/// buffers across the whole generation removes the dominant allocation
+/// traffic. See the [module docs](self) for the reuse contract.
+#[derive(Clone, Debug, Default)]
+pub struct MatchingWorkspace {
+    /// Scratch for the inner (unconstrained) LSAP solves.
+    pub lsap: LsapWorkspace,
+    pub(crate) neg: Matrix,
+    pub(crate) red: Matrix,
+    pub(crate) forced_row: Vec<usize>,
+    pub(crate) forced_col: Vec<usize>,
+    pub(crate) free_rows: Vec<usize>,
+    pub(crate) free_cols: Vec<usize>,
+    pub(crate) forb: Vec<(usize, usize)>,
+    pub(crate) forced_rows: Vec<usize>,
+}
+
+impl MatchingWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Resets `buf` to `len` copies of `value`, reusing its capacity.
 pub(crate) fn reset<T: Copy>(buf: &mut Vec<T>, len: usize, value: T) {
     buf.clear();

@@ -1,0 +1,671 @@
+//! The daemon: engine + mutable store behind the wire protocol.
+//!
+//! One [`Server`] owns a [`GedEngine`] (whose [`ged_core::solver::BatchRunner`] pool,
+//! cached pivot index, and prediction cache are shared by every
+//! connection) and a mutable [`GraphStore`] behind a reader–writer lock.
+//! Read queries execute under the read lock — concurrently with each
+//! other, serialized against mutations — and mutations bump both the
+//! store's own [`GraphStore::revision`] (so the engine's
+//! [`ged_graph::PivotIndex`] sync check stays O(1)) and the server's
+//! protocol-visible mutation counter (`rev` in every response).
+//!
+//! Concurrency discipline:
+//!
+//! * **Admission control** — at most [`ServerConfig::max_inflight`]
+//!   store/engine requests execute at once; excess requests are rejected
+//!   immediately with a typed `overloaded` error (never queued blind,
+//!   never dropped). Introspection (`ping` / `stats`) is always admitted.
+//! * **Deadlines** — a request carrying `deadline_ms` is answered with
+//!   `deadline_exceeded` if the deadline elapses before its result is
+//!   ready. Work is not preempted mid-solve: the deadline is checked on
+//!   admission and again on completion (a deadline of `0` therefore
+//!   deterministically fails without executing).
+//! * **Graceful shutdown** — `shutdown` stops admitting, waits for every
+//!   in-flight request to finish and be answered, answers itself, then
+//!   unblocks all connections. Requests arriving during the drain get a
+//!   typed `shutting_down` error.
+
+use crate::codec::{encode_response, parse_request};
+use crate::protocol::{
+    ErrorCode, GraphRef, Request, Response, ResponseBody, StatsBody, WireExactNeighbor,
+    WireNeighbor, WireUndecided, MAX_LINE_BYTES,
+};
+use ged_baselines::solvers::ClassicSolver;
+use ged_core::engine::GedEngine;
+use ged_core::method::MethodKind;
+use ged_core::pairs::GedPair;
+use ged_core::solver::{GedgwSolver, SolverRegistry};
+use ged_core::GedError;
+use ged_graph::{Graph, GraphId, GraphStore};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`Server`] (mirrors [`ged_core::engine::GedEngineBuilder`]
+/// plus the serving-layer knobs).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Default GED method. The server registers the training-free
+    /// solvers (GEDGW, Classic); this picks the default.
+    pub method: MethodKind,
+    /// Worker threads of the shared [`ged_core::solver::BatchRunner`]
+    /// (`None` = builder default).
+    pub threads: Option<usize>,
+    /// Default edit-path search effort (`None` = builder default).
+    pub beam_width: Option<usize>,
+    /// Pivot-table target size (`None` = builder default).
+    pub pivots: Option<usize>,
+    /// Prediction-cache capacity (`None` = builder default).
+    pub prediction_cache: Option<usize>,
+    /// `range_exact` verification budget (`None` = unlimited).
+    pub verify_budget: Option<usize>,
+    /// Admission-control cap: maximum store/engine requests in flight.
+    pub max_inflight: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            method: MethodKind::Gedgw,
+            threads: None,
+            beam_width: None,
+            pivots: None,
+            prediction_cache: None,
+            verify_budget: None,
+            max_inflight: 64,
+        }
+    }
+}
+
+/// The store plus the protocol's name table and mutation counter.
+struct StoreState {
+    store: GraphStore,
+    names: BTreeMap<String, GraphId>,
+    ids: BTreeMap<GraphId, String>,
+    next_name: u64,
+    rev: u64,
+}
+
+struct Shared {
+    engine: GedEngine,
+    state: RwLock<StoreState>,
+    /// Count of admitted (executing) store/engine requests.
+    inflight: Mutex<usize>,
+    drained: Condvar,
+    max_inflight: usize,
+    shutting_down: AtomicBool,
+    /// Signalled once the shutdown drain has completed.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// Read-half handles of open socket connections, shut down on exit
+    /// so blocked readers observe EOF.
+    conns: Mutex<Vec<UnixStream>>,
+}
+
+/// Decrements the in-flight count on drop (even if a handler panics).
+struct AdmitGuard<'a>(&'a Shared);
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        let mut n = self.0.inflight.lock().unwrap();
+        *n -= 1;
+        drop(n);
+        self.0.drained.notify_all();
+    }
+}
+
+/// A `ged-served` daemon instance. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+fn engine_error(e: &GedError) -> (ErrorCode, String) {
+    let code = match e {
+        GedError::UnknownMethod(_) | GedError::MethodNotRegistered(_) | GedError::Config(_) => {
+            ErrorCode::Config
+        }
+        GedError::PathsUnsupported(_) => ErrorCode::Unsupported,
+        GedError::EmptyGraph(_) => ErrorCode::EmptyGraph,
+        GedError::InvalidK { .. } => ErrorCode::InvalidK,
+        GedError::EmptyStore => ErrorCode::EmptyStore,
+        GedError::UnknownGraphId(_) => ErrorCode::UnknownGraph,
+        GedError::Parse(_) => ErrorCode::Parse,
+    };
+    (code, e.to_string())
+}
+
+/// The outcome of a store/engine op: the server's mutation counter
+/// **captured under the same lock the op executed under** (so replaying
+/// mutations up to that counter reproduces exactly the state the op
+/// observed), plus the payload or a typed error.
+type OpResult = Result<(u64, ResponseBody), (u64, ErrorCode, String)>;
+
+impl Server {
+    /// Builds a server: registry with the training-free solvers, an
+    /// engine per `config`, and an empty store.
+    ///
+    /// # Errors
+    /// Propagates [`GedError`] from the engine builder (e.g. a default
+    /// method that is not training-free).
+    pub fn new(config: &ServerConfig) -> Result<Self, GedError> {
+        let mut registry = SolverRegistry::new();
+        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        registry.register(MethodKind::Classic, Box::new(ClassicSolver));
+        let mut builder = GedEngine::builder(registry).method(config.method);
+        if let Some(t) = config.threads {
+            builder = builder.threads(t);
+        }
+        if let Some(b) = config.beam_width {
+            builder = builder.beam_width(b);
+        }
+        if let Some(p) = config.pivots {
+            builder = builder.pivots(p);
+        }
+        if let Some(c) = config.prediction_cache {
+            builder = builder.prediction_cache(c);
+        }
+        if let Some(v) = config.verify_budget {
+            builder = builder.verify_budget(v);
+        }
+        let engine = builder.build()?;
+        Ok(Server {
+            shared: Arc::new(Shared {
+                engine,
+                state: RwLock::new(StoreState {
+                    store: GraphStore::new(),
+                    names: BTreeMap::new(),
+                    ids: BTreeMap::new(),
+                    next_name: 0,
+                    rev: 0,
+                }),
+                inflight: Mutex::new(0),
+                drained: Condvar::new(),
+                max_inflight: config.max_inflight,
+                shutting_down: AtomicBool::new(false),
+                done: Mutex::new(false),
+                done_cv: Condvar::new(),
+                conns: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// Inserts `graph` directly (bypassing the wire), returning its
+    /// protocol name. Used by the binary's `--seed` flag and by tests.
+    ///
+    /// # Panics
+    /// Panics if the state lock is poisoned.
+    pub fn insert_local(&self, graph: Graph) -> String {
+        let mut state = self.shared.state.write().unwrap();
+        insert_named(&mut state, graph)
+    }
+
+    /// `true` once a `shutdown` request has been received.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a `shutdown` request has fully drained.
+    ///
+    /// # Panics
+    /// Panics if the done lock is poisoned.
+    pub fn wait_for_shutdown(&self) {
+        let mut done = self.shared.done.lock().unwrap();
+        while !*done {
+            done = self.shared.done_cv.wait(done).unwrap();
+        }
+    }
+
+    fn current_rev(&self) -> u64 {
+        self.shared.state.read().unwrap().rev
+    }
+
+    /// Handles one request line and returns `(response line, close)`.
+    /// `close` is `true` when the connection should be closed after
+    /// writing the response (only after answering a `shutdown`).
+    #[must_use]
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        let (resp, close) = self.respond(line);
+        (encode_response(&resp), close)
+    }
+
+    fn respond(&self, line: &str) -> (Response, bool) {
+        if line.len() > MAX_LINE_BYTES {
+            let msg = format!(
+                "request line of {} bytes exceeds the {MAX_LINE_BYTES}-byte cap",
+                line.len()
+            );
+            return (
+                Response::error("", self.current_rev(), ErrorCode::Oversized, msg),
+                false,
+            );
+        }
+        let req = match parse_request(line) {
+            Ok(req) => req,
+            Err(e) => {
+                return (
+                    Response::error("", self.current_rev(), ErrorCode::Parse, e.to_string()),
+                    false,
+                )
+            }
+        };
+        let id = req.id().to_string();
+        if let Request::Shutdown { .. } = req {
+            return self.shutdown(&id);
+        }
+        if self.is_shutting_down() {
+            let resp = Response::error(
+                &id,
+                self.current_rev(),
+                ErrorCode::ShuttingDown,
+                "server is draining after a shutdown request",
+            );
+            return (resp, false);
+        }
+        let result = match &req {
+            Request::Ping { .. } => Ok((self.current_rev(), ResponseBody::Pong)),
+            Request::Stats { .. } => Ok(self.stats()),
+            _ => self.admitted(&req),
+        };
+        let resp = match result {
+            Ok((rev, body)) => Response { id, rev, body },
+            Err((rev, code, message)) => Response::error(&id, rev, code, message),
+        };
+        (resp, false)
+    }
+
+    /// Runs a read op under the read lock, pairing its outcome with the
+    /// mutation counter of the state it observed.
+    fn with_read<F>(&self, f: F) -> OpResult
+    where
+        F: FnOnce(&StoreState, &GedEngine) -> Result<ResponseBody, (ErrorCode, String)>,
+    {
+        let state = self.shared.state.read().unwrap();
+        let rev = state.rev;
+        match f(&state, &self.shared.engine) {
+            Ok(body) => Ok((rev, body)),
+            Err((code, msg)) => Err((rev, code, msg)),
+        }
+    }
+
+    /// Runs a mutation under the write lock; the reported counter is the
+    /// post-mutation value (unchanged when the mutation fails).
+    fn with_write<F>(&self, f: F) -> OpResult
+    where
+        F: FnOnce(&mut StoreState) -> Result<ResponseBody, (ErrorCode, String)>,
+    {
+        let mut state = self.shared.state.write().unwrap();
+        let out = f(&mut state);
+        let rev = state.rev;
+        match out {
+            Ok(body) => Ok((rev, body)),
+            Err((code, msg)) => Err((rev, code, msg)),
+        }
+    }
+
+    fn stats(&self) -> (u64, ResponseBody) {
+        let state = self.shared.state.read().unwrap();
+        let engine = &self.shared.engine;
+        let body = ResponseBody::Stats(StatsBody {
+            graphs: state.store.len() as u64,
+            method: engine.method().to_string(),
+            pivots: engine.pivot_target() as u64,
+            cached_predictions: engine.cached_predictions().map(|n| n as u64),
+            inflight: *self.shared.inflight.lock().unwrap() as u64,
+            max_inflight: self.shared.max_inflight as u64,
+        });
+        (state.rev, body)
+    }
+
+    /// Admission-controlled store/engine ops.
+    fn admitted(&self, req: &Request) -> OpResult {
+        let _guard = {
+            let mut n = self.shared.inflight.lock().unwrap();
+            if *n >= self.shared.max_inflight {
+                let msg = format!(
+                    "{} requests already in flight (cap {})",
+                    *n, self.shared.max_inflight
+                );
+                drop(n);
+                return Err((self.current_rev(), ErrorCode::Overloaded, msg));
+            }
+            *n += 1;
+            AdmitGuard(&self.shared)
+        };
+        let start = Instant::now();
+        let deadline_ms = match req {
+            Request::Predict { deadline_ms, .. }
+            | Request::EditPath { deadline_ms, .. }
+            | Request::TopK { deadline_ms, .. }
+            | Request::Range { deadline_ms, .. }
+            | Request::RangeExact { deadline_ms, .. }
+            | Request::Matrix { deadline_ms, .. } => *deadline_ms,
+            _ => None,
+        };
+        if deadline_ms == Some(0) {
+            return Err((
+                self.current_rev(),
+                ErrorCode::DeadlineExceeded,
+                "deadline of 0 ms elapsed before execution".to_string(),
+            ));
+        }
+        let result = match req {
+            Request::InsertGraph { graph, .. } => self.insert_graph(graph),
+            Request::RemoveGraph { name, .. } => self.remove_graph(name),
+            Request::Predict { g1, g2, .. } => self.predict(g1, g2),
+            Request::EditPath { g1, g2, k, .. } => self.edit_path(g1, g2, *k),
+            Request::TopK { query, k, .. } => self.top_k(query, *k),
+            Request::Range { query, tau, .. } => self.range(query, *tau, false),
+            Request::RangeExact { query, tau, .. } => self.range(query, *tau, true),
+            Request::Matrix { .. } => self.matrix(),
+            _ => unreachable!("introspection ops are not admission-controlled"),
+        };
+        if let Some(ms) = deadline_ms {
+            let elapsed = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+            if elapsed >= ms {
+                let rev = match &result {
+                    Ok((rev, _)) | Err((rev, _, _)) => *rev,
+                };
+                return Err((
+                    rev,
+                    ErrorCode::DeadlineExceeded,
+                    format!("deadline of {ms} ms exceeded ({elapsed} ms elapsed)"),
+                ));
+            }
+        }
+        result
+    }
+
+    fn insert_graph(&self, graph: &Graph) -> OpResult {
+        self.with_write(|state| {
+            if graph.num_nodes() == 0 {
+                return Err((
+                    ErrorCode::EmptyGraph,
+                    "refusing to store a graph with no nodes".to_string(),
+                ));
+            }
+            let name = insert_named(state, graph.clone());
+            Ok(ResponseBody::Inserted { name })
+        })
+    }
+
+    fn remove_graph(&self, name: &str) -> OpResult {
+        self.with_write(|state| {
+            let Some(id) = state.names.remove(name) else {
+                return Err((
+                    ErrorCode::UnknownGraph,
+                    format!("no stored graph named {name:?}"),
+                ));
+            };
+            state.ids.remove(&id);
+            state.store.remove(id);
+            state.rev += 1;
+            Ok(ResponseBody::Removed {
+                name: name.to_string(),
+            })
+        })
+    }
+
+    fn predict(&self, g1: &GraphRef, g2: &GraphRef) -> OpResult {
+        self.with_read(|state, engine| {
+            // Stored pairs go through `ged_by_ids` so they hit the
+            // engine's prediction cache; inline graphs have no stable
+            // identity to cache under.
+            let estimate = match (g1, g2) {
+                (GraphRef::Name(a), GraphRef::Name(b)) => {
+                    let a = resolve_id(state, a)?;
+                    let b = resolve_id(state, b)?;
+                    engine.ged_by_ids(&state.store, a, b)
+                }
+                _ => {
+                    let a = resolve(state, g1)?;
+                    let b = resolve(state, g2)?;
+                    engine.ged(a, b)
+                }
+            }
+            .map_err(|e| engine_error(&e))?;
+            Ok(ResponseBody::Ged { ged: estimate.ged })
+        })
+    }
+
+    fn edit_path(&self, g1: &GraphRef, g2: &GraphRef, k: Option<u64>) -> OpResult {
+        self.with_read(|state, engine| {
+            let a = resolve(state, g1)?;
+            let b = resolve(state, g2)?;
+            let path = match k {
+                None => engine.edit_path(a, b),
+                Some(k) => engine.edit_path_as(
+                    engine.method(),
+                    &GedPair::directed(a.clone(), b.clone()),
+                    Some(usize::try_from(k).unwrap_or(usize::MAX)),
+                ),
+            }
+            .map_err(|e| engine_error(&e))?;
+            Ok(ResponseBody::Path {
+                ged: path.ged as u64,
+                mapping: path.mapping.as_slice().to_vec(),
+                ops: path.ops,
+            })
+        })
+    }
+
+    fn top_k(&self, query: &GraphRef, k: u64) -> OpResult {
+        self.with_read(|state, engine| {
+            let q = resolve(state, query)?;
+            let result = engine
+                .top_k(q, &state.store, usize::try_from(k).unwrap_or(usize::MAX))
+                .map_err(|e| engine_error(&e))?;
+            Ok(ResponseBody::Neighbors {
+                neighbors: named_neighbors(state, result.neighbors.iter().map(|n| (n.id, n.ged))),
+            })
+        })
+    }
+
+    fn range(&self, query: &GraphRef, tau: f64, exact: bool) -> OpResult {
+        self.with_read(|state, engine| {
+            let q = resolve(state, query)?;
+            if exact {
+                let result = engine
+                    .range_exact(q, &state.store, tau)
+                    .map_err(|e| engine_error(&e))?;
+                Ok(ResponseBody::ExactMatches {
+                    matches: result
+                        .matches
+                        .iter()
+                        .map(|m| WireExactNeighbor {
+                            name: state.ids[&m.id].clone(),
+                            ged: m.ged as u64,
+                        })
+                        .collect(),
+                    undecided: result
+                        .budget_exhausted
+                        .iter()
+                        .map(|u| WireUndecided {
+                            name: state.ids[&u.id].clone(),
+                            known_match_ub: u.known_match_ub.map(|ub| ub as u64),
+                        })
+                        .collect(),
+                })
+            } else {
+                let result = engine
+                    .range(q, &state.store, tau)
+                    .map_err(|e| engine_error(&e))?;
+                Ok(ResponseBody::Neighbors {
+                    neighbors: named_neighbors(
+                        state,
+                        result.neighbors.iter().map(|n| (n.id, n.ged)),
+                    ),
+                })
+            }
+        })
+    }
+
+    fn matrix(&self) -> OpResult {
+        self.with_read(|state, engine| {
+            let m = engine
+                .distance_matrix(&state.store)
+                .map_err(|e| engine_error(&e))?;
+            let names: Vec<String> = m.ids().iter().map(|id| state.ids[id].clone()).collect();
+            let rows: Vec<Vec<f64>> = (0..m.size()).map(|i| m.row(i).to_vec()).collect();
+            Ok(ResponseBody::Matrix { names, rows })
+        })
+    }
+
+    /// The shutdown sequence (see the module docs).
+    fn shutdown(&self, id: &str) -> (Response, bool) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            // A concurrent shutdown is already draining.
+            let resp = Response::error(
+                id,
+                self.current_rev(),
+                ErrorCode::ShuttingDown,
+                "shutdown already in progress",
+            );
+            return (resp, true);
+        }
+        // Drain: wait until every admitted request has finished (each
+        // holds an AdmitGuard; its connection thread writes the response
+        // before reading — and admitting — anything else).
+        let mut n = self.shared.inflight.lock().unwrap();
+        while *n > 0 {
+            n = self.shared.drained.wait(n).unwrap();
+        }
+        drop(n);
+        // Unblock every socket reader; buffered-but-unread pipelined
+        // lines on other connections are dropped by design (documented).
+        for conn in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Read);
+        }
+        let mut done = self.shared.done.lock().unwrap();
+        *done = true;
+        drop(done);
+        self.shared.done_cv.notify_all();
+        let resp = Response {
+            id: id.to_string(),
+            rev: self.current_rev(),
+            body: ResponseBody::ShutdownComplete,
+        };
+        (resp, true)
+    }
+
+    /// Serves one line-delimited session over arbitrary streams (the
+    /// stdin/stdout transport; also what socket connections delegate
+    /// to). Returns on EOF, on an unwritable response, or after
+    /// answering a `shutdown`.
+    pub fn serve_connection<R: BufRead, W: Write>(&self, mut reader: R, mut writer: W) {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
+            }
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            let (resp, close) = self.handle_line(trimmed);
+            if writer
+                .write_all(resp.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                return;
+            }
+            if close {
+                return;
+            }
+        }
+    }
+
+    /// Serves one Unix-socket connection, registering it so shutdown can
+    /// unblock its reader.
+    pub fn serve_stream(&self, stream: UnixStream) {
+        if let Ok(clone) = stream.try_clone() {
+            self.shared.conns.lock().unwrap().push(clone);
+        }
+        self.serve_connection(BufReader::new(&stream), &stream);
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Accept loop over a Unix listener: one thread per connection,
+    /// until shutdown has drained. Joins every connection thread before
+    /// returning.
+    ///
+    /// # Panics
+    /// Panics if the listener cannot be switched to non-blocking mode.
+    pub fn serve_listener(&self, listener: &UnixListener) {
+        listener
+            .set_nonblocking(true)
+            .expect("listener non-blocking mode");
+        let mut handles = Vec::new();
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let server = self.clone();
+                    handles.push(std::thread::spawn(move || server.serve_stream(stream)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if *self.shared.done.lock().unwrap() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => break,
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn insert_named(state: &mut StoreState, graph: Graph) -> String {
+    let name = format!("g{}", state.next_name);
+    state.next_name += 1;
+    let id = state.store.insert(graph);
+    state.names.insert(name.clone(), id);
+    state.ids.insert(id, name.clone());
+    state.rev += 1;
+    name
+}
+
+fn resolve_id(state: &StoreState, name: &str) -> Result<GraphId, (ErrorCode, String)> {
+    state.names.get(name).copied().ok_or_else(|| {
+        (
+            ErrorCode::UnknownGraph,
+            format!("no stored graph named {name:?}"),
+        )
+    })
+}
+
+fn resolve<'a>(state: &'a StoreState, r: &'a GraphRef) -> Result<&'a Graph, (ErrorCode, String)> {
+    match r {
+        GraphRef::Inline(g) => Ok(g),
+        GraphRef::Name(name) => {
+            let id = resolve_id(state, name)?;
+            state
+                .store
+                .get(id)
+                .ok_or_else(|| (ErrorCode::UnknownGraph, format!("stale name {name:?}")))
+        }
+    }
+}
+
+fn named_neighbors(
+    state: &StoreState,
+    neighbors: impl Iterator<Item = (GraphId, f64)>,
+) -> Vec<WireNeighbor> {
+    neighbors
+        .map(|(id, ged)| WireNeighbor {
+            name: state.ids[&id].clone(),
+            ged,
+        })
+        .collect()
+}

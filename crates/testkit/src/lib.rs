@@ -29,6 +29,8 @@
 
 #![warn(missing_docs)]
 
+pub mod served;
+
 use ged_baselines::solvers::ClassicSolver;
 use ged_core::engine::{ExactNeighbor, GedEngine, GedEngineBuilder, Neighbor};
 use ged_core::lower_bound::{degree_sequence_lower_bound, label_set_lower_bound};

@@ -1,0 +1,133 @@
+//! In-process `ged-served` harness: a real [`Server`] served over a
+//! socketpair, plus a scripted line-oriented client.
+//!
+//! [`serve_in_process`] builds a server from a [`ServerConfig`] and
+//! connects one [`ServedClient`] to it; [`connect`] opens additional
+//! concurrent connections to the same server (each gets its own serving
+//! thread, exactly like a Unix-socket connection of the real daemon —
+//! in fact each goes through [`Server::serve_stream`], so shutdown
+//! semantics are identical too).
+
+use ged_server::codec::{encode_request, parse_response};
+use ged_server::protocol::{Request, Response};
+use ged_server::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::thread::JoinHandle;
+
+/// A scripted client talking to an in-process [`Server`] over a
+/// socketpair. Dropping the client closes its write half (the server
+/// side sees EOF) and joins the serving thread.
+pub struct ServedClient {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Builds a server for `config` and connects one client to it.
+///
+/// # Panics
+/// Panics if the configuration is rejected by the engine builder.
+#[must_use]
+pub fn serve_in_process(config: &ServerConfig) -> (Server, ServedClient) {
+    let server = Server::new(config).expect("valid server config");
+    let client = connect(&server);
+    (server, client)
+}
+
+/// Opens one more connection to `server`, served on its own thread.
+///
+/// # Panics
+/// Panics if the socketpair cannot be created.
+#[must_use]
+pub fn connect(server: &Server) -> ServedClient {
+    let (client_side, server_side) = UnixStream::pair().expect("socketpair");
+    let server = server.clone();
+    let thread = std::thread::spawn(move || server.serve_stream(server_side));
+    let reader = BufReader::new(client_side.try_clone().expect("clone client socket"));
+    ServedClient {
+        writer: client_side,
+        reader,
+        thread: Some(thread),
+    }
+}
+
+impl ServedClient {
+    /// Writes one raw request line without waiting for the response
+    /// (pipelining). The newline is appended here.
+    ///
+    /// # Panics
+    /// Panics if the connection is closed.
+    pub fn send_line(&mut self, line: &str) {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .expect("server connection open");
+    }
+
+    /// Reads one response line (newline stripped), or `None` on EOF.
+    pub fn recv_line(&mut self) -> Option<String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(line.trim_end_matches(['\n', '\r']).to_string()),
+        }
+    }
+
+    /// Sends one raw line and waits for its response line.
+    ///
+    /// # Panics
+    /// Panics if the server closes the connection without answering.
+    pub fn request_line(&mut self, line: &str) -> String {
+        self.send_line(line);
+        self.recv_line().expect("a response line")
+    }
+
+    /// Sends a typed request and parses the typed response.
+    ///
+    /// # Panics
+    /// Panics on connection loss or a response the codec rejects.
+    pub fn call(&mut self, req: &Request) -> Response {
+        let line = self.request_line(&encode_request(req));
+        parse_response(&line).expect("a well-formed response")
+    }
+
+    /// Pipelines all requests (written back-to-back before any read),
+    /// then collects their responses in order.
+    ///
+    /// # Panics
+    /// Panics on connection loss or a response the codec rejects.
+    pub fn pipeline(&mut self, reqs: &[Request]) -> Vec<Response> {
+        for req in reqs {
+            self.send_line(&encode_request(req));
+        }
+        reqs.iter()
+            .map(|_| {
+                let line = self.recv_line().expect("a response line");
+                parse_response(&line).expect("a well-formed response")
+            })
+            .collect()
+    }
+
+    /// Closes the write half so the server sees EOF, then joins the
+    /// serving thread.
+    ///
+    /// # Panics
+    /// Panics if the serving thread panicked.
+    pub fn close(mut self) {
+        self.shutdown_and_join();
+    }
+
+    fn shutdown_and_join(&mut self) {
+        let _ = self.writer.shutdown(std::net::Shutdown::Write);
+        if let Some(t) = self.thread.take() {
+            t.join().expect("serving thread");
+        }
+    }
+}
+
+impl Drop for ServedClient {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}

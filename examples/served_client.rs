@@ -1,0 +1,112 @@
+//! A scripted client for the `ged-served` daemon: spawns the binary,
+//! pipelines a batch of line-delimited JSON requests down its stdin,
+//! then reads the response lines back in order — insertions, cached
+//! predictions, an edit path, a k-NN query, introspection, and a
+//! graceful shutdown (the daemon drains and exits 0).
+//!
+//! Run with:
+//! `cargo build -p ged-server && cargo run --example served_client`
+//! (the example execs `ged-served` from the same target directory).
+
+use ot_ged::prelude::*;
+use ot_ged::server::protocol::{GraphRef, Request};
+use ot_ged::server::{encode_request, parse_response};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+fn main() {
+    // The example binary lives in target/<profile>/examples/; the daemon
+    // sits one directory up in target/<profile>/.
+    let daemon = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("target directory")
+        .join("ged-served");
+    if !daemon.exists() {
+        eprintln!(
+            "ged-served not found at {} — build it first:\n  cargo build -p ged-server",
+            daemon.display()
+        );
+        std::process::exit(1);
+    }
+
+    let mut child = Command::new(&daemon)
+        .args(["--method", "GEDGW", "--threads", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn ged-served");
+    let mut stdin = child.stdin.take().expect("daemon stdin");
+    let stdout = BufReader::new(child.stdout.take().expect("daemon stdout"));
+
+    // A small molecule-like store plus one query graph.
+    let mut rng = SmallRng::seed_from_u64(77);
+    let store: Vec<Graph> = GraphDataset::aids_like(4, &mut rng)
+        .graphs()
+        .cloned()
+        .collect();
+    let query = store[0].clone();
+
+    // Pipelining: every request is written before any response is read.
+    // The daemon answers strictly in order, one line per line.
+    let mut requests: Vec<Request> = store
+        .iter()
+        .enumerate()
+        .map(|(i, g)| Request::InsertGraph {
+            id: format!("ins{i}"),
+            graph: g.clone(),
+        })
+        .collect();
+    requests.push(Request::Predict {
+        id: "ged".into(),
+        g1: GraphRef::Name("g0".into()),
+        g2: GraphRef::Name("g1".into()),
+        deadline_ms: None,
+    });
+    requests.push(Request::EditPath {
+        id: "path".into(),
+        g1: GraphRef::Name("g0".into()),
+        g2: GraphRef::Name("g1".into()),
+        k: Some(24),
+        deadline_ms: None,
+    });
+    requests.push(Request::TopK {
+        id: "knn".into(),
+        query: GraphRef::Inline(query),
+        k: 3,
+        deadline_ms: None,
+    });
+    requests.push(Request::RemoveGraph {
+        id: "rm".into(),
+        name: "g3".into(),
+    });
+    requests.push(Request::Stats { id: "stats".into() });
+    requests.push(Request::Shutdown { id: "bye".into() });
+
+    for req in &requests {
+        let line = encode_request(req);
+        println!("-> {line}");
+        stdin.write_all(line.as_bytes()).expect("write request");
+        stdin.write_all(b"\n").expect("write newline");
+    }
+    stdin.flush().expect("flush requests");
+
+    let mut lines = stdout.lines();
+    for req in &requests {
+        let line = lines
+            .next()
+            .expect("one response per request")
+            .expect("readable response");
+        println!("<- {line}");
+        let resp = parse_response(&line).expect("well-formed response");
+        assert_eq!(resp.id, req.id(), "responses arrive in request order");
+        assert!(resp.is_ok(), "unexpected error: {line}");
+    }
+
+    let status = child.wait().expect("daemon exit status");
+    println!("\ndaemon exited with {status} (drained and clean)");
+    assert!(status.success(), "ged-served must exit 0 after shutdown");
+}

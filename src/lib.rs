@@ -50,6 +50,7 @@ pub use ged_graph as graph;
 pub use ged_linalg as linalg;
 pub use ged_nn as nn;
 pub use ged_ot as ot;
+pub use ged_server as server;
 
 /// Convenient glob-import surface covering the common workflow.
 pub mod prelude {

@@ -1,0 +1,312 @@
+//! Serving-layer properties, on the in-process harness
+//! (`ged_testkit::served`): concurrent wire sessions are bit-identical
+//! to a serial replay of the same requests, graceful shutdown drains and
+//! answers every admitted request, and deadline / admission rejections
+//! are typed and deterministic.
+
+use ged_testkit::served::{connect, serve_in_process};
+use ged_testkit::PROPERTY_SEED;
+use ot_ged::graph::generate::random_connected;
+use ot_ged::graph::io::graph_to_json;
+use ot_ged::graph::Graph;
+use ot_ged::server::protocol::{ErrorCode, Request, Response, ResponseBody};
+use ot_ged::server::{Server, ServerConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+fn small_graph(rng: &mut SmallRng) -> Graph {
+    let n = rng.gen_range(3..7);
+    random_connected(n, rng.gen_range(0..3), &[3.0, 2.0, 1.0], rng)
+}
+
+/// A random request line for the replay property: reads and mutations
+/// over a shifting pool of stored names (many of which won't resolve —
+/// typed errors must replay bit-identically too).
+fn random_op_line(id: &str, rng: &mut SmallRng) -> String {
+    let name = |rng: &mut SmallRng| format!("\"g{}\"", rng.gen_range(0..20));
+    let graph_ref = |rng: &mut SmallRng| {
+        if rng.gen_bool(0.5) {
+            name(rng)
+        } else {
+            graph_to_json(&small_graph(rng))
+        }
+    };
+    match rng.gen_range(0..100) {
+        0..=29 => format!(
+            "{{\"v\":1,\"id\":\"{id}\",\"op\":\"insert_graph\",\"graph\":{}}}",
+            graph_to_json(&small_graph(rng))
+        ),
+        30..=44 => format!(
+            "{{\"v\":1,\"id\":\"{id}\",\"op\":\"remove_graph\",\"name\":{}}}",
+            name(rng)
+        ),
+        45..=69 => format!(
+            "{{\"v\":1,\"id\":\"{id}\",\"op\":\"predict\",\"g1\":{},\"g2\":{}}}",
+            graph_ref(rng),
+            graph_ref(rng)
+        ),
+        70..=84 => format!(
+            "{{\"v\":1,\"id\":\"{id}\",\"op\":\"top_k\",\"query\":{},\"k\":{}}}",
+            graph_ref(rng),
+            rng.gen_range(1..5)
+        ),
+        85..=94 => format!(
+            "{{\"v\":1,\"id\":\"{id}\",\"op\":\"range\",\"query\":{},\"tau\":{}}}",
+            graph_ref(rng),
+            rng.gen_range(0..8)
+        ),
+        _ => format!("{{\"v\":1,\"id\":\"{id}\",\"op\":\"ping\"}}"),
+    }
+}
+
+fn response_rev(line: &str) -> (u64, bool) {
+    let resp: Response = ot_ged::server::parse_response(line).expect("well-formed response");
+    let is_mutation = matches!(
+        resp.body,
+        ResponseBody::Inserted { .. } | ResponseBody::Removed { .. }
+    );
+    (resp.rev, is_mutation)
+}
+
+/// N concurrent wire sessions interleaving reads and mutations produce
+/// exactly the responses a serial replay produces: mutations applied in
+/// `rev` order against a fresh server, each read re-issued at the state
+/// its `rev` marks. Bit-identical response lines, errors included.
+#[test]
+fn concurrent_sessions_are_bit_identical_to_serial_replay() {
+    const THREADS: u64 = 4;
+    const OPS: usize = 15;
+    let config = ServerConfig {
+        threads: Some(2),
+        ..ServerConfig::default()
+    };
+    let (server, mut setup) = serve_in_process(&config);
+
+    // Seed a few graphs over the wire (recorded — the replay needs them).
+    let mut recorded: Vec<(String, String)> = Vec::new();
+    let mut rng = SmallRng::seed_from_u64(PROPERTY_SEED);
+    for i in 0..5 {
+        let line = format!(
+            "{{\"v\":1,\"id\":\"seed{i}\",\"op\":\"insert_graph\",\"graph\":{}}}",
+            graph_to_json(&small_graph(&mut rng))
+        );
+        let resp = setup.request_line(&line);
+        recorded.push((line, resp));
+    }
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let mut client = connect(&server);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(PROPERTY_SEED + 1 + t);
+                let mut log = Vec::with_capacity(OPS);
+                for i in 0..OPS {
+                    let line = random_op_line(&format!("t{t}-{i}"), &mut rng);
+                    let resp = client.request_line(&line);
+                    log.push((line, resp));
+                }
+                log
+            })
+        })
+        .collect();
+    for h in handles {
+        recorded.extend(h.join().expect("worker thread"));
+    }
+
+    // Split the transcript: mutations keyed by the rev they produced,
+    // everything else keyed by the rev it observed.
+    let mut mutations: BTreeMap<u64, (String, String)> = BTreeMap::new();
+    let mut reads: BTreeMap<u64, Vec<(String, String)>> = BTreeMap::new();
+    for (req, resp) in recorded {
+        let (rev, is_mutation) = response_rev(&resp);
+        if is_mutation {
+            let prev = mutations.insert(rev, (req, resp));
+            assert!(prev.is_none(), "two mutations claim rev {rev}");
+        } else {
+            reads.entry(rev).or_default().push((req, resp));
+        }
+    }
+    let total = mutations.len() as u64;
+    assert!(
+        mutations.keys().copied().eq(1..=total),
+        "mutation revs must be the contiguous sequence 1..={total}"
+    );
+
+    // Serial replay on a fresh server, no concurrency anywhere.
+    let replay = Server::new(&config).expect("replay server");
+    for at_rev in 0..=total {
+        for (req, want) in reads.get(&at_rev).into_iter().flatten() {
+            let (got, close) = replay.handle_line(req);
+            assert!(!close);
+            assert_eq!(&got, want, "read at rev {at_rev} diverged\nreq: {req}");
+        }
+        if let Some((req, want)) = mutations.get(&(at_rev + 1)) {
+            let (got, close) = replay.handle_line(req);
+            assert!(!close);
+            assert_eq!(&got, want, "mutation to rev {} diverged", at_rev + 1);
+        }
+    }
+}
+
+/// `shutdown` with queries verifiably in flight: the drain answers every
+/// admitted request in full, shutdown itself answers last, the served
+/// connections then see EOF, and later requests (any connection) get a
+/// typed `shutting_down` error.
+#[test]
+fn shutdown_drains_and_answers_inflight_queries() {
+    const CLIENTS: u64 = 3;
+    let config = ServerConfig {
+        threads: Some(2),
+        ..ServerConfig::default()
+    };
+    let (server, mut control) = serve_in_process(&config);
+    let mut rng = SmallRng::seed_from_u64(PROPERTY_SEED + 100);
+    for _ in 0..12 {
+        let n = rng.gen_range(7..10);
+        server.insert_local(random_connected(n, 2, &[3.0, 2.0, 1.0], &mut rng));
+    }
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let mut client = connect(&server);
+            std::thread::spawn(move || {
+                // The full pairwise matrix: heavy enough to still be
+                // running while the control connection polls and shuts
+                // down.
+                let resp = client.call(&Request::Matrix {
+                    id: format!("m{t}"),
+                    deadline_ms: None,
+                });
+                let eof = client.recv_line().is_none();
+                (resp, eof)
+            })
+        })
+        .collect();
+
+    // Wait until every query is verifiably admitted (stats is
+    // admission-exempt, so it answers while the pool is busy), then
+    // shut down mid-flight.
+    loop {
+        let resp = control.call(&Request::Stats {
+            id: "s".to_string(),
+        });
+        match resp.body {
+            ResponseBody::Stats(ref s) if s.inflight == CLIENTS => break,
+            ResponseBody::Stats(_) => {}
+            other => panic!("stats failed: {other:?}"),
+        }
+    }
+    let resp = control.call(&Request::Shutdown {
+        id: "bye".to_string(),
+    });
+    assert_eq!(resp.body, ResponseBody::ShutdownComplete);
+    assert!(
+        control.recv_line().is_none(),
+        "the shutdown connection closes after answering"
+    );
+
+    // Every in-flight query was answered in full before shutdown
+    // returned — never hung, never dropped.
+    for h in handles {
+        let (resp, eof) = h.join().expect("client thread");
+        assert!(
+            matches!(resp.body, ResponseBody::Matrix { .. }),
+            "drained query must be answered with its real result, got {:?}",
+            resp.body
+        );
+        assert!(eof, "served connections see EOF after the drain");
+    }
+
+    // The server object stays in the draining state: new sessions are
+    // answered with a typed error, and a second shutdown is too.
+    let mut late = connect(&server);
+    let resp = late.call(&Request::Ping {
+        id: "late".to_string(),
+    });
+    match resp.body {
+        ResponseBody::Error { code, .. } => assert_eq!(code, ErrorCode::ShuttingDown),
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+    let resp = late.call(&Request::Shutdown {
+        id: "again".to_string(),
+    });
+    match resp.body {
+        ResponseBody::Error { code, .. } => assert_eq!(code, ErrorCode::ShuttingDown),
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+    assert!(late.recv_line().is_none(), "second shutdown also closes");
+}
+
+/// A zero deadline deterministically fails before executing, with the
+/// same typed response every time.
+#[test]
+fn zero_deadline_is_a_deterministic_typed_rejection() {
+    let (server, mut client) = serve_in_process(&ServerConfig::default());
+    let name = server.insert_local(small_graph(&mut SmallRng::seed_from_u64(1)));
+    let line = format!(
+        "{{\"v\":1,\"id\":\"d\",\"op\":\"predict\",\"g1\":\"{name}\",\"g2\":\"{name}\",\"deadline_ms\":0}}"
+    );
+    let first = client.request_line(&line);
+    let resp = ot_ged::server::parse_response(&first).unwrap();
+    match resp.body {
+        ResponseBody::Error { code, .. } => assert_eq!(code, ErrorCode::DeadlineExceeded),
+        other => panic!("expected deadline_exceeded, got {other:?}"),
+    }
+    for _ in 0..3 {
+        assert_eq!(client.request_line(&line), first, "bit-identical rejection");
+    }
+}
+
+/// With a zero admission cap every store/engine request is rejected as
+/// `overloaded` — while introspection still answers.
+#[test]
+fn zero_admission_cap_rejects_with_overloaded() {
+    let config = ServerConfig {
+        max_inflight: 0,
+        ..ServerConfig::default()
+    };
+    let (server, mut client) = serve_in_process(&config);
+    let name = server.insert_local(small_graph(&mut SmallRng::seed_from_u64(2)));
+    let resp = client.call(&Request::Predict {
+        id: "p".to_string(),
+        g1: ot_ged::server::protocol::GraphRef::Name(name.clone()),
+        g2: ot_ged::server::protocol::GraphRef::Name(name),
+        deadline_ms: None,
+    });
+    match resp.body {
+        ResponseBody::Error { code, .. } => assert_eq!(code, ErrorCode::Overloaded),
+        other => panic!("expected overloaded, got {other:?}"),
+    }
+    assert_eq!(
+        client
+            .call(&Request::Ping {
+                id: "p2".to_string()
+            })
+            .body,
+        ResponseBody::Pong,
+        "introspection is admission-exempt"
+    );
+    let resp = client.call(&Request::Stats {
+        id: "p3".to_string(),
+    });
+    assert!(matches!(resp.body, ResponseBody::Stats(_)));
+}
+
+/// Pipelined requests on one connection are answered in order, one
+/// response line per request line.
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let (_server, mut client) = serve_in_process(&ServerConfig::default());
+    let reqs: Vec<Request> = (0..8)
+        .map(|i| Request::Ping {
+            id: format!("p{i}"),
+        })
+        .collect();
+    let resps = client.pipeline(&reqs);
+    assert_eq!(resps.len(), reqs.len());
+    for (req, resp) in reqs.iter().zip(&resps) {
+        assert_eq!(resp.id, req.id());
+        assert_eq!(resp.body, ResponseBody::Pong);
+    }
+}

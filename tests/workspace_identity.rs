@@ -13,15 +13,18 @@
 //! loop instead of `proptest` (the build environment is offline); every
 //! assertion message carries the case seed.
 
+use ot_ged::baselines::astar::{astar_beam, astar_beam_in, BeamWorkspace};
 use ot_ged::core::gedgw::Gedgw;
+use ot_ged::core::kbest::{kbest_edit_path, kbest_edit_path_in};
 use ot_ged::core::search::{
     bounded_exact_ged_with_budget, bounded_exact_ged_with_budget_in, fast_upper_bound,
-    fast_upper_bound_in,
+    fast_upper_bound_in, similarity_search, similarity_search_in,
 };
 use ot_ged::core::GedWorkspace;
 use ot_ged::graph::CsrView;
 use ot_ged::linalg::{
-    lsap_min, lsap_min_in, lsap_min_munkres, lsap_min_munkres_in, LsapWorkspace, Matrix,
+    best_matching, best_matching_in, lsap_min, lsap_min_in, lsap_min_munkres, lsap_min_munkres_in,
+    second_best_matching, second_best_matching_in, LsapWorkspace, MatchingWorkspace, Matrix,
 };
 use ot_ged::ot::{
     conditional_gradient, conditional_gradient_in, sinkhorn, sinkhorn_dummy_row,
@@ -211,6 +214,103 @@ fn core_workspace_paths_are_bit_identical() {
             bounded_exact_ged_with_budget(&g1, &g2, tau, budget),
             "case {case}: bounded search verdict"
         );
+    }
+}
+
+/// `best_matching_in` / `second_best_matching_in` reproduce the
+/// allocating matching-layer calls exactly — same assignment, same weight
+/// bits — through one dirty `MatchingWorkspace`.
+#[test]
+fn matching_in_is_bit_identical() {
+    let mut ws = MatchingWorkspace::new();
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB17_0006 + case);
+        let n = rng.gen_range(2usize..=6);
+        let m = n + rng.gen_range(0usize..=2);
+        let weights = random_matrix(n, m, &mut rng);
+        let forced: Vec<(usize, usize)> = if rng.gen_bool(0.5) {
+            vec![(0, rng.gen_range(0..m))]
+        } else {
+            Vec::new()
+        };
+        let mut forbidden: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..rng.gen_range(0usize..=3) {
+            forbidden.push((rng.gen_range(0..n), rng.gen_range(0..m)));
+        }
+
+        let want = best_matching(&weights, &forced, &forbidden);
+        let got = best_matching_in(&weights, &forced, &forbidden, &mut ws);
+        match (&got, &want) {
+            (Some(g), Some(w)) => {
+                assert_eq!(g.row_to_col, w.row_to_col, "case {case}: best assignment");
+                assert_eq!(g.cost.to_bits(), w.cost.to_bits(), "case {case}: best cost");
+            }
+            (None, None) => {}
+            _ => panic!("case {case}: best feasibility mismatch"),
+        }
+
+        if let Some(best) = &want {
+            let want2 = second_best_matching(&weights, &forced, &forbidden, best);
+            let got2 = second_best_matching_in(&weights, &forced, &forbidden, best, &mut ws);
+            match (&got2, &want2) {
+                (Some(g), Some(w)) => {
+                    assert_eq!(g.row_to_col, w.row_to_col, "case {case}: second assignment");
+                    assert_eq!(
+                        g.cost.to_bits(),
+                        w.cost.to_bits(),
+                        "case {case}: second cost"
+                    );
+                }
+                (None, None) => {}
+                _ => panic!("case {case}: second feasibility mismatch"),
+            }
+        }
+    }
+}
+
+/// The three batch-level `_in` entry points added for workspace reuse —
+/// `kbest_edit_path_in`, `similarity_search_in`, `astar_beam_in` — match
+/// their allocating forms exactly through shared dirty workspaces.
+#[test]
+fn batch_entry_points_are_bit_identical() {
+    let mut mws = MatchingWorkspace::new();
+    let mut gws = GedWorkspace::new();
+    let mut bws = BeamWorkspace::new();
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB17_0007 + case);
+        let a = small_graph(5, 3, &mut rng);
+        let b = small_graph(6, 3, &mut rng);
+        let (g1, g2) = if a.num_nodes() <= b.num_nodes() {
+            (&a, &b)
+        } else {
+            (&b, &a)
+        };
+
+        let pi = Gedgw::new(g1, g2).solve().coupling;
+        let k = rng.gen_range(1usize..=20);
+        let want = kbest_edit_path(g1, g2, &pi, k);
+        let got = kbest_edit_path_in(g1, g2, &pi, k, &mut mws);
+        assert_eq!(got.ged, want.ged, "case {case}: kbest ged");
+        assert_eq!(got.mapping, want.mapping, "case {case}: kbest mapping");
+        assert_eq!(
+            got.candidates, want.candidates,
+            "case {case}: kbest candidates"
+        );
+
+        let db: Vec<Graph> = (0..4).map(|_| small_graph(6, 3, &mut rng)).collect();
+        let tau = rng.gen_range(0usize..=6);
+        let (want_v, want_s) = similarity_search(&db, &a, tau);
+        let (got_v, got_s) = similarity_search_in(&db, &a, tau, &mut gws);
+        assert_eq!(got_v, want_v, "case {case}: search verdicts");
+        assert_eq!(got_s, want_s, "case {case}: search stats");
+
+        let beam = rng.gen_range(1usize..=30);
+        let want = astar_beam(&a, &b, beam);
+        let got = astar_beam_in(&a, &b, beam, &mut bws);
+        assert_eq!(got.ged, want.ged, "case {case}: beam ged");
+        assert_eq!(got.mapping, want.mapping, "case {case}: beam mapping");
+        assert_eq!(got.expanded, want.expanded, "case {case}: beam expansions");
+        assert_eq!(got.swapped, want.swapped, "case {case}: beam orientation");
     }
 }
 
