@@ -20,7 +20,7 @@ use ged_core::method::MethodKind;
 use ged_core::pairs::GedPair;
 use ged_core::search::similarity_search;
 use ged_core::solver::{BatchRunner, GedgwSolver, SolverRegistry};
-use ged_graph::{generate, Graph, GraphDataset};
+use ged_graph::{generate, Graph, GraphDataset, ShardedStore};
 use ged_linalg::{lsap_min, lsap_min_munkres, Matrix};
 use ged_ot::gw::gw_tensor_apply;
 use ged_ot::sinkhorn::{sinkhorn, sinkhorn_dummy_row};
@@ -271,6 +271,51 @@ fn search_suite(smoke: bool) -> Vec<Measurement> {
                 black_box(
                     engine
                         .range_exact(&query, &store, tau as f64)
+                        .expect("valid query"),
+                );
+            },
+        ));
+    }
+
+    // fig_shard: the sharded plans on size-heterogeneous data, where the
+    // shard aggregate tier drops whole partitions before per-graph work.
+    {
+        // τ-bounded exact search on unlabeled ego-nets blows up past
+        // τ≈2 (dense, label-free A* frontier), so the exact workload
+        // pins tau=2 — the same regime tests/sharded_search.rs runs.
+        let shard_tau = 2usize;
+        let mut rng = SmallRng::seed_from_u64(11_000 + size as u64);
+        let store = GraphDataset::imdb_like(size, 12, &mut rng);
+        let mut sharded = ShardedStore::new(4);
+        for (_, g) in store.iter() {
+            sharded.insert(g.clone());
+        }
+        let query = store
+            .graphs()
+            .min_by_key(|g| g.num_nodes())
+            .expect("non-empty")
+            .clone();
+        let engine = gedgw_engine(0);
+        out.push(measure(
+            "sharded_topk",
+            format!("store={size},k=5,width=4,threads=1"),
+            1,
+            || {
+                black_box(
+                    engine
+                        .top_k_sharded(&query, &sharded, 5)
+                        .expect("valid query"),
+                );
+            },
+        ));
+        out.push(measure(
+            "sharded_range_exact",
+            format!("store={size},tau={shard_tau},width=4,threads=1"),
+            1,
+            || {
+                black_box(
+                    engine
+                        .range_exact_sharded(&query, &sharded, shard_tau as f64)
                         .expect("valid query"),
                 );
             },

@@ -167,8 +167,11 @@ use crate::solver::{
     BatchRunner, GedEstimate, GedSolver, PathEstimate, SolverRegistry, SolverScratch,
 };
 use crate::workspace::GedWorkspace;
-use ged_graph::{Graph, GraphId, GraphSignature, GraphStore, PivotIndex};
+use ged_graph::{
+    Graph, GraphId, GraphSignature, GraphStore, PivotDistance, PivotIndex, Shard, ShardedStore,
+};
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::sync::{Arc, Mutex};
 
 /// One ranked result of a [`GedQuery::TopK`] or [`GedQuery::Range`]
@@ -189,6 +192,12 @@ pub struct Neighbor {
 pub struct SearchStats {
     /// Total graphs in the searched store.
     pub candidates: usize,
+    /// Candidates discarded wholesale at the shard tier: their entire
+    /// shard's aggregate lower bound already exceeded the threshold (or
+    /// running k-th best), so not even their per-graph signatures were
+    /// read. Always zero for flat-store plans (see
+    /// [`ged_graph::shard::ShardedStore`]).
+    pub pruned_shard: usize,
     /// Candidates discarded by the label-set lower bound.
     pub pruned_label: usize,
     /// Candidates that survived the label-set bound but were discarded by
@@ -213,7 +222,26 @@ impl SearchStats {
     /// Total candidates discarded without a solver invocation.
     #[must_use]
     pub fn pruned(&self) -> usize {
-        self.pruned_label + self.pruned_degree + self.pruned_pivot
+        self.pruned_shard + self.pruned_label + self.pruned_degree + self.pruned_pivot
+    }
+}
+
+impl fmt::Display for SearchStats {
+    /// One-line tier breakdown, filter order left to right:
+    /// `candidates=.. shard=.. label=.. degree=.. pivot=.. verified=..
+    /// accept_pivot=..`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "candidates={} shard={} label={} degree={} pivot={} verified={} accept_pivot={}",
+            self.candidates,
+            self.pruned_shard,
+            self.pruned_label,
+            self.pruned_degree,
+            self.pruned_pivot,
+            self.verified,
+            self.accepted_pivot
+        )
     }
 }
 
@@ -1488,7 +1516,17 @@ impl GedEngine {
     ) -> Result<DistanceMatrix, GedError> {
         let solver = self.solver(method)?;
         ensure_store_valid(store)?;
-        let graphs: Vec<(GraphId, &Graph)> = store.iter().collect();
+        Ok(self.matrix_of(method, solver, store.iter().collect()))
+    }
+
+    /// The matrix kernel shared by the flat and sharded plans: upper
+    /// triangle over `graphs` (already in ascending id order), mirrored.
+    fn matrix_of(
+        &self,
+        method: MethodKind,
+        solver: &dyn GedSolver,
+        graphs: Vec<(GraphId, &Graph)>,
+    ) -> DistanceMatrix {
         let n = graphs.len();
         let mut index_pairs = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
@@ -1507,7 +1545,436 @@ impl GedEngine {
             matrix.data[i * n + j] = ged;
             matrix.data[j * n + i] = ged;
         }
-        Ok(matrix)
+        matrix
+    }
+
+    // -- sharded-store plans ----------------------------------------------
+    //
+    // The same filter–verify plans, one tier taller: a per-shard
+    // aggregate lower bound ([`Shard::signature_lower_bound`] +
+    // [`Shard::pivot_lower_bound`]) discards whole shards before any
+    // per-graph metadata is read, surviving shards are visited in
+    // ascending-bound order, and per-shard results merge through a
+    // result set bounded at `k` (top-k) or filtered at τ (range).
+    // Every aggregate bound under-approximates the corresponding
+    // per-graph bound, so the answers are bit-identical to the flat
+    // plans over the same graphs (ged-testkit property-tests this).
+    //
+    // The pivot tier is all-or-nothing: shards own their pivot blocks
+    // (the engine cannot lazily sync a `&ShardedStore`), so plans use
+    // pivots only when [`ShardedStore::pivots_ready`] holds for the
+    // engine's target — call [`GedEngine::sync_sharded_pivots`] after
+    // mutations to keep the tier armed. Stale or absent blocks degrade
+    // to the (still exact) pivot-free plan, never to a wrong answer.
+
+    /// Builds or incrementally syncs every shard's pivot block to this
+    /// engine's [`GedEngineBuilder::pivots`] target, using the same
+    /// bounded-exact oracle as the flat plans. Call after store mutations
+    /// to (re)arm the sharded pivot tier; a no-op when the tier is
+    /// disabled (the target is 0 clears the blocks) or nothing changed.
+    pub fn sync_sharded_pivots(&self, store: &mut ShardedStore) {
+        let mut ws = GedWorkspace::new();
+        let mut oracle =
+            |a: &Graph, b: &Graph| pivot_distance_in(a, b, self.verify_budget, &mut ws);
+        store.sync_pivots(self.pivot_target, &mut oracle);
+    }
+
+    /// The triangle-inequality `[lb, ub]` bounds on the exact GED between
+    /// `query` and every graph of `store`, from the shards' own pivot
+    /// blocks — the sharded analogue of [`GedEngine::pivot_bounds`], and
+    /// what the `ged-testkit` oracles consume to mirror sharded plans
+    /// exactly. `None` unless every shard is synced at this engine's
+    /// pivot target (see [`ShardedStore::pivots_ready`]).
+    #[must_use]
+    pub fn sharded_pivot_bounds(
+        &self,
+        query: &Graph,
+        store: &ShardedStore,
+    ) -> Option<BTreeMap<GraphId, (usize, usize)>> {
+        if !store.pivots_ready(self.pivot_target) {
+            return None;
+        }
+        let mut ws = GedWorkspace::new();
+        let mut oracle =
+            |a: &Graph, b: &Graph| pivot_distance_in(a, b, self.verify_budget, &mut ws);
+        let mut out = BTreeMap::new();
+        for shard in store.shards() {
+            let index = shard.pivot_index().expect("pivots_ready");
+            let qdists = index.query_distances(shard.store(), query, &mut oracle);
+            for id in shard.store().ids() {
+                out.insert(id, index.bounds(&qdists, id).expect("index is synced"));
+            }
+        }
+        Some(out)
+    }
+
+    /// Per shard: the aggregate lower bound (signature aggregates, plus
+    /// the pivot aggregates when the tier is armed) and the query-to-pivot
+    /// distances, sorted ascending by bound (bucket as the deterministic
+    /// tie-break) so the most promising shards are visited first.
+    fn sharded_plan<'s>(
+        &self,
+        query: &Graph,
+        qsig: &GraphSignature,
+        store: &'s ShardedStore,
+    ) -> Vec<ShardPlan<'s>> {
+        let pivots_on = store.pivots_ready(self.pivot_target);
+        let mut ws = GedWorkspace::new();
+        let mut oracle =
+            |a: &Graph, b: &Graph| pivot_distance_in(a, b, self.verify_budget, &mut ws);
+        let mut plans: Vec<ShardPlan<'s>> = store
+            .shards()
+            .map(|shard| {
+                let mut lb = shard.signature_lower_bound(qsig);
+                let qdists = if pivots_on {
+                    let index = shard.pivot_index().expect("pivots_ready");
+                    let qd = index.query_distances(shard.store(), query, &mut oracle);
+                    lb = lb.max(shard.pivot_lower_bound(&qd));
+                    Some(qd)
+                } else {
+                    None
+                };
+                ShardPlan { shard, lb, qdists }
+            })
+            .collect();
+        plans.sort_by_key(|p| (p.lb, p.shard.bucket()));
+        plans
+    }
+
+    /// Ranks the `k` nearest stored graphs with the default method. The
+    /// sharded counterpart of [`GedEngine::top_k`]; see
+    /// [`GedEngine::top_k_sharded_as`].
+    ///
+    /// # Errors
+    /// See [`Self::top_k_sharded_as`].
+    pub fn top_k_sharded(
+        &self,
+        query: &Graph,
+        store: &ShardedStore,
+        k: usize,
+    ) -> Result<SearchResult, GedError> {
+        self.top_k_sharded_as(self.method, query, store, k)
+    }
+
+    /// The four-tier top-k plan over a [`ShardedStore`]: shards whose
+    /// aggregate bound exceeds the running k-th best are skipped wholesale
+    /// (`pruned_shard`); surviving shards run the flat per-graph plan and
+    /// merge into one result set bounded at `k`. Answers are bit-identical
+    /// to [`GedEngine::top_k_as`] over the same graphs.
+    ///
+    /// # Errors
+    /// See [`Self::top_k_as`].
+    pub fn top_k_sharded_as(
+        &self,
+        method: MethodKind,
+        query: &Graph,
+        store: &ShardedStore,
+        k: usize,
+    ) -> Result<SearchResult, GedError> {
+        if k == 0 {
+            return Err(GedError::InvalidK { what: "top-k" });
+        }
+        ensure_nonempty(query, "query")?;
+        let solver = self.solver(method)?;
+        ensure_sharded_store_valid(store)?;
+
+        let qsig = GraphSignature::of(query);
+        let plans = self.sharded_plan(query, &qsig, store);
+        let k = k.min(store.len());
+        let mut stats = SearchStats {
+            candidates: store.len(),
+            ..SearchStats::default()
+        };
+        let mut best: Vec<Neighbor> = Vec::new();
+        let block = k.max(VERIFY_BLOCK);
+        for plan in &plans {
+            // Shard tier: an aggregate bound over the k-th best proves
+            // every member ranks after the current top k.
+            if best.len() >= k && (plan.lb as f64) > best[k - 1].ged {
+                stats.pruned_shard += plan.shard.len();
+                continue;
+            }
+            let mut candidates = shard_candidates(&qsig, plan);
+            candidates.sort_by(|a, b| a.lb.cmp(&b.lb).then(a.id.cmp(&b.id)));
+            let mut i = 0;
+            while i < candidates.len() {
+                if best.len() >= k {
+                    let kth = best[k - 1].ged;
+                    if (candidates[i].lb as f64) > kth {
+                        for c in &candidates[i..] {
+                            if (c.lb_label as f64) > kth {
+                                stats.pruned_label += 1;
+                            } else if (c.lb_sig as f64) > kth {
+                                stats.pruned_degree += 1;
+                            } else {
+                                stats.pruned_pivot += 1;
+                            }
+                        }
+                        break;
+                    }
+                }
+                let hi = (i + block).min(candidates.len());
+                let verified = self.verify(
+                    method,
+                    solver,
+                    query,
+                    plan.shard.store(),
+                    &candidates[i..hi],
+                );
+                stats.verified += verified.len();
+                best.extend(verified);
+                best.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.id.cmp(&b.id)));
+                i = hi;
+            }
+            // Bounded merge: only the current top k cross a shard
+            // boundary — anything beyond rank k can never re-enter.
+            best.truncate(k);
+        }
+        Ok(SearchResult {
+            neighbors: best,
+            stats,
+        })
+    }
+
+    /// Range search with the default method. The sharded counterpart of
+    /// [`GedEngine::range`]; see [`GedEngine::range_sharded_as`].
+    ///
+    /// # Errors
+    /// See [`Self::range_sharded_as`].
+    pub fn range_sharded(
+        &self,
+        query: &Graph,
+        store: &ShardedStore,
+        tau: f64,
+    ) -> Result<SearchResult, GedError> {
+        self.range_sharded_as(self.method, query, store, tau)
+    }
+
+    /// The four-tier range plan over a [`ShardedStore`]: shards whose
+    /// aggregate bound exceeds `tau` are skipped wholesale, survivors run
+    /// the flat per-graph plan. Answers are bit-identical to
+    /// [`GedEngine::range_as`] over the same graphs.
+    ///
+    /// # Errors
+    /// See [`Self::range_as`].
+    pub fn range_sharded_as(
+        &self,
+        method: MethodKind,
+        query: &Graph,
+        store: &ShardedStore,
+        tau: f64,
+    ) -> Result<SearchResult, GedError> {
+        if tau.is_nan() {
+            return Err(GedError::Config(
+                "range threshold must not be NaN".to_string(),
+            ));
+        }
+        ensure_nonempty(query, "query")?;
+        let solver = self.solver(method)?;
+        ensure_sharded_store_valid(store)?;
+
+        let qsig = GraphSignature::of(query);
+        let plans = self.sharded_plan(query, &qsig, store);
+        let mut stats = SearchStats {
+            candidates: store.len(),
+            ..SearchStats::default()
+        };
+        let mut neighbors: Vec<Neighbor> = Vec::new();
+        for plan in &plans {
+            if (plan.lb as f64) > tau {
+                stats.pruned_shard += plan.shard.len();
+                continue;
+            }
+            let mut survivors: Vec<Candidate> = Vec::new();
+            for c in shard_candidates(&qsig, plan) {
+                if (c.lb_label as f64) > tau {
+                    stats.pruned_label += 1;
+                } else if (c.lb_sig as f64) > tau {
+                    stats.pruned_degree += 1;
+                } else if (c.lb as f64) > tau {
+                    // lb_sig passed, so the pivot bound is what exceeds τ.
+                    stats.pruned_pivot += 1;
+                } else {
+                    if c.ub != usize::MAX && (c.ub as f64) <= tau {
+                        stats.accepted_pivot += 1;
+                    }
+                    survivors.push(c);
+                }
+            }
+            let verified = self.verify(method, solver, query, plan.shard.store(), &survivors);
+            stats.verified += verified.len();
+            neighbors.extend(verified.into_iter().filter(|n| n.ged <= tau));
+        }
+        neighbors.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.id.cmp(&b.id)));
+        Ok(SearchResult { neighbors, stats })
+    }
+
+    /// Exact range search with the default method. The sharded
+    /// counterpart of [`GedEngine::range_exact`]; see
+    /// [`GedEngine::range_exact_sharded_as`].
+    ///
+    /// # Errors
+    /// See [`Self::range_exact_sharded_as`].
+    pub fn range_exact_sharded(
+        &self,
+        query: &Graph,
+        store: &ShardedStore,
+        tau: f64,
+    ) -> Result<RangeExactResult, GedError> {
+        self.range_exact_sharded_as(self.method, query, store, tau)
+    }
+
+    /// The four-tier exact range plan over a [`ShardedStore`]: shard →
+    /// pivot → signature → verify. Shards whose aggregate bound exceeds
+    /// ⌊τ⌋ contribute their whole population to `pruned_shard`; survivors
+    /// run the flat per-graph tiers, and the cross-shard survivor set is
+    /// verified in one parallel batch in globally ascending id order —
+    /// the same order, outcomes, and matches as
+    /// [`GedEngine::range_exact_as`] over the same graphs.
+    /// [`ExactSearchStats::total`] still closes to the store size.
+    ///
+    /// # Errors
+    /// See [`Self::range_exact_as`].
+    pub fn range_exact_sharded_as(
+        &self,
+        method: MethodKind,
+        query: &Graph,
+        store: &ShardedStore,
+        tau: f64,
+    ) -> Result<RangeExactResult, GedError> {
+        if tau.is_nan() {
+            return Err(GedError::Config(
+                "exact range threshold must not be NaN".to_string(),
+            ));
+        }
+        let _ = self.solver(method)?;
+        ensure_nonempty(query, "query")?;
+        ensure_sharded_store_valid(store)?;
+
+        let mut stats = ExactSearchStats::default();
+        if tau < 0.0 {
+            stats.filtered = store.len();
+            return Ok(RangeExactResult {
+                matches: Vec::new(),
+                budget_exhausted: Vec::new(),
+                stats,
+            });
+        }
+        let tau = if tau.is_infinite() {
+            usize::MAX
+        } else {
+            tau.floor() as usize
+        };
+
+        let qsig = GraphSignature::of(query);
+        let plans = self.sharded_plan(query, &qsig, store);
+        let mut survivors: Vec<(GraphId, Option<usize>)> = Vec::new();
+        for plan in &plans {
+            if plan.lb > tau {
+                stats.pruned_shard += plan.shard.len();
+                continue;
+            }
+            for (id, _, sig) in plan.shard.store().entries() {
+                let (lb_pivot, ub_pivot) = shard_pivot_bounds_for(plan, id);
+                if lb_pivot > tau {
+                    stats.pruned_pivot += 1;
+                    continue;
+                }
+                if label_set_lower_bound_sig(&qsig, sig) > tau
+                    || degree_sequence_lower_bound_sig(&qsig, sig) > tau
+                {
+                    stats.filtered += 1;
+                } else {
+                    let certificate =
+                        (ub_pivot != usize::MAX && ub_pivot <= tau).then_some(ub_pivot);
+                    survivors.push((id, certificate));
+                }
+            }
+        }
+        // Shards were visited in bound order; restore the flat plan's
+        // globally ascending id order for the verify batch.
+        survivors.sort_by_key(|&(id, _)| id);
+
+        let outcomes =
+            self.runner
+                .map_init(&survivors, GedWorkspace::new, |ws, &(id, pivot_ub)| {
+                    let cand = store.get(id).expect("survivor ids come from this store");
+                    prune_or_verify_with_pivot_in(
+                        query,
+                        cand,
+                        tau,
+                        self.verify_budget,
+                        pivot_ub,
+                        ws,
+                    )
+                });
+
+        let mut matches = Vec::new();
+        let mut budget_exhausted = Vec::new();
+        for (&(id, _), outcome) in survivors.iter().zip(outcomes) {
+            match outcome {
+                CandidateOutcome::AcceptedByPivot { ged } => {
+                    stats.accepted_pivot += 1;
+                    matches.push(ExactNeighbor { id, ged });
+                }
+                CandidateOutcome::AcceptedEarly { ged } => {
+                    stats.accepted_early += 1;
+                    matches.push(ExactNeighbor { id, ged });
+                }
+                CandidateOutcome::Verified { ged } => {
+                    stats.verified += 1;
+                    matches.push(ExactNeighbor { id, ged });
+                }
+                CandidateOutcome::Rejected => stats.verified += 1,
+                CandidateOutcome::BudgetExhausted { accepted_ub } => {
+                    stats.budget_exceeded += 1;
+                    budget_exhausted.push(UndecidedCandidate {
+                        id,
+                        known_match_ub: accepted_ub,
+                    });
+                }
+            }
+        }
+        debug_assert_eq!(
+            stats.total(),
+            store.len(),
+            "every candidate lands in one tier"
+        );
+        Ok(RangeExactResult {
+            matches,
+            budget_exhausted,
+            stats,
+        })
+    }
+
+    /// Pairwise distance matrix of a [`ShardedStore`] with the default
+    /// method. See [`Self::distance_matrix_sharded_as`].
+    ///
+    /// # Errors
+    /// See [`Self::query_as`].
+    pub fn distance_matrix_sharded(
+        &self,
+        store: &ShardedStore,
+    ) -> Result<DistanceMatrix, GedError> {
+        self.distance_matrix_sharded_as(self.method, store)
+    }
+
+    /// Pairwise distance matrix of a [`ShardedStore`]: the same kernel as
+    /// [`GedEngine::distance_matrix_as`] over the globally id-ordered
+    /// graph sequence, so the result is bit-identical to the flat matrix
+    /// of the same graphs. (No shard tier here — every pair must be
+    /// computed.)
+    ///
+    /// # Errors
+    /// See [`Self::query_as`].
+    pub fn distance_matrix_sharded_as(
+        &self,
+        method: MethodKind,
+        store: &ShardedStore,
+    ) -> Result<DistanceMatrix, GedError> {
+        let solver = self.solver(method)?;
+        ensure_sharded_store_valid(store)?;
+        Ok(self.matrix_of(method, solver, store.iter().collect()))
     }
 
     /// Predicts through the cache when one is configured. Predictions
@@ -1590,6 +2057,67 @@ fn ensure_store_valid(store: &GraphStore) -> Result<(), GedError> {
 fn ensure_nonempty(g: &Graph, which: &str) -> Result<(), GedError> {
     if g.num_nodes() == 0 {
         return Err(GedError::EmptyGraph(which.to_string()));
+    }
+    Ok(())
+}
+
+/// One shard's slice of a sharded plan: the shard, its aggregate lower
+/// bound on the query (signature aggregates, plus pivot aggregates when
+/// the tier is armed), and the query-to-pivot distances against this
+/// shard's own pivots (`None` when the pivot tier is off).
+struct ShardPlan<'s> {
+    shard: &'s Shard,
+    lb: usize,
+    qdists: Option<Vec<PivotDistance>>,
+}
+
+/// The pivot `[lb, ub]` bounds of `id` from its shard's own pivot block,
+/// or the vacuous `(0, usize::MAX)` when the tier is off — the sharded
+/// analogue of [`pivot_bounds_for`].
+fn shard_pivot_bounds_for(plan: &ShardPlan<'_>, id: GraphId) -> (usize, usize) {
+    match &plan.qdists {
+        Some(qdists) => plan
+            .shard
+            .pivot_index()
+            .expect("qdists imply a synced index")
+            .bounds(qdists, id)
+            .expect("index is synced with the shard store"),
+        None => (0, usize::MAX),
+    }
+}
+
+/// Per-graph candidates of one shard, with exactly the flat plan's
+/// per-tier lower bounds (so downstream pruning decisions match the flat
+/// plans bit for bit).
+fn shard_candidates(qsig: &GraphSignature, plan: &ShardPlan<'_>) -> Vec<Candidate> {
+    plan.shard
+        .store()
+        .entries()
+        .map(|(id, _, sig)| {
+            let lb_label = label_set_lower_bound_sig(qsig, sig);
+            let lb_sig = lb_label.max(degree_sequence_lower_bound_sig(qsig, sig));
+            let (lb_pivot, ub) = shard_pivot_bounds_for(plan, id);
+            Candidate {
+                id,
+                lb_label,
+                lb_sig,
+                lb: lb_sig.max(lb_pivot),
+                ub,
+            }
+        })
+        .collect()
+}
+
+/// Rejects empty sharded stores and stores containing node-less graphs —
+/// the same contract (and error messages) as [`ensure_store_valid`].
+fn ensure_sharded_store_valid(store: &ShardedStore) -> Result<(), GedError> {
+    if store.is_empty() {
+        return Err(GedError::EmptyStore);
+    }
+    for (id, _, sig) in store.entries() {
+        if sig.num_nodes() == 0 {
+            return Err(GedError::EmptyGraph(format!("store graph {id}")));
+        }
     }
     Ok(())
 }

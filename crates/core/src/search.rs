@@ -45,6 +45,7 @@ use ged_graph::{CsrView, Graph, NodeMapping, PivotDistance};
 use ged_linalg::lsap_min_in;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 /// Outcome of one candidate in a similarity search.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -76,6 +77,11 @@ pub enum Verdict {
 /// [`crate::engine::SearchStats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExactSearchStats {
+    /// Candidates discarded wholesale at the shard tier: their entire
+    /// shard's aggregate lower bound already exceeded `τ`, so no
+    /// per-graph metadata was touched. Always zero for flat-store plans
+    /// (see [`ged_graph::shard::ShardedStore`]).
+    pub pruned_shard: usize,
     /// Candidates discarded by the pivot-table lower bound
     /// (`|d(q,p) − d(p,g)| > τ` for some pivot `p`) before the signature
     /// bounds were even consulted. Always zero when the engine has no
@@ -105,12 +111,33 @@ impl ExactSearchStats {
     /// tiers fired.
     #[must_use]
     pub fn total(&self) -> usize {
-        self.pruned_pivot
+        self.pruned_shard
+            + self.pruned_pivot
             + self.filtered
             + self.accepted_pivot
             + self.accepted_early
             + self.verified
             + self.budget_exceeded
+    }
+}
+
+impl fmt::Display for ExactSearchStats {
+    /// One-line tier breakdown, filter order left to right:
+    /// `shard=.. pivot=.. filtered=.. accept_pivot=.. accept_ub=..
+    /// verified=.. budget=.. total=..`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard={} pivot={} filtered={} accept_pivot={} accept_ub={} verified={} budget={} total={}",
+            self.pruned_shard,
+            self.pruned_pivot,
+            self.filtered,
+            self.accepted_pivot,
+            self.accepted_early,
+            self.verified,
+            self.budget_exceeded,
+            self.total()
+        )
     }
 }
 
@@ -756,6 +783,7 @@ mod tests {
     #[test]
     fn stats_total_closes() {
         let stats = ExactSearchStats {
+            pruned_shard: 7,
             pruned_pivot: 5,
             filtered: 3,
             accepted_pivot: 6,
@@ -763,7 +791,21 @@ mod tests {
             verified: 4,
             budget_exceeded: 1,
         };
-        assert_eq!(stats.total(), 21, "every tier participates in total()");
+        assert_eq!(stats.total(), 28, "every tier participates in total()");
+        let line = stats.to_string();
+        assert!(!line.contains('\n'), "one-line breakdown");
+        for field in [
+            "shard=7",
+            "pivot=5",
+            "filtered=3",
+            "accept_pivot=6",
+            "accept_ub=2",
+            "verified=4",
+            "budget=1",
+            "total=28",
+        ] {
+            assert!(line.contains(field), "{line} is missing {field}");
+        }
     }
 
     #[test]

@@ -10,6 +10,30 @@
 //! graph   := {"labels":[u32,...],"edges":[[u32,u32],...]}
 //! dataset := {"kind":"AIDS"|"Linux"|"IMDB","graphs":[graph,...]}
 //! ```
+//!
+//! # Sharded-store snapshots
+//!
+//! [`crate::shard::ShardedStore`] persists itself through the same
+//! hand-rolled codec (see [`crate::shard::ShardedStore::save`] /
+//! [`crate::shard::ShardedStore::load`]). Unlike datasets — where
+//! [`crate::store::GraphId`]s are process-local handles and are *not*
+//! persisted — snapshots do carry each graph's raw sequence number, so a
+//! loaded store resolves exactly the ids the saved one did (the global
+//! allocator is advanced past every restored seq to keep ids unique).
+//! The grammar, layered on the `graph` production above:
+//!
+//! ```text
+//! pivdist  := [u64,u64]                              // [lb,ub]; lb = ub when exact
+//! pivrow   := {"seq":u64,"dists":[pivdist,...]}      // one row per member graph
+//! pivots   := null
+//!           | {"target":u64,"revision":u64,"ids":[u64,...],"rows":[pivrow,...]}
+//! entry    := {"seq":u64,"graph":graph}
+//! shard    := {"bucket":u64,"revision":u64,"entries":[entry,...],"pivots":pivots}
+//! snapshot := {"schema":1,"bucket_width":u64,"revision":u64,"shards":[shard,...]}
+//! ```
+//!
+//! Signatures and CSR views are *not* persisted: both are deterministic
+//! functions of the graph and are recomputed on load.
 
 use crate::dataset::{DatasetKind, GraphDataset};
 use crate::graph::{Graph, Label};
@@ -43,7 +67,8 @@ pub enum ParseErrorKind {
     Expected(&'static str),
     /// A decimal number was expected.
     ExpectedNumber,
-    /// A number does not fit in `u32`.
+    /// A number does not fit in the integer width the grammar calls for
+    /// (`u32` for labels and edge endpoints, `u64` for snapshot fields).
     NumberOverflow,
     /// An edge `(u, u)` — the graphs here are simple.
     SelfLoop(u32),
@@ -76,7 +101,7 @@ impl fmt::Display for ParseError {
         match &self.kind {
             ParseErrorKind::Expected(token) => write!(f, "expected `{token}`"),
             ParseErrorKind::ExpectedNumber => write!(f, "expected a number"),
-            ParseErrorKind::NumberOverflow => write!(f, "number does not fit in u32"),
+            ParseErrorKind::NumberOverflow => write!(f, "number overflows its field"),
             ParseErrorKind::SelfLoop(u) => write!(f, "self loop at node {u}"),
             ParseErrorKind::EdgeOutOfRange {
                 edge: (u, v),
@@ -188,13 +213,15 @@ pub fn load_dataset(path: &Path) -> io::Result<GraphDataset> {
 }
 
 /// Recursive-descent parser for the fixed graph/dataset grammar above.
-struct Parser<'a> {
+/// `pub(crate)` so the sharded-store snapshot codec ([`crate::shard`])
+/// can layer its grammar on the same primitives.
+pub(crate) struct Parser<'a> {
     bytes: &'a [u8],
-    pos: usize,
+    pub(crate) pos: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Self {
+    pub(crate) fn new(s: &'a str) -> Self {
         Parser {
             bytes: s.as_bytes(),
             pos: 0,
@@ -203,7 +230,7 @@ impl<'a> Parser<'a> {
 
     /// Builds a [`ParseError`] at byte `at`, deriving line/column from the
     /// input prefix. Error paths only, so the O(at) scan is fine.
-    fn err(&self, at: usize, kind: ParseErrorKind) -> ParseError {
+    pub(crate) fn err(&self, at: usize, kind: ParseErrorKind) -> ParseError {
         let mut line = 1;
         let mut line_start = 0;
         for (i, &b) in self.bytes[..at.min(self.bytes.len())].iter().enumerate() {
@@ -220,13 +247,13 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn skip_ws(&mut self) {
+    pub(crate) fn skip_ws(&mut self) {
         while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
     }
 
-    fn expect(&mut self, token: &'static str) -> Result<(), ParseError> {
+    pub(crate) fn expect(&mut self, token: &'static str) -> Result<(), ParseError> {
         self.skip_ws();
         let end = self.pos + token.len();
         if end <= self.bytes.len() && &self.bytes[self.pos..end] == token.as_bytes() {
@@ -237,7 +264,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn peek_is(&mut self, byte: u8) -> bool {
+    pub(crate) fn peek_is(&mut self, byte: u8) -> bool {
         self.skip_ws();
         self.bytes.get(self.pos) == Some(&byte)
     }
@@ -257,8 +284,24 @@ impl<'a> Parser<'a> {
             .map_err(|_| self.err(start, ParseErrorKind::NumberOverflow))
     }
 
+    /// The snapshot grammar's integer width (sequence numbers, revisions).
+    pub(crate) fn u64(&mut self) -> Result<u64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err(start, ParseErrorKind::ExpectedNumber));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are valid UTF-8")
+            .parse::<u64>()
+            .map_err(|_| self.err(start, ParseErrorKind::NumberOverflow))
+    }
+
     /// `[item, item, ...]` with `item` produced by `f`.
-    fn list<T>(
+    pub(crate) fn list<T>(
         &mut self,
         mut f: impl FnMut(&mut Self) -> Result<T, ParseError>,
     ) -> Result<Vec<T>, ParseError> {
@@ -279,7 +322,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn graph(&mut self) -> Result<Graph, ParseError> {
+    pub(crate) fn graph(&mut self) -> Result<Graph, ParseError> {
         self.expect("{")?;
         self.expect("\"labels\"")?;
         self.expect(":")?;
@@ -341,7 +384,7 @@ impl<'a> Parser<'a> {
         Ok(GraphDataset::from_graphs(kind, graphs))
     }
 
-    fn end(&mut self) -> Result<(), ParseError> {
+    pub(crate) fn end(&mut self) -> Result<(), ParseError> {
         self.skip_ws();
         if self.pos == self.bytes.len() {
             Ok(())

@@ -17,6 +17,11 @@
 //!   store: exact (or interval-valued) distances to a few reference
 //!   graphs, maintained incrementally, from which per-candidate metric
 //!   `[lb, ub]` bounds are derived at query time;
+//! * [`shard::ShardedStore`] — a partitioned store: graphs bucketed by
+//!   node count into shards, each with its own signature table, CSR
+//!   cache, pivot block, and aggregate bounds that let search plans skip
+//!   whole shards before any per-graph work; snapshots persist through
+//!   [`shard::ShardedStore::save`] / [`shard::ShardedStore::load`];
 //! * random graph [`generate`]-ors and the synthetic stand-ins for the
 //!   AIDS / LINUX / IMDB [`dataset`]s used throughout the evaluation
 //!   (each dataset is a [`store::GraphStore`] tagged with its kind);
@@ -37,6 +42,7 @@ pub mod io;
 pub mod isomorphism;
 pub mod mapping;
 pub mod pivot;
+pub mod shard;
 pub mod store;
 
 pub use csr::CsrView;
@@ -46,6 +52,7 @@ pub use graph::{Graph, Label};
 pub use io::{ParseError, ParseErrorKind};
 pub use mapping::{CanonicalOp, NodeMapping};
 pub use pivot::{PivotDistance, PivotIndex};
+pub use shard::{Shard, ShardedStore};
 pub use store::{GraphId, GraphSignature, GraphStore};
 
 /// The maximum number of edit operations that can possibly be needed to turn

@@ -317,6 +317,29 @@ impl PivotIndex {
     pub fn revision(&self) -> u64 {
         self.revision
     }
+
+    /// Reassembles an index from persisted parts (snapshot load only).
+    /// The caller is responsible for the parts being mutually consistent:
+    /// every row the same length as `pivots`, every pivot owning a row.
+    /// Because the persisted `revision` is carried through, a loaded
+    /// index resumes incremental [`PivotIndex::sync`] exactly where the
+    /// saved one left off — in particular, syncing against an unchanged
+    /// restored store is an `O(1)` no-op.
+    pub(crate) fn from_parts(
+        target: usize,
+        revision: u64,
+        pivots: Vec<GraphId>,
+        rows: BTreeMap<GraphId, Vec<PivotDistance>>,
+    ) -> Self {
+        debug_assert!(rows.values().all(|row| row.len() == pivots.len()));
+        debug_assert!(pivots.iter().all(|p| rows.contains_key(p)));
+        PivotIndex {
+            target,
+            revision,
+            pivots,
+            rows,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -31,7 +31,6 @@
 
 use crate::csr::CsrView;
 use crate::graph::{Graph, Label};
-use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Index;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,6 +50,29 @@ static NEXT_SEQ: AtomicU64 = AtomicU64::new(0);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GraphId {
     seq: u64,
+}
+
+impl GraphId {
+    /// The raw sequence number — the persistence hook the sharded-store
+    /// snapshot codec uses. Not public: sequence numbers are an
+    /// allocation detail.
+    pub(crate) fn seq(self) -> u64 {
+        self.seq
+    }
+
+    /// Rebuilds a handle from a persisted sequence number (snapshot
+    /// load only; pair with [`GraphStore::insert_with_seq`] so the id
+    /// actually resolves).
+    pub(crate) fn from_seq(seq: u64) -> Self {
+        GraphId { seq }
+    }
+}
+
+/// Ensures future [`GraphStore::insert`] calls mint sequence numbers
+/// strictly above `seq` — called while loading persisted ids so a loaded
+/// store can never alias a freshly inserted graph.
+pub(crate) fn bump_next_seq(seq: u64) {
+    NEXT_SEQ.fetch_max(seq.saturating_add(1), Ordering::Relaxed);
 }
 
 impl fmt::Display for GraphId {
@@ -127,8 +149,9 @@ struct StoreEntry {
 ///
 /// See the [module docs](self) for the design; in short: stable
 /// [`GraphId`] handles, per-graph [`GraphSignature`]s built at insert
-/// time, deterministic id-ordered iteration, and `O(log n)`
-/// insert/remove/lookup.
+/// time, deterministic id-ordered iteration, amortized `O(1)` insert
+/// (the sorted entry table always appends because sequence numbers are
+/// globally monotonic), and `O(log n)` lookup.
 ///
 /// Cloning a store preserves every id (the clone is a snapshot in which
 /// existing handles keep resolving); the clone and the original then
@@ -136,7 +159,11 @@ struct StoreEntry {
 /// between the two (the id space is process-global).
 #[derive(Clone, Debug, Default)]
 pub struct GraphStore {
-    entries: BTreeMap<u64, StoreEntry>,
+    /// Sorted ascending by sequence number. Sequence numbers are minted
+    /// from a process-global monotonic counter, so a plain `insert`
+    /// always appends; only snapshot loading (which replays persisted
+    /// seqs) ever splices into the middle.
+    entries: Vec<(u64, StoreEntry)>,
     revision: u64,
 }
 
@@ -145,19 +172,65 @@ impl GraphStore {
     #[must_use]
     pub fn new() -> Self {
         GraphStore {
-            entries: BTreeMap::new(),
+            entries: Vec::new(),
             revision: 0,
         }
+    }
+
+    /// Creates an empty store with room for `capacity` graphs before the
+    /// entry table reallocates. Bulk loaders (dataset readers, shard
+    /// snapshot restore) use this to avoid `O(log n)` reallocations.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        GraphStore {
+            entries: Vec::with_capacity(capacity),
+            revision: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more graphs.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
     }
 
     /// Builds a store by inserting every graph of `graphs` in order.
     #[must_use]
     pub fn from_graphs<I: IntoIterator<Item = Graph>>(graphs: I) -> Self {
         let mut store = Self::new();
-        for g in graphs {
-            store.insert(g);
-        }
+        store.insert_all(graphs);
         store
+    }
+
+    /// Inserts every graph of `graphs` in order, returning the freshly
+    /// minted ids (ascending). Equivalent to repeated
+    /// [`GraphStore::insert`], but reserves the entry table once and
+    /// mints the whole id block with a single allocator bump, so the ids
+    /// are always contiguous.
+    pub fn insert_all<I: IntoIterator<Item = Graph>>(&mut self, graphs: I) -> Vec<GraphId> {
+        let graphs: Vec<Graph> = graphs.into_iter().collect();
+        if graphs.is_empty() {
+            return Vec::new();
+        }
+        let first = NEXT_SEQ.fetch_add(graphs.len() as u64, Ordering::Relaxed);
+        self.reserve(graphs.len());
+        let mut ids = Vec::with_capacity(graphs.len());
+        for (offset, graph) in graphs.into_iter().enumerate() {
+            let seq = first + offset as u64;
+            let signature = GraphSignature::of(&graph);
+            let csr = CsrView::of(&graph);
+            self.entries.push((
+                seq,
+                StoreEntry {
+                    graph,
+                    signature,
+                    csr,
+                },
+            ));
+            ids.push(GraphId { seq });
+        }
+        // Same revision rule as single inserts: the last minted seq + 1.
+        self.revision = self.entries.last().map_or(0, |&(seq, _)| seq + 1);
+        ids
     }
 
     /// Inserts `graph`, precomputing its [`GraphSignature`] and flat
@@ -169,29 +242,68 @@ impl GraphStore {
         };
         let signature = GraphSignature::of(&graph);
         let csr = CsrView::of(&graph);
-        self.entries.insert(
+        debug_assert!(self.entries.last().is_none_or(|&(seq, _)| seq < id.seq));
+        self.entries.push((
             id.seq,
             StoreEntry {
                 graph,
                 signature,
                 csr,
             },
-        );
+        ));
         // Sequence numbers are globally unique, so `seq + 1` is a revision
         // no other mutation (of any store) can ever produce.
         self.revision = id.seq + 1;
         id
     }
 
+    /// Re-inserts a graph under a *persisted* sequence number while
+    /// loading a snapshot. Keeps the entry table sorted, advances the
+    /// global allocator past `seq` (so future inserts cannot alias the
+    /// restored id), and does **not** touch the revision — the loader
+    /// restores the persisted revision explicitly via
+    /// [`GraphStore::set_revision`].
+    ///
+    /// Returns the restored handle, or `None` if `seq` is already live
+    /// in this store (a corrupt snapshot).
+    pub(crate) fn insert_with_seq(&mut self, seq: u64, graph: Graph) -> Option<GraphId> {
+        bump_next_seq(seq);
+        let at = match self.entries.binary_search_by_key(&seq, |&(s, _)| s) {
+            Ok(_) => return None,
+            Err(at) => at,
+        };
+        let signature = GraphSignature::of(&graph);
+        let csr = CsrView::of(&graph);
+        self.entries.insert(
+            at,
+            (
+                seq,
+                StoreEntry {
+                    graph,
+                    signature,
+                    csr,
+                },
+            ),
+        );
+        Some(GraphId { seq })
+    }
+
+    /// Restores a persisted revision value (snapshot load only).
+    pub(crate) fn set_revision(&mut self, revision: u64) {
+        self.revision = revision;
+    }
+
     /// Removes the graph behind `id`, returning it, or `None` if `id` is
     /// foreign to this store or was already removed. All other ids stay
     /// valid.
     pub fn remove(&mut self, id: GraphId) -> Option<Graph> {
-        let removed = self.entries.remove(&id.seq).map(|e| e.graph);
-        if removed.is_some() {
-            self.revision = NEXT_SEQ.fetch_add(1, Ordering::Relaxed) + 1;
-        }
-        removed
+        let at = self
+            .entries
+            .binary_search_by_key(&id.seq, |&(seq, _)| seq)
+            .ok()?;
+        let removed = self.entries.remove(at).1.graph;
+        self.revision = NEXT_SEQ.fetch_add(1, Ordering::Relaxed) + 1;
+        Some(removed)
     }
 
     /// A cheap content fingerprint for change detection: bumped to a
@@ -210,24 +322,32 @@ impl GraphStore {
         self.revision
     }
 
+    /// Resolves `id` to its entry, or `None` for a foreign or removed id.
+    fn entry(&self, id: GraphId) -> Option<&StoreEntry> {
+        self.entries
+            .binary_search_by_key(&id.seq, |&(seq, _)| seq)
+            .ok()
+            .map(|at| &self.entries[at].1)
+    }
+
     /// The graph behind `id`, or `None` for a foreign or removed id.
     #[must_use]
     pub fn get(&self, id: GraphId) -> Option<&Graph> {
-        self.entries.get(&id.seq).map(|e| &e.graph)
+        self.entry(id).map(|e| &e.graph)
     }
 
     /// The precomputed signature of the graph behind `id`, or `None` for
     /// a foreign or removed id.
     #[must_use]
     pub fn signature(&self, id: GraphId) -> Option<&GraphSignature> {
-        self.entries.get(&id.seq).map(|e| &e.signature)
+        self.entry(id).map(|e| &e.signature)
     }
 
     /// The precomputed flat CSR view of the graph behind `id`, or `None`
     /// for a foreign or removed id.
     #[must_use]
     pub fn csr(&self, id: GraphId) -> Option<&CsrView> {
-        self.entries.get(&id.seq).map(|e| &e.csr)
+        self.entry(id).map(|e| &e.csr)
     }
 
     /// Whether `id` currently resolves in this store.
@@ -251,14 +371,17 @@ impl GraphStore {
     /// Every live id, ascending (= insertion order).
     #[must_use]
     pub fn ids(&self) -> Vec<GraphId> {
-        self.entries.keys().map(|&seq| GraphId { seq }).collect()
+        self.entries
+            .iter()
+            .map(|&(seq, _)| GraphId { seq })
+            .collect()
     }
 
     /// Iterates `(id, graph)` in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = (GraphId, &Graph)> {
         self.entries
             .iter()
-            .map(|(&seq, e)| (GraphId { seq }, &e.graph))
+            .map(|&(seq, ref e)| (GraphId { seq }, &e.graph))
     }
 
     /// Iterates `(id, graph, signature)` in ascending id order — the
@@ -266,12 +389,12 @@ impl GraphStore {
     pub fn entries(&self) -> impl Iterator<Item = (GraphId, &Graph, &GraphSignature)> {
         self.entries
             .iter()
-            .map(|(&seq, e)| (GraphId { seq }, &e.graph, &e.signature))
+            .map(|&(seq, ref e)| (GraphId { seq }, &e.graph, &e.signature))
     }
 
     /// Iterates the stored graphs in ascending id order.
     pub fn graphs(&self) -> impl Iterator<Item = &Graph> {
-        self.entries.values().map(|e| &e.graph)
+        self.entries.iter().map(|(_, e)| &e.graph)
     }
 }
 
@@ -428,6 +551,61 @@ mod tests {
         store.insert(g(&[3], &[]));
         clone.insert(g(&[4], &[]));
         assert_ne!(store.revision(), clone.revision());
+    }
+
+    #[test]
+    fn insert_all_matches_repeated_insert_and_mints_contiguous_ids() {
+        let mut bulk = GraphStore::with_capacity(3);
+        let ids = bulk.insert_all(vec![g(&[1], &[]), g(&[2], &[]), g(&[3, 4], &[(0, 1)])]);
+        assert_eq!(ids.len(), 3);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(bulk.ids(), ids);
+        assert_eq!(bulk.revision(), ids[2].seq() + 1, "same rule as insert");
+        let labels: Vec<u32> = bulk.graphs().map(|g| g.labels()[0].0).collect();
+        assert_eq!(labels, vec![1, 2, 3]);
+        // Signatures and CSR views are precomputed exactly as insert does.
+        assert_eq!(bulk.signature(ids[2]).unwrap().num_edges(), 1);
+        assert_eq!(bulk.csr(ids[2]), Some(&CsrView::of(&g(&[3, 4], &[(0, 1)]))));
+
+        // Empty bulk insert is a true no-op: no ids, no revision bump.
+        let before = bulk.revision();
+        assert!(bulk.insert_all(std::iter::empty()).is_empty());
+        assert_eq!(bulk.revision(), before);
+    }
+
+    #[test]
+    fn reserve_and_with_capacity_do_not_disturb_contents() {
+        let mut store = GraphStore::with_capacity(0);
+        let a = store.insert(g(&[1], &[]));
+        store.reserve(100);
+        assert_eq!(store.ids(), vec![a]);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn insert_with_seq_restores_ids_without_touching_revision() {
+        let mut donor = GraphStore::new();
+        let a = donor.insert(g(&[1], &[]));
+        let b = donor.insert(g(&[2], &[]));
+
+        let mut restored = GraphStore::with_capacity(2);
+        // Splice out of order: the entry table must stay sorted.
+        assert_eq!(restored.insert_with_seq(b.seq(), g(&[2], &[])), Some(b));
+        assert_eq!(restored.insert_with_seq(a.seq(), g(&[1], &[])), Some(a));
+        assert_eq!(restored.ids(), vec![a, b]);
+        assert_eq!(restored.revision(), 0, "loader restores revision itself");
+        assert_eq!(
+            restored.insert_with_seq(a.seq(), g(&[9], &[])),
+            None,
+            "duplicate seqs are rejected"
+        );
+        restored.set_revision(donor.revision());
+        assert_eq!(restored.revision(), donor.revision());
+
+        // The allocator was advanced past every restored seq, so fresh
+        // inserts never alias.
+        let c = restored.insert(g(&[3], &[]));
+        assert!(c > b);
     }
 
     #[test]

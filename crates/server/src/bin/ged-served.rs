@@ -10,11 +10,16 @@
 //! ged-served [--socket PATH] [--method NAME] [--threads N]
 //!            [--beam-width N] [--pivots N] [--cache N]
 //!            [--verify-budget N] [--max-inflight N] [--seed KIND:N]
+//!            [--store PATH]
 //! ```
 //!
 //! `--seed KIND:N` pre-populates the store with `N` deterministic
 //! synthetic graphs named `g0..g{N-1}`; `KIND` is `sparse` (connected
 //! labeled), `ego` (ego-net), or `powerlaw` (Barabási–Albert).
+//!
+//! `--store PATH` names the default snapshot file for the `snapshot` and
+//! `load` ops; when the file already exists the store is restored from
+//! it before serving (and `--seed` graphs are inserted on top).
 
 use ged_core::method::MethodKind;
 use ged_server::{Server, ServerConfig};
@@ -27,7 +32,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: ged-served [--socket PATH] [--method NAME] [--threads N] \
 [--beam-width N] [--pivots N] [--cache N] [--verify-budget N] [--max-inflight N] \
-[--seed KIND:N]";
+[--seed KIND:N] [--store PATH]";
 
 struct Args {
     socket: Option<PathBuf>,
@@ -62,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
                 args.config.verify_budget = Some(usize_value(&value("--verify-budget")?)?);
             }
             "--max-inflight" => args.config.max_inflight = usize_value(&value("--max-inflight")?)?,
+            "--store" => args.config.store_path = Some(PathBuf::from(value("--store")?)),
             "--seed" => {
                 let spec = value("--seed")?;
                 let (kind, n) = spec
@@ -118,6 +124,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &args.config.store_path {
+        if path.exists() {
+            match server.load_local(path) {
+                Ok(n) => eprintln!("ged-served: restored {n} graphs from {}", path.display()),
+                Err(msg) => {
+                    eprintln!("ged-served: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
     if let Some((kind, n)) = &args.seed {
         if let Err(msg) = seed_store(&server, kind, *n) {
             eprintln!("ged-served: {msg}");

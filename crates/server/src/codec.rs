@@ -13,7 +13,7 @@ use crate::protocol::{
     WireNeighbor, WireUndecided, PROTOCOL_VERSION,
 };
 use ged_graph::io::{graph_from_json_prefix, graph_to_json, ParseError, ParseErrorKind};
-use ged_graph::CanonicalOp;
+use ged_graph::{CanonicalOp, ShardedStore};
 use std::fmt::Write as _;
 
 // ---------------------------------------------------------------------------
@@ -145,6 +145,20 @@ pub fn encode_request(req: &Request) -> String {
         Request::Matrix { deadline_ms, .. } => {
             s.push_str("\"matrix\"");
             push_deadline(&mut s, *deadline_ms);
+        }
+        Request::Snapshot { path, .. } => {
+            s.push_str("\"snapshot\"");
+            if let Some(p) = path {
+                s.push_str(",\"path\":");
+                push_json_string(&mut s, p);
+            }
+        }
+        Request::Load { path, .. } => {
+            s.push_str("\"load\"");
+            if let Some(p) = path {
+                s.push_str(",\"path\":");
+                push_json_string(&mut s, p);
+            }
         }
     }
     s.push('}');
@@ -289,6 +303,16 @@ pub fn encode_response(resp: &Response) -> String {
                 s.push(']');
             }
             s.push(']');
+        }
+        ResponseBody::Snapshotted { path, graphs } => {
+            s.push_str("\"snapshotted\",\"path\":");
+            push_json_string(&mut s, path);
+            let _ = write!(s, ",\"graphs\":{graphs}");
+        }
+        ResponseBody::Loaded { path, graphs } => {
+            s.push_str("\"loaded\",\"path\":");
+            push_json_string(&mut s, path);
+            let _ = write!(s, ",\"graphs\":{graphs}");
         }
         ResponseBody::Error { code, message } => {
             s.push_str("\"error\",\"code\":");
@@ -621,6 +645,18 @@ impl<'a> Parser<'a> {
                 let deadline_ms = self.opt_u64_field(",\"deadline_ms\":")?;
                 Request::Matrix { id, deadline_ms }
             }
+            "snapshot" | "load" => {
+                let path = if self.try_token(",\"path\":") {
+                    Some(self.string()?)
+                } else {
+                    None
+                };
+                if op == "snapshot" {
+                    Request::Snapshot { id, path }
+                } else {
+                    Request::Load { id, path }
+                }
+            }
             _ => return Err(self.err(op_at, ParseErrorKind::Invalid("op"))),
         };
         self.expect("}")?;
@@ -843,6 +879,21 @@ impl<'a> Parser<'a> {
                 let rows = self.list(|p| p.list(Self::f64))?;
                 ResponseBody::Matrix { names, rows }
             }
+            "snapshotted" | "loaded" => {
+                self.expect(",")?;
+                self.expect("\"path\"")?;
+                self.expect(":")?;
+                let path = self.string()?;
+                self.expect(",")?;
+                self.expect("\"graphs\"")?;
+                self.expect(":")?;
+                let graphs = self.u64()?;
+                if ty == "snapshotted" {
+                    ResponseBody::Snapshotted { path, graphs }
+                } else {
+                    ResponseBody::Loaded { path, graphs }
+                }
+            }
             "error" => {
                 self.expect(",")?;
                 self.expect("\"code\"")?;
@@ -888,4 +939,110 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
 /// the current protocol version.
 pub fn parse_response(line: &str) -> Result<Response, ParseError> {
     Parser::new(line).response()
+}
+
+// ---------------------------------------------------------------------------
+// Server snapshots (the `snapshot` / `load` on-disk wrapper)
+// ---------------------------------------------------------------------------
+
+/// The parsed contents of a server snapshot file: the protocol mutation
+/// counter, the next name to mint, every stored graph's name in
+/// ascending id order, and the sharded store itself.
+#[derive(Debug)]
+pub struct ServerSnapshot {
+    /// The server's mutation counter at save time.
+    pub rev: u64,
+    /// The next `g{n}` name to mint.
+    pub next_name: u64,
+    /// Protocol names, one per store entry, in ascending id order.
+    pub names: Vec<String>,
+    /// The store, ids and pivot blocks included.
+    pub store: ShardedStore,
+}
+
+/// Encodes a server snapshot (see the [`crate::protocol`] docs for the
+/// grammar). `names` must be in ascending id order — the order
+/// [`ged_graph::ShardedStore::ids`] reports.
+#[must_use]
+pub fn encode_server_snapshot(
+    rev: u64,
+    next_name: u64,
+    names: &[String],
+    store: &ShardedStore,
+) -> String {
+    let mut s = format!("{{\"schema\":1,\"rev\":{rev},\"next_name\":{next_name},\"names\":[");
+    for (i, name) in names.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        push_json_string(&mut s, name);
+    }
+    s.push_str("],\"store\":");
+    s.push_str(&store.to_json());
+    s.push('}');
+    s
+}
+
+/// Parses a server snapshot file, delegating the `"store"` payload to
+/// the `ged_graph::shard` snapshot grammar.
+///
+/// # Errors
+/// Returns a [`ParseError`] on any grammar violation, including a name
+/// table whose length disagrees with the store population.
+pub fn parse_server_snapshot(s: &str) -> Result<ServerSnapshot, ParseError> {
+    let mut p = Parser::new(s);
+    p.expect("{")?;
+    p.expect("\"schema\"")?;
+    p.expect(":")?;
+    let at = {
+        p.skip_ws();
+        p.pos
+    };
+    if p.u64()? != 1 {
+        return Err(p.err(at, ParseErrorKind::Invalid("snapshot schema")));
+    }
+    p.expect(",")?;
+    p.expect("\"rev\"")?;
+    p.expect(":")?;
+    let rev = p.u64()?;
+    p.expect(",")?;
+    p.expect("\"next_name\"")?;
+    p.expect(":")?;
+    let next_name = p.u64()?;
+    p.expect(",")?;
+    p.expect("\"names\"")?;
+    p.expect(":")?;
+    let names_at = {
+        p.skip_ws();
+        p.pos
+    };
+    let names = p.list(|p| p.string())?;
+    p.expect(",")?;
+    p.expect("\"store\"")?;
+    p.expect(":")?;
+    p.skip_ws();
+    let base = p.pos;
+    let (store, used) = ShardedStore::from_json_prefix(&s[base..]).map_err(|e| ParseError {
+        at: base + e.at,
+        line: 1,
+        column: base + e.at + 1,
+        kind: e.kind,
+    })?;
+    p.pos = base + used;
+    p.expect("}")?;
+    p.end()?;
+    if names.len() != store.len() {
+        return Err(ParseError {
+            at: names_at,
+            line: 1,
+            column: names_at + 1,
+            kind: ParseErrorKind::Invalid("name table"),
+        });
+    }
+    Ok(ServerSnapshot {
+        rev,
+        next_name,
+        names,
+        store,
+    })
 }

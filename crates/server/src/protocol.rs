@@ -35,12 +35,28 @@
 //! {"v":1,"id":I,"op":"range","query":REF,"tau":F64[,"deadline_ms":U64]}
 //! {"v":1,"id":I,"op":"range_exact","query":REF,"tau":F64[,"deadline_ms":U64]}
 //! {"v":1,"id":I,"op":"matrix"[,"deadline_ms":U64]}
+//! {"v":1,"id":I,"op":"snapshot"[,"path":STR]}
+//! {"v":1,"id":I,"op":"load"[,"path":STR]}
 //! ```
 //!
 //! Stored graphs are addressed by server-assigned names `"g0"`, `"g1"`,
 //! ... (monotonic, never reused), minted by `insert_graph` and returned
 //! in its response. Raw [`ged_graph::GraphId`]s are process-local and
 //! never cross the wire.
+//!
+//! `snapshot` persists the sharded store (plus the name table) to disk
+//! and `load` replaces the store from such a file; both default to the
+//! path the daemon was started with (`ged-served --store PATH`) when the
+//! request carries no `"path"`. The on-disk shape wraps the
+//! `ged_graph::shard::ShardedStore` snapshot grammar:
+//!
+//! ```text
+//! server-snapshot := {"schema":1,"rev":U64,"next_name":U64,
+//!                     "names":[STR,...],"store":SNAPSHOT}
+//! ```
+//!
+//! with `"names"` listing every stored graph's protocol name in
+//! ascending id order (one per store entry, zipped back on load).
 
 use ged_graph::Graph;
 use std::fmt;
@@ -160,6 +176,20 @@ pub enum Request {
         /// Optional per-request deadline in milliseconds.
         deadline_ms: Option<u64>,
     },
+    /// Persist the store (and name table) to a snapshot file.
+    Snapshot {
+        /// Client-chosen id, echoed in the response.
+        id: String,
+        /// Target path; defaults to the daemon's `--store` path.
+        path: Option<String>,
+    },
+    /// Replace the store (and name table) from a snapshot file.
+    Load {
+        /// Client-chosen id, echoed in the response.
+        id: String,
+        /// Source path; defaults to the daemon's `--store` path.
+        path: Option<String>,
+    },
 }
 
 impl Request {
@@ -177,7 +207,9 @@ impl Request {
             | Request::TopK { id, .. }
             | Request::Range { id, .. }
             | Request::RangeExact { id, .. }
-            | Request::Matrix { id, .. } => id,
+            | Request::Matrix { id, .. }
+            | Request::Snapshot { id, .. }
+            | Request::Load { id, .. } => id,
         }
     }
 }
@@ -211,6 +243,8 @@ pub enum ErrorCode {
     Overloaded,
     /// The server is draining after a `shutdown` request.
     ShuttingDown,
+    /// A snapshot file could not be read, written, or parsed.
+    Io,
 }
 
 impl ErrorCode {
@@ -230,6 +264,7 @@ impl ErrorCode {
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Io => "io",
         }
     }
 
@@ -249,6 +284,7 @@ impl ErrorCode {
             "deadline_exceeded" => ErrorCode::DeadlineExceeded,
             "overloaded" => ErrorCode::Overloaded,
             "shutting_down" => ErrorCode::ShuttingDown,
+            "io" => ErrorCode::Io,
             _ => return None,
         })
     }
@@ -364,6 +400,20 @@ pub enum ResponseBody {
         names: Vec<String>,
         /// The symmetric distance matrix, row-major, one row per name.
         rows: Vec<Vec<f64>>,
+    },
+    /// `snapshot` answer: where the store was written.
+    Snapshotted {
+        /// The path the snapshot was written to.
+        path: String,
+        /// Number of graphs persisted.
+        graphs: u64,
+    },
+    /// `load` answer: what the store was replaced with.
+    Loaded {
+        /// The path the snapshot was read from.
+        path: String,
+        /// Number of graphs restored.
+        graphs: u64,
     },
     /// Any failure: a typed code plus a human-readable message.
     Error {

@@ -1,13 +1,20 @@
 //! The daemon: engine + mutable store behind the wire protocol.
 //!
-//! One [`Server`] owns a [`GedEngine`] (whose [`ged_core::solver::BatchRunner`] pool,
-//! cached pivot index, and prediction cache are shared by every
-//! connection) and a mutable [`GraphStore`] behind a reader–writer lock.
-//! Read queries execute under the read lock — concurrently with each
-//! other, serialized against mutations — and mutations bump both the
-//! store's own [`GraphStore::revision`] (so the engine's
-//! [`ged_graph::PivotIndex`] sync check stays O(1)) and the server's
-//! protocol-visible mutation counter (`rev` in every response).
+//! One [`Server`] owns a [`GedEngine`] (whose [`ged_core::solver::BatchRunner`] pool
+//! and prediction cache are shared by every connection) and a mutable
+//! [`ShardedStore`] behind a reader–writer lock. Store queries run the
+//! engine's sharded plans (shard-level pruning before the per-graph
+//! tiers). Read queries execute under the read lock — concurrently with
+//! each other, serialized against mutations — and mutations bump both
+//! the store's own [`ShardedStore::revision`] and the server's
+//! protocol-visible mutation counter (`rev` in every response), then
+//! re-sync the per-shard pivot blocks under the same write lock (so the
+//! pivot tier is armed before the next read admits).
+//!
+//! `snapshot` / `load` persist and restore the store — pivot blocks,
+//! revisions, and the protocol name table included — via the hand-rolled
+//! grammar in [`crate::codec`]; `ged-served --store PATH` restores a
+//! snapshot at startup and names the default path for both ops.
 //!
 //! Concurrency discipline:
 //!
@@ -25,7 +32,7 @@
 //!   unblocks all connections. Requests arriving during the drain get a
 //!   typed `shutting_down` error.
 
-use crate::codec::{encode_response, parse_request};
+use crate::codec::{encode_response, encode_server_snapshot, parse_request, parse_server_snapshot};
 use crate::protocol::{
     ErrorCode, GraphRef, Request, Response, ResponseBody, StatsBody, WireExactNeighbor,
     WireNeighbor, WireUndecided, MAX_LINE_BYTES,
@@ -36,13 +43,20 @@ use ged_core::method::MethodKind;
 use ged_core::pairs::GedPair;
 use ged_core::solver::{GedgwSolver, SolverRegistry};
 use ged_core::GedError;
-use ged_graph::{Graph, GraphId, GraphStore};
+use ged_graph::{Graph, GraphId, ShardedStore};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
+
+/// Graph-size bucket width of the daemon's [`ShardedStore`]: graphs with
+/// `n / 8` equal land in the same shard — wide enough that small stores
+/// stay in a few shards, narrow enough that heterogeneous stores give
+/// the shard tier something to prune.
+pub const DEFAULT_BUCKET_WIDTH: usize = 8;
 
 /// Configuration of a [`Server`] (mirrors [`ged_core::engine::GedEngineBuilder`]
 /// plus the serving-layer knobs).
@@ -64,6 +78,9 @@ pub struct ServerConfig {
     pub verify_budget: Option<usize>,
     /// Admission-control cap: maximum store/engine requests in flight.
     pub max_inflight: usize,
+    /// Default snapshot path for the `snapshot` / `load` ops (the
+    /// binary's `--store PATH`; also loaded at startup when it exists).
+    pub store_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -76,13 +93,14 @@ impl Default for ServerConfig {
             prediction_cache: None,
             verify_budget: None,
             max_inflight: 64,
+            store_path: None,
         }
     }
 }
 
 /// The store plus the protocol's name table and mutation counter.
 struct StoreState {
-    store: GraphStore,
+    store: ShardedStore,
     names: BTreeMap<String, GraphId>,
     ids: BTreeMap<GraphId, String>,
     next_name: u64,
@@ -92,6 +110,8 @@ struct StoreState {
 struct Shared {
     engine: GedEngine,
     state: RwLock<StoreState>,
+    /// Default snapshot path ([`ServerConfig::store_path`]).
+    store_path: Option<PathBuf>,
     /// Count of admitted (executing) store/engine requests.
     inflight: Mutex<usize>,
     drained: Condvar,
@@ -176,12 +196,13 @@ impl Server {
             shared: Arc::new(Shared {
                 engine,
                 state: RwLock::new(StoreState {
-                    store: GraphStore::new(),
+                    store: ShardedStore::new(DEFAULT_BUCKET_WIDTH),
                     names: BTreeMap::new(),
                     ids: BTreeMap::new(),
                     next_name: 0,
                     rev: 0,
                 }),
+                store_path: config.store_path.clone(),
                 inflight: Mutex::new(0),
                 drained: Condvar::new(),
                 max_inflight: config.max_inflight,
@@ -200,7 +221,25 @@ impl Server {
     /// Panics if the state lock is poisoned.
     pub fn insert_local(&self, graph: Graph) -> String {
         let mut state = self.shared.state.write().unwrap();
-        insert_named(&mut state, graph)
+        let name = insert_named(&mut state, graph);
+        self.shared.engine.sync_sharded_pivots(&mut state.store);
+        name
+    }
+
+    /// Replaces the store from a snapshot file (bypassing the wire) —
+    /// what `ged-served --store PATH` does at startup. Returns the
+    /// number of graphs restored.
+    ///
+    /// # Errors
+    /// Returns a message when the file cannot be read or parsed.
+    ///
+    /// # Panics
+    /// Panics if the state lock is poisoned.
+    pub fn load_local(&self, path: &Path) -> Result<u64, String> {
+        let mut state = self.shared.state.write().unwrap();
+        load_snapshot_into(&mut state, &self.shared.engine, path)
+            .map_err(|(_, msg)| msg)
+            .map(|n| n as u64)
     }
 
     /// `true` once a `shutdown` request has been received.
@@ -296,10 +335,10 @@ impl Server {
     /// post-mutation value (unchanged when the mutation fails).
     fn with_write<F>(&self, f: F) -> OpResult
     where
-        F: FnOnce(&mut StoreState) -> Result<ResponseBody, (ErrorCode, String)>,
+        F: FnOnce(&mut StoreState, &GedEngine) -> Result<ResponseBody, (ErrorCode, String)>,
     {
         let mut state = self.shared.state.write().unwrap();
-        let out = f(&mut state);
+        let out = f(&mut state, &self.shared.engine);
         let rev = state.rev;
         match out {
             Ok(body) => Ok((rev, body)),
@@ -362,6 +401,8 @@ impl Server {
             Request::Range { query, tau, .. } => self.range(query, *tau, false),
             Request::RangeExact { query, tau, .. } => self.range(query, *tau, true),
             Request::Matrix { .. } => self.matrix(),
+            Request::Snapshot { path, .. } => self.snapshot(path.as_deref()),
+            Request::Load { path, .. } => self.load(path.as_deref()),
             _ => unreachable!("introspection ops are not admission-controlled"),
         };
         if let Some(ms) = deadline_ms {
@@ -381,7 +422,7 @@ impl Server {
     }
 
     fn insert_graph(&self, graph: &Graph) -> OpResult {
-        self.with_write(|state| {
+        self.with_write(|state, engine| {
             if graph.num_nodes() == 0 {
                 return Err((
                     ErrorCode::EmptyGraph,
@@ -389,12 +430,13 @@ impl Server {
                 ));
             }
             let name = insert_named(state, graph.clone());
+            engine.sync_sharded_pivots(&mut state.store);
             Ok(ResponseBody::Inserted { name })
         })
     }
 
     fn remove_graph(&self, name: &str) -> OpResult {
-        self.with_write(|state| {
+        self.with_write(|state, engine| {
             let Some(id) = state.names.remove(name) else {
                 return Err((
                     ErrorCode::UnknownGraph,
@@ -404,6 +446,7 @@ impl Server {
             state.ids.remove(&id);
             state.store.remove(id);
             state.rev += 1;
+            engine.sync_sharded_pivots(&mut state.store);
             Ok(ResponseBody::Removed {
                 name: name.to_string(),
             })
@@ -412,22 +455,12 @@ impl Server {
 
     fn predict(&self, g1: &GraphRef, g2: &GraphRef) -> OpResult {
         self.with_read(|state, engine| {
-            // Stored pairs go through `ged_by_ids` so they hit the
-            // engine's prediction cache; inline graphs have no stable
-            // identity to cache under.
-            let estimate = match (g1, g2) {
-                (GraphRef::Name(a), GraphRef::Name(b)) => {
-                    let a = resolve_id(state, a)?;
-                    let b = resolve_id(state, b)?;
-                    engine.ged_by_ids(&state.store, a, b)
-                }
-                _ => {
-                    let a = resolve(state, g1)?;
-                    let b = resolve(state, g2)?;
-                    engine.ged(a, b)
-                }
-            }
-            .map_err(|e| engine_error(&e))?;
+            // Stored or inline, both graphs resolve to references and go
+            // through `ged`, whose prediction cache keys on the pair
+            // fingerprint — stored pairs still hit it.
+            let a = resolve(state, g1)?;
+            let b = resolve(state, g2)?;
+            let estimate = engine.ged(a, b).map_err(|e| engine_error(&e))?;
             Ok(ResponseBody::Ged { ged: estimate.ged })
         })
     }
@@ -457,7 +490,7 @@ impl Server {
         self.with_read(|state, engine| {
             let q = resolve(state, query)?;
             let result = engine
-                .top_k(q, &state.store, usize::try_from(k).unwrap_or(usize::MAX))
+                .top_k_sharded(q, &state.store, usize::try_from(k).unwrap_or(usize::MAX))
                 .map_err(|e| engine_error(&e))?;
             Ok(ResponseBody::Neighbors {
                 neighbors: named_neighbors(state, result.neighbors.iter().map(|n| (n.id, n.ged))),
@@ -470,7 +503,7 @@ impl Server {
             let q = resolve(state, query)?;
             if exact {
                 let result = engine
-                    .range_exact(q, &state.store, tau)
+                    .range_exact_sharded(q, &state.store, tau)
                     .map_err(|e| engine_error(&e))?;
                 Ok(ResponseBody::ExactMatches {
                     matches: result
@@ -492,7 +525,7 @@ impl Server {
                 })
             } else {
                 let result = engine
-                    .range(q, &state.store, tau)
+                    .range_sharded(q, &state.store, tau)
                     .map_err(|e| engine_error(&e))?;
                 Ok(ResponseBody::Neighbors {
                     neighbors: named_neighbors(
@@ -507,11 +540,58 @@ impl Server {
     fn matrix(&self) -> OpResult {
         self.with_read(|state, engine| {
             let m = engine
-                .distance_matrix(&state.store)
+                .distance_matrix_sharded(&state.store)
                 .map_err(|e| engine_error(&e))?;
             let names: Vec<String> = m.ids().iter().map(|id| state.ids[id].clone()).collect();
             let rows: Vec<Vec<f64>> = (0..m.size()).map(|i| m.row(i).to_vec()).collect();
             Ok(ResponseBody::Matrix { names, rows })
+        })
+    }
+
+    /// Resolves a snapshot path: the request's override, else the
+    /// daemon's `--store` default.
+    fn snapshot_path(&self, path: Option<&str>) -> Result<PathBuf, (ErrorCode, String)> {
+        match path {
+            Some(p) => Ok(PathBuf::from(p)),
+            None => self.shared.store_path.clone().ok_or((
+                ErrorCode::Config,
+                "no snapshot path: pass \"path\" or start with --store PATH".to_string(),
+            )),
+        }
+    }
+
+    fn snapshot(&self, path: Option<&str>) -> OpResult {
+        let path = match self.snapshot_path(path) {
+            Ok(p) => p,
+            Err((code, msg)) => return Err((self.current_rev(), code, msg)),
+        };
+        self.with_read(|state, _| {
+            let names: Vec<String> = state.ids.values().cloned().collect();
+            let json = encode_server_snapshot(state.rev, state.next_name, &names, &state.store);
+            std::fs::write(&path, json.as_bytes()).map_err(|e| {
+                (
+                    ErrorCode::Io,
+                    format!("cannot write snapshot {}: {e}", path.display()),
+                )
+            })?;
+            Ok(ResponseBody::Snapshotted {
+                path: path.display().to_string(),
+                graphs: state.store.len() as u64,
+            })
+        })
+    }
+
+    fn load(&self, path: Option<&str>) -> OpResult {
+        let path = match self.snapshot_path(path) {
+            Ok(p) => p,
+            Err((code, msg)) => return Err((self.current_rev(), code, msg)),
+        };
+        self.with_write(|state, engine| {
+            let graphs = load_snapshot_into(state, engine, &path)?;
+            Ok(ResponseBody::Loaded {
+                path: path.display().to_string(),
+                graphs: graphs as u64,
+            })
         })
     }
 
@@ -634,6 +714,49 @@ fn insert_named(state: &mut StoreState, graph: Graph) -> String {
     state.ids.insert(id, name.clone());
     state.rev += 1;
     name
+}
+
+/// Replaces `state` wholesale from the snapshot at `path`: store (ids,
+/// revisions, and pivot blocks included), name table, name counter, and
+/// mutation counter. Re-syncs the pivot blocks afterwards so a snapshot
+/// taken at a different pivot target still arms the engine's tier (an
+/// O(shards) no-op when the targets agree).
+fn load_snapshot_into(
+    state: &mut StoreState,
+    engine: &GedEngine,
+    path: &Path,
+) -> Result<usize, (ErrorCode, String)> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        (
+            ErrorCode::Io,
+            format!("cannot read snapshot {}: {e}", path.display()),
+        )
+    })?;
+    let snap = parse_server_snapshot(&text).map_err(|e| {
+        (
+            ErrorCode::Io,
+            format!("malformed snapshot {}: {e}", path.display()),
+        )
+    })?;
+    let mut names = BTreeMap::new();
+    let mut ids = BTreeMap::new();
+    for (id, name) in snap.store.ids().into_iter().zip(&snap.names) {
+        ids.insert(id, name.clone());
+        names.insert(name.clone(), id);
+    }
+    if names.len() != snap.store.len() {
+        return Err((
+            ErrorCode::Io,
+            format!("snapshot {} repeats graph names", path.display()),
+        ));
+    }
+    state.store = snap.store;
+    state.names = names;
+    state.ids = ids;
+    state.next_name = snap.next_name;
+    state.rev = snap.rev;
+    engine.sync_sharded_pivots(&mut state.store);
+    Ok(state.store.len())
 }
 
 fn resolve_id(state: &StoreState, name: &str) -> Result<GraphId, (ErrorCode, String)> {

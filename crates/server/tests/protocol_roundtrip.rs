@@ -75,7 +75,7 @@ fn random_deadline(rng: &mut SmallRng) -> Option<u64> {
 /// One random request per call, cycling through every variant.
 fn random_request(variant: usize, rng: &mut SmallRng) -> Request {
     let id = random_string(rng);
-    match variant % 11 {
+    match variant % 13 {
         0 => Request::Ping { id },
         1 => Request::Stats { id },
         2 => Request::Shutdown { id },
@@ -122,9 +122,25 @@ fn random_request(variant: usize, rng: &mut SmallRng) -> Request {
             tau: random_f64(rng),
             deadline_ms: random_deadline(rng),
         },
-        _ => Request::Matrix {
+        10 => Request::Matrix {
             id,
             deadline_ms: random_deadline(rng),
+        },
+        11 => Request::Snapshot {
+            id,
+            path: if rng.gen_bool(0.5) {
+                Some(random_string(rng))
+            } else {
+                None
+            },
+        },
+        _ => Request::Load {
+            id,
+            path: if rng.gen_bool(0.5) {
+                Some(random_string(rng))
+            } else {
+                None
+            },
         },
     }
 }
@@ -153,12 +169,13 @@ const ALL_CODES: &[ErrorCode] = &[
     ErrorCode::DeadlineExceeded,
     ErrorCode::Overloaded,
     ErrorCode::ShuttingDown,
+    ErrorCode::Io,
 ];
 
 /// One random response per call, cycling through every body variant
 /// (the error arm itself cycles through every code).
 fn random_response(variant: usize, rng: &mut SmallRng) -> Response {
-    let body = match variant % 12 {
+    let body = match variant % 14 {
         0 => ResponseBody::Pong,
         1 => ResponseBody::ShutdownComplete,
         2 => ResponseBody::Stats(StatsBody {
@@ -227,8 +244,16 @@ fn random_response(variant: usize, rng: &mut SmallRng) -> Response {
             }
         }
         10 => ResponseBody::Error {
-            code: ALL_CODES[variant / 12 % ALL_CODES.len()],
+            code: ALL_CODES[variant / 14 % ALL_CODES.len()],
             message: random_string(rng),
+        },
+        11 => ResponseBody::Snapshotted {
+            path: random_string(rng),
+            graphs: rng.gen_range(0..u64::MAX),
+        },
+        12 => ResponseBody::Loaded {
+            path: random_string(rng),
+            graphs: rng.gen_range(0..u64::MAX),
         },
         _ => ResponseBody::Neighbors {
             neighbors: Vec::new(),
@@ -408,4 +433,35 @@ fn inline_graphs_share_the_io_grammar() {
         Request::InsertGraph { graph, .. } => assert_eq!(graph, g),
         other => panic!("unexpected {other:?}"),
     }
+}
+
+/// The `server-snapshot` wrapper (revision + name table + store
+/// snapshot) round-trips bit-exactly, and a name table whose length
+/// disagrees with the store is rejected with a positioned error.
+#[test]
+fn server_snapshot_wrapper_round_trips() {
+    use ged_server::codec::{encode_server_snapshot, parse_server_snapshot};
+    let mut rng = SmallRng::seed_from_u64(0x5AFE);
+    let mut store = ged_graph::ShardedStore::new(3);
+    let mut names = Vec::new();
+    for i in 0..9 {
+        store.insert(random_graph(&mut rng));
+        names.push(format!("g{i}\"needs\\escaping"));
+    }
+    let line = encode_server_snapshot(store.revision(), 42, &names, &store);
+    let snap = parse_server_snapshot(&line).expect("wrapper parses");
+    assert_eq!(snap.rev, store.revision());
+    assert_eq!(snap.next_name, 42);
+    assert_eq!(snap.names, names);
+    assert_eq!(snap.store.ids(), store.ids());
+    assert_eq!(
+        encode_server_snapshot(snap.rev, snap.next_name, &snap.names, &snap.store),
+        line,
+        "re-encoding is byte-stable"
+    );
+
+    names.pop();
+    let short = encode_server_snapshot(store.revision(), 42, &names, &store);
+    let err = parse_server_snapshot(&short).expect_err("name table too short");
+    assert!(err.to_string().contains("name table"), "{err}");
 }

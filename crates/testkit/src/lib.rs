@@ -26,6 +26,11 @@
 //! oracle covers both the signature-only plan (`None` — the classic
 //! `max(prediction, lb)` refinement) and the pivot plan (`Some` — the
 //! two-sided `min(max(prediction, lb), ub)` refinement).
+//!
+//! Every oracle has a `_sharded` twin over [`ged_graph::ShardedStore`]
+//! (taking [`ged_core::engine::GedEngine::sharded_pivot_bounds`] for the
+//! pivot plans), and [`sharded_copy`] builds a sharded replica of a flat
+//! store together with the id translation the comparisons need.
 
 #![warn(missing_docs)]
 
@@ -38,7 +43,7 @@ use ged_core::method::MethodKind;
 use ged_core::pairs::GedPair;
 use ged_core::search::bounded_exact_ged;
 use ged_core::solver::{GedSolver, GedgwSolver, SolverRegistry};
-use ged_graph::{Graph, GraphDataset, GraphId, GraphStore};
+use ged_graph::{Graph, GraphDataset, GraphId, GraphStore, ShardedStore};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -220,6 +225,102 @@ pub fn brute_range_exact(store: &GraphStore, query: &Graph, tau: usize) -> Vec<E
         .collect()
 }
 
+/// A sharded copy of `store` at the given bucket width, plus the
+/// flat-id → sharded-id translation (GraphIds are process-global mints,
+/// so the copy necessarily carries fresh ids). Graphs are inserted in
+/// the flat store's id order, making the translation — and therefore
+/// every flat-vs-sharded comparison — deterministic.
+#[must_use]
+pub fn sharded_copy(
+    store: &GraphStore,
+    bucket_width: usize,
+) -> (ShardedStore, BTreeMap<GraphId, GraphId>) {
+    let mut sharded = ShardedStore::new(bucket_width);
+    let map = store
+        .iter()
+        .map(|(flat_id, g)| (flat_id, sharded.insert(g.clone())))
+        .collect();
+    (sharded, map)
+}
+
+/// [`brute_force_refined`] over a [`ShardedStore`]: identical refinement
+/// (clamp into signature bounds, then into the per-id pivot interval when
+/// `pivot` carries one — pass
+/// [`ged_core::engine::GedEngine::sharded_pivot_bounds`]), identical
+/// `(ged, id)` order. The sharded plans must reproduce this bit for bit.
+#[must_use]
+pub fn brute_force_refined_sharded(
+    store: &ShardedStore,
+    query: &Graph,
+    solver: &dyn GedSolver,
+    pivot: Option<&PivotBounds>,
+) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = store
+        .iter()
+        .map(|(id, g)| {
+            let pair = GedPair::new(query.clone(), g.clone());
+            let mut lb = label_set_lower_bound(query, g).max(degree_sequence_lower_bound(query, g));
+            let mut ub = usize::MAX;
+            if let Some((plb, pub_)) = pivot.and_then(|m| m.get(&id).copied()) {
+                lb = lb.max(plb);
+                ub = pub_;
+            }
+            Neighbor {
+                id,
+                ged: solver.predict(&pair).ged.max(lb as f64).min(ub as f64),
+            }
+        })
+        .collect();
+    all.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.id.cmp(&b.id)));
+    all
+}
+
+/// [`brute_force_refined_sharded`] truncated to the `k` nearest —
+/// the `top_k_sharded` ground truth.
+#[must_use]
+pub fn brute_top_k_sharded(
+    store: &ShardedStore,
+    query: &Graph,
+    solver: &dyn GedSolver,
+    k: usize,
+    pivot: Option<&PivotBounds>,
+) -> Vec<Neighbor> {
+    let mut all = brute_force_refined_sharded(store, query, solver, pivot);
+    all.truncate(k);
+    all
+}
+
+/// [`brute_force_refined_sharded`] thresholded at `tau` — the
+/// `range_sharded` ground truth.
+#[must_use]
+pub fn brute_range_sharded(
+    store: &ShardedStore,
+    query: &Graph,
+    solver: &dyn GedSolver,
+    tau: f64,
+    pivot: Option<&PivotBounds>,
+) -> Vec<Neighbor> {
+    brute_force_refined_sharded(store, query, solver, pivot)
+        .into_iter()
+        .filter(|n| n.ged <= tau)
+        .collect()
+}
+
+/// The τ-bounded exact scan over a [`ShardedStore`] in globally
+/// ascending id order — the `range_exact_sharded` ground truth (for any
+/// bucket width, pivot configuration, and thread count).
+#[must_use]
+pub fn brute_range_exact_sharded(
+    store: &ShardedStore,
+    query: &Graph,
+    tau: usize,
+) -> Vec<ExactNeighbor> {
+    store
+        .iter()
+        .filter_map(|(id, g)| bounded_exact_ged(query, g, tau).map(|ged| ExactNeighbor { id, ged }))
+        .collect()
+}
+
 /// Asserts two neighbor lists are bit-identical (ids, order, and the
 /// exact f64 bits of every distance).
 ///
@@ -330,6 +431,38 @@ mod tests {
             assert!(m.ged <= 3);
             let g = ds.get(m.id).unwrap();
             assert_eq!(bounded_exact_ged(&query, g, 3), Some(m.ged));
+        }
+    }
+
+    #[test]
+    fn sharded_copy_preserves_content_and_oracle_agreement() {
+        let ds = aids_store(14, 41);
+        let query = external_query(42);
+        let (sharded, map) = sharded_copy(&ds, 4);
+        assert_eq!(sharded.len(), ds.len());
+        assert!(sharded.shard_count() > 1, "width 4 splits an AIDS store");
+        for (flat_id, g) in ds.iter() {
+            assert_eq!(sharded.get(map[&flat_id]), Some(g), "same graph bits");
+        }
+        // The sharded oracle is the flat oracle under id translation.
+        let flat = brute_force_refined(&ds, &query, &GedgwSolver, None);
+        let shard = brute_force_refined_sharded(&sharded, &query, &GedgwSolver, None);
+        let translated: Vec<Neighbor> = flat
+            .iter()
+            .map(|n| Neighbor {
+                id: map[&n.id],
+                ged: n.ged,
+            })
+            .collect();
+        // Translation preserves relative id order (both mints are
+        // insertion-ordered), so the (ged, id) sort is unchanged.
+        assert_same_neighbors(&shard, &translated, "sharded oracle");
+        let exact_flat = brute_range_exact(&ds, &query, 6);
+        let exact_shard = brute_range_exact_sharded(&sharded, &query, 6);
+        assert_eq!(exact_flat.len(), exact_shard.len());
+        for (f, s) in exact_flat.iter().zip(&exact_shard) {
+            assert_eq!(map[&f.id], s.id);
+            assert_eq!(f.ged, s.ged);
         }
     }
 

@@ -61,13 +61,7 @@ fn main() {
     for (rank, n) in result.neighbors.iter().enumerate() {
         println!("  #{:<2} graph {:>4}: {:.3}", rank + 1, n.id, n.ged);
     }
-    println!(
-        "filter–verify: {} candidates, {} pruned by label bound, {} by degree bound, {} verified",
-        result.stats.candidates,
-        result.stats.pruned_label,
-        result.stats.pruned_degree,
-        result.stats.verified
-    );
+    println!("filter–verify: {}", result.stats);
 
     // Cross-check: brute-force per-pair evaluation (with the same
     // admissible bound refinement) yields the same ranking while calling

@@ -76,6 +76,7 @@ pub mod prelude {
     pub use ged_eval::metrics;
     pub use ged_graph::{
         max_edit_ops, normalized_ged, DatasetKind, EditOp, EditPath, Graph, GraphDataset, GraphId,
-        GraphSignature, GraphStore, Label, NodeMapping, PivotDistance, PivotIndex, Split,
+        GraphSignature, GraphStore, Label, NodeMapping, PivotDistance, PivotIndex, Shard,
+        ShardedStore, Split,
     };
 }

@@ -310,3 +310,86 @@ fn pipelined_requests_answer_in_order() {
         assert_eq!(resp.body, ResponseBody::Pong);
     }
 }
+
+/// `snapshot` → fresh server → `load` over the wire restores every
+/// graph by name, answers queries identically, and keeps minting fresh
+/// revisions past the restored one. Without a configured store path,
+/// pathless snapshot requests get a typed `config` error.
+#[test]
+fn snapshot_and_load_restore_the_store_over_the_wire() {
+    let dir = std::env::temp_dir().join("ot_ged_served_snapshot_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("wire.snapshot.json");
+    let path_json = format!("\"{}\"", path.display());
+
+    let (_server, mut client) = serve_in_process(&ServerConfig::default());
+    let mut rng = SmallRng::seed_from_u64(PROPERTY_SEED + 77);
+    for i in 0..8 {
+        let line = format!(
+            "{{\"v\":1,\"id\":\"s{i}\",\"op\":\"insert_graph\",\"graph\":{}}}",
+            graph_to_json(&small_graph(&mut rng))
+        );
+        assert!(
+            client.request_line(&line).contains("\"ok\":true"),
+            "insert {i}"
+        );
+    }
+    let probe = format!(
+        "{{\"v\":1,\"id\":\"q\",\"op\":\"top_k\",\"query\":{},\"k\":4}}",
+        graph_to_json(&small_graph(&mut rng))
+    );
+    let want = client.request_line(&probe);
+
+    // No --store and no "path" field: a typed config error.
+    let resp = client.request_line("{\"v\":1,\"id\":\"nope\",\"op\":\"snapshot\"}");
+    match ot_ged::server::parse_response(&resp)
+        .expect("well-formed")
+        .body
+    {
+        ResponseBody::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Config);
+            assert!(message.contains("no snapshot path"), "{message}");
+        }
+        other => panic!("expected config error, got {other:?}"),
+    }
+
+    let resp = client.request_line(&format!(
+        "{{\"v\":1,\"id\":\"snap\",\"op\":\"snapshot\",\"path\":{path_json}}}"
+    ));
+    match ot_ged::server::parse_response(&resp)
+        .expect("well-formed")
+        .body
+    {
+        ResponseBody::Snapshotted { graphs, .. } => assert_eq!(graphs, 8),
+        other => panic!("expected snapshotted, got {other:?}"),
+    }
+
+    // A brand-new server restores the snapshot over the wire.
+    let (_server2, mut restored) = serve_in_process(&ServerConfig::default());
+    let resp = restored.request_line(&format!(
+        "{{\"v\":1,\"id\":\"load\",\"op\":\"load\",\"path\":{path_json}}}"
+    ));
+    let loaded = ot_ged::server::parse_response(&resp).expect("well-formed");
+    match loaded.body {
+        ResponseBody::Loaded { graphs, .. } => assert_eq!(graphs, 8),
+        other => panic!("expected loaded, got {other:?}"),
+    }
+
+    // Identical store, identical answer (modulo each response's own rev).
+    let got = restored.request_line(&probe);
+    let strip_rev = |s: &str| {
+        let at = s.find("\"rev\":").expect("rev field");
+        let end = s[at..].find(',').map_or(s.len(), |c| at + c);
+        format!("{}{}", &s[..at], &s[end..])
+    };
+    assert_eq!(strip_rev(&got), strip_rev(&want), "top-k across load");
+
+    // Restored names resolve; mutations resume past the restored rev.
+    let resp =
+        restored.request_line("{\"v\":1,\"id\":\"rm\",\"op\":\"remove_graph\",\"name\":\"g3\"}");
+    let removed = ot_ged::server::parse_response(&resp).expect("well-formed");
+    assert!(removed.is_ok(), "restored name resolves: {resp}");
+    assert!(removed.rev > loaded.rev, "revisions keep climbing");
+
+    std::fs::remove_file(&path).ok();
+}
