@@ -1,0 +1,172 @@
+//! Static vs adaptive planner on skewed workloads. Two regimes:
+//!
+//! * **tight** — the query is drawn from the engine's own pivot set, so
+//!   the pivot interval is tight (`lb == ub == exact GED`) for every
+//!   stored graph and the adaptive planner's collapsed verification
+//!   answers range / exact-range queries without a single solver call or
+//!   bounded search. The static plan verifies every survivor.
+//! * **dead-pivot** — a sharded store that is never pivot-synced, so the
+//!   pivot bounds are vacuous and never fire. The warmed adaptive
+//!   planner demotes the dead tier behind the cheaper signature bounds
+//!   and skips arming it for exact range queries; the static plan keeps
+//!   probing it per candidate.
+//!
+//! Both regimes assert bit-identical answers (and, for the tight one,
+//! strictly fewer solver verifications) before any timing runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ged_core::engine::GedEngine;
+use ged_core::method::MethodKind;
+use ged_core::plan::QueryShape;
+use ged_core::solver::{GedgwSolver, SolverRegistry};
+use ged_graph::{GraphDataset, ShardedStore};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const RANGE_TAU: f64 = 6.0;
+const EXACT_TAU: f64 = 4.0;
+/// Queries before the planner's EWMA state is considered warmed
+/// (`>= MIN_OBSERVATIONS`).
+const WARMUP: usize = 4;
+
+fn engine(pivots: usize, adaptive: bool) -> GedEngine {
+    let mut registry = SolverRegistry::new();
+    registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+    GedEngine::builder(registry)
+        .threads(1) // isolate plan cost from parallel speedup
+        .pivots(pivots)
+        .adaptive_planner(adaptive)
+        .build()
+        .expect("GEDGW is registered")
+}
+
+fn bench_tight_intervals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_planner_tight");
+    group.sample_size(10);
+    for size in [100usize, 400] {
+        let mut rng = SmallRng::seed_from_u64(12_000 + size as u64);
+        let store = GraphDataset::aids_like(size, &mut rng).into_store();
+        let static_e = engine(4, false);
+        let adaptive_e = engine(4, true);
+        // Pivot sampling is deterministic, so both engines agree on the
+        // set; a member of it has tight bounds to every stored graph.
+        let query = store
+            .get(static_e.pivot_ids(&store)[0])
+            .expect("pivot is stored")
+            .clone();
+
+        // Warm the planner and both engines' pivot caches outside the
+        // timed region, proving the contract while at it.
+        for _ in 0..WARMUP {
+            let a = adaptive_e.range(&query, &store, RANGE_TAU).expect("valid");
+            let s = static_e.range(&query, &store, RANGE_TAU).expect("valid");
+            assert_eq!(a.neighbors, s.neighbors, "range must be bit-identical");
+            let a = adaptive_e
+                .range_exact(&query, &store, EXACT_TAU)
+                .expect("valid");
+            let s = static_e
+                .range_exact(&query, &store, EXACT_TAU)
+                .expect("valid");
+            assert_eq!(a.matches, s.matches, "exact range must be bit-identical");
+        }
+        let saved = adaptive_e.planner_counters().expect("planner is on");
+        assert!(
+            saved.solver_calls_saved > 0 && saved.searches_saved > 0,
+            "tight intervals must collapse verification: {saved:?}"
+        );
+
+        group.bench_with_input(BenchmarkId::new("range_static", size), &size, |b, _| {
+            b.iter(|| black_box(static_e.range(&query, &store, RANGE_TAU).expect("valid")))
+        });
+        group.bench_with_input(BenchmarkId::new("range_adaptive", size), &size, |b, _| {
+            b.iter(|| black_box(adaptive_e.range(&query, &store, RANGE_TAU).expect("valid")))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("range_exact_static", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        static_e
+                            .range_exact(&query, &store, EXACT_TAU)
+                            .expect("valid"),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("range_exact_adaptive", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        adaptive_e
+                            .range_exact(&query, &store, EXACT_TAU)
+                            .expect("valid"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dead_pivot_tier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_planner_dead_pivot");
+    group.sample_size(10);
+    for size in [100usize, 400] {
+        let mut rng = SmallRng::seed_from_u64(13_000 + size as u64);
+        let flat = GraphDataset::aids_like(size, &mut rng).into_store();
+        // Deliberately never `sync_sharded_pivots`: the pivot tier is
+        // vacuous by construction, the workload the planner should learn
+        // to stop paying for.
+        let mut sharded = ShardedStore::new(4);
+        for (_, g) in flat.iter() {
+            sharded.insert(g.clone());
+        }
+        let static_e = engine(3, false);
+        let adaptive_e = engine(3, true);
+        let query = flat.graphs().next().expect("non-empty").clone();
+
+        for _ in 0..WARMUP {
+            let a = adaptive_e
+                .range_exact_sharded(&query, &sharded, EXACT_TAU)
+                .expect("valid");
+            let s = static_e
+                .range_exact_sharded(&query, &sharded, EXACT_TAU)
+                .expect("valid");
+            assert_eq!(a.matches, s.matches, "exact range must be bit-identical");
+        }
+        assert!(
+            adaptive_e
+                .explain(QueryShape::RangeExact)
+                .skipped
+                .contains(&"pivot_lb"),
+            "the warmed planner must skip the dead pivot tier"
+        );
+
+        group.bench_with_input(BenchmarkId::new("static", size), &size, |b, _| {
+            b.iter(|| {
+                black_box(
+                    static_e
+                        .range_exact_sharded(&query, &sharded, EXACT_TAU)
+                        .expect("valid"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("adaptive", size), &size, |b, _| {
+            b.iter(|| {
+                black_box(
+                    adaptive_e
+                        .range_exact_sharded(&query, &sharded, EXACT_TAU)
+                        .expect("valid"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tight_intervals, bench_dead_pivot_tier);
+criterion_main!(benches);

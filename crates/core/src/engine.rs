@@ -157,19 +157,15 @@
 //! ```
 
 use crate::error::GedError;
-use crate::lower_bound::{degree_sequence_lower_bound_sig, label_set_lower_bound_sig};
 use crate::method::MethodKind;
 use crate::pairs::GedPair;
-use crate::search::{
-    pivot_distance_in, prune_or_verify_with_pivot_in, CandidateOutcome, ExactSearchStats,
-};
+use crate::plan::{PlanStore, QueryPlanner};
+use crate::search::{pivot_distance_in, ExactSearchStats};
 use crate::solver::{
     BatchRunner, GedEstimate, GedSolver, PathEstimate, SolverRegistry, SolverScratch,
 };
 use crate::workspace::GedWorkspace;
-use ged_graph::{
-    Graph, GraphId, GraphSignature, GraphStore, PivotDistance, PivotIndex, Shard, ShardedStore,
-};
+use ged_graph::{Graph, GraphId, GraphStore, PivotIndex, ShardedStore};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -561,6 +557,8 @@ pub struct GedEngineBuilder {
     cache_capacity: usize,
     verify_budget: usize,
     pivots: usize,
+    adaptive: bool,
+    default_tau: Option<f64>,
 }
 
 impl GedEngineBuilder {
@@ -576,6 +574,8 @@ impl GedEngineBuilder {
             cache_capacity: 0,
             verify_budget: usize::MAX,
             pivots: 0,
+            adaptive: false,
+            default_tau: None,
         }
     }
 
@@ -648,21 +648,53 @@ impl GedEngineBuilder {
         self
     }
 
+    /// Enables the adaptive [`QueryPlanner`]
+    /// (off by default): the engine records per-tier hit rates per query
+    /// shape and per query reorders commutative discard tiers, skips
+    /// ~0-yield tiers, and collapses already-decided verifications. Every
+    /// planner decision is result-invariant — answers stay bit-identical
+    /// to the static plan; only the work spent producing them changes.
+    /// See [`crate::plan`] for the full contract and
+    /// [`GedEngine::explain`] for introspection.
+    #[must_use]
+    pub fn adaptive_planner(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
+    /// Sets the engine's default range threshold τ, consumed by
+    /// [`GedEngine::range_default`] and [`GedEngine::range_exact_default`]
+    /// (unset by default). Must not be NaN at [`Self::build`] time; the
+    /// other τ semantics (`+∞` full scan, negative matches nothing)
+    /// follow [`GedQuery::Range`].
+    #[must_use]
+    pub fn default_tau(mut self, tau: f64) -> Self {
+        self.default_tau = Some(tau);
+        self
+    }
+
     /// Validates the configuration and builds the engine.
     ///
     /// # Errors
-    /// * [`GedError::Config`] — the registry is empty.
+    /// * [`GedError::Config`] — the registry is empty, the beam width or
+    ///   verify budget is zero, or the default τ is NaN.
     /// * [`GedError::MethodNotRegistered`] — the selected default method
     ///   has no solver in the registry.
-    /// * [`GedError::InvalidK`] — the beam width or verify budget is zero.
     pub fn build(self) -> Result<GedEngine, GedError> {
         if self.beam_width == 0 {
-            return Err(GedError::InvalidK { what: "beam width" });
+            return Err(GedError::Config(
+                "beam width must be at least 1".to_string(),
+            ));
         }
         if self.verify_budget == 0 {
-            return Err(GedError::InvalidK {
-                what: "verify budget",
-            });
+            return Err(GedError::Config(
+                "verify budget must be at least 1 (usize::MAX = unlimited)".to_string(),
+            ));
+        }
+        if self.default_tau.is_some_and(f64::is_nan) {
+            return Err(GedError::Config(
+                "default range threshold must not be NaN".to_string(),
+            ));
         }
         let method = match self.method {
             Some(m) => m,
@@ -689,37 +721,22 @@ impl GedEngineBuilder {
             pivot_target: self.pivots,
             pivot_cache: Mutex::new(None),
             cache,
+            planner: self.adaptive.then(|| Mutex::new(QueryPlanner::new())),
+            default_tau: self.default_tau,
         })
     }
 }
-
-/// One filter-phase survivor: a candidate id plus its per-tier lower
-/// bounds (label-set, combined signature, combined-with-pivot) and the
-/// pivot-table upper bound (`usize::MAX` when no pivot index is active).
-#[derive(Clone, Copy)]
-struct Candidate {
-    id: GraphId,
-    lb_label: usize,
-    lb_sig: usize,
-    lb: usize,
-    ub: usize,
-}
-
-/// How many candidates each verification round hands to the parallel
-/// runner between top-k threshold re-checks. Machine-independent so
-/// [`SearchStats`] are reproducible everywhere.
-const VERIFY_BLOCK: usize = 16;
 
 /// The query engine: typed requests in, typed responses or [`GedError`]s
 /// out. See the [module docs](self) for the full contract.
 pub struct GedEngine {
     registry: SolverRegistry,
     method: MethodKind,
-    runner: BatchRunner,
+    pub(crate) runner: BatchRunner,
     beam_width: usize,
-    verify_budget: usize,
+    pub(crate) verify_budget: usize,
     /// How many pivots store-level queries may lean on (0 = disabled).
-    pivot_target: usize,
+    pub(crate) pivot_target: usize,
     /// The lazily built, incrementally synced pivot table. One index
     /// serves one store at a time: alternating queries between stores
     /// re-syncs it wholesale (correct, but wasteful — prefer one engine
@@ -727,6 +744,14 @@ pub struct GedEngine {
     /// unchanged store hands queries an `O(1)` snapshot.
     pivot_cache: Mutex<Option<Arc<PivotIndex>>>,
     cache: Option<Mutex<PredictionCache>>,
+    /// The adaptive query planner ([`GedEngineBuilder::adaptive_planner`];
+    /// `None` = static plans). Mutex-guarded observation state; every
+    /// decision derived from it is result-invariant, so concurrent
+    /// queries may interleave observations freely (see [`crate::plan`]).
+    pub(crate) planner: Option<Mutex<QueryPlanner>>,
+    /// The default range threshold of [`Self::range_default`] /
+    /// [`Self::range_exact_default`] (validated non-NaN at build time).
+    default_tau: Option<f64>,
 }
 
 impl std::fmt::Debug for GedEngine {
@@ -739,6 +764,7 @@ impl std::fmt::Debug for GedEngine {
             .field("pivots", &self.pivot_target)
             .field("threads", &self.runner.threads())
             .field("cache", &self.cache.is_some())
+            .field("adaptive", &self.planner.is_some())
             .finish()
     }
 }
@@ -774,6 +800,51 @@ impl GedEngine {
     #[must_use]
     pub fn pivot_target(&self) -> usize {
         self.pivot_target
+    }
+
+    /// The configured default range threshold
+    /// ([`GedEngineBuilder::default_tau`]), if any. Never NaN.
+    #[must_use]
+    pub fn default_tau(&self) -> Option<f64> {
+        self.default_tau
+    }
+
+    /// Range search at the engine's default threshold
+    /// ([`GedEngineBuilder::default_tau`]), with the default method.
+    ///
+    /// # Errors
+    /// [`GedError::Config`] if no default τ was configured; otherwise see
+    /// [`Self::range_as`].
+    pub fn range_default(
+        &self,
+        query: &Graph,
+        store: &GraphStore,
+    ) -> Result<SearchResult, GedError> {
+        let tau = self.require_default_tau()?;
+        self.range_as(self.method, query, store, tau)
+    }
+
+    /// Exact range search at the engine's default threshold
+    /// ([`GedEngineBuilder::default_tau`]), with the default method.
+    ///
+    /// # Errors
+    /// [`GedError::Config`] if no default τ was configured; otherwise see
+    /// [`Self::range_exact_as`].
+    pub fn range_exact_default(
+        &self,
+        query: &Graph,
+        store: &GraphStore,
+    ) -> Result<RangeExactResult, GedError> {
+        let tau = self.require_default_tau()?;
+        self.range_exact_as(self.method, query, store, tau)
+    }
+
+    fn require_default_tau(&self) -> Result<f64, GedError> {
+        self.default_tau.ok_or_else(|| {
+            GedError::Config(
+                "no default range threshold configured (GedEngineBuilder::default_tau)".to_string(),
+            )
+        })
     }
 
     /// Syncs (or lazily builds) the cached pivot index against `store`
@@ -1072,15 +1143,16 @@ impl GedEngine {
     }
 
     /// Ranks `store` by estimated GED to `query` with an explicit method,
-    /// through the filter–verify plan of the [module docs](self):
-    /// candidates are processed in ascending-lower-bound order, and once
-    /// `k` candidates are verified, any candidate whose lower bound
-    /// exceeds the running k-th-best distance is discarded unverified.
-    /// Verification runs in parallel through the engine's
-    /// [`BatchRunner`]; the ranking sorts by ascending (bound-refined)
-    /// GED with ties broken by id, so it is fully deterministic and
-    /// exactly equal to a brute-force scan. A `k` larger than the store
-    /// is clamped (every graph is returned, ranked).
+    /// through the unified filter–verify pipeline of [`crate::plan`]
+    /// (the flat store is the one-shard special case): candidates are
+    /// processed in ascending-lower-bound order, and once `k` candidates
+    /// are verified, any candidate whose lower bound exceeds the running
+    /// k-th-best distance is discarded unverified. Verification runs in
+    /// parallel through the engine's [`BatchRunner`]; the ranking sorts
+    /// by ascending (bound-refined) GED with ties broken by id, so it is
+    /// fully deterministic and exactly equal to a brute-force scan. A `k`
+    /// larger than the store is clamped (every graph is returned,
+    /// ranked).
     ///
     /// # Errors
     /// See [`Self::query_as`].
@@ -1091,74 +1163,7 @@ impl GedEngine {
         store: &GraphStore,
         k: usize,
     ) -> Result<SearchResult, GedError> {
-        if k == 0 {
-            return Err(GedError::InvalidK { what: "top-k" });
-        }
-        ensure_nonempty(query, "query")?;
-        let solver = self.solver(method)?;
-        ensure_store_valid(store)?;
-
-        let pivot = self.pivot_bounds(query, store);
-        let qsig = GraphSignature::of(query);
-        let mut candidates: Vec<Candidate> = store
-            .entries()
-            .map(|(id, _, sig)| {
-                let lb_label = label_set_lower_bound_sig(&qsig, sig);
-                let lb_sig = lb_label.max(degree_sequence_lower_bound_sig(&qsig, sig));
-                let (lb_pivot, ub) = pivot_bounds_for(&pivot, id);
-                Candidate {
-                    id,
-                    lb_label,
-                    lb_sig,
-                    lb: lb_sig.max(lb_pivot),
-                    ub,
-                }
-            })
-            .collect();
-        // Ascending lower bounds: the most promising candidates are
-        // verified first, which tightens the k-th-best threshold as early
-        // as possible. Sorted order also means the first candidate over
-        // the threshold proves every later one is over it too.
-        candidates.sort_by(|a, b| a.lb.cmp(&b.lb).then(a.id.cmp(&b.id)));
-
-        let k = k.min(candidates.len());
-        let mut stats = SearchStats {
-            candidates: candidates.len(),
-            ..SearchStats::default()
-        };
-        let mut best: Vec<Neighbor> = Vec::new();
-        let block = k.max(VERIFY_BLOCK);
-        let mut i = 0;
-        while i < candidates.len() {
-            // Re-read the pruning threshold between rounds: it tightens
-            // monotonically as verified candidates accumulate.
-            if best.len() >= k {
-                let kth = best[k - 1].ged;
-                if (candidates[i].lb as f64) > kth {
-                    for c in &candidates[i..] {
-                        if (c.lb_label as f64) > kth {
-                            stats.pruned_label += 1;
-                        } else if (c.lb_sig as f64) > kth {
-                            stats.pruned_degree += 1;
-                        } else {
-                            stats.pruned_pivot += 1;
-                        }
-                    }
-                    break;
-                }
-            }
-            let hi = (i + block).min(candidates.len());
-            let verified = self.verify(method, solver, query, store, &candidates[i..hi]);
-            stats.verified += verified.len();
-            best.extend(verified);
-            best.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.id.cmp(&b.id)));
-            i = hi;
-        }
-        best.truncate(k);
-        Ok(SearchResult {
-            neighbors: best,
-            stats,
-        })
+        self.plan_top_k(method, query, PlanStore::Flat(store), k)
     }
 
     /// Ranks `store` by estimated GED to the *stored* graph `id`, with
@@ -1227,60 +1232,39 @@ impl GedEngine {
         store: &GraphStore,
         tau: f64,
     ) -> Result<SearchResult, GedError> {
-        if tau.is_nan() {
-            return Err(GedError::Config(
-                "range threshold must not be NaN".to_string(),
-            ));
-        }
-        ensure_nonempty(query, "query")?;
-        let solver = self.solver(method)?;
-        ensure_store_valid(store)?;
+        self.plan_range(method, query, PlanStore::Flat(store), tau)
+    }
 
-        let pivot = self.pivot_bounds(query, store);
-        let qsig = GraphSignature::of(query);
-        let mut stats = SearchStats {
-            candidates: store.len(),
-            ..SearchStats::default()
-        };
-        let mut survivors: Vec<Candidate> = Vec::new();
-        for (id, _, sig) in store.entries() {
-            let lb_label = label_set_lower_bound_sig(&qsig, sig);
-            if (lb_label as f64) > tau {
-                stats.pruned_label += 1;
-                continue;
-            }
-            let lb_sig = lb_label.max(degree_sequence_lower_bound_sig(&qsig, sig));
-            if (lb_sig as f64) > tau {
-                stats.pruned_degree += 1;
-                continue;
-            }
-            let (lb_pivot, ub) = pivot_bounds_for(&pivot, id);
-            if (lb_pivot as f64) > tau {
-                stats.pruned_pivot += 1;
-                continue;
-            }
-            if ub != usize::MAX && (ub as f64) <= tau {
-                // The pivot table proves this candidate's exact GED is
-                // within τ: membership is decided before the solver runs
-                // (the solver still supplies the reported estimate, which
-                // the ub-clamp keeps ≤ τ). The `usize::MAX` guard keeps
-                // the vacuous no-pivot bound from counting as a
-                // certificate when τ itself is unbounded.
-                stats.accepted_pivot += 1;
-            }
-            survivors.push(Candidate {
-                id,
-                lb_label,
-                lb_sig,
-                lb: lb_sig.max(lb_pivot),
-                ub,
-            });
-        }
-        let verified = self.verify(method, solver, query, store, &survivors);
-        stats.verified = verified.len();
-        let mut neighbors: Vec<Neighbor> = verified.into_iter().filter(|n| n.ged <= tau).collect();
-        neighbors.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.id.cmp(&b.id)));
-        Ok(SearchResult { neighbors, stats })
+    /// Range search around the *stored* graph `id`, with the default
+    /// method — the `Range` counterpart of [`Self::top_k_by_id`]. The
+    /// query graph itself stays in the candidate set (its self-distance
+    /// 0 always matches for τ ≥ 0).
+    ///
+    /// # Errors
+    /// See [`Self::range_by_id_as`].
+    pub fn range_by_id(
+        &self,
+        store: &GraphStore,
+        id: GraphId,
+        tau: f64,
+    ) -> Result<SearchResult, GedError> {
+        self.range_by_id_as(self.method, store, id, tau)
+    }
+
+    /// Range search around the stored graph `id` with an explicit method.
+    ///
+    /// # Errors
+    /// [`GedError::UnknownGraphId`] if `id` is foreign to `store` or was
+    /// removed; otherwise see [`Self::range_as`].
+    pub fn range_by_id_as(
+        &self,
+        method: MethodKind,
+        store: &GraphStore,
+        id: GraphId,
+        tau: f64,
+    ) -> Result<SearchResult, GedError> {
+        let query = resolve(store, id)?;
+        self.range_as(method, query, store, tau)
     }
 
     /// Retrieves every stored graph whose **exact** GED to `query` is
@@ -1322,123 +1306,7 @@ impl GedEngine {
         store: &GraphStore,
         tau: f64,
     ) -> Result<RangeExactResult, GedError> {
-        if tau.is_nan() {
-            return Err(GedError::Config(
-                "exact range threshold must not be NaN".to_string(),
-            ));
-        }
-        // Exact search never consults the solver; validate the method
-        // anyway so `query_as(method, ..)` behaves uniformly.
-        let _ = self.solver(method)?;
-        ensure_nonempty(query, "query")?;
-        ensure_store_valid(store)?;
-
-        let mut stats = ExactSearchStats::default();
-        if tau < 0.0 {
-            // Every lower bound (≥ 0) exceeds a negative τ: the filter
-            // tier discards the whole store.
-            stats.filtered = store.len();
-            return Ok(RangeExactResult {
-                matches: Vec::new(),
-                budget_exhausted: Vec::new(),
-                stats,
-            });
-        }
-        // GED is integral: GED ≤ τ ⟺ GED ≤ ⌊τ⌋. `+∞` (and any τ beyond
-        // usize) saturates to an effectively unbounded threshold — τ is
-        // only ever compared, never added, so no overflow.
-        let tau = if tau.is_infinite() {
-            usize::MAX
-        } else {
-            tau.floor() as usize
-        };
-
-        // Tier 0 (pivot filter) + tier 1 (signature filter): admissible
-        // bounds, no graph access. The pivot lower bound goes first — it
-        // is one table-row scan and, with good pivots, the strictest of
-        // the three — then the cheaper label-set bound short-circuits the
-        // degree bound, as in `range_as`. A pivot upper bound within τ is
-        // carried to the prune tier as a membership certificate.
-        // Survivors stay in ascending-id order.
-        let pivot = self.pivot_bounds(query, store);
-        let qsig = GraphSignature::of(query);
-        let mut survivors: Vec<(GraphId, Option<usize>)> = Vec::new();
-        for (id, _, sig) in store.entries() {
-            let (lb_pivot, ub_pivot) = pivot_bounds_for(&pivot, id);
-            if lb_pivot > tau {
-                stats.pruned_pivot += 1;
-                continue;
-            }
-            if label_set_lower_bound_sig(&qsig, sig) > tau
-                || degree_sequence_lower_bound_sig(&qsig, sig) > tau
-            {
-                stats.filtered += 1;
-            } else {
-                // A certificate must be a *real* pivot bound: the vacuous
-                // `usize::MAX` of a disabled pivot tier would otherwise
-                // "certify" everything whenever τ saturates to
-                // `usize::MAX`, replacing the tight GEDGW-ub recovery
-                // search with an effectively unbounded one.
-                let certificate = (ub_pivot != usize::MAX && ub_pivot <= tau).then_some(ub_pivot);
-                survivors.push((id, certificate));
-            }
-        }
-
-        // Tiers 2 + 3 (prune / verify): per-candidate, embarrassingly
-        // parallel, deterministic — so thread count never changes the
-        // answer and input (id) order is preserved. A pivot-certified
-        // candidate skips the GEDGW bound and goes straight to the
-        // (pivot-ub-bounded) exact-distance recovery.
-        let outcomes =
-            self.runner
-                .map_init(&survivors, GedWorkspace::new, |ws, &(id, pivot_ub)| {
-                    let cand = store.get(id).expect("survivor ids come from this store");
-                    prune_or_verify_with_pivot_in(
-                        query,
-                        cand,
-                        tau,
-                        self.verify_budget,
-                        pivot_ub,
-                        ws,
-                    )
-                });
-
-        let mut matches = Vec::new();
-        let mut budget_exhausted = Vec::new();
-        for (&(id, _), outcome) in survivors.iter().zip(outcomes) {
-            match outcome {
-                CandidateOutcome::AcceptedByPivot { ged } => {
-                    stats.accepted_pivot += 1;
-                    matches.push(ExactNeighbor { id, ged });
-                }
-                CandidateOutcome::AcceptedEarly { ged } => {
-                    stats.accepted_early += 1;
-                    matches.push(ExactNeighbor { id, ged });
-                }
-                CandidateOutcome::Verified { ged } => {
-                    stats.verified += 1;
-                    matches.push(ExactNeighbor { id, ged });
-                }
-                CandidateOutcome::Rejected => stats.verified += 1,
-                CandidateOutcome::BudgetExhausted { accepted_ub } => {
-                    stats.budget_exceeded += 1;
-                    budget_exhausted.push(UndecidedCandidate {
-                        id,
-                        known_match_ub: accepted_ub,
-                    });
-                }
-            }
-        }
-        debug_assert_eq!(
-            stats.total(),
-            store.len(),
-            "every candidate lands in one tier"
-        );
-        Ok(RangeExactResult {
-            matches,
-            budget_exhausted,
-            stats,
-        })
+        self.plan_range_exact(method, query, PlanStore::Flat(store), tau)
     }
 
     /// Exact range search around the *stored* graph `id`, with the
@@ -1456,39 +1324,6 @@ impl GedEngine {
     ) -> Result<RangeExactResult, GedError> {
         let query = resolve(store, id)?;
         self.range_exact_as(self.method, query, store, tau)
-    }
-
-    /// The verify phase shared by `TopK` and `Range`: runs the solver on
-    /// every candidate in parallel and refines each prediction into the
-    /// candidate's admissible `[lb, ub]` interval
-    /// (`min(max(prediction, lb), ub)`). The interval provably contains
-    /// the true GED, so clamping only ever moves an estimate *toward* it
-    /// — and it is what makes bound-based pruning (and pivot-ub range
-    /// acceptance) exactly consistent with a full scan applying the same
-    /// refinement. Without a pivot index `ub` is `usize::MAX` and this is
-    /// the classic one-sided `max(prediction, lb)` of the signature
-    /// tiers.
-    fn verify(
-        &self,
-        method: MethodKind,
-        solver: &dyn GedSolver,
-        query: &Graph,
-        store: &GraphStore,
-        candidates: &[Candidate],
-    ) -> Vec<Neighbor> {
-        self.runner
-            .map_init(candidates, SolverScratch::new, |scratch, c| {
-                let graph = store.get(c.id).expect("candidate ids come from this store");
-                let pair = GedPair::new(query.clone(), graph.clone());
-                let prediction = self.predict_cached(method, solver, &pair, scratch);
-                Neighbor {
-                    id: c.id,
-                    // f64::max ignores a NaN prediction, keeping the no-panic,
-                    // no-NaN contract of the ranking; lb ≤ ub always (both
-                    // bound the same exact GED), so the clamp is well formed.
-                    ged: prediction.max(c.lb as f64).min(c.ub as f64),
-                }
-            })
     }
 
     /// Computes the pairwise distance matrix of `store` with the
@@ -1514,14 +1349,12 @@ impl GedEngine {
         method: MethodKind,
         store: &GraphStore,
     ) -> Result<DistanceMatrix, GedError> {
-        let solver = self.solver(method)?;
-        ensure_store_valid(store)?;
-        Ok(self.matrix_of(method, solver, store.iter().collect()))
+        self.plan_matrix(method, PlanStore::Flat(store))
     }
 
     /// The matrix kernel shared by the flat and sharded plans: upper
     /// triangle over `graphs` (already in ascending id order), mirrored.
-    fn matrix_of(
+    pub(crate) fn matrix_of(
         &self,
         method: MethodKind,
         solver: &dyn GedSolver,
@@ -1608,39 +1441,6 @@ impl GedEngine {
         Some(out)
     }
 
-    /// Per shard: the aggregate lower bound (signature aggregates, plus
-    /// the pivot aggregates when the tier is armed) and the query-to-pivot
-    /// distances, sorted ascending by bound (bucket as the deterministic
-    /// tie-break) so the most promising shards are visited first.
-    fn sharded_plan<'s>(
-        &self,
-        query: &Graph,
-        qsig: &GraphSignature,
-        store: &'s ShardedStore,
-    ) -> Vec<ShardPlan<'s>> {
-        let pivots_on = store.pivots_ready(self.pivot_target);
-        let mut ws = GedWorkspace::new();
-        let mut oracle =
-            |a: &Graph, b: &Graph| pivot_distance_in(a, b, self.verify_budget, &mut ws);
-        let mut plans: Vec<ShardPlan<'s>> = store
-            .shards()
-            .map(|shard| {
-                let mut lb = shard.signature_lower_bound(qsig);
-                let qdists = if pivots_on {
-                    let index = shard.pivot_index().expect("pivots_ready");
-                    let qd = index.query_distances(shard.store(), query, &mut oracle);
-                    lb = lb.max(shard.pivot_lower_bound(&qd));
-                    Some(qd)
-                } else {
-                    None
-                };
-                ShardPlan { shard, lb, qdists }
-            })
-            .collect();
-        plans.sort_by_key(|p| (p.lb, p.shard.bucket()));
-        plans
-    }
-
     /// Ranks the `k` nearest stored graphs with the default method. The
     /// sharded counterpart of [`GedEngine::top_k`]; see
     /// [`GedEngine::top_k_sharded_as`].
@@ -1671,69 +1471,7 @@ impl GedEngine {
         store: &ShardedStore,
         k: usize,
     ) -> Result<SearchResult, GedError> {
-        if k == 0 {
-            return Err(GedError::InvalidK { what: "top-k" });
-        }
-        ensure_nonempty(query, "query")?;
-        let solver = self.solver(method)?;
-        ensure_sharded_store_valid(store)?;
-
-        let qsig = GraphSignature::of(query);
-        let plans = self.sharded_plan(query, &qsig, store);
-        let k = k.min(store.len());
-        let mut stats = SearchStats {
-            candidates: store.len(),
-            ..SearchStats::default()
-        };
-        let mut best: Vec<Neighbor> = Vec::new();
-        let block = k.max(VERIFY_BLOCK);
-        for plan in &plans {
-            // Shard tier: an aggregate bound over the k-th best proves
-            // every member ranks after the current top k.
-            if best.len() >= k && (plan.lb as f64) > best[k - 1].ged {
-                stats.pruned_shard += plan.shard.len();
-                continue;
-            }
-            let mut candidates = shard_candidates(&qsig, plan);
-            candidates.sort_by(|a, b| a.lb.cmp(&b.lb).then(a.id.cmp(&b.id)));
-            let mut i = 0;
-            while i < candidates.len() {
-                if best.len() >= k {
-                    let kth = best[k - 1].ged;
-                    if (candidates[i].lb as f64) > kth {
-                        for c in &candidates[i..] {
-                            if (c.lb_label as f64) > kth {
-                                stats.pruned_label += 1;
-                            } else if (c.lb_sig as f64) > kth {
-                                stats.pruned_degree += 1;
-                            } else {
-                                stats.pruned_pivot += 1;
-                            }
-                        }
-                        break;
-                    }
-                }
-                let hi = (i + block).min(candidates.len());
-                let verified = self.verify(
-                    method,
-                    solver,
-                    query,
-                    plan.shard.store(),
-                    &candidates[i..hi],
-                );
-                stats.verified += verified.len();
-                best.extend(verified);
-                best.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.id.cmp(&b.id)));
-                i = hi;
-            }
-            // Bounded merge: only the current top k cross a shard
-            // boundary — anything beyond rank k can never re-enter.
-            best.truncate(k);
-        }
-        Ok(SearchResult {
-            neighbors: best,
-            stats,
-        })
+        self.plan_top_k(method, query, PlanStore::Sharded(store), k)
     }
 
     /// Range search with the default method. The sharded counterpart of
@@ -1764,49 +1502,39 @@ impl GedEngine {
         store: &ShardedStore,
         tau: f64,
     ) -> Result<SearchResult, GedError> {
-        if tau.is_nan() {
-            return Err(GedError::Config(
-                "range threshold must not be NaN".to_string(),
-            ));
-        }
-        ensure_nonempty(query, "query")?;
-        let solver = self.solver(method)?;
-        ensure_sharded_store_valid(store)?;
+        self.plan_range(method, query, PlanStore::Sharded(store), tau)
+    }
 
-        let qsig = GraphSignature::of(query);
-        let plans = self.sharded_plan(query, &qsig, store);
-        let mut stats = SearchStats {
-            candidates: store.len(),
-            ..SearchStats::default()
-        };
-        let mut neighbors: Vec<Neighbor> = Vec::new();
-        for plan in &plans {
-            if (plan.lb as f64) > tau {
-                stats.pruned_shard += plan.shard.len();
-                continue;
-            }
-            let mut survivors: Vec<Candidate> = Vec::new();
-            for c in shard_candidates(&qsig, plan) {
-                if (c.lb_label as f64) > tau {
-                    stats.pruned_label += 1;
-                } else if (c.lb_sig as f64) > tau {
-                    stats.pruned_degree += 1;
-                } else if (c.lb as f64) > tau {
-                    // lb_sig passed, so the pivot bound is what exceeds τ.
-                    stats.pruned_pivot += 1;
-                } else {
-                    if c.ub != usize::MAX && (c.ub as f64) <= tau {
-                        stats.accepted_pivot += 1;
-                    }
-                    survivors.push(c);
-                }
-            }
-            let verified = self.verify(method, solver, query, plan.shard.store(), &survivors);
-            stats.verified += verified.len();
-            neighbors.extend(verified.into_iter().filter(|n| n.ged <= tau));
-        }
-        neighbors.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.id.cmp(&b.id)));
-        Ok(SearchResult { neighbors, stats })
+    /// Range search around the *stored* graph `id` of a [`ShardedStore`],
+    /// with the default method — the sharded counterpart of
+    /// [`Self::range_by_id`].
+    ///
+    /// # Errors
+    /// See [`Self::range_sharded_by_id_as`].
+    pub fn range_sharded_by_id(
+        &self,
+        store: &ShardedStore,
+        id: GraphId,
+        tau: f64,
+    ) -> Result<SearchResult, GedError> {
+        self.range_sharded_by_id_as(self.method, store, id, tau)
+    }
+
+    /// Range search around the stored graph `id` of a [`ShardedStore`]
+    /// with an explicit method.
+    ///
+    /// # Errors
+    /// [`GedError::UnknownGraphId`] if `id` is foreign to `store` or was
+    /// removed; otherwise see [`Self::range_sharded_as`].
+    pub fn range_sharded_by_id_as(
+        &self,
+        method: MethodKind,
+        store: &ShardedStore,
+        id: GraphId,
+        tau: f64,
+    ) -> Result<SearchResult, GedError> {
+        let query = resolve_sharded(store, id)?;
+        self.range_sharded_as(method, query, store, tau)
     }
 
     /// Exact range search with the default method. The sharded
@@ -1842,109 +1570,7 @@ impl GedEngine {
         store: &ShardedStore,
         tau: f64,
     ) -> Result<RangeExactResult, GedError> {
-        if tau.is_nan() {
-            return Err(GedError::Config(
-                "exact range threshold must not be NaN".to_string(),
-            ));
-        }
-        let _ = self.solver(method)?;
-        ensure_nonempty(query, "query")?;
-        ensure_sharded_store_valid(store)?;
-
-        let mut stats = ExactSearchStats::default();
-        if tau < 0.0 {
-            stats.filtered = store.len();
-            return Ok(RangeExactResult {
-                matches: Vec::new(),
-                budget_exhausted: Vec::new(),
-                stats,
-            });
-        }
-        let tau = if tau.is_infinite() {
-            usize::MAX
-        } else {
-            tau.floor() as usize
-        };
-
-        let qsig = GraphSignature::of(query);
-        let plans = self.sharded_plan(query, &qsig, store);
-        let mut survivors: Vec<(GraphId, Option<usize>)> = Vec::new();
-        for plan in &plans {
-            if plan.lb > tau {
-                stats.pruned_shard += plan.shard.len();
-                continue;
-            }
-            for (id, _, sig) in plan.shard.store().entries() {
-                let (lb_pivot, ub_pivot) = shard_pivot_bounds_for(plan, id);
-                if lb_pivot > tau {
-                    stats.pruned_pivot += 1;
-                    continue;
-                }
-                if label_set_lower_bound_sig(&qsig, sig) > tau
-                    || degree_sequence_lower_bound_sig(&qsig, sig) > tau
-                {
-                    stats.filtered += 1;
-                } else {
-                    let certificate =
-                        (ub_pivot != usize::MAX && ub_pivot <= tau).then_some(ub_pivot);
-                    survivors.push((id, certificate));
-                }
-            }
-        }
-        // Shards were visited in bound order; restore the flat plan's
-        // globally ascending id order for the verify batch.
-        survivors.sort_by_key(|&(id, _)| id);
-
-        let outcomes =
-            self.runner
-                .map_init(&survivors, GedWorkspace::new, |ws, &(id, pivot_ub)| {
-                    let cand = store.get(id).expect("survivor ids come from this store");
-                    prune_or_verify_with_pivot_in(
-                        query,
-                        cand,
-                        tau,
-                        self.verify_budget,
-                        pivot_ub,
-                        ws,
-                    )
-                });
-
-        let mut matches = Vec::new();
-        let mut budget_exhausted = Vec::new();
-        for (&(id, _), outcome) in survivors.iter().zip(outcomes) {
-            match outcome {
-                CandidateOutcome::AcceptedByPivot { ged } => {
-                    stats.accepted_pivot += 1;
-                    matches.push(ExactNeighbor { id, ged });
-                }
-                CandidateOutcome::AcceptedEarly { ged } => {
-                    stats.accepted_early += 1;
-                    matches.push(ExactNeighbor { id, ged });
-                }
-                CandidateOutcome::Verified { ged } => {
-                    stats.verified += 1;
-                    matches.push(ExactNeighbor { id, ged });
-                }
-                CandidateOutcome::Rejected => stats.verified += 1,
-                CandidateOutcome::BudgetExhausted { accepted_ub } => {
-                    stats.budget_exceeded += 1;
-                    budget_exhausted.push(UndecidedCandidate {
-                        id,
-                        known_match_ub: accepted_ub,
-                    });
-                }
-            }
-        }
-        debug_assert_eq!(
-            stats.total(),
-            store.len(),
-            "every candidate lands in one tier"
-        );
-        Ok(RangeExactResult {
-            matches,
-            budget_exhausted,
-            stats,
-        })
+        self.plan_range_exact(method, query, PlanStore::Sharded(store), tau)
     }
 
     /// Pairwise distance matrix of a [`ShardedStore`] with the default
@@ -1972,15 +1598,13 @@ impl GedEngine {
         method: MethodKind,
         store: &ShardedStore,
     ) -> Result<DistanceMatrix, GedError> {
-        let solver = self.solver(method)?;
-        ensure_sharded_store_valid(store)?;
-        Ok(self.matrix_of(method, solver, store.iter().collect()))
+        self.plan_matrix(method, PlanStore::Sharded(store))
     }
 
     /// Predicts through the cache when one is configured. Predictions
     /// are deterministic (and scratch-independent), so memoization never
     /// changes a result.
-    fn predict_cached(
+    pub(crate) fn predict_cached(
         &self,
         method: MethodKind,
         solver: &dyn GedSolver,
@@ -2025,22 +1649,15 @@ fn resolve(store: &GraphStore, id: GraphId) -> Result<&Graph, GedError> {
     store.get(id).ok_or(GedError::UnknownGraphId(id))
 }
 
-/// The pivot `[lb, ub]` bounds of `id`, or the vacuous `(0, usize::MAX)`
-/// when the pivot tier is disabled (so every consumer can treat the
-/// bounds as unconditionally present).
-fn pivot_bounds_for(
-    bounds: &Option<BTreeMap<GraphId, (usize, usize)>>,
-    id: GraphId,
-) -> (usize, usize) {
-    bounds
-        .as_ref()
-        .and_then(|m| m.get(&id).copied())
-        .unwrap_or((0, usize::MAX))
+/// Resolves `id` in a [`ShardedStore`] — the sharded analogue of
+/// [`resolve`].
+fn resolve_sharded(store: &ShardedStore, id: GraphId) -> Result<&Graph, GedError> {
+    store.get(id).ok_or(GedError::UnknownGraphId(id))
 }
 
 /// Rejects empty stores and stores containing node-less graphs. Reads
 /// only the precomputed signatures, so validation never touches a graph.
-fn ensure_store_valid(store: &GraphStore) -> Result<(), GedError> {
+pub(crate) fn ensure_store_valid(store: &GraphStore) -> Result<(), GedError> {
     if store.is_empty() {
         return Err(GedError::EmptyStore);
     }
@@ -2054,63 +1671,16 @@ fn ensure_store_valid(store: &GraphStore) -> Result<(), GedError> {
 
 /// Rejects node-less graphs with a [`GedError::EmptyGraph`] naming the
 /// offending input.
-fn ensure_nonempty(g: &Graph, which: &str) -> Result<(), GedError> {
+pub(crate) fn ensure_nonempty(g: &Graph, which: &str) -> Result<(), GedError> {
     if g.num_nodes() == 0 {
         return Err(GedError::EmptyGraph(which.to_string()));
     }
     Ok(())
 }
 
-/// One shard's slice of a sharded plan: the shard, its aggregate lower
-/// bound on the query (signature aggregates, plus pivot aggregates when
-/// the tier is armed), and the query-to-pivot distances against this
-/// shard's own pivots (`None` when the pivot tier is off).
-struct ShardPlan<'s> {
-    shard: &'s Shard,
-    lb: usize,
-    qdists: Option<Vec<PivotDistance>>,
-}
-
-/// The pivot `[lb, ub]` bounds of `id` from its shard's own pivot block,
-/// or the vacuous `(0, usize::MAX)` when the tier is off — the sharded
-/// analogue of [`pivot_bounds_for`].
-fn shard_pivot_bounds_for(plan: &ShardPlan<'_>, id: GraphId) -> (usize, usize) {
-    match &plan.qdists {
-        Some(qdists) => plan
-            .shard
-            .pivot_index()
-            .expect("qdists imply a synced index")
-            .bounds(qdists, id)
-            .expect("index is synced with the shard store"),
-        None => (0, usize::MAX),
-    }
-}
-
-/// Per-graph candidates of one shard, with exactly the flat plan's
-/// per-tier lower bounds (so downstream pruning decisions match the flat
-/// plans bit for bit).
-fn shard_candidates(qsig: &GraphSignature, plan: &ShardPlan<'_>) -> Vec<Candidate> {
-    plan.shard
-        .store()
-        .entries()
-        .map(|(id, _, sig)| {
-            let lb_label = label_set_lower_bound_sig(qsig, sig);
-            let lb_sig = lb_label.max(degree_sequence_lower_bound_sig(qsig, sig));
-            let (lb_pivot, ub) = shard_pivot_bounds_for(plan, id);
-            Candidate {
-                id,
-                lb_label,
-                lb_sig,
-                lb: lb_sig.max(lb_pivot),
-                ub,
-            }
-        })
-        .collect()
-}
-
 /// Rejects empty sharded stores and stores containing node-less graphs —
 /// the same contract (and error messages) as [`ensure_store_valid`].
-fn ensure_sharded_store_valid(store: &ShardedStore) -> Result<(), GedError> {
+pub(crate) fn ensure_sharded_store_valid(store: &ShardedStore) -> Result<(), GedError> {
     if store.is_empty() {
         return Err(GedError::EmptyStore);
     }
@@ -2194,7 +1764,10 @@ mod tests {
             .beam_width(0)
             .build()
             .unwrap_err();
-        assert_eq!(err, GedError::InvalidK { what: "beam width" });
+        assert_eq!(
+            err,
+            GedError::Config("beam width must be at least 1".to_string())
+        );
 
         let mut registry = SolverRegistry::new();
         registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
@@ -2204,9 +1777,20 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             err,
-            GedError::InvalidK {
-                what: "verify budget"
-            }
+            GedError::Config(
+                "verify budget must be at least 1 (usize::MAX = unlimited)".to_string()
+            )
+        );
+
+        let mut registry = SolverRegistry::new();
+        registry.register(MethodKind::Gedgw, Box::new(GedgwSolver));
+        let err = GedEngine::builder(registry)
+            .default_tau(f64::NAN)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GedError::Config("default range threshold must not be NaN".to_string())
         );
     }
 

@@ -26,6 +26,10 @@
 //!   API ([`engine::GedQuery`] in, [`engine::GedResponse`] out) with
 //!   method selection, filter–verify top-k and range similarity search
 //!   over [`ged_graph::GraphStore`]s, and pairwise matrices.
+//! * [`plan`] — the unified tiered query pipeline every store-level plan
+//!   (flat and sharded) runs through, plus the adaptive, stats-driven
+//!   [`plan::QueryPlanner`] whose decisions are provably
+//!   result-invariant.
 //! * [`error`] — [`error::GedError`], the unified error type of the
 //!   query API.
 
@@ -41,6 +45,7 @@ pub mod kbest;
 pub mod lower_bound;
 pub mod method;
 pub mod pairs;
+pub mod plan;
 pub mod search;
 pub mod solver;
 pub mod workspace;
@@ -61,6 +66,7 @@ pub use lower_bound::{
 };
 pub use method::MethodKind;
 pub use pairs::{ordered, GedPair};
+pub use plan::{FilterTier, PlanExplanation, PlannerCounters, QueryPlanner, QueryShape};
 pub use search::{
     bounded_exact_ged, bounded_exact_ged_with_budget, bounded_exact_ged_with_budget_in,
     fast_upper_bound, fast_upper_bound_in, pivot_distance, pivot_distance_in, prune_or_verify,

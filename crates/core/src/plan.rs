@@ -1,0 +1,1365 @@
+//! The unified tiered query pipeline and the adaptive query planner.
+//!
+//! Every store-level plan of [`GedEngine`] — top-k, range, exact range,
+//! and matrix, over flat [`GraphStore`]s and [`ShardedStore`]s alike —
+//! runs through the **one** candidate pipeline of this module. A flat
+//! store is simply the one-shard special case: both store kinds are
+//! decomposed into `ShardUnit`s (a flat store yields a single unit with
+//! aggregate lower bound 0, so its shard tier can never fire), and from
+//! there the per-shape plan bodies are shared verbatim. The previous
+//! eight hand-rolled plan implementations in `engine.rs` collapse into
+//! the four `plan_*` functions here.
+//!
+//! # Filter tiers
+//!
+//! [`FilterTier`] names every stage a candidate can be decided by, in the
+//! order the static plans apply them:
+//!
+//! ```text
+//!            ┌──────────┐   ┌────────────────────────────┐   ┌──────────────────┐   ┌────────┐
+//!  store ──▶ │  shard   │──▶│ label · degree · pivot_lb  │──▶│  pivot_ub_accept │──▶│ verify │
+//!            │ aggregate│   │  (commutative discards)    │   │  gedgw_ub_accept │   │        │
+//!            └──────────┘   └────────────────────────────┘   └──────────────────┘   └────────┘
+//! ```
+//!
+//! The three middle discard tiers are *commutative*: each compares an
+//! admissible lower bound against the threshold, so a candidate survives
+//! if and only if **all** of them pass — the evaluation order changes
+//! which tier gets the credit (and how much bound computation runs), but
+//! never the survivor set. That commutativity is what the planner
+//! exploits.
+//!
+//! # The adaptive planner
+//!
+//! [`QueryPlanner`] (enabled via [`GedEngineBuilder::adaptive_planner`])
+//! records per-tier hit rates per query shape as deterministic EWMAs —
+//! counts only, never wall-clock, so recorded state is reproducible —
+//! and derives three per-query decisions, every one of which is
+//! **result-invariant**:
+//!
+//! * **Reorder** the commutative discard tiers by observed efficiency
+//!   (EWMA yield over static unit cost). Only attribution and bound
+//!   evaluations change; the survivor set is identical.
+//! * **Skip pivot arming** for `RangeExact` once the pivot tier's
+//!   observed yield is ~0 — saving the per-query query-to-pivot distance
+//!   computations ([`PivotIndex::query_cost`]). Only taken under an
+//!   unlimited [`GedEngineBuilder::verify_budget`], where the engine
+//!   docs prove the armed and unarmed exact plans answer identically; a
+//!   finite budget could shift candidates between `matches` and
+//!   `budget_exhausted`, so the planner never skips there.
+//! * **Collapse verification** when a candidate's admissible interval is
+//!   already tight (`lb == ub`): the clamp `max(prediction, lb).min(ub)`
+//!   equals `lb` for *any* prediction, so the solver call (top-k/range)
+//!   or the certificate-recovery search (exact range, unlimited budget
+//!   only) is skipped and the bound is emitted directly.
+//!
+//! Because every decision is result-invariant, answers are bit-identical
+//! to the static plan for *any* planner state — the EWMAs may evolve
+//! nondeterministically under concurrent queries, yet no interleaving
+//! can change an answer, only the work spent producing it
+//! (property-tested in `tests/planner.rs`). [`SearchStats`] /
+//! [`ExactSearchStats`] totals still close; per-tier *attribution* may
+//! shift with the reordered tiers.
+//!
+//! [`GedEngine::explain`] reports the decision the planner would take
+//! for a shape right now, plus its cumulative savings counters.
+//!
+//! [`GedEngineBuilder::adaptive_planner`]: crate::engine::GedEngineBuilder::adaptive_planner
+//! [`GedEngineBuilder::verify_budget`]: crate::engine::GedEngineBuilder::verify_budget
+//! [`PivotIndex::query_cost`]: ged_graph::PivotIndex::query_cost
+
+use crate::engine::{
+    ensure_nonempty, ensure_sharded_store_valid, ensure_store_valid, DistanceMatrix, ExactNeighbor,
+    GedEngine, Neighbor, RangeExactResult, SearchResult, SearchStats, UndecidedCandidate,
+};
+use crate::error::GedError;
+use crate::lower_bound::{degree_sequence_lower_bound_sig, label_set_lower_bound_sig};
+use crate::method::MethodKind;
+use crate::pairs::GedPair;
+use crate::search::{pivot_distance_in, prune_or_verify_with_pivot_in, ExactSearchStats};
+use crate::solver::{GedSolver, SolverScratch};
+use crate::workspace::GedWorkspace;
+use ged_graph::{Graph, GraphId, GraphSignature, GraphStore, PivotDistance, Shard, ShardedStore};
+use std::collections::BTreeMap;
+
+/// The stages of the unified filter–verify pipeline, in static plan
+/// order. See the [module docs](self) for which stages apply to which
+/// query shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterTier {
+    /// The shard-aggregate lower bound: discards a whole [`Shard`] before
+    /// any per-graph metadata is read. Vacuous (bound 0) for flat stores.
+    Shard,
+    /// The label-set lower bound (signature-fed, commutative discard).
+    Label,
+    /// The degree-sequence lower bound (signature-fed, commutative
+    /// discard).
+    Degree,
+    /// The pivot-table triangle-inequality lower bound (commutative
+    /// discard; vacuous without an armed pivot index).
+    PivotLb,
+    /// The pivot-table upper bound *accept*: `ub ≤ τ` certifies
+    /// membership before any solver or search runs.
+    PivotUbAccept,
+    /// The feasible GEDGW upper bound *accept* of the exact pipeline.
+    GedgwUbAccept,
+    /// The verify stage: solver estimation (top-k/range) or τ-bounded
+    /// exact search (exact range).
+    Verify,
+}
+
+impl FilterTier {
+    /// The tier's stable wire/display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FilterTier::Shard => "shard",
+            FilterTier::Label => "label",
+            FilterTier::Degree => "degree",
+            FilterTier::PivotLb => "pivot_lb",
+            FilterTier::PivotUbAccept => "pivot_ub_accept",
+            FilterTier::GedgwUbAccept => "gedgw_ub_accept",
+            FilterTier::Verify => "verify",
+        }
+    }
+
+    /// Deterministic structural cost weight of evaluating this tier for
+    /// one candidate, in arbitrary units (a machine-independent stand-in
+    /// for latency, so planner decisions are reproducible): the label
+    /// bound is one sorted-multiset sweep, the degree bound sweeps both
+    /// degree sequences, and the pivot bound scans a `p`-entry table row.
+    #[must_use]
+    pub fn unit_cost(self) -> f64 {
+        match self {
+            FilterTier::Shard => 0.0,
+            FilterTier::Label => 1.0,
+            FilterTier::Degree => 1.5,
+            FilterTier::PivotLb => 2.0,
+            FilterTier::PivotUbAccept | FilterTier::GedgwUbAccept => 4.0,
+            FilterTier::Verify => 100.0,
+        }
+    }
+}
+
+/// The store-level query shapes the planner tracks independently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryShape {
+    /// `top_k` / `top_k_sharded`.
+    TopK,
+    /// `range` / `range_sharded`.
+    Range,
+    /// `range_exact` / `range_exact_sharded`.
+    RangeExact,
+    /// `distance_matrix` / `distance_matrix_sharded` (verify-only: every
+    /// pair must be computed, so there is nothing to plan).
+    Matrix,
+}
+
+impl QueryShape {
+    /// The shape's stable wire/display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryShape::TopK => "top_k",
+            QueryShape::Range => "range",
+            QueryShape::RangeExact => "range_exact",
+            QueryShape::Matrix => "matrix",
+        }
+    }
+
+    /// Parses a wire/display name back into a shape.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "top_k" => Some(QueryShape::TopK),
+            "range" => Some(QueryShape::Range),
+            "range_exact" => Some(QueryShape::RangeExact),
+            "matrix" => Some(QueryShape::Matrix),
+            _ => None,
+        }
+    }
+
+    /// Index into the planner's per-shape slots (`Matrix` is unplanned).
+    fn slot(self) -> Option<usize> {
+        match self {
+            QueryShape::TopK => Some(0),
+            QueryShape::Range => Some(1),
+            QueryShape::RangeExact => Some(2),
+            QueryShape::Matrix => None,
+        }
+    }
+
+    /// The static order of the commutative discard tiers for this shape —
+    /// exactly the order the pre-planner plans hard-coded: approximate
+    /// search checks the cheap signature bounds before the pivot table;
+    /// exact search leads with the pivot bound (one table-row scan and,
+    /// with good pivots, the strictest of the three).
+    fn static_order(self) -> [FilterTier; 3] {
+        match self {
+            QueryShape::RangeExact => [FilterTier::PivotLb, FilterTier::Label, FilterTier::Degree],
+            _ => [FilterTier::Label, FilterTier::Degree, FilterTier::PivotLb],
+        }
+    }
+}
+
+/// Queries before the planner trusts its EWMAs enough to deviate from
+/// the static order.
+const MIN_OBSERVATIONS: u64 = 3;
+
+/// EWMA smoothing factor for per-tier yield shares.
+const EWMA_ALPHA: f64 = 0.25;
+
+/// A pivot-tier yield share below this is "never fires" for the
+/// arming-skip decision.
+const SKIP_EPSILON: f64 = 1e-3;
+
+/// Per-shape planner state: how often each discard tier fired, as EWMA
+/// shares of the candidate population.
+#[derive(Clone, Copy, Debug, Default)]
+struct ShapeStats {
+    observations: u64,
+    /// EWMA share of candidates discarded per commutative tier, indexed
+    /// `[label, degree, pivot_lb]`.
+    discard_share: [f64; 3],
+    /// EWMA share of candidates the pivot tier decided either way
+    /// (discarded by its lower bound *or* accepted by its upper bound) —
+    /// the arming-skip signal: if this is ~0 the per-query arming cost
+    /// buys nothing.
+    pivot_share: f64,
+}
+
+/// What one executed query reports back to the planner.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct TierObservation {
+    pub candidates: usize,
+    pub label: usize,
+    pub degree: usize,
+    pub pivot_pruned: usize,
+    pub pivot_accepted: usize,
+    pub solver_calls_saved: u64,
+    pub searches_saved: u64,
+    pub pivot_arms_saved: u64,
+}
+
+/// The per-query plan the (static or adaptive) planner settled on.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PlanDecision {
+    /// Evaluation order of the commutative discard tiers.
+    pub order: [FilterTier; 3],
+    /// Whether to arm the pivot tier (compute per-query query-to-pivot
+    /// distances). Only ever `false` for `RangeExact` under an unlimited
+    /// verify budget.
+    pub arm_pivots: bool,
+    /// Whether to collapse verification when `lb == ub` (see the
+    /// [module docs](self)); `false` exactly reproduces the static
+    /// plans' work profile.
+    pub collapse_verify: bool,
+}
+
+impl PlanDecision {
+    /// The decision the pre-planner engine always took.
+    fn static_for(shape: QueryShape) -> Self {
+        PlanDecision {
+            order: shape.static_order(),
+            arm_pivots: true,
+            collapse_verify: false,
+        }
+    }
+
+    /// The full tier order this decision runs `shape` through, for
+    /// [`PlanExplanation`].
+    fn tier_names(&self, shape: QueryShape) -> Vec<&'static str> {
+        let mut tiers = vec![FilterTier::Shard.name()];
+        match shape {
+            QueryShape::Matrix => return vec![FilterTier::Verify.name()],
+            QueryShape::TopK => {
+                tiers.extend(self.order.iter().map(|t| t.name()));
+            }
+            QueryShape::Range => {
+                tiers.extend(self.order.iter().map(|t| t.name()));
+                tiers.push(FilterTier::PivotUbAccept.name());
+            }
+            QueryShape::RangeExact => {
+                for tier in &self.order {
+                    if self.arm_pivots || *tier != FilterTier::PivotLb {
+                        tiers.push(tier.name());
+                    }
+                }
+                if self.arm_pivots {
+                    tiers.push(FilterTier::PivotUbAccept.name());
+                }
+                tiers.push(FilterTier::GedgwUbAccept.name());
+            }
+        }
+        tiers.push(FilterTier::Verify.name());
+        tiers
+    }
+
+    /// The tiers this decision skips entirely, for [`PlanExplanation`].
+    fn skipped_names(&self, shape: QueryShape) -> Vec<&'static str> {
+        if shape == QueryShape::RangeExact && !self.arm_pivots {
+            vec![FilterTier::PivotLb.name(), FilterTier::PivotUbAccept.name()]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// The adaptive planner a [`GedEngine`] owns when
+/// [`GedEngineBuilder::adaptive_planner`](crate::engine::GedEngineBuilder::adaptive_planner)
+/// is on: per-shape, per-tier EWMA hit rates plus cumulative savings
+/// counters. All state is derived from deterministic per-query counts —
+/// never wall-clock — and every decision it makes is result-invariant
+/// (see the [module docs](self)).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryPlanner {
+    /// `[TopK, Range, RangeExact]` slots.
+    shapes: [ShapeStats; 3],
+    solver_calls_saved: u64,
+    searches_saved: u64,
+    pivot_arms_saved: u64,
+}
+
+impl QueryPlanner {
+    pub(crate) fn new() -> Self {
+        QueryPlanner::default()
+    }
+
+    /// How many queries of `shape` have been observed.
+    #[must_use]
+    pub fn observations(&self, shape: QueryShape) -> u64 {
+        shape
+            .slot()
+            .map_or(0, |slot| self.shapes[slot].observations)
+    }
+
+    /// Solver invocations skipped by collapsed (`lb == ub`) verification.
+    #[must_use]
+    pub fn solver_calls_saved(&self) -> u64 {
+        self.solver_calls_saved
+    }
+
+    /// Bounded exact searches skipped by collapsed certificate recovery.
+    #[must_use]
+    pub fn searches_saved(&self) -> u64 {
+        self.searches_saved
+    }
+
+    /// Query-to-pivot distance computations skipped by un-armed pivot
+    /// tiers.
+    #[must_use]
+    pub fn pivot_arms_saved(&self) -> u64 {
+        self.pivot_arms_saved
+    }
+
+    pub(crate) fn observe(&mut self, shape: QueryShape, obs: TierObservation) {
+        self.solver_calls_saved += obs.solver_calls_saved;
+        self.searches_saved += obs.searches_saved;
+        self.pivot_arms_saved += obs.pivot_arms_saved;
+        let Some(slot) = shape.slot() else { return };
+        let stats = &mut self.shapes[slot];
+        stats.observations += 1;
+        if obs.candidates == 0 {
+            return;
+        }
+        let n = obs.candidates as f64;
+        let fired = [obs.label, obs.degree, obs.pivot_pruned];
+        for (share, count) in stats.discard_share.iter_mut().zip(fired) {
+            *share += EWMA_ALPHA * (count as f64 / n - *share);
+        }
+        let pivot_total = (obs.pivot_pruned + obs.pivot_accepted) as f64 / n;
+        stats.pivot_share += EWMA_ALPHA * (pivot_total - stats.pivot_share);
+    }
+
+    pub(crate) fn decision(&self, shape: QueryShape, budget_unlimited: bool) -> PlanDecision {
+        let mut decision = PlanDecision::static_for(shape);
+        // Collapsing lb == ub verification is result-invariant for every
+        // prediction (the clamp pins the output), so it needs no warmup.
+        decision.collapse_verify = true;
+        let Some(slot) = shape.slot() else {
+            return decision;
+        };
+        let stats = &self.shapes[slot];
+        if stats.observations < MIN_OBSERVATIONS {
+            return decision;
+        }
+        // Reorder the commutative discards by observed efficiency (EWMA
+        // yield per unit cost), descending. The sort is stable, so equal
+        // efficiencies keep the static order.
+        let share_of = |tier: FilterTier| match tier {
+            FilterTier::Label => stats.discard_share[0],
+            FilterTier::Degree => stats.discard_share[1],
+            _ => stats.discard_share[2],
+        };
+        decision.order.sort_by(|&a, &b| {
+            let ea = share_of(a) / a.unit_cost();
+            let eb = share_of(b) / b.unit_cost();
+            eb.partial_cmp(&ea).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        if shape == QueryShape::RangeExact && budget_unlimited && stats.pivot_share < SKIP_EPSILON {
+            // The pivot tier has not been earning its per-query arming
+            // cost. Under an unlimited budget the armed and unarmed
+            // exact plans are provably bit-identical (engine docs), so
+            // skipping is safe; under a finite budget it is not taken.
+            decision.arm_pivots = false;
+        }
+        decision
+    }
+}
+
+/// The decision [`GedEngine::explain`] reports: the tier order the
+/// (static or adaptive) planner would run a query shape through right
+/// now, plus the planner's cumulative savings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanExplanation {
+    /// The query shape explained.
+    pub shape: QueryShape,
+    /// Whether the adaptive planner is enabled on this engine.
+    pub adaptive: bool,
+    /// The tier order a query of this shape would run through, first to
+    /// last ([`FilterTier::name`] values).
+    pub tiers: Vec<&'static str>,
+    /// Tiers the current decision skips entirely (empty for the static
+    /// planner).
+    pub skipped: Vec<&'static str>,
+    /// Queries of this shape observed so far (0 without the planner).
+    pub observations: u64,
+    /// Solver invocations skipped so far, across all shapes.
+    pub solver_calls_saved: u64,
+    /// Bounded exact searches skipped so far, across all shapes.
+    pub searches_saved: u64,
+    /// Query-to-pivot distance computations skipped so far.
+    pub pivot_arms_saved: u64,
+}
+
+/// Cumulative savings of an engine's adaptive planner (see
+/// [`GedEngine::planner_counters`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlannerCounters {
+    /// Solver invocations skipped by collapsed verification.
+    pub solver_calls_saved: u64,
+    /// Bounded exact searches skipped by collapsed certificate recovery.
+    pub searches_saved: u64,
+    /// Query-to-pivot distance computations skipped by un-armed pivot
+    /// tiers.
+    pub pivot_arms_saved: u64,
+}
+
+/// One filter-phase survivor: a candidate id plus its per-tier lower
+/// bounds (label-set, combined signature, combined-with-pivot) and the
+/// pivot-table upper bound (`usize::MAX` when no pivot index is active).
+#[derive(Clone, Copy)]
+pub(crate) struct Candidate {
+    id: GraphId,
+    lb_label: usize,
+    lb_sig: usize,
+    lb: usize,
+    ub: usize,
+}
+
+/// How many candidates each verification round hands to the parallel
+/// runner between top-k threshold re-checks. Machine-independent so
+/// [`SearchStats`] are reproducible everywhere.
+const VERIFY_BLOCK: usize = 16;
+
+/// An exact-range filter survivor: the id, the pivot-ub membership
+/// certificate (if any), and — adaptive planner only — the collapsed
+/// exact distance when the pivot interval was already tight.
+struct ExactSurvivor {
+    id: GraphId,
+    certificate: Option<usize>,
+    collapsed_ged: Option<usize>,
+}
+
+/// Either store kind, as the plans see it. Flat stores become the
+/// one-shard special case of sharded ones in [`GedEngine::shard_units`].
+#[derive(Clone, Copy)]
+pub(crate) enum PlanStore<'a> {
+    Flat(&'a GraphStore),
+    Sharded(&'a ShardedStore),
+}
+
+impl<'a> PlanStore<'a> {
+    fn len(self) -> usize {
+        match self {
+            PlanStore::Flat(s) => s.len(),
+            PlanStore::Sharded(s) => s.len(),
+        }
+    }
+
+    fn graph(self, id: GraphId) -> Option<&'a Graph> {
+        match self {
+            PlanStore::Flat(s) => s.get(id),
+            PlanStore::Sharded(s) => s.get(id),
+        }
+    }
+
+    fn validate(self) -> Result<(), GedError> {
+        match self {
+            PlanStore::Flat(s) => ensure_store_valid(s),
+            PlanStore::Sharded(s) => ensure_sharded_store_valid(s),
+        }
+    }
+
+    /// Every graph in globally ascending id order (the matrix kernel's
+    /// input order).
+    fn graphs(self) -> Vec<(GraphId, &'a Graph)> {
+        match self {
+            PlanStore::Flat(s) => s.iter().collect(),
+            PlanStore::Sharded(s) => s.iter().collect(),
+        }
+    }
+}
+
+/// The per-unit pivot state: a flat store's engine-cached bounds map, or
+/// a shard's own pivot block plus this query's distances to it. `None`
+/// payloads mean the tier is disabled/un-armed and bounds are vacuous.
+enum UnitPivot<'s> {
+    Flat(Option<BTreeMap<GraphId, (usize, usize)>>),
+    Shard {
+        shard: &'s Shard,
+        qdists: Option<Vec<PivotDistance>>,
+    },
+}
+
+/// One shard of the unified plan: the backing [`GraphStore`], the
+/// aggregate lower bound the shard tier compares against the threshold
+/// (0 for the flat one-shard case, so it can never fire there), and the
+/// pivot state per-candidate bounds are read from.
+pub(crate) struct ShardUnit<'s> {
+    store: &'s GraphStore,
+    lb: usize,
+    bucket: usize,
+    pivot: UnitPivot<'s>,
+}
+
+impl<'s> ShardUnit<'s> {
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The pivot `[lb, ub]` bounds of `id`, or the vacuous
+    /// `(0, usize::MAX)` when the tier is off — uniform across both
+    /// store kinds so every plan treats bounds as unconditionally
+    /// present.
+    fn pivot_bounds_for(&self, id: GraphId) -> (usize, usize) {
+        match &self.pivot {
+            UnitPivot::Flat(bounds) => bounds
+                .as_ref()
+                .and_then(|m| m.get(&id).copied())
+                .unwrap_or((0, usize::MAX)),
+            UnitPivot::Shard { shard, qdists } => match qdists {
+                Some(qdists) => shard
+                    .pivot_index()
+                    .expect("qdists imply a synced index")
+                    .bounds(qdists, id)
+                    .expect("index is synced with the shard store"),
+                None => (0, usize::MAX),
+            },
+        }
+    }
+}
+
+/// Lazily evaluated per-candidate tier bounds: each bound is computed at
+/// most once, and only when the evaluation order actually reaches its
+/// tier — so a reordered plan spends exactly the bound computations its
+/// order implies, and the static order reproduces the legacy plans'
+/// short-circuit work profile.
+struct LazyTiers<'a, 's> {
+    unit: &'a ShardUnit<'s>,
+    qsig: &'a GraphSignature,
+    sig: &'a GraphSignature,
+    id: GraphId,
+    label: Option<usize>,
+    degree: Option<usize>,
+    pivot: Option<(usize, usize)>,
+}
+
+impl<'a, 's> LazyTiers<'a, 's> {
+    fn new(
+        unit: &'a ShardUnit<'s>,
+        qsig: &'a GraphSignature,
+        id: GraphId,
+        sig: &'a GraphSignature,
+    ) -> Self {
+        LazyTiers {
+            unit,
+            qsig,
+            sig,
+            id,
+            label: None,
+            degree: None,
+            pivot: None,
+        }
+    }
+
+    fn label(&mut self) -> usize {
+        *self
+            .label
+            .get_or_insert_with(|| label_set_lower_bound_sig(self.qsig, self.sig))
+    }
+
+    fn degree(&mut self) -> usize {
+        *self
+            .degree
+            .get_or_insert_with(|| degree_sequence_lower_bound_sig(self.qsig, self.sig))
+    }
+
+    fn pivot(&mut self) -> (usize, usize) {
+        let unit = self.unit;
+        let id = self.id;
+        *self.pivot.get_or_insert_with(|| unit.pivot_bounds_for(id))
+    }
+
+    /// This candidate's lower bound at one commutative discard tier.
+    fn lower_bound(&mut self, tier: FilterTier) -> usize {
+        match tier {
+            FilterTier::Label => self.label(),
+            FilterTier::Degree => self.degree(),
+            _ => self.pivot().0,
+        }
+    }
+
+    /// Forces every bound and assembles the full [`Candidate`] record
+    /// (what the verify phase's clamp and the top-k sort need).
+    fn candidate(&mut self) -> Candidate {
+        let lb_label = self.label();
+        let lb_sig = lb_label.max(self.degree());
+        let (lb_pivot, ub) = self.pivot();
+        Candidate {
+            id: self.id,
+            lb_label,
+            lb_sig,
+            lb: lb_sig.max(lb_pivot),
+            ub,
+        }
+    }
+}
+
+/// Per-discard-tier fire counts of one query, accumulated into both the
+/// [`SearchStats`]/[`ExactSearchStats`] attribution and the planner's
+/// observation.
+#[derive(Default, Clone, Copy)]
+struct DiscardCounts {
+    label: usize,
+    degree: usize,
+    pivot: usize,
+}
+
+impl DiscardCounts {
+    fn record(&mut self, tier: FilterTier) {
+        match tier {
+            FilterTier::Label => self.label += 1,
+            FilterTier::Degree => self.degree += 1,
+            _ => self.pivot += 1,
+        }
+    }
+}
+
+impl GedEngine {
+    /// The per-query decision: static when the planner is off, adaptive
+    /// otherwise.
+    fn plan_decision(&self, shape: QueryShape) -> PlanDecision {
+        match &self.planner {
+            None => PlanDecision::static_for(shape),
+            Some(p) => p
+                .lock()
+                .expect("planner lock")
+                .decision(shape, self.verify_budget == usize::MAX),
+        }
+    }
+
+    /// Feeds one executed query's tier counts back into the planner (a
+    /// no-op when the planner is off).
+    fn plan_observe(&self, shape: QueryShape, obs: TierObservation) {
+        if let Some(p) = &self.planner {
+            p.lock().expect("planner lock").observe(shape, obs);
+        }
+    }
+
+    /// Whether the adaptive planner is enabled.
+    #[must_use]
+    pub fn planner_enabled(&self) -> bool {
+        self.planner.is_some()
+    }
+
+    /// The planner's cumulative savings counters, or `None` when the
+    /// adaptive planner is off.
+    #[must_use]
+    pub fn planner_counters(&self) -> Option<PlannerCounters> {
+        self.planner.as_ref().map(|p| {
+            let p = p.lock().expect("planner lock");
+            PlannerCounters {
+                solver_calls_saved: p.solver_calls_saved(),
+                searches_saved: p.searches_saved(),
+                pivot_arms_saved: p.pivot_arms_saved(),
+            }
+        })
+    }
+
+    /// Explains the plan a query of `shape` would run right now: the
+    /// tier order, any skipped tiers, and the planner's observation and
+    /// savings counters. With the planner off this is the static plan
+    /// (and the counters are zero).
+    #[must_use]
+    pub fn explain(&self, shape: QueryShape) -> PlanExplanation {
+        let decision = self.plan_decision(shape);
+        let (observations, counters) = match &self.planner {
+            Some(p) => {
+                let p = p.lock().expect("planner lock");
+                (
+                    p.observations(shape),
+                    PlannerCounters {
+                        solver_calls_saved: p.solver_calls_saved(),
+                        searches_saved: p.searches_saved(),
+                        pivot_arms_saved: p.pivot_arms_saved(),
+                    },
+                )
+            }
+            None => (0, PlannerCounters::default()),
+        };
+        PlanExplanation {
+            shape,
+            adaptive: self.planner.is_some(),
+            tiers: decision.tier_names(shape),
+            skipped: decision.skipped_names(shape),
+            observations,
+            solver_calls_saved: counters.solver_calls_saved,
+            searches_saved: counters.searches_saved,
+            pivot_arms_saved: counters.pivot_arms_saved,
+        }
+    }
+
+    /// Decomposes either store kind into the unified plan's
+    /// [`ShardUnit`]s, armed or not, sorted ascending by aggregate bound
+    /// (bucket as the deterministic tie-break) so the most promising
+    /// units are visited first. A flat store is one unit with bound 0 —
+    /// its shard tier can never fire and `pruned_shard` stays 0, exactly
+    /// the legacy flat plans.
+    ///
+    /// `arm_pivots: false` (planner, `RangeExact` only) skips the
+    /// per-query pivot arming entirely: no query-to-pivot distances are
+    /// computed, per-candidate bounds are vacuous, and sharded aggregate
+    /// bounds fall back to signatures alone.
+    fn shard_units<'s>(
+        &self,
+        query: &Graph,
+        qsig: &GraphSignature,
+        store: PlanStore<'s>,
+        arm_pivots: bool,
+    ) -> Vec<ShardUnit<'s>> {
+        match store {
+            PlanStore::Flat(flat) => {
+                let pivot = if arm_pivots {
+                    self.pivot_bounds(query, flat)
+                } else {
+                    None
+                };
+                vec![ShardUnit {
+                    store: flat,
+                    lb: 0,
+                    bucket: 0,
+                    pivot: UnitPivot::Flat(pivot),
+                }]
+            }
+            PlanStore::Sharded(sharded) => {
+                let pivots_on = arm_pivots && sharded.pivots_ready(self.pivot_target);
+                let mut ws = GedWorkspace::new();
+                let mut oracle =
+                    |a: &Graph, b: &Graph| pivot_distance_in(a, b, self.verify_budget, &mut ws);
+                let mut units: Vec<ShardUnit<'s>> = sharded
+                    .shards()
+                    .map(|shard| {
+                        let mut lb = shard.signature_lower_bound(qsig);
+                        let qdists = if pivots_on {
+                            let index = shard.pivot_index().expect("pivots_ready");
+                            let qd = index.query_distances(shard.store(), query, &mut oracle);
+                            lb = lb.max(shard.pivot_lower_bound(&qd));
+                            Some(qd)
+                        } else {
+                            None
+                        };
+                        ShardUnit {
+                            store: shard.store(),
+                            lb,
+                            bucket: shard.bucket(),
+                            pivot: UnitPivot::Shard { shard, qdists },
+                        }
+                    })
+                    .collect();
+                units.sort_by_key(|u| (u.lb, u.bucket));
+                units
+            }
+        }
+    }
+
+    /// How many query-to-pivot distance computations an un-armed query
+    /// skipped — [`PivotIndex::query_cost`](ged_graph::PivotIndex::query_cost)
+    /// summed over the store's pivot blocks (the flat store's engine-side
+    /// index is deliberately not synced here — syncing is the cost being
+    /// skipped — so its target stands in for its size).
+    fn pivot_arm_cost(&self, store: PlanStore<'_>) -> u64 {
+        match store {
+            PlanStore::Flat(flat) => self.pivot_target.min(flat.len()) as u64,
+            PlanStore::Sharded(sharded) => {
+                sharded.shards().map(|s| s.pivot_query_cost() as u64).sum()
+            }
+        }
+    }
+
+    /// The unified top-k plan (flat = one-shard case). The planner's only
+    /// lever here is collapsed verification: the lb-ascending processing
+    /// order already forces every bound, so tier reordering buys nothing,
+    /// and skipping pivot arming would change the clamped estimates.
+    pub(crate) fn plan_top_k(
+        &self,
+        method: MethodKind,
+        query: &Graph,
+        store: PlanStore<'_>,
+        k: usize,
+    ) -> Result<SearchResult, GedError> {
+        if k == 0 {
+            return Err(GedError::InvalidK { what: "top-k" });
+        }
+        ensure_nonempty(query, "query")?;
+        let solver = self.solver(method)?;
+        store.validate()?;
+
+        let decision = self.plan_decision(QueryShape::TopK);
+        let qsig = GraphSignature::of(query);
+        let units = self.shard_units(query, &qsig, store, true);
+        let k = k.min(store.len());
+        let mut stats = SearchStats {
+            candidates: store.len(),
+            ..SearchStats::default()
+        };
+        let mut best: Vec<Neighbor> = Vec::new();
+        let block = k.max(VERIFY_BLOCK);
+        let mut solver_calls_saved = 0u64;
+        for unit in &units {
+            // Shard tier: an aggregate bound over the k-th best proves
+            // every member ranks after the current top k.
+            if best.len() >= k && (unit.lb as f64) > best[k - 1].ged {
+                stats.pruned_shard += unit.len();
+                continue;
+            }
+            let mut candidates: Vec<Candidate> = unit
+                .store
+                .entries()
+                .map(|(id, _, sig)| LazyTiers::new(unit, &qsig, id, sig).candidate())
+                .collect();
+            // Ascending lower bounds: the most promising candidates are
+            // verified first, which tightens the k-th-best threshold as
+            // early as possible. Sorted order also means the first
+            // candidate over the threshold proves every later one is
+            // over it too.
+            candidates.sort_by(|a, b| a.lb.cmp(&b.lb).then(a.id.cmp(&b.id)));
+            let mut i = 0;
+            while i < candidates.len() {
+                // Re-read the pruning threshold between rounds: it
+                // tightens monotonically as verified candidates
+                // accumulate.
+                if best.len() >= k {
+                    let kth = best[k - 1].ged;
+                    if (candidates[i].lb as f64) > kth {
+                        for c in &candidates[i..] {
+                            if (c.lb_label as f64) > kth {
+                                stats.pruned_label += 1;
+                            } else if (c.lb_sig as f64) > kth {
+                                stats.pruned_degree += 1;
+                            } else {
+                                stats.pruned_pivot += 1;
+                            }
+                        }
+                        break;
+                    }
+                }
+                let hi = (i + block).min(candidates.len());
+                let round = &candidates[i..hi];
+                if decision.collapse_verify {
+                    solver_calls_saved += collapsible(round);
+                }
+                let verified = self.verify(
+                    method,
+                    solver,
+                    query,
+                    unit.store,
+                    round,
+                    decision.collapse_verify,
+                );
+                stats.verified += verified.len();
+                best.extend(verified);
+                best.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.id.cmp(&b.id)));
+                i = hi;
+            }
+            // Bounded merge: only the current top k cross a shard
+            // boundary — anything beyond rank k can never re-enter.
+            best.truncate(k);
+        }
+        self.plan_observe(
+            QueryShape::TopK,
+            TierObservation {
+                candidates: stats.candidates,
+                label: stats.pruned_label,
+                degree: stats.pruned_degree,
+                pivot_pruned: stats.pruned_pivot,
+                solver_calls_saved,
+                ..TierObservation::default()
+            },
+        );
+        Ok(SearchResult {
+            neighbors: best,
+            stats,
+        })
+    }
+
+    /// The unified range plan (flat = one-shard case). The planner may
+    /// reorder the commutative discard tiers and collapse `lb == ub`
+    /// verification; the pivot tier stays armed because verified
+    /// estimates clamp into its `[lb, ub]` interval (un-arming would
+    /// change reported values, not just work).
+    pub(crate) fn plan_range(
+        &self,
+        method: MethodKind,
+        query: &Graph,
+        store: PlanStore<'_>,
+        tau: f64,
+    ) -> Result<SearchResult, GedError> {
+        if tau.is_nan() {
+            return Err(GedError::Config(
+                "range threshold must not be NaN".to_string(),
+            ));
+        }
+        ensure_nonempty(query, "query")?;
+        let solver = self.solver(method)?;
+        store.validate()?;
+
+        let decision = self.plan_decision(QueryShape::Range);
+        let qsig = GraphSignature::of(query);
+        let units = self.shard_units(query, &qsig, store, true);
+        let mut stats = SearchStats {
+            candidates: store.len(),
+            ..SearchStats::default()
+        };
+        let mut discards = DiscardCounts::default();
+        let mut solver_calls_saved = 0u64;
+        let mut neighbors: Vec<Neighbor> = Vec::new();
+        for unit in &units {
+            if (unit.lb as f64) > tau {
+                stats.pruned_shard += unit.len();
+                continue;
+            }
+            let mut survivors: Vec<Candidate> = Vec::new();
+            'candidates: for (id, _, sig) in unit.store.entries() {
+                let mut tiers = LazyTiers::new(unit, &qsig, id, sig);
+                for tier in decision.order {
+                    if (tiers.lower_bound(tier) as f64) > tau {
+                        discards.record(tier);
+                        continue 'candidates;
+                    }
+                }
+                let c = tiers.candidate();
+                if c.ub != usize::MAX && (c.ub as f64) <= tau {
+                    // The pivot table proves this candidate's exact GED
+                    // is within τ: membership is decided before the
+                    // solver runs (the solver still supplies the
+                    // reported estimate, which the ub-clamp keeps ≤ τ).
+                    // The `usize::MAX` guard keeps the vacuous no-pivot
+                    // bound from counting as a certificate when τ itself
+                    // is unbounded.
+                    stats.accepted_pivot += 1;
+                }
+                survivors.push(c);
+            }
+            if decision.collapse_verify {
+                solver_calls_saved += collapsible(&survivors);
+            }
+            let verified = self.verify(
+                method,
+                solver,
+                query,
+                unit.store,
+                &survivors,
+                decision.collapse_verify,
+            );
+            stats.verified += verified.len();
+            neighbors.extend(verified.into_iter().filter(|n| n.ged <= tau));
+        }
+        stats.pruned_label = discards.label;
+        stats.pruned_degree = discards.degree;
+        stats.pruned_pivot = discards.pivot;
+        neighbors.sort_by(|a, b| a.ged.total_cmp(&b.ged).then(a.id.cmp(&b.id)));
+        self.plan_observe(
+            QueryShape::Range,
+            TierObservation {
+                candidates: stats.candidates,
+                label: discards.label,
+                degree: discards.degree,
+                pivot_pruned: discards.pivot,
+                pivot_accepted: stats.accepted_pivot,
+                solver_calls_saved,
+                ..TierObservation::default()
+            },
+        );
+        Ok(SearchResult { neighbors, stats })
+    }
+
+    /// The unified exact range plan (flat = one-shard case). The planner
+    /// may reorder the commutative discards, skip pivot arming once the
+    /// tier's yield is ~0, and collapse certificate recovery when the
+    /// pivot interval is already tight — the latter two only under an
+    /// unlimited verify budget, where they are provably bit-identical.
+    pub(crate) fn plan_range_exact(
+        &self,
+        method: MethodKind,
+        query: &Graph,
+        store: PlanStore<'_>,
+        tau: f64,
+    ) -> Result<RangeExactResult, GedError> {
+        if tau.is_nan() {
+            return Err(GedError::Config(
+                "exact range threshold must not be NaN".to_string(),
+            ));
+        }
+        // Exact search never consults the solver; validate the method
+        // anyway so `query_as(method, ..)` behaves uniformly.
+        let _ = self.solver(method)?;
+        ensure_nonempty(query, "query")?;
+        store.validate()?;
+
+        let mut stats = ExactSearchStats::default();
+        if tau < 0.0 {
+            // Every lower bound (≥ 0) exceeds a negative τ: the filter
+            // tier discards the whole store.
+            stats.filtered = store.len();
+            return Ok(RangeExactResult {
+                matches: Vec::new(),
+                budget_exhausted: Vec::new(),
+                stats,
+            });
+        }
+        // GED is integral: GED ≤ τ ⟺ GED ≤ ⌊τ⌋. `+∞` (and any τ beyond
+        // usize) saturates to an effectively unbounded threshold — τ is
+        // only ever compared, never added, so no overflow.
+        let tau = if tau.is_infinite() {
+            usize::MAX
+        } else {
+            tau.floor() as usize
+        };
+
+        let budget_unlimited = self.verify_budget == usize::MAX;
+        let decision = self.plan_decision(QueryShape::RangeExact);
+        let collapse = decision.collapse_verify && budget_unlimited;
+        let qsig = GraphSignature::of(query);
+        let units = self.shard_units(query, &qsig, store, decision.arm_pivots);
+        let pivot_arms_saved = if decision.arm_pivots {
+            0
+        } else {
+            self.pivot_arm_cost(store)
+        };
+
+        let mut discards = DiscardCounts::default();
+        let mut searches_saved = 0u64;
+        let mut survivors: Vec<ExactSurvivor> = Vec::new();
+        for unit in &units {
+            if unit.lb > tau {
+                stats.pruned_shard += unit.len();
+                continue;
+            }
+            'candidates: for (id, _, sig) in unit.store.entries() {
+                let mut tiers = LazyTiers::new(unit, &qsig, id, sig);
+                for tier in decision.order {
+                    if tiers.lower_bound(tier) > tau {
+                        discards.record(tier);
+                        continue 'candidates;
+                    }
+                }
+                let (lb_pivot, ub_pivot) = tiers.pivot();
+                // A certificate must be a *real* pivot bound: the vacuous
+                // `usize::MAX` of a disabled pivot tier would otherwise
+                // "certify" everything whenever τ saturates to
+                // `usize::MAX`, replacing the tight GEDGW-ub recovery
+                // search with an effectively unbounded one.
+                let certificate = (ub_pivot != usize::MAX && ub_pivot <= tau).then_some(ub_pivot);
+                // Collapsed recovery: when the pivot interval is tight
+                // (lb == ub ≤ τ) and the budget is unlimited, the
+                // ub-bounded recovery search can only conclude
+                // `Within(ub)` — its result is pinned, so skip it.
+                let collapsed_ged = if collapse {
+                    certificate.filter(|&ub| ub == lb_pivot)
+                } else {
+                    None
+                };
+                if collapsed_ged.is_some() {
+                    searches_saved += 1;
+                }
+                survivors.push(ExactSurvivor {
+                    id,
+                    certificate,
+                    collapsed_ged,
+                });
+            }
+        }
+        stats.pruned_pivot = discards.pivot;
+        stats.filtered = discards.label + discards.degree;
+        // Units were visited in bound order; restore the flat plan's
+        // globally ascending id order for the verify batch.
+        survivors.sort_by_key(|s| s.id);
+
+        // Prune / verify tiers: per-candidate, embarrassingly parallel,
+        // deterministic — so thread count never changes the answer and
+        // input (id) order is preserved. A pivot-certified candidate
+        // skips the GEDGW bound and goes straight to the
+        // (pivot-ub-bounded) exact-distance recovery.
+        let outcomes = self
+            .runner
+            .map_init(&survivors, GedWorkspace::new, |ws, s| {
+                if let Some(ged) = s.collapsed_ged {
+                    return crate::search::CandidateOutcome::AcceptedByPivot { ged };
+                }
+                let cand = store
+                    .graph(s.id)
+                    .expect("survivor ids come from this store");
+                prune_or_verify_with_pivot_in(
+                    query,
+                    cand,
+                    tau,
+                    self.verify_budget,
+                    s.certificate,
+                    ws,
+                )
+            });
+
+        let mut matches = Vec::new();
+        let mut budget_exhausted = Vec::new();
+        for (s, outcome) in survivors.iter().zip(outcomes) {
+            stats.record(&outcome);
+            match outcome {
+                crate::search::CandidateOutcome::AcceptedByPivot { ged }
+                | crate::search::CandidateOutcome::AcceptedEarly { ged }
+                | crate::search::CandidateOutcome::Verified { ged } => {
+                    matches.push(ExactNeighbor { id: s.id, ged });
+                }
+                crate::search::CandidateOutcome::Rejected => {}
+                crate::search::CandidateOutcome::BudgetExhausted { accepted_ub } => {
+                    budget_exhausted.push(UndecidedCandidate {
+                        id: s.id,
+                        known_match_ub: accepted_ub,
+                    });
+                }
+            }
+        }
+        debug_assert_eq!(
+            stats.total(),
+            store.len(),
+            "every candidate lands in one tier"
+        );
+        self.plan_observe(
+            QueryShape::RangeExact,
+            TierObservation {
+                candidates: store.len(),
+                label: discards.label,
+                degree: discards.degree,
+                pivot_pruned: discards.pivot,
+                pivot_accepted: stats.accepted_pivot,
+                searches_saved,
+                pivot_arms_saved,
+                ..TierObservation::default()
+            },
+        );
+        Ok(RangeExactResult {
+            matches,
+            budget_exhausted,
+            stats,
+        })
+    }
+
+    /// The unified matrix plan: validation plus the shared
+    /// upper-triangle kernel over the globally id-ordered graph
+    /// sequence, so flat and sharded matrices are bit-identical over the
+    /// same graphs. (No filter tiers — every pair must be computed.)
+    pub(crate) fn plan_matrix(
+        &self,
+        method: MethodKind,
+        store: PlanStore<'_>,
+    ) -> Result<DistanceMatrix, GedError> {
+        let solver = self.solver(method)?;
+        store.validate()?;
+        Ok(self.matrix_of(method, solver, store.graphs()))
+    }
+
+    /// The verify phase shared by `TopK` and `Range`: runs the solver on
+    /// every candidate in parallel and refines each prediction into the
+    /// candidate's admissible `[lb, ub]` interval
+    /// (`min(max(prediction, lb), ub)`). The interval provably contains
+    /// the true GED, so clamping only ever moves an estimate *toward* it
+    /// — and it is what makes bound-based pruning (and pivot-ub range
+    /// acceptance) exactly consistent with a full scan applying the same
+    /// refinement. Without a pivot index `ub` is `usize::MAX` and this is
+    /// the classic one-sided `max(prediction, lb)` of the signature
+    /// tiers.
+    ///
+    /// With `collapse` on (adaptive planner), a candidate whose interval
+    /// is already tight (`lb == ub`) skips the solver: the clamp pins the
+    /// output to `lb` for any prediction (`f64::max` ignores NaN), so the
+    /// emitted neighbor is bit-identical either way.
+    fn verify(
+        &self,
+        method: MethodKind,
+        solver: &dyn GedSolver,
+        query: &Graph,
+        store: &GraphStore,
+        candidates: &[Candidate],
+        collapse: bool,
+    ) -> Vec<Neighbor> {
+        self.runner
+            .map_init(candidates, SolverScratch::new, |scratch, c| {
+                if collapse && c.ub != usize::MAX && c.lb == c.ub {
+                    return Neighbor {
+                        id: c.id,
+                        ged: c.lb as f64,
+                    };
+                }
+                let graph = store.get(c.id).expect("candidate ids come from this store");
+                let pair = GedPair::new(query.clone(), graph.clone());
+                let prediction = self.predict_cached(method, solver, &pair, scratch);
+                Neighbor {
+                    id: c.id,
+                    // f64::max ignores a NaN prediction, keeping the no-panic,
+                    // no-NaN contract of the ranking; lb ≤ ub always (both
+                    // bound the same exact GED), so the clamp is well formed.
+                    ged: prediction.max(c.lb as f64).min(c.ub as f64),
+                }
+            })
+    }
+}
+
+/// How many of `candidates` collapsed verification will answer from
+/// their tight `lb == ub` interval without a solver call.
+fn collapsible(candidates: &[Candidate]) -> u64 {
+    candidates
+        .iter()
+        .filter(|c| c.ub != usize::MAX && c.lb == c.ub)
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_names_round_trip() {
+        for shape in [
+            QueryShape::TopK,
+            QueryShape::Range,
+            QueryShape::RangeExact,
+            QueryShape::Matrix,
+        ] {
+            assert_eq!(QueryShape::from_name(shape.name()), Some(shape));
+        }
+        assert_eq!(QueryShape::from_name("nope"), None);
+    }
+
+    #[test]
+    fn static_decision_matches_legacy_orders() {
+        let d = PlanDecision::static_for(QueryShape::Range);
+        assert_eq!(
+            d.order,
+            [FilterTier::Label, FilterTier::Degree, FilterTier::PivotLb]
+        );
+        assert!(d.arm_pivots);
+        assert!(!d.collapse_verify);
+        let d = PlanDecision::static_for(QueryShape::RangeExact);
+        assert_eq!(
+            d.order,
+            [FilterTier::PivotLb, FilterTier::Label, FilterTier::Degree]
+        );
+    }
+
+    #[test]
+    fn planner_reorders_only_after_warmup_and_by_efficiency() {
+        let mut planner = QueryPlanner::new();
+        // Degree does all the work; label and pivot never fire.
+        let obs = TierObservation {
+            candidates: 100,
+            degree: 90,
+            ..TierObservation::default()
+        };
+        for fired in 0..MIN_OBSERVATIONS {
+            let d = planner.decision(QueryShape::Range, true);
+            assert_eq!(
+                d.order,
+                QueryShape::Range.static_order(),
+                "static until warmed ({fired} observations)"
+            );
+            planner.observe(QueryShape::Range, obs);
+        }
+        let d = planner.decision(QueryShape::Range, true);
+        assert_eq!(d.order[0], FilterTier::Degree, "highest yield first");
+        assert!(d.arm_pivots, "range never skips arming");
+        assert!(d.collapse_verify);
+    }
+
+    #[test]
+    fn pivot_arming_skip_requires_unlimited_budget_and_zero_yield() {
+        let mut planner = QueryPlanner::new();
+        let dead_pivot = TierObservation {
+            candidates: 50,
+            label: 40,
+            ..TierObservation::default()
+        };
+        for _ in 0..MIN_OBSERVATIONS + 1 {
+            planner.observe(QueryShape::RangeExact, dead_pivot);
+        }
+        assert!(!planner.decision(QueryShape::RangeExact, true).arm_pivots);
+        assert!(
+            planner.decision(QueryShape::RangeExact, false).arm_pivots,
+            "a finite budget must keep the tier armed"
+        );
+        // Once the pivot tier shows yield, the skip is withdrawn.
+        let firing = TierObservation {
+            candidates: 50,
+            pivot_pruned: 25,
+            ..TierObservation::default()
+        };
+        for _ in 0..MIN_OBSERVATIONS {
+            planner.observe(QueryShape::RangeExact, firing);
+        }
+        assert!(planner.decision(QueryShape::RangeExact, true).arm_pivots);
+    }
+
+    #[test]
+    fn explanation_tier_lists_cover_all_shapes() {
+        let d = PlanDecision::static_for(QueryShape::RangeExact);
+        assert_eq!(
+            d.tier_names(QueryShape::RangeExact),
+            vec![
+                "shard",
+                "pivot_lb",
+                "label",
+                "degree",
+                "pivot_ub_accept",
+                "gedgw_ub_accept",
+                "verify"
+            ]
+        );
+        assert!(d.skipped_names(QueryShape::RangeExact).is_empty());
+
+        let skipping = PlanDecision {
+            arm_pivots: false,
+            ..d
+        };
+        assert_eq!(
+            skipping.tier_names(QueryShape::RangeExact),
+            vec!["shard", "label", "degree", "gedgw_ub_accept", "verify"]
+        );
+        assert_eq!(
+            skipping.skipped_names(QueryShape::RangeExact),
+            vec!["pivot_lb", "pivot_ub_accept"]
+        );
+        assert_eq!(
+            PlanDecision::static_for(QueryShape::Matrix).tier_names(QueryShape::Matrix),
+            vec!["verify"]
+        );
+    }
+}

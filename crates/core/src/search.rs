@@ -119,6 +119,19 @@ impl ExactSearchStats {
             + self.verified
             + self.budget_exceeded
     }
+
+    /// Accounts one prune/verify-phase [`CandidateOutcome`] to its tier —
+    /// the single outcome→tier mapping every store-level exact plan uses,
+    /// so accounting cannot drift between plans. (`Rejected` still counts
+    /// as `verified`: the candidate consumed a bounded exact search.)
+    pub fn record(&mut self, outcome: &CandidateOutcome) {
+        match outcome {
+            CandidateOutcome::AcceptedByPivot { .. } => self.accepted_pivot += 1,
+            CandidateOutcome::AcceptedEarly { .. } => self.accepted_early += 1,
+            CandidateOutcome::Verified { .. } | CandidateOutcome::Rejected => self.verified += 1,
+            CandidateOutcome::BudgetExhausted { .. } => self.budget_exceeded += 1,
+        }
+    }
 }
 
 impl fmt::Display for ExactSearchStats {

@@ -280,6 +280,16 @@ impl PivotIndex {
         self.pivots.len()
     }
 
+    /// The per-query arming cost of this index, in query-to-pivot
+    /// distance computations: what one call to
+    /// [`PivotIndex::query_distances`] spends before any per-candidate
+    /// bound can be read. The tier-cost hook query planners weigh the
+    /// pivot tier's observed yield against.
+    #[must_use]
+    pub fn query_cost(&self) -> usize {
+        self.pivots.len()
+    }
+
     /// The pivot count the index aims for (clamped to the store size at
     /// selection time).
     #[must_use]

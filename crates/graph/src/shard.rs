@@ -162,6 +162,15 @@ impl Shard {
         &self.pivot_aggregates
     }
 
+    /// The per-query arming cost of this shard's pivot tier, in
+    /// query-to-pivot distance computations ([`PivotIndex::query_cost`];
+    /// 0 when no pivot block is built) — the shard-level tier-cost hook
+    /// query planners weigh the tier's observed yield against.
+    #[must_use]
+    pub fn pivot_query_cost(&self) -> usize {
+        self.pivots.as_ref().map_or(0, PivotIndex::query_cost)
+    }
+
     /// A lower bound on `GED(query, g)` valid for **every** member `g`,
     /// from the aggregate bounds alone.
     ///

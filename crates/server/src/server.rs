@@ -21,7 +21,8 @@
 //! * **Admission control** — at most [`ServerConfig::max_inflight`]
 //!   store/engine requests execute at once; excess requests are rejected
 //!   immediately with a typed `overloaded` error (never queued blind,
-//!   never dropped). Introspection (`ping` / `stats`) is always admitted.
+//!   never dropped). Introspection (`ping` / `stats` / `explain`) is
+//!   always admitted.
 //! * **Deadlines** — a request carrying `deadline_ms` is answered with
 //!   `deadline_exceeded` if the deadline elapses before its result is
 //!   ready. Work is not preempted mid-solve: the deadline is checked on
@@ -41,6 +42,7 @@ use ged_baselines::solvers::ClassicSolver;
 use ged_core::engine::GedEngine;
 use ged_core::method::MethodKind;
 use ged_core::pairs::GedPair;
+use ged_core::plan::QueryShape;
 use ged_core::solver::{GedgwSolver, SolverRegistry};
 use ged_core::GedError;
 use ged_graph::{Graph, GraphId, ShardedStore};
@@ -76,6 +78,11 @@ pub struct ServerConfig {
     pub prediction_cache: Option<usize>,
     /// `range_exact` verification budget (`None` = unlimited).
     pub verify_budget: Option<usize>,
+    /// Enables the engine's adaptive query planner
+    /// ([`ged_core::engine::GedEngineBuilder::adaptive_planner`]).
+    /// Results are bit-identical either way; only the work profile and
+    /// the `explain` / `stats` planner counters change.
+    pub adaptive: bool,
     /// Admission-control cap: maximum store/engine requests in flight.
     pub max_inflight: usize,
     /// Default snapshot path for the `snapshot` / `load` ops (the
@@ -92,6 +99,7 @@ impl Default for ServerConfig {
             pivots: None,
             prediction_cache: None,
             verify_budget: None,
+            adaptive: false,
             max_inflight: 64,
             store_path: None,
         }
@@ -191,6 +199,7 @@ impl Server {
         if let Some(v) = config.verify_budget {
             builder = builder.verify_budget(v);
         }
+        builder = builder.adaptive_planner(config.adaptive);
         let engine = builder.build()?;
         Ok(Server {
             shared: Arc::new(Shared {
@@ -308,6 +317,7 @@ impl Server {
         let result = match &req {
             Request::Ping { .. } => Ok((self.current_rev(), ResponseBody::Pong)),
             Request::Stats { .. } => Ok(self.stats()),
+            Request::Explain { shape, .. } => self.explain(shape),
             _ => self.admitted(&req),
         };
         let resp = match result {
@@ -349,6 +359,10 @@ impl Server {
     fn stats(&self) -> (u64, ResponseBody) {
         let state = self.shared.state.read().unwrap();
         let engine = &self.shared.engine;
+        let planner_saved = engine
+            .planner_counters()
+            .map(|c| c.solver_calls_saved + c.searches_saved + c.pivot_arms_saved)
+            .unwrap_or(0);
         let body = ResponseBody::Stats(StatsBody {
             graphs: state.store.len() as u64,
             method: engine.method().to_string(),
@@ -356,8 +370,37 @@ impl Server {
             cached_predictions: engine.cached_predictions().map(|n| n as u64),
             inflight: *self.shared.inflight.lock().unwrap() as u64,
             max_inflight: self.shared.max_inflight as u64,
+            adaptive: engine.planner_enabled(),
+            planner_saved,
         });
         (state.rev, body)
+    }
+
+    /// The `explain` introspection op: the tier plan `shape` would run
+    /// right now, never admission-controlled (like `ping` / `stats`).
+    fn explain(&self, shape: &str) -> OpResult {
+        let rev = self.current_rev();
+        let Some(shape) = QueryShape::from_name(shape) else {
+            return Err((
+                rev,
+                ErrorCode::Config,
+                format!("unknown query shape {shape:?} (top_k|range|range_exact|matrix)"),
+            ));
+        };
+        let e = self.shared.engine.explain(shape);
+        Ok((
+            rev,
+            ResponseBody::Plan {
+                shape: e.shape.name().to_string(),
+                adaptive: e.adaptive,
+                tiers: e.tiers.iter().map(|t| (*t).to_string()).collect(),
+                skipped: e.skipped.iter().map(|t| (*t).to_string()).collect(),
+                observations: e.observations,
+                solver_calls_saved: e.solver_calls_saved,
+                searches_saved: e.searches_saved,
+                pivot_arms_saved: e.pivot_arms_saved,
+            },
+        ))
     }
 
     /// Admission-controlled store/engine ops.

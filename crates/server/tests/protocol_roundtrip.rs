@@ -75,10 +75,14 @@ fn random_deadline(rng: &mut SmallRng) -> Option<u64> {
 /// One random request per call, cycling through every variant.
 fn random_request(variant: usize, rng: &mut SmallRng) -> Request {
     let id = random_string(rng);
-    match variant % 13 {
+    match variant % 14 {
         0 => Request::Ping { id },
         1 => Request::Stats { id },
         2 => Request::Shutdown { id },
+        13 => Request::Explain {
+            id,
+            shape: random_string(rng),
+        },
         3 => Request::InsertGraph {
             id,
             graph: random_graph(rng),
@@ -175,7 +179,7 @@ const ALL_CODES: &[ErrorCode] = &[
 /// One random response per call, cycling through every body variant
 /// (the error arm itself cycles through every code).
 fn random_response(variant: usize, rng: &mut SmallRng) -> Response {
-    let body = match variant % 14 {
+    let body = match variant % 15 {
         0 => ResponseBody::Pong,
         1 => ResponseBody::ShutdownComplete,
         2 => ResponseBody::Stats(StatsBody {
@@ -189,6 +193,8 @@ fn random_response(variant: usize, rng: &mut SmallRng) -> Response {
             },
             inflight: rng.gen_range(0..64),
             max_inflight: rng.gen_range(0..1000),
+            adaptive: rng.gen_bool(0.5),
+            planner_saved: rng.gen_range(0..u64::MAX),
         }),
         3 => ResponseBody::Inserted {
             name: random_string(rng),
@@ -244,7 +250,7 @@ fn random_response(variant: usize, rng: &mut SmallRng) -> Response {
             }
         }
         10 => ResponseBody::Error {
-            code: ALL_CODES[variant / 14 % ALL_CODES.len()],
+            code: ALL_CODES[variant / 15 % ALL_CODES.len()],
             message: random_string(rng),
         },
         11 => ResponseBody::Snapshotted {
@@ -254,6 +260,20 @@ fn random_response(variant: usize, rng: &mut SmallRng) -> Response {
         12 => ResponseBody::Loaded {
             path: random_string(rng),
             graphs: rng.gen_range(0..u64::MAX),
+        },
+        13 => ResponseBody::Plan {
+            shape: random_string(rng),
+            adaptive: rng.gen_bool(0.5),
+            tiers: (0..rng.gen_range(0..6))
+                .map(|_| random_string(rng))
+                .collect(),
+            skipped: (0..rng.gen_range(0..3))
+                .map(|_| random_string(rng))
+                .collect(),
+            observations: rng.gen_range(0..u64::MAX),
+            solver_calls_saved: rng.gen_range(0..u64::MAX),
+            searches_saved: rng.gen_range(0..u64::MAX),
+            pivot_arms_saved: rng.gen_range(0..u64::MAX),
         },
         _ => ResponseBody::Neighbors {
             neighbors: Vec::new(),

@@ -42,11 +42,15 @@ use ged_core::lower_bound::{degree_sequence_lower_bound, label_set_lower_bound};
 use ged_core::method::MethodKind;
 use ged_core::pairs::GedPair;
 use ged_core::search::bounded_exact_ged;
-use ged_core::solver::{GedSolver, GedgwSolver, SolverRegistry};
+use ged_core::solver::{
+    GedEstimate, GedSolver, GedgwSolver, PathEstimate, SolverRegistry, SolverScratch,
+};
 use ged_graph::{Graph, GraphDataset, GraphId, GraphStore, ShardedStore};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// The canonical seed of the property-test stores ([`property_stores`]).
 pub const PROPERTY_SEED: u64 = 20_270_101;
@@ -128,6 +132,79 @@ pub fn engine_builder(methods: &[MethodKind]) -> GedEngineBuilder {
         builder = builder.method(first);
     }
     builder
+}
+
+/// A [`GedgwSolver`] that counts its prediction calls — the probe the
+/// planner suites and benches use to show an adaptive plan performs
+/// **strictly not more** solver work than the static plan while staying
+/// bit-identical.
+///
+/// Both [`GedSolver::predict`] and [`GedSolver::predict_scratch`] bump
+/// the same shared counter (the engine's batched drivers call either),
+/// and both delegate to the real GEDGW solver, so every result — and
+/// therefore every search answer — is bit-identical to the stock
+/// engine's. Clone the handle from [`CountingSolver::calls`] before
+/// registering the solver; the count survives the move into the
+/// registry.
+pub struct CountingSolver {
+    calls: Arc<AtomicUsize>,
+}
+
+impl CountingSolver {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        CountingSolver {
+            calls: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// The shared call counter (reads stay valid after the solver moves
+    /// into a [`SolverRegistry`]).
+    #[must_use]
+    pub fn calls(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.calls)
+    }
+}
+
+impl Default for CountingSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GedSolver for CountingSolver {
+    fn name(&self) -> &str {
+        "GEDGW"
+    }
+
+    fn predict(&self, pair: &GedPair) -> GedEstimate {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        GedgwSolver.predict(pair)
+    }
+
+    fn predict_scratch(&self, pair: &GedPair, scratch: &mut SolverScratch) -> GedEstimate {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        GedgwSolver.predict_scratch(pair, scratch)
+    }
+
+    fn edit_path(&self, pair: &GedPair, k: usize) -> Option<PathEstimate> {
+        GedgwSolver.edit_path(pair, k)
+    }
+}
+
+/// A builder over a registry holding a single [`CountingSolver`]
+/// registered as GEDGW, plus the shared call counter. Results are
+/// bit-identical to [`engine_builder`]`(&[MethodKind::Gedgw])`; only
+/// the counter is extra.
+#[must_use]
+pub fn counting_engine_builder() -> (GedEngineBuilder, Arc<AtomicUsize>) {
+    let solver = CountingSolver::new();
+    let calls = solver.calls();
+    let mut registry = SolverRegistry::new();
+    registry.register(MethodKind::Gedgw, Box::new(solver));
+    let builder = GedEngine::builder(registry).method(MethodKind::Gedgw);
+    (builder, calls)
 }
 
 /// The standard single-method engine of the suites: GEDGW, `threads`
@@ -464,6 +541,23 @@ mod tests {
             assert_eq!(map[&f.id], s.id);
             assert_eq!(f.ged, s.ged);
         }
+    }
+
+    #[test]
+    fn counting_solver_counts_and_matches_gedgw_bitwise() {
+        let ds = aids_store(6, 51);
+        let query = external_query(52);
+        let (builder, calls) = counting_engine_builder();
+        let counted = builder.build().expect("GEDGW is registered");
+        let stock = gedgw_engine(1);
+        let a = counted.top_k(&query, &ds, 3).unwrap();
+        let b = stock.top_k(&query, &ds, 3).unwrap();
+        assert_same_neighbors(&a.neighbors, &b.neighbors, "counted vs stock");
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            a.stats.verified,
+            "one prediction per verified candidate"
+        );
     }
 
     #[test]
