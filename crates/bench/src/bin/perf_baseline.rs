@@ -371,6 +371,54 @@ fn search_suite(smoke: bool) -> Vec<Measurement> {
         ));
     }
 
+    // fig_join: the shared-work join plans — one pivot arming and one
+    // signature sort amortized over the whole candidate matrix, instead
+    // of n·(n−1)/2 (resp. n·m) independent bounded searches.
+    {
+        let join_tau = 2usize;
+        let pivots = if smoke { 2 } else { 3 };
+        let probes_n = if smoke { 4 } else { 20 };
+        let mut rng = SmallRng::seed_from_u64(13_000 + size as u64);
+        let store = GraphDataset::aids_like(size, &mut rng).into_store();
+        let probes = GraphDataset::aids_like(probes_n, &mut rng).into_store();
+        let engine = gedgw_engine(pivots);
+        // Arm the pivot index outside the timed region.
+        let warm = engine
+            .self_join(&store, join_tau as f64)
+            .expect("valid join");
+        assert_eq!(warm.stats.total(), store.len() * (store.len() - 1) / 2);
+        out.push(measure(
+            "self_join",
+            format!("store={size},tau={join_tau},pivots={pivots},threads=1"),
+            1,
+            || {
+                black_box(
+                    engine
+                        .self_join(&store, join_tau as f64)
+                        .expect("valid join"),
+                );
+            },
+        ));
+        // Cross-join without pivots: the left store is not in the
+        // pivot table, so arming it costs one unbounded exact search
+        // per probe×pivot every call — on cheap-verify AIDS workloads
+        // that dwarfs the τ-bounded verifications it saves. The
+        // band/signature tiers are the cross-join's paying filters.
+        let engine = gedgw_engine(0);
+        out.push(measure(
+            "cross_join",
+            format!("left={probes_n},right={size},tau={join_tau},pivots=0,threads=1"),
+            1,
+            || {
+                black_box(
+                    engine
+                        .join(&probes, &store, join_tau as f64)
+                        .expect("valid join"),
+                );
+            },
+        ));
+    }
+
     // similarity_search: the per-pair slice form of the three-tier plan.
     {
         let mut rng = SmallRng::seed_from_u64(10_000 + size as u64);

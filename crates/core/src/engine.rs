@@ -21,6 +21,8 @@
 //! | [`GedQuery::Range`] | [`GedResponse::Range`] | query graph vs. store, all within estimated GED ≤ τ |
 //! | [`GedQuery::RangeExact`] | [`GedResponse::RangeExact`] | query graph vs. store, all within **exact** GED ≤ τ |
 //! | [`GedQuery::Matrix`] | [`GedResponse::Matrix`] | full pairwise distance matrix |
+//! | [`GedQuery::SelfJoin`] | [`GedResponse::SelfJoin`] | all store pairs within **exact** GED ≤ τ |
+//! | [`GedQuery::Join`] | [`GedResponse::Join`] | all cross-store pairs within **exact** GED ≤ τ |
 //!
 //! # Filter–verify search
 //!
@@ -160,7 +162,7 @@ use crate::error::GedError;
 use crate::method::MethodKind;
 use crate::pairs::GedPair;
 use crate::plan::{PlanStore, QueryPlanner};
-use crate::search::{pivot_distance_in, ExactSearchStats};
+use crate::search::{pivot_distance_in, ExactSearchStats, JoinStats};
 use crate::solver::{
     BatchRunner, GedEstimate, GedSolver, PathEstimate, SolverRegistry, SolverScratch,
 };
@@ -298,6 +300,56 @@ pub struct RangeExactResult {
     pub stats: ExactSearchStats,
 }
 
+/// One match of a GED join ([`GedQuery::SelfJoin`] / [`GedQuery::Join`]):
+/// a pair of stored graphs whose **exact** GED is within the threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinPair {
+    /// Id of the pair's first graph — for a self-join always the smaller
+    /// id; for a cross-store join an id of the *left* store.
+    pub a: GraphId,
+    /// Id of the pair's second graph — for a self-join always the larger
+    /// id; for a cross-store join an id of the *right* store.
+    pub b: GraphId,
+    /// The exact GED of the pair (`≤ τ`).
+    pub ged: usize,
+}
+
+/// A candidate pair a join's verify budget could not fully resolve —
+/// the pair-level analogue of [`UndecidedCandidate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UndecidedPair {
+    /// Id of the pair's first graph (see [`JoinPair::a`]).
+    pub a: GraphId,
+    /// Id of the pair's second graph (see [`JoinPair::b`]).
+    pub b: GraphId,
+    /// `Some(ub)` when membership was already proven (`GED ≤ ub ≤ τ`)
+    /// and only the exact-distance recovery ran out of budget; `None`
+    /// when membership is genuinely unknown.
+    pub known_match_ub: Option<usize>,
+}
+
+/// The answer to a GED join ([`GedQuery::SelfJoin`] / [`GedQuery::Join`]):
+/// every pair within the threshold with its exact GED, the pairs the
+/// expansion budget could not resolve, and per-tier [`JoinStats`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinResult {
+    /// Every candidate pair with exact GED ≤ τ, in ascending `(a, b)`
+    /// order (deterministic, equal to a brute-force nested loop over
+    /// the candidate matrix). Distances are always exact; a proven
+    /// match whose exact distance the budget could not recover is
+    /// reported in [`Self::budget_exhausted`] instead.
+    pub pairs: Vec<JoinPair>,
+    /// Pairs whose bounded search ran out of node expansions
+    /// ([`GedEngineBuilder::verify_budget`]), in ascending `(a, b)`
+    /// order — each with the membership evidence that survived. Empty
+    /// when the budget is unlimited (the default).
+    pub budget_exhausted: Vec<UndecidedPair>,
+    /// How the join plan spent its work; [`JoinStats::total`] always
+    /// equals the exact candidate pair count (`n·(n−1)/2` for a
+    /// self-join, `n·m` for a cross-store join).
+    pub stats: JoinStats,
+}
+
 /// A symmetric pairwise distance matrix over a store
 /// ([`GedQuery::Matrix`]). The diagonal is zero by construction; only the
 /// upper triangle is computed (GED is symmetric) and mirrored. Positions
@@ -426,6 +478,29 @@ pub enum GedQuery<'a> {
         /// The store to compare pairwise.
         store: &'a GraphStore,
     },
+    /// Retrieve every pair of stored graphs whose **exact** GED is at
+    /// most `tau` — the GED self-join (all `n·(n−1)/2` unordered pairs),
+    /// via the shared-work join plan of [`crate::plan`].
+    SelfJoin {
+        /// The store to join with itself.
+        store: &'a GraphStore,
+        /// The GED threshold τ, with [`GedQuery::RangeExact`] semantics:
+        /// fractional τ floors, NaN is rejected, `+∞` is a full join
+        /// (exact GED of every pair), `0` joins isomorphism classes, a
+        /// negative τ matches nothing.
+        tau: f64,
+    },
+    /// Retrieve every cross-store pair (one graph from `store`, one from
+    /// `other`) whose **exact** GED is at most `tau` — the GED join over
+    /// all `n·m` pairs, via the shared-work join plan of [`crate::plan`].
+    Join {
+        /// The left store (e.g. a query batch).
+        store: &'a GraphStore,
+        /// The right store (e.g. the corpus).
+        other: &'a GraphStore,
+        /// The GED threshold τ (same semantics as [`GedQuery::SelfJoin`]).
+        tau: f64,
+    },
 }
 
 /// The answer to a [`GedQuery`], variant-matched to the request.
@@ -446,6 +521,14 @@ pub enum GedResponse {
     RangeExact(RangeExactResult),
     /// Answer to [`GedQuery::Matrix`].
     Matrix(DistanceMatrix),
+    /// Answer to [`GedQuery::SelfJoin`]: every matching pair in
+    /// ascending `(a, b)` order, budget-undecided pairs, and per-tier
+    /// stats.
+    SelfJoin(JoinResult),
+    /// Answer to [`GedQuery::Join`]: every matching cross-store pair in
+    /// ascending `(a, b)` order, budget-undecided pairs, and per-tier
+    /// stats.
+    Join(JoinResult),
 }
 
 impl GedResponse {
@@ -500,6 +583,77 @@ impl GedResponse {
         match self {
             GedResponse::Matrix(m) => Some(m),
             _ => None,
+        }
+    }
+
+    /// The join result, if this is a [`GedResponse::SelfJoin`].
+    #[must_use]
+    pub fn into_self_join(self) -> Option<JoinResult> {
+        match self {
+            GedResponse::SelfJoin(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The join result, if this is a [`GedResponse::Join`].
+    #[must_use]
+    pub fn into_join(self) -> Option<JoinResult> {
+        match self {
+            GedResponse::Join(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A cooperative execution deadline for store-level queries.
+///
+/// Plans check the deadline between verification blocks (never inside a
+/// solver or a bounded search, so one in-flight block bounds the
+/// overshoot) and abandon the remaining work with
+/// [`GedError::DeadlineExceeded`] instead of occupying the worker pool
+/// for an answer nobody is waiting on. A deadline never changes a
+/// completed answer — a query that finishes in time is bit-identical to
+/// the deadline-free one. Attach one to an engine call via
+/// [`GedEngine::with_deadline`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Deadline(Option<std::time::Instant>);
+
+impl Deadline {
+    /// No deadline: execution runs to completion.
+    pub const NONE: Deadline = Deadline(None);
+
+    /// A deadline `budget` from now.
+    #[must_use]
+    pub fn within(budget: std::time::Duration) -> Self {
+        Deadline(Some(std::time::Instant::now() + budget))
+    }
+
+    /// A deadline at an absolute instant.
+    #[must_use]
+    pub fn at(when: std::time::Instant) -> Self {
+        Deadline(Some(when))
+    }
+
+    /// Whether a deadline is set at all.
+    #[must_use]
+    pub fn is_set(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Whether the deadline has already passed (`false` when none is
+    /// set).
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.0.is_some_and(|when| std::time::Instant::now() >= when)
+    }
+
+    /// The cooperative checkpoint plans call between verification
+    /// blocks.
+    pub(crate) fn check(&self) -> Result<(), GedError> {
+        if self.expired() {
+            Err(GedError::DeadlineExceeded)
+        } else {
+            Ok(())
         }
     }
 }
@@ -855,7 +1009,7 @@ impl GedEngine {
     /// is only deep-copied when a mutated store must be re-synced while
     /// other queries still hold the previous snapshot. `None` when the
     /// pivot tier is disabled or the store is empty.
-    fn synced_pivot_index(&self, store: &GraphStore) -> Option<Arc<PivotIndex>> {
+    pub(crate) fn synced_pivot_index(&self, store: &GraphStore) -> Option<Arc<PivotIndex>> {
         if self.pivot_target == 0 || store.is_empty() {
             return None;
         }
@@ -987,6 +1141,12 @@ impl GedEngine {
             GedQuery::Matrix { store } => self
                 .distance_matrix_as(method, store)
                 .map(GedResponse::Matrix),
+            GedQuery::SelfJoin { store, tau } => self
+                .self_join_as(method, store, tau)
+                .map(GedResponse::SelfJoin),
+            GedQuery::Join { store, other, tau } => self
+                .join_as(method, store, other, tau)
+                .map(GedResponse::Join),
         }
     }
 
@@ -1163,7 +1323,7 @@ impl GedEngine {
         store: &GraphStore,
         k: usize,
     ) -> Result<SearchResult, GedError> {
-        self.plan_top_k(method, query, PlanStore::Flat(store), k)
+        self.plan_top_k(method, query, PlanStore::Flat(store), k, Deadline::NONE)
     }
 
     /// Ranks `store` by estimated GED to the *stored* graph `id`, with
@@ -1232,7 +1392,7 @@ impl GedEngine {
         store: &GraphStore,
         tau: f64,
     ) -> Result<SearchResult, GedError> {
-        self.plan_range(method, query, PlanStore::Flat(store), tau)
+        self.plan_range(method, query, PlanStore::Flat(store), tau, Deadline::NONE)
     }
 
     /// Range search around the *stored* graph `id`, with the default
@@ -1306,7 +1466,7 @@ impl GedEngine {
         store: &GraphStore,
         tau: f64,
     ) -> Result<RangeExactResult, GedError> {
-        self.plan_range_exact(method, query, PlanStore::Flat(store), tau)
+        self.plan_range_exact(method, query, PlanStore::Flat(store), tau, Deadline::NONE)
     }
 
     /// Exact range search around the *stored* graph `id`, with the
@@ -1349,17 +1509,21 @@ impl GedEngine {
         method: MethodKind,
         store: &GraphStore,
     ) -> Result<DistanceMatrix, GedError> {
-        self.plan_matrix(method, PlanStore::Flat(store))
+        self.plan_matrix(method, PlanStore::Flat(store), Deadline::NONE)
     }
 
     /// The matrix kernel shared by the flat and sharded plans: upper
     /// triangle over `graphs` (already in ascending id order), mirrored.
+    /// With a deadline set, the prediction batch is chunked into blocks
+    /// with a cooperative [`Deadline::check`] between them (per-pair
+    /// predictions are independent, so chunking cannot change a value).
     pub(crate) fn matrix_of(
         &self,
         method: MethodKind,
         solver: &dyn GedSolver,
         graphs: Vec<(GraphId, &Graph)>,
-    ) -> DistanceMatrix {
+        deadline: Deadline,
+    ) -> Result<DistanceMatrix, GedError> {
         let n = graphs.len();
         let mut index_pairs = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
@@ -1367,18 +1531,33 @@ impl GedEngine {
                 index_pairs.push((i, j));
             }
         }
-        let geds = self
-            .runner
-            .map_init(&index_pairs, SolverScratch::new, |scratch, &(i, j)| {
-                let pair = GedPair::new(graphs[i].1.clone(), graphs[j].1.clone());
-                self.predict_cached(method, solver, &pair, scratch)
-            });
+        let predict = |scratch: &mut SolverScratch, &(i, j): &(usize, usize)| {
+            let pair = GedPair::new(graphs[i].1.clone(), graphs[j].1.clone());
+            self.predict_cached(method, solver, &pair, scratch)
+        };
+        let geds = if deadline.is_set() {
+            let mut geds = Vec::with_capacity(index_pairs.len());
+            for block in index_pairs.chunks(self.verify_block_len()) {
+                deadline.check()?;
+                geds.extend(self.runner.map_init(block, SolverScratch::new, predict));
+            }
+            geds
+        } else {
+            self.runner
+                .map_init(&index_pairs, SolverScratch::new, predict)
+        };
         let mut matrix = DistanceMatrix::new(graphs.into_iter().map(|(id, _)| id).collect());
         for (&(i, j), ged) in index_pairs.iter().zip(geds) {
             matrix.data[i * n + j] = ged;
             matrix.data[j * n + i] = ged;
         }
-        matrix
+        Ok(matrix)
+    }
+
+    /// How many verifications one deadline-checked block holds: enough
+    /// to keep every worker busy between cooperative checkpoints.
+    pub(crate) fn verify_block_len(&self) -> usize {
+        crate::plan::VERIFY_BLOCK * self.runner.threads().max(1)
     }
 
     // -- sharded-store plans ----------------------------------------------
@@ -1471,7 +1650,7 @@ impl GedEngine {
         store: &ShardedStore,
         k: usize,
     ) -> Result<SearchResult, GedError> {
-        self.plan_top_k(method, query, PlanStore::Sharded(store), k)
+        self.plan_top_k(method, query, PlanStore::Sharded(store), k, Deadline::NONE)
     }
 
     /// Range search with the default method. The sharded counterpart of
@@ -1502,7 +1681,13 @@ impl GedEngine {
         store: &ShardedStore,
         tau: f64,
     ) -> Result<SearchResult, GedError> {
-        self.plan_range(method, query, PlanStore::Sharded(store), tau)
+        self.plan_range(
+            method,
+            query,
+            PlanStore::Sharded(store),
+            tau,
+            Deadline::NONE,
+        )
     }
 
     /// Range search around the *stored* graph `id` of a [`ShardedStore`],
@@ -1570,7 +1755,13 @@ impl GedEngine {
         store: &ShardedStore,
         tau: f64,
     ) -> Result<RangeExactResult, GedError> {
-        self.plan_range_exact(method, query, PlanStore::Sharded(store), tau)
+        self.plan_range_exact(
+            method,
+            query,
+            PlanStore::Sharded(store),
+            tau,
+            Deadline::NONE,
+        )
     }
 
     /// Pairwise distance matrix of a [`ShardedStore`] with the default
@@ -1598,7 +1789,175 @@ impl GedEngine {
         method: MethodKind,
         store: &ShardedStore,
     ) -> Result<DistanceMatrix, GedError> {
-        self.plan_matrix(method, PlanStore::Sharded(store))
+        self.plan_matrix(method, PlanStore::Sharded(store), Deadline::NONE)
+    }
+
+    // -- GED joins --------------------------------------------------------
+
+    /// GED self-join with the default method: every unordered pair of
+    /// stored graphs with exact GED ≤ `tau`. See [`Self::self_join_as`].
+    ///
+    /// # Errors
+    /// See [`Self::self_join_as`].
+    pub fn self_join(&self, store: &GraphStore, tau: f64) -> Result<JoinResult, GedError> {
+        self.self_join_as(self.method, store, tau)
+    }
+
+    /// GED self-join over a flat store: every unordered pair of stored
+    /// graphs (all `n·(n−1)/2`) whose **exact** GED is ≤ `tau`, through
+    /// the shared-work join plan of [`crate::plan`] — one pivot-table
+    /// arming serves every row, candidates stream in signature-sort
+    /// order so the size-difference bound prunes whole contiguous
+    /// bands, duplicate pairs verify once, and survivors run the
+    /// τ-bounded exact search in parallel under
+    /// [`Self::verify_budget`].
+    ///
+    /// Like [`Self::range_exact_as`], every tier is exact or
+    /// admissible, so the answer does not depend on `method` (validated
+    /// for dispatch symmetry only) and is provably equal to a
+    /// brute-force [`crate::search::bounded_exact_ged`] nested loop.
+    /// `tau` semantics follow [`GedQuery::SelfJoin`].
+    ///
+    /// # Errors
+    /// [`GedError::Config`] if `tau` is NaN; otherwise see
+    /// [`Self::query_as`].
+    pub fn self_join_as(
+        &self,
+        method: MethodKind,
+        store: &GraphStore,
+        tau: f64,
+    ) -> Result<JoinResult, GedError> {
+        self.plan_self_join(method, PlanStore::Flat(store), tau, Deadline::NONE)
+    }
+
+    /// GED self-join of a [`ShardedStore`] with the default method. See
+    /// [`Self::self_join_sharded_as`].
+    ///
+    /// # Errors
+    /// See [`Self::self_join_sharded_as`].
+    pub fn self_join_sharded(
+        &self,
+        store: &ShardedStore,
+        tau: f64,
+    ) -> Result<JoinResult, GedError> {
+        self.self_join_sharded_as(self.method, store, tau)
+    }
+
+    /// GED self-join of a [`ShardedStore`]: shard×shard blocks whose
+    /// aggregate bound ([`ged_graph::Shard::block_lower_bound`]) exceeds
+    /// ⌊τ⌋ are discarded wholesale before any per-graph work; surviving
+    /// blocks run the same banded per-pair tiers as the flat plan (the
+    /// pivot tier serves same-shard pairs from each shard's own block
+    /// when [`ShardedStore::pivots_ready`] holds). With an unlimited
+    /// verify budget the matches are bit-identical to
+    /// [`Self::self_join_as`] over the same graphs.
+    ///
+    /// # Errors
+    /// See [`Self::self_join_as`].
+    pub fn self_join_sharded_as(
+        &self,
+        method: MethodKind,
+        store: &ShardedStore,
+        tau: f64,
+    ) -> Result<JoinResult, GedError> {
+        self.plan_self_join(method, PlanStore::Sharded(store), tau, Deadline::NONE)
+    }
+
+    /// GED cross-store join with the default method: every pair with
+    /// one graph from `left` and one from `right` and exact GED ≤
+    /// `tau`. See [`Self::join_as`].
+    ///
+    /// # Errors
+    /// See [`Self::join_as`].
+    pub fn join(
+        &self,
+        left: &GraphStore,
+        right: &GraphStore,
+        tau: f64,
+    ) -> Result<JoinResult, GedError> {
+        self.join_as(self.method, left, right, tau)
+    }
+
+    /// GED cross-store join over two flat stores: every `(a, b)` pair
+    /// (`a` from `left`, `b` from `right`, all `n·m`) whose **exact**
+    /// GED is ≤ `tau`, through the shared-work join plan of
+    /// [`crate::plan`] — the right store's pivot table is built once
+    /// and armed once per left row, both sides stream in signature-sort
+    /// order so the size-difference bound prunes contiguous bands, and
+    /// structurally identical pairs (including `left == right`
+    /// symmetric duplicates, via [`GedPair`]'s canonical orientation)
+    /// verify once. Answer semantics follow [`Self::self_join_as`].
+    ///
+    /// # Errors
+    /// [`GedError::Config`] if `tau` is NaN; otherwise see
+    /// [`Self::query_as`].
+    pub fn join_as(
+        &self,
+        method: MethodKind,
+        left: &GraphStore,
+        right: &GraphStore,
+        tau: f64,
+    ) -> Result<JoinResult, GedError> {
+        self.plan_join(
+            method,
+            PlanStore::Flat(left),
+            PlanStore::Flat(right),
+            tau,
+            Deadline::NONE,
+        )
+    }
+
+    /// GED join of a flat query batch against a sharded corpus, with
+    /// the default method. See [`Self::join_sharded_as`].
+    ///
+    /// # Errors
+    /// See [`Self::join_sharded_as`].
+    pub fn join_sharded(
+        &self,
+        left: &GraphStore,
+        right: &ShardedStore,
+        tau: f64,
+    ) -> Result<JoinResult, GedError> {
+        self.join_sharded_as(self.method, left, right, tau)
+    }
+
+    /// GED join of a flat query batch (`left`) against a sharded corpus
+    /// (`right`): corpus shards whose aggregate block bound against the
+    /// batch exceeds ⌊τ⌋ are discarded wholesale, and each surviving
+    /// shard's pivot block serves its candidates (armed once per left
+    /// row per shard) when [`ShardedStore::pivots_ready`] holds. With
+    /// an unlimited verify budget the matches are bit-identical to
+    /// [`Self::join_as`] over the same graphs.
+    ///
+    /// # Errors
+    /// See [`Self::join_as`].
+    pub fn join_sharded_as(
+        &self,
+        method: MethodKind,
+        left: &GraphStore,
+        right: &ShardedStore,
+        tau: f64,
+    ) -> Result<JoinResult, GedError> {
+        self.plan_join(
+            method,
+            PlanStore::Flat(left),
+            PlanStore::Sharded(right),
+            tau,
+            Deadline::NONE,
+        )
+    }
+
+    /// Binds a cooperative [`Deadline`] to this engine's store-level
+    /// queries: every call through the returned handle checks the
+    /// deadline between verification blocks and answers
+    /// [`GedError::DeadlineExceeded`] instead of running long past it.
+    /// `Deadline::NONE` recovers the plain methods exactly.
+    #[must_use]
+    pub fn with_deadline(&self, deadline: Deadline) -> DeadlineBound<'_> {
+        DeadlineBound {
+            engine: self,
+            deadline,
+        }
     }
 
     /// Predicts through the cache when one is configured. Predictions
@@ -1641,6 +2000,205 @@ impl GedEngine {
             .push((pair.g1.clone(), pair.g2.clone(), ged));
         cache.entries += 1;
         ged
+    }
+}
+
+/// A [`GedEngine`] handle with a cooperative [`Deadline`] bound to every
+/// store-level query (see [`GedEngine::with_deadline`]). All methods use
+/// the engine's default method and mirror the plain entry points
+/// exactly, except that execution stops with
+/// [`GedError::DeadlineExceeded`] at the first verification-block
+/// boundary past the deadline.
+#[derive(Clone, Copy)]
+pub struct DeadlineBound<'e> {
+    engine: &'e GedEngine,
+    deadline: Deadline,
+}
+
+impl DeadlineBound<'_> {
+    /// Deadline-checked [`GedEngine::top_k`].
+    ///
+    /// # Errors
+    /// [`GedError::DeadlineExceeded`] past the deadline; otherwise see
+    /// [`GedEngine::top_k_as`].
+    pub fn top_k(
+        &self,
+        query: &Graph,
+        store: &GraphStore,
+        k: usize,
+    ) -> Result<SearchResult, GedError> {
+        let e = self.engine;
+        e.plan_top_k(e.method, query, PlanStore::Flat(store), k, self.deadline)
+    }
+
+    /// Deadline-checked [`GedEngine::top_k_sharded`].
+    ///
+    /// # Errors
+    /// See [`Self::top_k`].
+    pub fn top_k_sharded(
+        &self,
+        query: &Graph,
+        store: &ShardedStore,
+        k: usize,
+    ) -> Result<SearchResult, GedError> {
+        let e = self.engine;
+        e.plan_top_k(e.method, query, PlanStore::Sharded(store), k, self.deadline)
+    }
+
+    /// Deadline-checked [`GedEngine::range`].
+    ///
+    /// # Errors
+    /// [`GedError::DeadlineExceeded`] past the deadline; otherwise see
+    /// [`GedEngine::range_as`].
+    pub fn range(
+        &self,
+        query: &Graph,
+        store: &GraphStore,
+        tau: f64,
+    ) -> Result<SearchResult, GedError> {
+        let e = self.engine;
+        e.plan_range(e.method, query, PlanStore::Flat(store), tau, self.deadline)
+    }
+
+    /// Deadline-checked [`GedEngine::range_sharded`].
+    ///
+    /// # Errors
+    /// See [`Self::range`].
+    pub fn range_sharded(
+        &self,
+        query: &Graph,
+        store: &ShardedStore,
+        tau: f64,
+    ) -> Result<SearchResult, GedError> {
+        let e = self.engine;
+        e.plan_range(
+            e.method,
+            query,
+            PlanStore::Sharded(store),
+            tau,
+            self.deadline,
+        )
+    }
+
+    /// Deadline-checked [`GedEngine::range_exact`].
+    ///
+    /// # Errors
+    /// [`GedError::DeadlineExceeded`] past the deadline; otherwise see
+    /// [`GedEngine::range_exact_as`].
+    pub fn range_exact(
+        &self,
+        query: &Graph,
+        store: &GraphStore,
+        tau: f64,
+    ) -> Result<RangeExactResult, GedError> {
+        let e = self.engine;
+        e.plan_range_exact(e.method, query, PlanStore::Flat(store), tau, self.deadline)
+    }
+
+    /// Deadline-checked [`GedEngine::range_exact_sharded`].
+    ///
+    /// # Errors
+    /// See [`Self::range_exact`].
+    pub fn range_exact_sharded(
+        &self,
+        query: &Graph,
+        store: &ShardedStore,
+        tau: f64,
+    ) -> Result<RangeExactResult, GedError> {
+        let e = self.engine;
+        e.plan_range_exact(
+            e.method,
+            query,
+            PlanStore::Sharded(store),
+            tau,
+            self.deadline,
+        )
+    }
+
+    /// Deadline-checked [`GedEngine::distance_matrix`].
+    ///
+    /// # Errors
+    /// [`GedError::DeadlineExceeded`] past the deadline; otherwise see
+    /// [`GedEngine::distance_matrix_as`].
+    pub fn distance_matrix(&self, store: &GraphStore) -> Result<DistanceMatrix, GedError> {
+        let e = self.engine;
+        e.plan_matrix(e.method, PlanStore::Flat(store), self.deadline)
+    }
+
+    /// Deadline-checked [`GedEngine::distance_matrix_sharded`].
+    ///
+    /// # Errors
+    /// See [`Self::distance_matrix`].
+    pub fn distance_matrix_sharded(
+        &self,
+        store: &ShardedStore,
+    ) -> Result<DistanceMatrix, GedError> {
+        let e = self.engine;
+        e.plan_matrix(e.method, PlanStore::Sharded(store), self.deadline)
+    }
+
+    /// Deadline-checked [`GedEngine::self_join`].
+    ///
+    /// # Errors
+    /// [`GedError::DeadlineExceeded`] past the deadline; otherwise see
+    /// [`GedEngine::self_join_as`].
+    pub fn self_join(&self, store: &GraphStore, tau: f64) -> Result<JoinResult, GedError> {
+        let e = self.engine;
+        e.plan_self_join(e.method, PlanStore::Flat(store), tau, self.deadline)
+    }
+
+    /// Deadline-checked [`GedEngine::self_join_sharded`].
+    ///
+    /// # Errors
+    /// See [`Self::self_join`].
+    pub fn self_join_sharded(
+        &self,
+        store: &ShardedStore,
+        tau: f64,
+    ) -> Result<JoinResult, GedError> {
+        let e = self.engine;
+        e.plan_self_join(e.method, PlanStore::Sharded(store), tau, self.deadline)
+    }
+
+    /// Deadline-checked [`GedEngine::join`].
+    ///
+    /// # Errors
+    /// [`GedError::DeadlineExceeded`] past the deadline; otherwise see
+    /// [`GedEngine::join_as`].
+    pub fn join(
+        &self,
+        left: &GraphStore,
+        right: &GraphStore,
+        tau: f64,
+    ) -> Result<JoinResult, GedError> {
+        let e = self.engine;
+        e.plan_join(
+            e.method,
+            PlanStore::Flat(left),
+            PlanStore::Flat(right),
+            tau,
+            self.deadline,
+        )
+    }
+
+    /// Deadline-checked [`GedEngine::join_sharded`].
+    ///
+    /// # Errors
+    /// See [`Self::join`].
+    pub fn join_sharded(
+        &self,
+        left: &GraphStore,
+        right: &ShardedStore,
+        tau: f64,
+    ) -> Result<JoinResult, GedError> {
+        let e = self.engine;
+        e.plan_join(
+            e.method,
+            PlanStore::Flat(left),
+            PlanStore::Sharded(right),
+            tau,
+            self.deadline,
+        )
     }
 }
 

@@ -48,6 +48,11 @@ pub enum GedError {
     /// violated graph invariant). Wraps the codec's structured
     /// [`ParseError`] with its byte/line/column position.
     Parse(ParseError),
+    /// A cooperative execution deadline expired mid-query. Store-level
+    /// plans check the deadline between verification blocks and abandon
+    /// the remaining work instead of occupying the worker pool until an
+    /// answer nobody is waiting for completes.
+    DeadlineExceeded,
 }
 
 impl From<ParseError> for GedError {
@@ -79,6 +84,9 @@ impl fmt::Display for GedError {
             ),
             GedError::Config(msg) => write!(f, "configuration error: {msg}"),
             GedError::Parse(e) => write!(f, "{e}"),
+            GedError::DeadlineExceeded => {
+                write!(f, "query deadline exceeded during execution")
+            }
         }
     }
 }
@@ -106,6 +114,7 @@ mod tests {
                 GedError::Parse(ged_graph::io::graph_from_json("nope").unwrap_err()),
                 "parse error",
             ),
+            (GedError::DeadlineExceeded, "deadline exceeded"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

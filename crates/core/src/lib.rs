@@ -25,7 +25,9 @@
 //! * [`engine`] — the [`engine::GedEngine`] typed request/response query
 //!   API ([`engine::GedQuery`] in, [`engine::GedResponse`] out) with
 //!   method selection, filter–verify top-k and range similarity search
-//!   over [`ged_graph::GraphStore`]s, and pairwise matrices.
+//!   over [`ged_graph::GraphStore`]s, pairwise matrices, dataset-scale
+//!   GED joins (self-join and cross-store join), and cooperative
+//!   query deadlines ([`engine::Deadline`]).
 //! * [`plan`] — the unified tiered query pipeline every store-level plan
 //!   (flat and sharded) runs through, plus the adaptive, stats-driven
 //!   [`plan::QueryPlanner`] whose decisions are provably
@@ -52,8 +54,9 @@ pub mod workspace;
 
 pub use edge_labeled::{gedgw_edge_labeled, EdgeLabeledGraph};
 pub use engine::{
-    DistanceMatrix, ExactNeighbor, GedEngine, GedEngineBuilder, GedQuery, GedResponse, Neighbor,
-    RangeExactResult, SearchResult, SearchStats, UndecidedCandidate,
+    Deadline, DeadlineBound, DistanceMatrix, ExactNeighbor, GedEngine, GedEngineBuilder, GedQuery,
+    GedResponse, JoinPair, JoinResult, Neighbor, RangeExactResult, SearchResult, SearchStats,
+    UndecidedCandidate, UndecidedPair,
 };
 pub use ensemble::{Gedhot, GedhotPrediction};
 pub use error::GedError;
@@ -72,7 +75,7 @@ pub use search::{
     fast_upper_bound, fast_upper_bound_in, pivot_distance, pivot_distance_in, prune_or_verify,
     prune_or_verify_in, prune_or_verify_with_pivot, prune_or_verify_with_pivot_in,
     similarity_search, similarity_search_in, BoundedSearch, CandidateOutcome, ExactSearchStats,
-    Verdict,
+    JoinStats, Verdict,
 };
 pub use solver::{
     BatchRunner, GedEstimate, GedSolver, GedgwSolver, GedhotSolver, GediotSolver, PathEstimate,

@@ -25,7 +25,7 @@ pub fn ordered<'a>(g1: &'a Graph, g2: &'a Graph) -> (&'a Graph, &'a Graph, bool)
 /// identical graphs compare `Equal`, and for any `a != b` exactly one of
 /// the two orientations is canonical, so the orientation never depends on
 /// argument order.
-fn structural_cmp(a: &Graph, b: &Graph) -> Ordering {
+pub(crate) fn structural_cmp(a: &Graph, b: &Graph) -> Ordering {
     a.num_nodes()
         .cmp(&b.num_nodes())
         .then_with(|| a.num_edges().cmp(&b.num_edges()))

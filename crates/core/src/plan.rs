@@ -69,18 +69,25 @@
 //! [`PivotIndex::query_cost`]: ged_graph::PivotIndex::query_cost
 
 use crate::engine::{
-    ensure_nonempty, ensure_sharded_store_valid, ensure_store_valid, DistanceMatrix, ExactNeighbor,
-    GedEngine, Neighbor, RangeExactResult, SearchResult, SearchStats, UndecidedCandidate,
+    ensure_nonempty, ensure_sharded_store_valid, ensure_store_valid, Deadline, DistanceMatrix,
+    ExactNeighbor, GedEngine, JoinPair, JoinResult, Neighbor, RangeExactResult, SearchResult,
+    SearchStats, UndecidedCandidate, UndecidedPair,
 };
 use crate::error::GedError;
 use crate::lower_bound::{degree_sequence_lower_bound_sig, label_set_lower_bound_sig};
 use crate::method::MethodKind;
-use crate::pairs::GedPair;
-use crate::search::{pivot_distance_in, prune_or_verify_with_pivot_in, ExactSearchStats};
+use crate::pairs::{structural_cmp, GedPair};
+use crate::search::{
+    pivot_distance_in, prune_or_verify_with_pivot_in, CandidateOutcome, ExactSearchStats, JoinStats,
+};
 use crate::solver::{GedSolver, SolverScratch};
 use crate::workspace::GedWorkspace;
-use ged_graph::{Graph, GraphId, GraphSignature, GraphStore, PivotDistance, Shard, ShardedStore};
-use std::collections::BTreeMap;
+use ged_graph::{
+    range_distance, Graph, GraphId, GraphSignature, GraphStore, PivotDistance, PivotIndex, Shard,
+    ShardedStore,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// The stages of the unified filter–verify pipeline, in static plan
 /// order. See the [module docs](self) for which stages apply to which
@@ -89,7 +96,16 @@ use std::collections::BTreeMap;
 pub enum FilterTier {
     /// The shard-aggregate lower bound: discards a whole [`Shard`] before
     /// any per-graph metadata is read. Vacuous (bound 0) for flat stores.
+    /// Joins extend it to unit×unit *blocks*
+    /// ([`Shard::block_lower_bound`]): one range-gap comparison discards
+    /// every pair of a block at once.
     Shard,
+    /// The size-difference band bound of the join plans: candidates
+    /// stream in signature-sort (node-count) order, so `|n_a − n_b| > τ`
+    /// discards a whole contiguous band of partners by arithmetic —
+    /// structural and always on, never part of the commutative reorder
+    /// set (it is what *generates* the per-pair candidate stream).
+    Band,
     /// The label-set lower bound (signature-fed, commutative discard).
     Label,
     /// The degree-sequence lower bound (signature-fed, commutative
@@ -114,6 +130,7 @@ impl FilterTier {
     pub fn name(self) -> &'static str {
         match self {
             FilterTier::Shard => "shard",
+            FilterTier::Band => "band",
             FilterTier::Label => "label",
             FilterTier::Degree => "degree",
             FilterTier::PivotLb => "pivot_lb",
@@ -132,6 +149,8 @@ impl FilterTier {
     pub fn unit_cost(self) -> f64 {
         match self {
             FilterTier::Shard => 0.0,
+            // One integer comparison amortized over a whole pruned band.
+            FilterTier::Band => 0.1,
             FilterTier::Label => 1.0,
             FilterTier::Degree => 1.5,
             FilterTier::PivotLb => 2.0,
@@ -153,6 +172,9 @@ pub enum QueryShape {
     /// `distance_matrix` / `distance_matrix_sharded` (verify-only: every
     /// pair must be computed, so there is nothing to plan).
     Matrix,
+    /// `self_join` / `join` (flat or sharded): dataset-scale all-pairs
+    /// similarity joins through the block/band/per-pair tier stack.
+    Join,
 }
 
 impl QueryShape {
@@ -164,6 +186,7 @@ impl QueryShape {
             QueryShape::Range => "range",
             QueryShape::RangeExact => "range_exact",
             QueryShape::Matrix => "matrix",
+            QueryShape::Join => "join",
         }
     }
 
@@ -175,6 +198,7 @@ impl QueryShape {
             "range" => Some(QueryShape::Range),
             "range_exact" => Some(QueryShape::RangeExact),
             "matrix" => Some(QueryShape::Matrix),
+            "join" => Some(QueryShape::Join),
             _ => None,
         }
     }
@@ -186,6 +210,7 @@ impl QueryShape {
             QueryShape::Range => Some(1),
             QueryShape::RangeExact => Some(2),
             QueryShape::Matrix => None,
+            QueryShape::Join => Some(3),
         }
     }
 
@@ -196,7 +221,9 @@ impl QueryShape {
     /// with good pivots, the strictest of the three).
     fn static_order(self) -> [FilterTier; 3] {
         match self {
-            QueryShape::RangeExact => [FilterTier::PivotLb, FilterTier::Label, FilterTier::Degree],
+            QueryShape::RangeExact | QueryShape::Join => {
+                [FilterTier::PivotLb, FilterTier::Label, FilterTier::Degree]
+            }
             _ => [FilterTier::Label, FilterTier::Degree, FilterTier::PivotLb],
         }
     }
@@ -279,7 +306,10 @@ impl PlanDecision {
                 tiers.extend(self.order.iter().map(|t| t.name()));
                 tiers.push(FilterTier::PivotUbAccept.name());
             }
-            QueryShape::RangeExact => {
+            QueryShape::RangeExact | QueryShape::Join => {
+                if shape == QueryShape::Join {
+                    tiers.push(FilterTier::Band.name());
+                }
                 for tier in &self.order {
                     if self.arm_pivots || *tier != FilterTier::PivotLb {
                         tiers.push(tier.name());
@@ -297,7 +327,8 @@ impl PlanDecision {
 
     /// The tiers this decision skips entirely, for [`PlanExplanation`].
     fn skipped_names(&self, shape: QueryShape) -> Vec<&'static str> {
-        if shape == QueryShape::RangeExact && !self.arm_pivots {
+        let exact = matches!(shape, QueryShape::RangeExact | QueryShape::Join);
+        if exact && !self.arm_pivots {
             vec![FilterTier::PivotLb.name(), FilterTier::PivotUbAccept.name()]
         } else {
             Vec::new()
@@ -313,8 +344,8 @@ impl PlanDecision {
 /// (see the [module docs](self)).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct QueryPlanner {
-    /// `[TopK, Range, RangeExact]` slots.
-    shapes: [ShapeStats; 3],
+    /// `[TopK, Range, RangeExact, Join]` slots.
+    shapes: [ShapeStats; 4],
     solver_calls_saved: u64,
     searches_saved: u64,
     pivot_arms_saved: u64,
@@ -396,7 +427,8 @@ impl QueryPlanner {
             let eb = share_of(b) / b.unit_cost();
             eb.partial_cmp(&ea).unwrap_or(std::cmp::Ordering::Equal)
         });
-        if shape == QueryShape::RangeExact && budget_unlimited && stats.pivot_share < SKIP_EPSILON {
+        let exact_shape = matches!(shape, QueryShape::RangeExact | QueryShape::Join);
+        if exact_shape && budget_unlimited && stats.pivot_share < SKIP_EPSILON {
             // The pivot tier has not been earning its per-query arming
             // cost. Under an unlimited budget the armed and unarmed
             // exact plans are provably bit-identical (engine docs), so
@@ -460,7 +492,7 @@ pub(crate) struct Candidate {
 /// How many candidates each verification round hands to the parallel
 /// runner between top-k threshold re-checks. Machine-independent so
 /// [`SearchStats`] are reproducible everywhere.
-const VERIFY_BLOCK: usize = 16;
+pub(crate) const VERIFY_BLOCK: usize = 16;
 
 /// An exact-range filter survivor: the id, the pivot-ub membership
 /// certificate (if any), and — adaptive planner only — the collapsed
@@ -469,6 +501,230 @@ struct ExactSurvivor {
     id: GraphId,
     certificate: Option<usize>,
     collapsed_ged: Option<usize>,
+}
+
+/// One unit of a join plan: a flat store, or one shard of a sharded
+/// store, carrying the aggregate node/edge ranges the block tier
+/// compares and its entries pre-sorted in signature band order (the
+/// band tier's input).
+struct JoinUnit<'s> {
+    store: &'s GraphStore,
+    nodes: (usize, usize),
+    edges: (usize, usize),
+    pivot: JoinPivot<'s>,
+    /// `(id, graph, signature)` ascending by node count (id tie-break) —
+    /// [`GraphStore::entries_by_size`]'s band order.
+    entries: Vec<(GraphId, &'s Graph, &'s GraphSignature)>,
+}
+
+/// Where a join unit's pivot tier reads from (`None` = tier vacuous).
+enum JoinPivot<'s> {
+    None,
+    /// The engine's flat-store index, already synced — its
+    /// [`PivotIndex::member_bounds`] rows serve every same-unit pair
+    /// with zero per-row arming (the build *is* the arming).
+    Flat(Arc<PivotIndex>),
+    /// A shard's own pivot block (sharded self-join diagonal, or the
+    /// right side of a cross-store join).
+    Shard(&'s PivotIndex),
+}
+
+impl JoinUnit<'_> {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn index(&self) -> Option<&PivotIndex> {
+        match &self.pivot {
+            JoinPivot::None => None,
+            JoinPivot::Flat(ix) => Some(ix),
+            JoinPivot::Shard(ix) => Some(ix),
+        }
+    }
+
+    /// The block-tier lower bound between this unit and `other`: the
+    /// node-range gap plus the edge-range gap — identical to
+    /// [`Shard::block_lower_bound`], generalized to flat units.
+    /// Admissible for every member pair, and 0 whenever the ranges
+    /// overlap — in particular for a unit against itself, so diagonal
+    /// blocks are never block-pruned.
+    fn block_bound(&self, other: &JoinUnit<'_>) -> usize {
+        range_distance(self.nodes, other.nodes) + range_distance(self.edges, other.edges)
+    }
+}
+
+/// A join-filter survivor: the reported id pair (`a < b` for a
+/// self-join; left/right for a cross-store join), the canonical
+/// verification orientation as graph refs, the pivot-ub membership
+/// certificate, and — adaptive planner only — the collapsed exact
+/// distance when the pivot interval was already tight.
+struct JoinSurvivor<'s> {
+    a: GraphId,
+    b: GraphId,
+    qa: &'s Graph,
+    qb: &'s Graph,
+    certificate: Option<usize>,
+    collapsed_ged: Option<usize>,
+}
+
+/// Which kind of unit×unit block a cross-block filter call works.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CrossKind {
+    /// Off-diagonal block of a (sharded) self-join: both ids live in one
+    /// store, so pairs canonicalize to ascending id, and the pivot tier
+    /// stays vacuous — the two shards own disjoint pivot blocks, and
+    /// arming one shard's block per foreign row would cost more
+    /// distance computations than the tier saves.
+    SameStore,
+    /// A cross-store block: `(left id, right id)` pairs as-is; the right
+    /// unit's pivot block is armed lazily, once per left row.
+    TwoStores,
+}
+
+/// How one pair fared against the commutative discard tiers.
+enum PairVerdict {
+    Discarded,
+    Survived {
+        certificate: Option<usize>,
+        collapsed_ged: Option<usize>,
+    },
+}
+
+/// Runs one candidate pair through the commutative discard tiers in
+/// `decision.order`, lazily — each bound is computed at most once, and
+/// only when the order reaches its tier — then forces the pivot bounds
+/// for the survivor's certificate (`ub ≤ τ`, real bounds only) and, with
+/// `collapse`, the pinned distance of a tight `lb == ub` interval.
+fn filter_join_pair(
+    decision: &PlanDecision,
+    collapse: bool,
+    sa: &GraphSignature,
+    sb: &GraphSignature,
+    pivot: &mut dyn FnMut() -> (usize, usize),
+    tau: usize,
+    discards: &mut DiscardCounts,
+) -> PairVerdict {
+    let mut label = None;
+    let mut degree = None;
+    let mut pv: Option<(usize, usize)> = None;
+    for tier in decision.order {
+        let lb = match tier {
+            FilterTier::Label => *label.get_or_insert_with(|| label_set_lower_bound_sig(sa, sb)),
+            FilterTier::Degree => {
+                *degree.get_or_insert_with(|| degree_sequence_lower_bound_sig(sa, sb))
+            }
+            _ => pv.get_or_insert_with(&mut *pivot).0,
+        };
+        if lb > tau {
+            discards.record(tier);
+            return PairVerdict::Discarded;
+        }
+    }
+    // Forcing the pivot bounds here mirrors the exact-range plan: a
+    // surviving pair always knows its `[lb, ub]` interval, which is what
+    // the certificate and the collapse read. The `usize::MAX` guard keeps
+    // a vacuous no-pivot bound from counting as a certificate when τ
+    // itself saturates (see `plan_range_exact`).
+    let (lb_pivot, ub_pivot) = *pv.get_or_insert_with(&mut *pivot);
+    let certificate = (ub_pivot != usize::MAX && ub_pivot <= tau).then_some(ub_pivot);
+    let collapsed_ged = if collapse {
+        certificate.filter(|&ub| ub == lb_pivot)
+    } else {
+        None
+    };
+    PairVerdict::Survived {
+        certificate,
+        collapsed_ged,
+    }
+}
+
+/// The canonical verification orientation of a join pair — exactly
+/// [`GedPair::new`]'s rule (node count, then the total structural order
+/// for equal sizes) on references. Verifying every survivor in canonical
+/// orientation makes the outcome a deterministic function of the pair's
+/// *structure* alone, which is what lets structurally identical pairs
+/// share one verification (the `cache_hits` tier) without any risk of
+/// orientation-dependent divergence under a finite budget.
+fn canonical_refs<'g>(ga: &'g Graph, gb: &'g Graph) -> (&'g Graph, &'g Graph) {
+    use std::cmp::Ordering;
+    let keep = match ga.num_nodes().cmp(&gb.num_nodes()) {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => structural_cmp(ga, gb) != Ordering::Greater,
+    };
+    if keep {
+        (ga, gb)
+    } else {
+        (gb, ga)
+    }
+}
+
+/// Structural fingerprint of a canonically oriented pair (same scheme as
+/// the engine's prediction cache). Collisions are harmless: the dedup
+/// tier exact-compares graphs within each bucket.
+fn join_pair_fingerprint(qa: &Graph, qb: &Graph) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    qa.hash(&mut h);
+    qb.hash(&mut h);
+    h.finish()
+}
+
+/// Filters one unit's *diagonal* self-join block: all unordered
+/// same-unit pairs, streamed in band order. The pivot tier reads the
+/// unit's own index rows via [`PivotIndex::member_bounds`] — no per-row
+/// distance computations at all.
+#[allow(clippy::too_many_arguments)]
+fn filter_self_block<'s>(
+    unit: &JoinUnit<'s>,
+    tau: usize,
+    decision: &PlanDecision,
+    collapse: bool,
+    discards: &mut DiscardCounts,
+    stats: &mut JoinStats,
+    searches_saved: &mut u64,
+    survivors: &mut Vec<JoinSurvivor<'s>>,
+) {
+    let entries = &unit.entries;
+    for (i, &(ia, ga, sa)) in entries.iter().enumerate() {
+        for (j, &(ib, gb, sb)) in entries.iter().enumerate().skip(i + 1) {
+            // Band tier: entries ascend by node count, so the first
+            // partner past the size-difference bound proves every later
+            // one is past it too — the rest of the row is discarded by
+            // arithmetic.
+            if sb.num_nodes() - sa.num_nodes() > tau {
+                stats.pruned_band += entries.len() - j;
+                break;
+            }
+            let mut pivot = || {
+                unit.index()
+                    .and_then(|ix| ix.member_bounds(ia, ib))
+                    .unwrap_or((0, usize::MAX))
+            };
+            match filter_join_pair(decision, collapse, sa, sb, &mut pivot, tau, discards) {
+                PairVerdict::Discarded => {}
+                PairVerdict::Survived {
+                    certificate,
+                    collapsed_ged,
+                } => {
+                    if collapsed_ged.is_some() {
+                        *searches_saved += 1;
+                    }
+                    // One store: ascending-id orientation is canonical.
+                    let (a, b) = if ia <= ib { (ia, ib) } else { (ib, ia) };
+                    let (qa, qb) = canonical_refs(ga, gb);
+                    survivors.push(JoinSurvivor {
+                        a,
+                        b,
+                        qa,
+                        qb,
+                        certificate,
+                        collapsed_ged,
+                    });
+                }
+            }
+        }
+    }
 }
 
 /// Either store kind, as the plans see it. Flat stores become the
@@ -817,6 +1073,7 @@ impl GedEngine {
         query: &Graph,
         store: PlanStore<'_>,
         k: usize,
+        deadline: Deadline,
     ) -> Result<SearchResult, GedError> {
         if k == 0 {
             return Err(GedError::InvalidK { what: "top-k" });
@@ -874,6 +1131,9 @@ impl GedEngine {
                         break;
                     }
                 }
+                // Cooperative checkpoint between verification rounds: a
+                // top-k round is already a bounded block of solver calls.
+                deadline.check()?;
                 let hi = (i + block).min(candidates.len());
                 let round = &candidates[i..hi];
                 if decision.collapse_verify {
@@ -924,6 +1184,7 @@ impl GedEngine {
         query: &Graph,
         store: PlanStore<'_>,
         tau: f64,
+        deadline: Deadline,
     ) -> Result<SearchResult, GedError> {
         if tau.is_nan() {
             return Err(GedError::Config(
@@ -974,14 +1235,34 @@ impl GedEngine {
             if decision.collapse_verify {
                 solver_calls_saved += collapsible(&survivors);
             }
-            let verified = self.verify(
-                method,
-                solver,
-                query,
-                unit.store,
-                &survivors,
-                decision.collapse_verify,
-            );
+            // With a deadline set, the per-unit verify batch is chunked
+            // with a cooperative checkpoint between blocks (per-candidate
+            // verification is independent, so chunking cannot change a
+            // value).
+            let verified = if deadline.is_set() {
+                let mut out = Vec::with_capacity(survivors.len());
+                for chunk in survivors.chunks(self.verify_block_len()) {
+                    deadline.check()?;
+                    out.extend(self.verify(
+                        method,
+                        solver,
+                        query,
+                        unit.store,
+                        chunk,
+                        decision.collapse_verify,
+                    ));
+                }
+                out
+            } else {
+                self.verify(
+                    method,
+                    solver,
+                    query,
+                    unit.store,
+                    &survivors,
+                    decision.collapse_verify,
+                )
+            };
             stats.verified += verified.len();
             neighbors.extend(verified.into_iter().filter(|n| n.ged <= tau));
         }
@@ -1015,6 +1296,7 @@ impl GedEngine {
         query: &Graph,
         store: PlanStore<'_>,
         tau: f64,
+        deadline: Deadline,
     ) -> Result<RangeExactResult, GedError> {
         if tau.is_nan() {
             return Err(GedError::Config(
@@ -1110,25 +1392,28 @@ impl GedEngine {
         // deterministic — so thread count never changes the answer and
         // input (id) order is preserved. A pivot-certified candidate
         // skips the GEDGW bound and goes straight to the
-        // (pivot-ub-bounded) exact-distance recovery.
-        let outcomes = self
-            .runner
-            .map_init(&survivors, GedWorkspace::new, |ws, s| {
-                if let Some(ged) = s.collapsed_ged {
-                    return crate::search::CandidateOutcome::AcceptedByPivot { ged };
-                }
-                let cand = store
-                    .graph(s.id)
-                    .expect("survivor ids come from this store");
-                prune_or_verify_with_pivot_in(
-                    query,
-                    cand,
-                    tau,
-                    self.verify_budget,
-                    s.certificate,
-                    ws,
-                )
-            });
+        // (pivot-ub-bounded) exact-distance recovery. With a deadline
+        // set the batch is chunked with a cooperative checkpoint between
+        // blocks (chunking cannot change a per-candidate outcome).
+        let run = |ws: &mut GedWorkspace, s: &ExactSurvivor| {
+            if let Some(ged) = s.collapsed_ged {
+                return CandidateOutcome::AcceptedByPivot { ged };
+            }
+            let cand = store
+                .graph(s.id)
+                .expect("survivor ids come from this store");
+            prune_or_verify_with_pivot_in(query, cand, tau, self.verify_budget, s.certificate, ws)
+        };
+        let outcomes = if deadline.is_set() {
+            let mut out = Vec::with_capacity(survivors.len());
+            for chunk in survivors.chunks(self.verify_block_len()) {
+                deadline.check()?;
+                out.extend(self.runner.map_init(chunk, GedWorkspace::new, run));
+            }
+            out
+        } else {
+            self.runner.map_init(&survivors, GedWorkspace::new, run)
+        };
 
         let mut matches = Vec::new();
         let mut budget_exhausted = Vec::new();
@@ -1182,10 +1467,436 @@ impl GedEngine {
         &self,
         method: MethodKind,
         store: PlanStore<'_>,
+        deadline: Deadline,
     ) -> Result<DistanceMatrix, GedError> {
         let solver = self.solver(method)?;
         store.validate()?;
-        Ok(self.matrix_of(method, solver, store.graphs()))
+        self.matrix_of(method, solver, store.graphs(), deadline)
+    }
+
+    /// Decomposes either store kind into the join plan's band-ordered
+    /// [`JoinUnit`]s. A flat store is one unit whose aggregate ranges
+    /// come from an O(n) signature sweep (its block tier can only fire
+    /// against *other* units); a sharded store yields one unit per shard
+    /// with the shard's maintained aggregates. `arm_pivots: false`
+    /// (planner, or the left side of a cross-store join) disables the
+    /// pivot tier entirely: no index syncing, no member/query bounds.
+    fn join_units<'s>(&self, store: PlanStore<'s>, arm_pivots: bool) -> Vec<JoinUnit<'s>> {
+        match store {
+            PlanStore::Flat(flat) => {
+                let entries = flat.entries_by_size();
+                let mut nodes = (usize::MAX, 0);
+                let mut edges = (usize::MAX, 0);
+                for &(_, _, sig) in &entries {
+                    nodes = (nodes.0.min(sig.num_nodes()), nodes.1.max(sig.num_nodes()));
+                    edges = (edges.0.min(sig.num_edges()), edges.1.max(sig.num_edges()));
+                }
+                let pivot = if arm_pivots {
+                    self.synced_pivot_index(flat)
+                        .map_or(JoinPivot::None, JoinPivot::Flat)
+                } else {
+                    JoinPivot::None
+                };
+                vec![JoinUnit {
+                    store: flat,
+                    nodes,
+                    edges,
+                    pivot,
+                    entries,
+                }]
+            }
+            PlanStore::Sharded(sharded) => {
+                let pivots_on = arm_pivots && sharded.pivots_ready(self.pivot_target);
+                sharded
+                    .shards()
+                    .map(|shard| JoinUnit {
+                        store: shard.store(),
+                        nodes: (shard.min_nodes(), shard.max_nodes()),
+                        edges: (shard.min_edges(), shard.max_edges()),
+                        pivot: match shard.pivot_index() {
+                            Some(ix) if pivots_on => JoinPivot::Shard(ix),
+                            _ => JoinPivot::None,
+                        },
+                        entries: shard.store().entries_by_size(),
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Filters one off-diagonal `left-unit × right-unit` block: for each
+    /// left row, the band tier narrows the right entries to the one
+    /// contiguous window within the size-difference bound
+    /// (`partition_point` on the band order), then the window runs the
+    /// commutative per-pair tiers. `TwoStores` blocks arm the right
+    /// unit's pivot block lazily — once per left row, and only if some
+    /// pair of that row actually reaches the pivot tier.
+    #[allow(clippy::too_many_arguments)]
+    fn filter_cross_block<'s>(
+        &self,
+        left: &JoinUnit<'s>,
+        right: &JoinUnit<'s>,
+        kind: CrossKind,
+        tau: usize,
+        decision: &PlanDecision,
+        collapse: bool,
+        discards: &mut DiscardCounts,
+        stats: &mut JoinStats,
+        searches_saved: &mut u64,
+        survivors: &mut Vec<JoinSurvivor<'s>>,
+    ) {
+        let mut ws = GedWorkspace::new();
+        for &(ia, ga, sa) in &left.entries {
+            let na = sa.num_nodes();
+            let lo = right
+                .entries
+                .partition_point(|&(_, _, s)| s.num_nodes() < na.saturating_sub(tau));
+            let hi = right
+                .entries
+                .partition_point(|&(_, _, s)| s.num_nodes() <= na.saturating_add(tau));
+            stats.pruned_band += right.entries.len() - (hi - lo);
+            let mut qdists: Option<Vec<PivotDistance>> = None;
+            for &(ib, gb, sb) in &right.entries[lo..hi] {
+                let mut pivot = || -> (usize, usize) {
+                    match (kind, right.index()) {
+                        (CrossKind::TwoStores, Some(ix)) => {
+                            let budget = self.verify_budget;
+                            let qd = qdists.get_or_insert_with(|| {
+                                let mut oracle =
+                                    |x: &Graph, y: &Graph| pivot_distance_in(x, y, budget, &mut ws);
+                                ix.query_distances(right.store, ga, &mut oracle)
+                            });
+                            ix.bounds(qd, ib)
+                                .expect("index is synced with its unit store")
+                        }
+                        // Same-store off-diagonal blocks keep the tier
+                        // vacuous (see [`CrossKind::SameStore`]).
+                        _ => (0, usize::MAX),
+                    }
+                };
+                match filter_join_pair(decision, collapse, sa, sb, &mut pivot, tau, discards) {
+                    PairVerdict::Discarded => {}
+                    PairVerdict::Survived {
+                        certificate,
+                        collapsed_ged,
+                    } => {
+                        if collapsed_ged.is_some() {
+                            *searches_saved += 1;
+                        }
+                        let (a, b) = match kind {
+                            CrossKind::SameStore if ib < ia => (ib, ia),
+                            _ => (ia, ib),
+                        };
+                        let (qa, qb) = canonical_refs(ga, gb);
+                        survivors.push(JoinSurvivor {
+                            a,
+                            b,
+                            qa,
+                            qb,
+                            certificate,
+                            collapsed_ged,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// The unified self-join plan (flat = one-unit case): every
+    /// unordered pair of stored graphs with exact GED ≤ τ, through the
+    /// block → band → commutative-discard → dedup → verify tier stack.
+    /// τ semantics follow [`crate::engine::GedQuery::SelfJoin`];
+    /// [`JoinStats::total`] always closes to `n·(n−1)/2`.
+    pub(crate) fn plan_self_join(
+        &self,
+        method: MethodKind,
+        store: PlanStore<'_>,
+        tau: f64,
+        deadline: Deadline,
+    ) -> Result<JoinResult, GedError> {
+        if tau.is_nan() {
+            return Err(GedError::Config(
+                "join threshold must not be NaN".to_string(),
+            ));
+        }
+        // Joins never consult the solver; validate the method anyway so
+        // `query_as(method, ..)` behaves uniformly.
+        let _ = self.solver(method)?;
+        store.validate()?;
+        let n = store.len();
+        let total_pairs = n * (n - 1) / 2;
+        if tau < 0.0 {
+            return Ok(negative_tau_join(total_pairs));
+        }
+        let tau = saturate_tau(tau);
+        let budget_unlimited = self.verify_budget == usize::MAX;
+        let decision = self.plan_decision(QueryShape::Join);
+        let collapse = decision.collapse_verify && budget_unlimited;
+        let units = self.join_units(store, decision.arm_pivots);
+        let pivot_arms_saved = if decision.arm_pivots {
+            0
+        } else {
+            self.pivot_arm_cost(store)
+        };
+
+        let mut stats = JoinStats::default();
+        let mut discards = DiscardCounts::default();
+        let mut searches_saved = 0u64;
+        let mut survivors: Vec<JoinSurvivor<'_>> = Vec::new();
+        for (i, unit) in units.iter().enumerate() {
+            deadline.check()?;
+            // A unit's diagonal block can never be block-pruned (its
+            // ranges overlap themselves, bound 0), so it goes straight
+            // to the band tier.
+            filter_self_block(
+                unit,
+                tau,
+                &decision,
+                collapse,
+                &mut discards,
+                &mut stats,
+                &mut searches_saved,
+                &mut survivors,
+            );
+            for other in &units[i + 1..] {
+                deadline.check()?;
+                // Block tier: one aggregate comparison discards the
+                // whole shard×shard block of pairs.
+                if unit.block_bound(other) > tau {
+                    stats.pruned_block += unit.len() * other.len();
+                    continue;
+                }
+                self.filter_cross_block(
+                    unit,
+                    other,
+                    CrossKind::SameStore,
+                    tau,
+                    &decision,
+                    collapse,
+                    &mut discards,
+                    &mut stats,
+                    &mut searches_saved,
+                    &mut survivors,
+                );
+            }
+        }
+        let result = self.verify_join(tau, deadline, survivors, stats, discards, total_pairs)?;
+        self.plan_observe(
+            QueryShape::Join,
+            TierObservation {
+                candidates: total_pairs,
+                label: discards.label,
+                degree: discards.degree,
+                pivot_pruned: discards.pivot,
+                pivot_accepted: result.stats.accepted_pivot,
+                searches_saved,
+                pivot_arms_saved,
+                ..TierObservation::default()
+            },
+        );
+        Ok(result)
+    }
+
+    /// The unified cross-store join plan: every `(a, b)` pair with `a`
+    /// from `left` and `b` from `right` and exact GED ≤ τ — the same
+    /// tier stack as [`Self::plan_self_join`] over the
+    /// `left-unit × right-unit` block grid. Only the right side arms
+    /// pivots (lazily, once per left row per unit). `join(s, s)` is the
+    /// *ordered* product — all `n·m` pairs including the diagonal;
+    /// symmetric duplicates resolve through the dedup tier as
+    /// `cache_hits`. [`JoinStats::total`] always closes to `n·m`.
+    pub(crate) fn plan_join<'s>(
+        &self,
+        method: MethodKind,
+        left: PlanStore<'s>,
+        right: PlanStore<'s>,
+        tau: f64,
+        deadline: Deadline,
+    ) -> Result<JoinResult, GedError> {
+        if tau.is_nan() {
+            return Err(GedError::Config(
+                "join threshold must not be NaN".to_string(),
+            ));
+        }
+        let _ = self.solver(method)?;
+        left.validate()?;
+        right.validate()?;
+        let total_pairs = left.len() * right.len();
+        if tau < 0.0 {
+            return Ok(negative_tau_join(total_pairs));
+        }
+        let tau = saturate_tau(tau);
+        let budget_unlimited = self.verify_budget == usize::MAX;
+        let decision = self.plan_decision(QueryShape::Join);
+        let collapse = decision.collapse_verify && budget_unlimited;
+        // Only the right side serves the pivot tier (armed per left
+        // row), so left units are always built bare.
+        let left_units = self.join_units(left, false);
+        let right_units = self.join_units(right, decision.arm_pivots);
+        let pivot_arms_saved = if decision.arm_pivots {
+            0
+        } else {
+            self.pivot_arm_cost(right)
+        };
+
+        let mut stats = JoinStats::default();
+        let mut discards = DiscardCounts::default();
+        let mut searches_saved = 0u64;
+        let mut survivors: Vec<JoinSurvivor<'s>> = Vec::new();
+        for lu in &left_units {
+            deadline.check()?;
+            for ru in &right_units {
+                if lu.block_bound(ru) > tau {
+                    stats.pruned_block += lu.len() * ru.len();
+                    continue;
+                }
+                self.filter_cross_block(
+                    lu,
+                    ru,
+                    CrossKind::TwoStores,
+                    tau,
+                    &decision,
+                    collapse,
+                    &mut discards,
+                    &mut stats,
+                    &mut searches_saved,
+                    &mut survivors,
+                );
+            }
+        }
+        let result = self.verify_join(tau, deadline, survivors, stats, discards, total_pairs)?;
+        self.plan_observe(
+            QueryShape::Join,
+            TierObservation {
+                candidates: total_pairs,
+                label: discards.label,
+                degree: discards.degree,
+                pivot_pruned: discards.pivot,
+                pivot_accepted: result.stats.accepted_pivot,
+                searches_saved,
+                pivot_arms_saved,
+                ..TierObservation::default()
+            },
+        );
+        Ok(result)
+    }
+
+    /// The shared verify tail of both join plans: survivors are put in
+    /// ascending `(a, b)` order, deduplicated so each structurally
+    /// identical `(pair, certificate, collapsed)` class verifies once
+    /// (dupes land in the `cache_hits` tier), representatives run the
+    /// τ-bounded prune/verify tiers in parallel (chunked with
+    /// cooperative checkpoints under a deadline), and every survivor is
+    /// assembled from its class outcome.
+    fn verify_join(
+        &self,
+        tau: usize,
+        deadline: Deadline,
+        mut survivors: Vec<JoinSurvivor<'_>>,
+        mut stats: JoinStats,
+        discards: DiscardCounts,
+        total_pairs: usize,
+    ) -> Result<JoinResult, GedError> {
+        stats.filtered += discards.label + discards.degree;
+        stats.pruned_pivot += discards.pivot;
+        // Blocks were visited in unit order; report pairs in ascending
+        // (a, b) id order (the brute-force nested-loop order).
+        survivors.sort_by_key(|s| (s.a, s.b));
+
+        // Dedup tier: two survivors whose canonical graphs are
+        // structurally identical — and whose certificate and collapsed
+        // distance agree, so the verify input is bit-identical — share
+        // one deterministic outcome. Keyed by fingerprint with exact
+        // graph comparison inside each bucket, so a hash collision can
+        // never share a wrong outcome. The first occurrence (smallest
+        // (a, b)) is the representative.
+        let mut reps: Vec<usize> = Vec::new();
+        let mut rep_of: Vec<usize> = Vec::with_capacity(survivors.len());
+        let mut classes: HashMap<(u64, Option<usize>, Option<usize>), Vec<usize>> = HashMap::new();
+        for (si, s) in survivors.iter().enumerate() {
+            let key = (
+                join_pair_fingerprint(s.qa, s.qb),
+                s.certificate,
+                s.collapsed_ged,
+            );
+            let bucket = classes.entry(key).or_default();
+            match bucket.iter().copied().find(|&ri| {
+                let r = &survivors[reps[ri]];
+                r.qa == s.qa && r.qb == s.qb
+            }) {
+                Some(ri) => rep_of.push(ri),
+                None => {
+                    bucket.push(reps.len());
+                    rep_of.push(reps.len());
+                    reps.push(si);
+                }
+            }
+        }
+
+        // Verify tier: representatives only, per-pair, embarrassingly
+        // parallel and deterministic (canonical orientation), so thread
+        // count never changes an answer. A pivot-certified pair skips
+        // the GEDGW bound and goes straight to the (ub-bounded)
+        // exact-distance recovery; a collapsed pair skips the search
+        // entirely.
+        let rep_rows: Vec<&JoinSurvivor<'_>> = reps.iter().map(|&si| &survivors[si]).collect();
+        let run = |ws: &mut GedWorkspace, s: &&JoinSurvivor<'_>| {
+            if let Some(ged) = s.collapsed_ged {
+                return CandidateOutcome::AcceptedByPivot { ged };
+            }
+            prune_or_verify_with_pivot_in(s.qa, s.qb, tau, self.verify_budget, s.certificate, ws)
+        };
+        let outcomes = if deadline.is_set() {
+            let mut out = Vec::with_capacity(rep_rows.len());
+            for chunk in rep_rows.chunks(self.verify_block_len()) {
+                deadline.check()?;
+                out.extend(self.runner.map_init(chunk, GedWorkspace::new, run));
+            }
+            out
+        } else {
+            self.runner.map_init(&rep_rows, GedWorkspace::new, run)
+        };
+
+        let mut pairs = Vec::new();
+        let mut budget_exhausted = Vec::new();
+        for (si, s) in survivors.iter().enumerate() {
+            let ri = rep_of[si];
+            let outcome = &outcomes[ri];
+            if reps[ri] == si {
+                stats.record(outcome);
+            } else {
+                stats.cache_hits += 1;
+            }
+            match *outcome {
+                CandidateOutcome::AcceptedByPivot { ged }
+                | CandidateOutcome::AcceptedEarly { ged }
+                | CandidateOutcome::Verified { ged } => {
+                    pairs.push(JoinPair {
+                        a: s.a,
+                        b: s.b,
+                        ged,
+                    });
+                }
+                CandidateOutcome::Rejected => {}
+                CandidateOutcome::BudgetExhausted { accepted_ub } => {
+                    budget_exhausted.push(UndecidedPair {
+                        a: s.a,
+                        b: s.b,
+                        known_match_ub: accepted_ub,
+                    });
+                }
+            }
+        }
+        debug_assert_eq!(
+            stats.total(),
+            total_pairs,
+            "every pair lands in exactly one tier"
+        );
+        Ok(JoinResult {
+            pairs,
+            budget_exhausted,
+            stats,
+        })
     }
 
     /// The verify phase shared by `TopK` and `Range`: runs the solver on
@@ -1234,6 +1945,30 @@ impl GedEngine {
     }
 }
 
+/// GED is integral: `GED ≤ τ ⟺ GED ≤ ⌊τ⌋`. `+∞` (and any τ beyond
+/// `usize`) saturates to an effectively unbounded threshold — τ is only
+/// ever compared, never added, so no overflow.
+fn saturate_tau(tau: f64) -> usize {
+    if tau.is_infinite() {
+        usize::MAX
+    } else {
+        tau.floor() as usize
+    }
+}
+
+/// The join answer for a negative τ: every lower bound (≥ 0) exceeds
+/// it, so the signature tier accounts every pair and nothing matches.
+fn negative_tau_join(total_pairs: usize) -> JoinResult {
+    JoinResult {
+        pairs: Vec::new(),
+        budget_exhausted: Vec::new(),
+        stats: JoinStats {
+            filtered: total_pairs,
+            ..JoinStats::default()
+        },
+    }
+}
+
 /// How many of `candidates` collapsed verification will answer from
 /// their tight `lb == ub` interval without a solver call.
 fn collapsible(candidates: &[Candidate]) -> u64 {
@@ -1254,6 +1989,7 @@ mod tests {
             QueryShape::Range,
             QueryShape::RangeExact,
             QueryShape::Matrix,
+            QueryShape::Join,
         ] {
             assert_eq!(QueryShape::from_name(shape.name()), Some(shape));
         }

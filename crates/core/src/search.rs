@@ -154,6 +154,104 @@ impl fmt::Display for ExactSearchStats {
     }
 }
 
+/// Statistics of one GED join ([`crate::engine::GedQuery::SelfJoin`] /
+/// [`crate::engine::GedQuery::Join`]): which tier settled each candidate
+/// pair. Every pair of the join's candidate matrix lands in exactly one
+/// tier, so [`JoinStats::total`] always equals the exact pair count —
+/// `n·(n−1)/2` for a self-join over `n` graphs, `n·m` for a cross-store
+/// join — whatever the planner decided.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Pairs discarded wholesale at the block tier: the aggregate bound
+    /// between their two units (shard×shard, or flat-store size ranges)
+    /// already exceeded `τ`, so the block's pairs were counted off
+    /// without touching any per-graph metadata.
+    pub pruned_block: usize,
+    /// Pairs discarded wholesale at the band tier: candidates are
+    /// generated in signature-sort (node-count) order, so once one
+    /// pair's size difference exceeds `τ` the whole remaining
+    /// contiguous band of larger partners is discarded by arithmetic.
+    pub pruned_band: usize,
+    /// Pairs discarded one-by-one by the signature lower bounds
+    /// (label multiset, degree sequence). Negative-`τ` joins account
+    /// every pair here (nothing can match).
+    pub filtered: usize,
+    /// Pairs discarded by the pivot-table triangle lower bound. Always
+    /// zero without a pivot index.
+    pub pruned_pivot: usize,
+    /// Pairs answered from an already-verified structurally identical
+    /// pair: symmetric/duplicate pairs canonicalize to the same
+    /// representative (same orientation the prediction cache keys on),
+    /// which is verified once and its outcome shared.
+    pub cache_hits: usize,
+    /// Pairs whose membership the pivot-table upper bound certified
+    /// before exact verification (the exact distance is then recovered
+    /// by a search bounded by that certificate).
+    pub accepted_pivot: usize,
+    /// Pairs accepted by the GEDGW feasible upper bound.
+    pub accepted_early: usize,
+    /// Pairs that required bounded exact verification (including pairs
+    /// the verification rejected).
+    pub verified: usize,
+    /// Pairs whose bounded search exhausted its node-expansion budget
+    /// undecided (surfaced in the join result, not silently dropped).
+    /// Always zero when the budget is unlimited.
+    pub budget_exceeded: usize,
+}
+
+impl JoinStats {
+    /// Total pairs accounted for — always the join's exact candidate
+    /// pair count (`n·(n−1)/2` resp. `n·m`), whichever tiers fired.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.pruned_block
+            + self.pruned_band
+            + self.filtered
+            + self.pruned_pivot
+            + self.cache_hits
+            + self.accepted_pivot
+            + self.accepted_early
+            + self.verified
+            + self.budget_exceeded
+    }
+
+    /// Accounts one verify-phase [`CandidateOutcome`] to its tier — the
+    /// same outcome→tier mapping as [`ExactSearchStats::record`], so
+    /// join and per-query accounting cannot drift. (`Rejected` still
+    /// counts as `verified`: the pair consumed a bounded exact search.)
+    pub fn record(&mut self, outcome: &CandidateOutcome) {
+        match outcome {
+            CandidateOutcome::AcceptedByPivot { .. } => self.accepted_pivot += 1,
+            CandidateOutcome::AcceptedEarly { .. } => self.accepted_early += 1,
+            CandidateOutcome::Verified { .. } | CandidateOutcome::Rejected => self.verified += 1,
+            CandidateOutcome::BudgetExhausted { .. } => self.budget_exceeded += 1,
+        }
+    }
+}
+
+impl fmt::Display for JoinStats {
+    /// One-line tier breakdown, filter order left to right:
+    /// `block=.. band=.. filtered=.. pivot=.. cache=.. accept_pivot=..
+    /// accept_ub=.. verified=.. budget=.. total=..`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block={} band={} filtered={} pivot={} cache={} accept_pivot={} accept_ub={} \
+             verified={} budget={} total={}",
+            self.pruned_block,
+            self.pruned_band,
+            self.filtered,
+            self.pruned_pivot,
+            self.cache_hits,
+            self.accepted_pivot,
+            self.accepted_early,
+            self.verified,
+            self.budget_exceeded,
+            self.total()
+        )
+    }
+}
+
 /// The result of a budgeted τ-bounded exact search
 /// ([`bounded_exact_ged_with_budget`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

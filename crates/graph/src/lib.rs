@@ -52,7 +52,7 @@ pub use graph::{Graph, Label};
 pub use io::{ParseError, ParseErrorKind};
 pub use mapping::{CanonicalOp, NodeMapping};
 pub use pivot::{PivotDistance, PivotIndex};
-pub use shard::{Shard, ShardedStore};
+pub use shard::{range_distance, Shard, ShardedStore};
 pub use store::{GraphId, GraphSignature, GraphStore};
 
 /// The maximum number of edit operations that can possibly be needed to turn

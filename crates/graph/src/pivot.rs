@@ -268,6 +268,30 @@ impl PivotIndex {
         Some((lb, ub))
     }
 
+    /// The triangle-inequality bounds `(lb, ub)` on `d(a, b)` for two
+    /// graphs the table already holds, combining their stored rows —
+    /// the tightest `lb = max_i max(a_i.lb − b_i.ub, b_i.lb − a_i.ub)`
+    /// and `ub = min_i (a_i.ub + b_i.ub)` over all pivots. Because both
+    /// sides are members, building the index is the *only* arming cost:
+    /// a self-join reads pair bounds straight out of the table with
+    /// zero per-row oracle calls. With zero pivots this degrades to the
+    /// vacuous `(0, usize::MAX)`. Returns `None` if either id has no
+    /// table row.
+    #[must_use]
+    pub fn member_bounds(&self, a: GraphId, b: GraphId) -> Option<(usize, usize)> {
+        let ra = self.rows.get(&a)?;
+        let rb = self.rows.get(&b)?;
+        let mut lb = 0usize;
+        let mut ub = usize::MAX;
+        for (da, db) in ra.iter().zip(rb) {
+            lb = lb
+                .max(da.lb().saturating_sub(db.ub()))
+                .max(db.lb().saturating_sub(da.ub()));
+            ub = ub.min(da.ub().saturating_add(db.ub()));
+        }
+        Some((lb, ub))
+    }
+
     /// The selected pivot ids, in selection (= column) order.
     #[must_use]
     pub fn pivots(&self) -> &[GraphId] {
@@ -458,6 +482,25 @@ mod tests {
             let d = label_metric(&query, g);
             assert!(lb <= d && d <= ub, "interval bounds [{lb}, {ub}] vs {d}");
         }
+    }
+
+    #[test]
+    fn member_bounds_sandwich_the_true_metric() {
+        let (store, _) = store_of(&[&[1, 2, 3], &[1, 2], &[4], &[1, 4, 5, 6], &[2, 3]]);
+        let idx = PivotIndex::build(&store, 2, &mut exact_oracle());
+        for (a, ga) in store.iter() {
+            for (b, gb) in store.iter() {
+                let (lb, ub) = idx.member_bounds(a, b).expect("both rows exist");
+                let d = label_metric(ga, gb);
+                assert!(lb <= d && d <= ub, "bounds [{lb}, {ub}] must contain {d}");
+            }
+        }
+        // Zero pivots: vacuous; foreign ids: no bounds.
+        let empty = PivotIndex::build(&store, 0, &mut exact_oracle());
+        let ids = store.ids();
+        assert_eq!(empty.member_bounds(ids[0], ids[1]), Some((0, usize::MAX)));
+        let (_, foreign) = store_of(&[&[9]]);
+        assert_eq!(idx.member_bounds(ids[0], foreign[0]), None);
     }
 
     #[test]

@@ -215,6 +215,32 @@ impl Shard {
             .unwrap_or(0)
     }
 
+    /// A lower bound on `GED(a, b)` valid for **every** pair with `a`
+    /// a member of `self` and `b` a member of `other`, from the two
+    /// shards' size aggregates alone — the block bound a join plan uses
+    /// to discard an entire shard×shard block before any per-graph
+    /// work.
+    ///
+    /// Admissibility: the label-set lower bound between two graphs is
+    /// `max(only_a, only_b) + |e_a − e_b|`, which is at least
+    /// `|n_a − n_b| + |e_a − e_b|`; over all member pairs, `|n_a − n_b|`
+    /// is at least the gap between the two shards' node-count ranges
+    /// and `|e_a − e_b|` at least the gap between their edge-count
+    /// ranges, so the returned value never exceeds any member pair's
+    /// per-graph signature bound.
+    #[must_use]
+    pub fn block_lower_bound(&self, other: &Shard) -> usize {
+        let node_gap = range_distance(
+            (self.min_nodes, self.max_nodes),
+            (other.min_nodes, other.max_nodes),
+        );
+        let edge_gap = range_distance(
+            (self.min_edges, self.max_edges),
+            (other.min_edges, other.max_edges),
+        );
+        node_gap + edge_gap
+    }
+
     fn insert(&mut self, graph: Graph) -> GraphId {
         let id = self.store.insert(graph);
         let sig = self.store.signature(id).expect("just inserted");
@@ -315,6 +341,16 @@ fn range_gap(x: usize, lo: usize, hi: usize) -> usize {
     } else {
         x.saturating_sub(hi)
     }
+}
+
+/// Distance between two closed ranges `[a.0, a.1]` and `[b.0, b.1]`
+/// (0 when they overlap): the smallest `|x − y|` over `x ∈ a, y ∈ b`.
+/// The aggregate primitive behind [`Shard::block_lower_bound`], public
+/// so join plans can apply the same bound to non-sharded (flat) unit
+/// aggregates.
+#[must_use]
+pub fn range_distance(a: (usize, usize), b: (usize, usize)) -> usize {
+    b.0.saturating_sub(a.1).max(a.0.saturating_sub(b.1))
 }
 
 /// A graph store partitioned into size-bucketed [`Shard`]s. See the
@@ -911,6 +947,34 @@ mod tests {
                         shard_lb <= label_lb(&qsig, sig),
                         "aggregate bound {shard_lb} exceeds member bound"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_distance_is_the_min_pointwise_gap() {
+        assert_eq!(range_distance((1, 3), (2, 5)), 0, "overlap");
+        assert_eq!(range_distance((1, 3), (3, 5)), 0, "touching");
+        assert_eq!(range_distance((1, 3), (7, 9)), 4);
+        assert_eq!(range_distance((7, 9), (1, 3)), 4, "symmetric");
+        assert_eq!(range_distance((5, 5), (5, 5)), 0);
+    }
+
+    #[test]
+    fn block_lower_bound_never_exceeds_any_member_pair_bound() {
+        let store = random_store(2, 40, 21);
+        for a in store.shards() {
+            for b in store.shards() {
+                let block_lb = a.block_lower_bound(b);
+                assert_eq!(block_lb, b.block_lower_bound(a), "symmetric");
+                for (_, _, sa) in a.store().entries() {
+                    for (_, _, sb) in b.store().entries() {
+                        assert!(
+                            block_lb <= label_lb(sa, sb),
+                            "block bound {block_lb} exceeds member pair bound"
+                        );
+                    }
                 }
             }
         }

@@ -396,6 +396,21 @@ impl GraphStore {
     pub fn graphs(&self) -> impl Iterator<Item = &Graph> {
         self.entries.iter().map(|(_, e)| &e.graph)
     }
+
+    /// `(id, graph, signature)` entries sorted by ascending node count
+    /// (ties by ascending id) — the *signature band order*.
+    ///
+    /// Node-count difference is an admissible GED lower bound, so in
+    /// this order the candidates compatible with any size window form
+    /// one contiguous band: a join or batch plan walking the sorted
+    /// entries can discard everything past the first entry whose size
+    /// gap exceeds τ wholesale, without touching the remaining pairs.
+    #[must_use]
+    pub fn entries_by_size(&self) -> Vec<(GraphId, &Graph, &GraphSignature)> {
+        let mut out: Vec<(GraphId, &Graph, &GraphSignature)> = self.entries().collect();
+        out.sort_by_key(|&(id, _, sig)| (sig.num_nodes(), id));
+        out
+    }
 }
 
 impl Index<GraphId> for GraphStore {

@@ -10,7 +10,7 @@
 
 use crate::protocol::{
     ErrorCode, GraphRef, Request, Response, ResponseBody, StatsBody, WireExactNeighbor,
-    WireNeighbor, WireUndecided, PROTOCOL_VERSION,
+    WireJoinPair, WireJoinUndecided, WireNeighbor, WireUndecided, PROTOCOL_VERSION,
 };
 use ged_graph::io::{graph_from_json_prefix, graph_to_json, ParseError, ParseErrorKind};
 use ged_graph::{CanonicalOp, ShardedStore};
@@ -150,6 +150,30 @@ pub fn encode_request(req: &Request) -> String {
             s.push_str("\"matrix\"");
             push_deadline(&mut s, *deadline_ms);
         }
+        Request::SelfJoin {
+            tau, deadline_ms, ..
+        } => {
+            s.push_str("\"self_join\",\"tau\":");
+            push_f64(&mut s, *tau);
+            push_deadline(&mut s, *deadline_ms);
+        }
+        Request::Join {
+            graphs,
+            tau,
+            deadline_ms,
+            ..
+        } => {
+            s.push_str("\"join\",\"graphs\":[");
+            for (i, g) in graphs.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&graph_to_json(g));
+            }
+            s.push_str("],\"tau\":");
+            push_f64(&mut s, *tau);
+            push_deadline(&mut s, *deadline_ms);
+        }
         Request::Snapshot { path, .. } => {
             s.push_str("\"snapshot\"");
             if let Some(p) = path {
@@ -191,6 +215,46 @@ fn push_ops(out: &mut String, ops: &[CanonicalOp]) {
         }
     }
     out.push(']');
+}
+
+/// The shared tail of the `self_join` / `join` response payloads.
+fn push_join_body(
+    s: &mut String,
+    pairs: &[WireJoinPair],
+    undecided: &[WireJoinUndecided],
+    candidates: u64,
+    verified: u64,
+) {
+    s.push_str(",\"pairs\":[");
+    for (i, p) in pairs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"a\":");
+        push_json_string(s, &p.a);
+        s.push_str(",\"b\":");
+        push_json_string(s, &p.b);
+        let _ = write!(s, ",\"ged\":{}}}", p.ged);
+    }
+    s.push_str("],\"undecided\":[");
+    for (i, u) in undecided.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"a\":");
+        push_json_string(s, &u.a);
+        s.push_str(",\"b\":");
+        push_json_string(s, &u.b);
+        s.push_str(",\"known_match_ub\":");
+        match u.known_match_ub {
+            Some(ub) => {
+                let _ = write!(s, "{ub}");
+            }
+            None => s.push_str("null"),
+        }
+        s.push('}');
+    }
+    let _ = write!(s, "],\"candidates\":{candidates},\"verified\":{verified}");
 }
 
 /// Encodes a response as one JSON line (no trailing newline).
@@ -315,6 +379,24 @@ pub fn encode_response(resp: &Response) -> String {
                 s.push('}');
             }
             s.push(']');
+        }
+        ResponseBody::SelfJoin {
+            pairs,
+            undecided,
+            candidates,
+            verified,
+        } => {
+            s.push_str("\"self_join\"");
+            push_join_body(&mut s, pairs, undecided, *candidates, *verified);
+        }
+        ResponseBody::Join {
+            pairs,
+            undecided,
+            candidates,
+            verified,
+        } => {
+            s.push_str("\"join\"");
+            push_join_body(&mut s, pairs, undecided, *candidates, *verified);
         }
         ResponseBody::Matrix { names, rows } => {
             s.push_str("\"matrix\",\"names\":[");
@@ -698,6 +780,35 @@ impl<'a> Parser<'a> {
                 let deadline_ms = self.opt_u64_field(",\"deadline_ms\":")?;
                 Request::Matrix { id, deadline_ms }
             }
+            "self_join" => {
+                self.expect(",")?;
+                self.expect("\"tau\"")?;
+                self.expect(":")?;
+                let tau = self.f64()?;
+                let deadline_ms = self.opt_u64_field(",\"deadline_ms\":")?;
+                Request::SelfJoin {
+                    id,
+                    tau,
+                    deadline_ms,
+                }
+            }
+            "join" => {
+                self.expect(",")?;
+                self.expect("\"graphs\"")?;
+                self.expect(":")?;
+                let graphs = self.list(Self::graph)?;
+                self.expect(",")?;
+                self.expect("\"tau\"")?;
+                self.expect(":")?;
+                let tau = self.f64()?;
+                let deadline_ms = self.opt_u64_field(",\"deadline_ms\":")?;
+                Request::Join {
+                    id,
+                    graphs,
+                    tau,
+                    deadline_ms,
+                }
+            }
             "snapshot" | "load" => {
                 let path = if self.try_token(",\"path\":") {
                     Some(self.string()?)
@@ -974,6 +1085,77 @@ impl<'a> Parser<'a> {
                     })
                 })?;
                 ResponseBody::ExactMatches { matches, undecided }
+            }
+            "self_join" | "join" => {
+                self.expect(",")?;
+                self.expect("\"pairs\"")?;
+                self.expect(":")?;
+                let pairs = self.list(|p| {
+                    p.expect("{")?;
+                    p.expect("\"a\"")?;
+                    p.expect(":")?;
+                    let a = p.string()?;
+                    p.expect(",")?;
+                    p.expect("\"b\"")?;
+                    p.expect(":")?;
+                    let b = p.string()?;
+                    p.expect(",")?;
+                    p.expect("\"ged\"")?;
+                    p.expect(":")?;
+                    let ged = p.u64()?;
+                    p.expect("}")?;
+                    Ok(WireJoinPair { a, b, ged })
+                })?;
+                self.expect(",")?;
+                self.expect("\"undecided\"")?;
+                self.expect(":")?;
+                let undecided = self.list(|p| {
+                    p.expect("{")?;
+                    p.expect("\"a\"")?;
+                    p.expect(":")?;
+                    let a = p.string()?;
+                    p.expect(",")?;
+                    p.expect("\"b\"")?;
+                    p.expect(":")?;
+                    let b = p.string()?;
+                    p.expect(",")?;
+                    p.expect("\"known_match_ub\"")?;
+                    p.expect(":")?;
+                    let known_match_ub = if p.try_token("null") {
+                        None
+                    } else {
+                        Some(p.u64()?)
+                    };
+                    p.expect("}")?;
+                    Ok(WireJoinUndecided {
+                        a,
+                        b,
+                        known_match_ub,
+                    })
+                })?;
+                self.expect(",")?;
+                self.expect("\"candidates\"")?;
+                self.expect(":")?;
+                let candidates = self.u64()?;
+                self.expect(",")?;
+                self.expect("\"verified\"")?;
+                self.expect(":")?;
+                let verified = self.u64()?;
+                if ty == "self_join" {
+                    ResponseBody::SelfJoin {
+                        pairs,
+                        undecided,
+                        candidates,
+                        verified,
+                    }
+                } else {
+                    ResponseBody::Join {
+                        pairs,
+                        undecided,
+                        candidates,
+                        verified,
+                    }
+                }
             }
             "matrix" => {
                 self.expect(",")?;

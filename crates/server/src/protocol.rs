@@ -36,6 +36,8 @@
 //! {"v":1,"id":I,"op":"range","query":REF,"tau":F64[,"deadline_ms":U64]}
 //! {"v":1,"id":I,"op":"range_exact","query":REF,"tau":F64[,"deadline_ms":U64]}
 //! {"v":1,"id":I,"op":"matrix"[,"deadline_ms":U64]}
+//! {"v":1,"id":I,"op":"self_join","tau":F64[,"deadline_ms":U64]}
+//! {"v":1,"id":I,"op":"join","graphs":[GRAPH,...],"tau":F64[,"deadline_ms":U64]}
 //! {"v":1,"id":I,"op":"snapshot"[,"path":STR]}
 //! {"v":1,"id":I,"op":"load"[,"path":STR]}
 //! ```
@@ -186,6 +188,30 @@ pub enum Request {
         /// Optional per-request deadline in milliseconds.
         deadline_ms: Option<u64>,
     },
+    /// Every unordered pair of stored graphs with **exact** GED ≤ τ —
+    /// the GED self-join ([`ged_core::engine::GedQuery::SelfJoin`]).
+    SelfJoin {
+        /// Client-chosen id, echoed in the response.
+        id: String,
+        /// The GED threshold τ.
+        tau: f64,
+        /// Optional per-request deadline in milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Every (query graph, stored graph) pair with **exact** GED ≤ τ —
+    /// a cross-store join of an inline query batch against the store
+    /// ([`ged_core::engine::GedQuery::Join`]).
+    Join {
+        /// Client-chosen id, echoed in the response.
+        id: String,
+        /// The inline query batch (the join's left side), addressed in
+        /// responses by position as `"q0"`, `"q1"`, ...
+        graphs: Vec<Graph>,
+        /// The GED threshold τ.
+        tau: f64,
+        /// Optional per-request deadline in milliseconds.
+        deadline_ms: Option<u64>,
+    },
     /// Persist the store (and name table) to a snapshot file.
     Snapshot {
         /// Client-chosen id, echoed in the response.
@@ -219,6 +245,8 @@ impl Request {
             | Request::Range { id, .. }
             | Request::RangeExact { id, .. }
             | Request::Matrix { id, .. }
+            | Request::SelfJoin { id, .. }
+            | Request::Join { id, .. }
             | Request::Snapshot { id, .. }
             | Request::Load { id, .. } => id,
         }
@@ -343,6 +371,34 @@ pub struct WireUndecided {
     pub known_match_ub: Option<u64>,
 }
 
+/// One join match on the wire: two graph names plus the pair's exact
+/// GED. Self-join names are both stored graphs (`"g{n}"`, `a` always
+/// the smaller id); in a cross join `a` addresses a position of the
+/// request's query batch (`"q{i}"`) and `b` a stored graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireJoinPair {
+    /// First graph of the pair.
+    pub a: String,
+    /// Second graph of the pair.
+    pub b: String,
+    /// Exact GED (≤ τ).
+    pub ged: u64,
+}
+
+/// A budget-undecided join pair — same naming convention as
+/// [`WireJoinPair`], carrying the membership evidence that survived
+/// instead of an exact distance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireJoinUndecided {
+    /// First graph of the pair.
+    pub a: String,
+    /// Second graph of the pair.
+    pub b: String,
+    /// `Some(ub)` when membership is proven with feasible bound `ub`;
+    /// `None` when membership is unknown.
+    pub known_match_ub: Option<u64>,
+}
+
 /// The server introspection snapshot (`stats` response payload).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StatsBody {
@@ -436,6 +492,29 @@ pub enum ResponseBody {
         names: Vec<String>,
         /// The symmetric distance matrix, row-major, one row per name.
         rows: Vec<Vec<f64>>,
+    },
+    /// `self_join` answer: every stored pair within τ.
+    SelfJoin {
+        /// Matches in ascending `(a, b)` id order, exact distances.
+        pairs: Vec<WireJoinPair>,
+        /// Pairs the verify budget could not resolve.
+        undecided: Vec<WireJoinUndecided>,
+        /// Exact candidate pair count (`n·(n−1)/2`).
+        candidates: u64,
+        /// Pairs that needed a bounded exact verification — the join
+        /// plan's shared work keeps this far below `candidates`.
+        verified: u64,
+    },
+    /// `join` answer: every (query, stored) pair within τ.
+    Join {
+        /// Matches in ascending (query position, stored id) order.
+        pairs: Vec<WireJoinPair>,
+        /// Pairs the verify budget could not resolve.
+        undecided: Vec<WireJoinUndecided>,
+        /// Exact candidate pair count (`batch × store`).
+        candidates: u64,
+        /// Pairs that needed a bounded exact verification.
+        verified: u64,
     },
     /// `snapshot` answer: where the store was written.
     Snapshotted {

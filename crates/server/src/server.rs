@@ -25,9 +25,15 @@
 //!   always admitted.
 //! * **Deadlines** — a request carrying `deadline_ms` is answered with
 //!   `deadline_exceeded` if the deadline elapses before its result is
-//!   ready. Work is not preempted mid-solve: the deadline is checked on
-//!   admission and again on completion (a deadline of `0` therefore
-//!   deterministically fails without executing).
+//!   ready. Store-level queries (`top_k` / `range` / `range_exact` /
+//!   `matrix` / `self_join` / `join`) thread a cooperative
+//!   [`ged_core::engine::Deadline`] into plan execution: the engine
+//!   checks it between verification blocks and abandons the remaining
+//!   work mid-plan instead of occupying the worker pool until an answer
+//!   nobody is waiting for completes. Per-pair ops (`predict` /
+//!   `edit_path`) are not preempted mid-solve — their deadline is
+//!   checked on admission and again on completion. A deadline of `0`
+//!   deterministically fails without executing.
 //! * **Graceful shutdown** — `shutdown` stops admitting, waits for every
 //!   in-flight request to finish and be answered, answers itself, then
 //!   unblocks all connections. Requests arriving during the drain get a
@@ -36,16 +42,16 @@
 use crate::codec::{encode_response, encode_server_snapshot, parse_request, parse_server_snapshot};
 use crate::protocol::{
     ErrorCode, GraphRef, Request, Response, ResponseBody, StatsBody, WireExactNeighbor,
-    WireNeighbor, WireUndecided, MAX_LINE_BYTES,
+    WireJoinPair, WireJoinUndecided, WireNeighbor, WireUndecided, MAX_LINE_BYTES,
 };
 use ged_baselines::solvers::ClassicSolver;
-use ged_core::engine::GedEngine;
+use ged_core::engine::{Deadline, GedEngine};
 use ged_core::method::MethodKind;
 use ged_core::pairs::GedPair;
 use ged_core::plan::QueryShape;
 use ged_core::solver::{GedgwSolver, SolverRegistry};
 use ged_core::GedError;
-use ged_graph::{Graph, GraphId, ShardedStore};
+use ged_graph::{Graph, GraphId, GraphStore, ShardedStore};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -162,6 +168,7 @@ fn engine_error(e: &GedError) -> (ErrorCode, String) {
         GedError::EmptyStore => ErrorCode::EmptyStore,
         GedError::UnknownGraphId(_) => ErrorCode::UnknownGraph,
         GedError::Parse(_) => ErrorCode::Parse,
+        GedError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
     };
     (code, e.to_string())
 }
@@ -425,7 +432,9 @@ impl Server {
             | Request::TopK { deadline_ms, .. }
             | Request::Range { deadline_ms, .. }
             | Request::RangeExact { deadline_ms, .. }
-            | Request::Matrix { deadline_ms, .. } => *deadline_ms,
+            | Request::Matrix { deadline_ms, .. }
+            | Request::SelfJoin { deadline_ms, .. }
+            | Request::Join { deadline_ms, .. } => *deadline_ms,
             _ => None,
         };
         if deadline_ms == Some(0) {
@@ -435,15 +444,23 @@ impl Server {
                 "deadline of 0 ms elapsed before execution".to_string(),
             ));
         }
+        // Store-level queries get a cooperative engine deadline: the
+        // plan checks it between verification blocks and aborts
+        // mid-execution rather than finishing work nobody waits for.
+        let deadline = deadline_ms.map_or(Deadline::NONE, |ms| {
+            Deadline::within(Duration::from_millis(ms))
+        });
         let result = match req {
             Request::InsertGraph { graph, .. } => self.insert_graph(graph),
             Request::RemoveGraph { name, .. } => self.remove_graph(name),
             Request::Predict { g1, g2, .. } => self.predict(g1, g2),
             Request::EditPath { g1, g2, k, .. } => self.edit_path(g1, g2, *k),
-            Request::TopK { query, k, .. } => self.top_k(query, *k),
-            Request::Range { query, tau, .. } => self.range(query, *tau, false),
-            Request::RangeExact { query, tau, .. } => self.range(query, *tau, true),
-            Request::Matrix { .. } => self.matrix(),
+            Request::TopK { query, k, .. } => self.top_k(query, *k, deadline),
+            Request::Range { query, tau, .. } => self.range(query, *tau, false, deadline),
+            Request::RangeExact { query, tau, .. } => self.range(query, *tau, true, deadline),
+            Request::Matrix { .. } => self.matrix(deadline),
+            Request::SelfJoin { tau, .. } => self.self_join(*tau, deadline),
+            Request::Join { graphs, tau, .. } => self.join(graphs, *tau, deadline),
             Request::Snapshot { path, .. } => self.snapshot(path.as_deref()),
             Request::Load { path, .. } => self.load(path.as_deref()),
             _ => unreachable!("introspection ops are not admission-controlled"),
@@ -529,10 +546,11 @@ impl Server {
         })
     }
 
-    fn top_k(&self, query: &GraphRef, k: u64) -> OpResult {
+    fn top_k(&self, query: &GraphRef, k: u64, deadline: Deadline) -> OpResult {
         self.with_read(|state, engine| {
             let q = resolve(state, query)?;
             let result = engine
+                .with_deadline(deadline)
                 .top_k_sharded(q, &state.store, usize::try_from(k).unwrap_or(usize::MAX))
                 .map_err(|e| engine_error(&e))?;
             Ok(ResponseBody::Neighbors {
@@ -541,11 +559,12 @@ impl Server {
         })
     }
 
-    fn range(&self, query: &GraphRef, tau: f64, exact: bool) -> OpResult {
+    fn range(&self, query: &GraphRef, tau: f64, exact: bool, deadline: Deadline) -> OpResult {
         self.with_read(|state, engine| {
             let q = resolve(state, query)?;
             if exact {
                 let result = engine
+                    .with_deadline(deadline)
                     .range_exact_sharded(q, &state.store, tau)
                     .map_err(|e| engine_error(&e))?;
                 Ok(ResponseBody::ExactMatches {
@@ -568,6 +587,7 @@ impl Server {
                 })
             } else {
                 let result = engine
+                    .with_deadline(deadline)
                     .range_sharded(q, &state.store, tau)
                     .map_err(|e| engine_error(&e))?;
                 Ok(ResponseBody::Neighbors {
@@ -580,14 +600,95 @@ impl Server {
         })
     }
 
-    fn matrix(&self) -> OpResult {
+    fn matrix(&self, deadline: Deadline) -> OpResult {
         self.with_read(|state, engine| {
             let m = engine
+                .with_deadline(deadline)
                 .distance_matrix_sharded(&state.store)
                 .map_err(|e| engine_error(&e))?;
             let names: Vec<String> = m.ids().iter().map(|id| state.ids[id].clone()).collect();
             let rows: Vec<Vec<f64>> = (0..m.size()).map(|i| m.row(i).to_vec()).collect();
             Ok(ResponseBody::Matrix { names, rows })
+        })
+    }
+
+    fn self_join(&self, tau: f64, deadline: Deadline) -> OpResult {
+        self.with_read(|state, engine| {
+            let result = engine
+                .with_deadline(deadline)
+                .self_join_sharded(&state.store, tau)
+                .map_err(|e| engine_error(&e))?;
+            Ok(ResponseBody::SelfJoin {
+                pairs: result
+                    .pairs
+                    .iter()
+                    .map(|p| WireJoinPair {
+                        a: state.ids[&p.a].clone(),
+                        b: state.ids[&p.b].clone(),
+                        ged: p.ged as u64,
+                    })
+                    .collect(),
+                undecided: result
+                    .budget_exhausted
+                    .iter()
+                    .map(|u| WireJoinUndecided {
+                        a: state.ids[&u.a].clone(),
+                        b: state.ids[&u.b].clone(),
+                        known_match_ub: u.known_match_ub.map(|ub| ub as u64),
+                    })
+                    .collect(),
+                candidates: result.stats.total() as u64,
+                verified: result.stats.verified as u64,
+            })
+        })
+    }
+
+    fn join(&self, graphs: &[Graph], tau: f64, deadline: Deadline) -> OpResult {
+        self.with_read(|state, engine| {
+            // The request's inline batch becomes the join's left store;
+            // its graphs are addressed by position (`"q{i}"`) on the
+            // wire, so build the position map off the fresh ids.
+            for (i, g) in graphs.iter().enumerate() {
+                if g.num_nodes() == 0 {
+                    return Err((
+                        ErrorCode::EmptyGraph,
+                        format!("query graph {i} of the join batch has no nodes"),
+                    ));
+                }
+            }
+            let left = GraphStore::from_graphs(graphs.iter().cloned());
+            let position: BTreeMap<GraphId, usize> = left
+                .ids()
+                .into_iter()
+                .enumerate()
+                .map(|(i, id)| (id, i))
+                .collect();
+            let result = engine
+                .with_deadline(deadline)
+                .join_sharded(&left, &state.store, tau)
+                .map_err(|e| engine_error(&e))?;
+            Ok(ResponseBody::Join {
+                pairs: result
+                    .pairs
+                    .iter()
+                    .map(|p| WireJoinPair {
+                        a: format!("q{}", position[&p.a]),
+                        b: state.ids[&p.b].clone(),
+                        ged: p.ged as u64,
+                    })
+                    .collect(),
+                undecided: result
+                    .budget_exhausted
+                    .iter()
+                    .map(|u| WireJoinUndecided {
+                        a: format!("q{}", position[&u.a]),
+                        b: state.ids[&u.b].clone(),
+                        known_match_ub: u.known_match_ub.map(|ub| ub as u64),
+                    })
+                    .collect(),
+                candidates: result.stats.total() as u64,
+                verified: result.stats.verified as u64,
+            })
         })
     }
 

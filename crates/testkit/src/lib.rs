@@ -37,7 +37,7 @@
 pub mod served;
 
 use ged_baselines::solvers::ClassicSolver;
-use ged_core::engine::{ExactNeighbor, GedEngine, GedEngineBuilder, Neighbor};
+use ged_core::engine::{ExactNeighbor, GedEngine, GedEngineBuilder, JoinPair, Neighbor};
 use ged_core::lower_bound::{degree_sequence_lower_bound, label_set_lower_bound};
 use ged_core::method::MethodKind;
 use ged_core::pairs::GedPair;
@@ -300,6 +300,43 @@ pub fn brute_range_exact(store: &GraphStore, query: &Graph, tau: usize) -> Vec<E
         .iter()
         .filter_map(|(id, g)| bounded_exact_ged(query, g, tau).map(|ged| ExactNeighbor { id, ged }))
         .collect()
+}
+
+/// The brute-force self-join ground truth: the τ-bounded exact search
+/// run against every unordered pair of stored graphs, in ascending
+/// `(a, b)` id order — exactly what `GedQuery::SelfJoin` promises (for
+/// any store kind, pivot configuration, planner state, and thread
+/// count) under an unlimited verify budget.
+#[must_use]
+pub fn brute_self_join(store: &GraphStore, tau: usize) -> Vec<JoinPair> {
+    let entries: Vec<(GraphId, &Graph)> = store.iter().collect();
+    let mut out = Vec::new();
+    for (i, &(a, ga)) in entries.iter().enumerate() {
+        for &(b, gb) in &entries[i + 1..] {
+            if let Some(ged) = bounded_exact_ged(ga, gb, tau) {
+                out.push(JoinPair { a, b, ged });
+            }
+        }
+    }
+    out
+}
+
+/// The brute-force cross-store join ground truth: the τ-bounded exact
+/// search over the full `left × right` product (all `n·m` ordered
+/// pairs, diagonal included when the stores overlap), in ascending
+/// `(a, b)` order — exactly what `GedQuery::Join` promises under an
+/// unlimited verify budget.
+#[must_use]
+pub fn brute_join(left: &GraphStore, right: &GraphStore, tau: usize) -> Vec<JoinPair> {
+    let mut out = Vec::new();
+    for (a, ga) in left.iter() {
+        for (b, gb) in right.iter() {
+            if let Some(ged) = bounded_exact_ged(ga, gb, tau) {
+                out.push(JoinPair { a, b, ged });
+            }
+        }
+    }
+    out
 }
 
 /// A sharded copy of `store` at the given bucket width, plus the

@@ -57,8 +57,9 @@ pub mod prelude {
     pub use ged_baselines::astar::{astar_beam, astar_exact};
     pub use ged_baselines::classic::{classic_ged, hungarian_ged, vj_ged};
     pub use ged_core::engine::{
-        DistanceMatrix, ExactNeighbor, GedEngine, GedEngineBuilder, GedQuery, GedResponse,
-        Neighbor, RangeExactResult, SearchResult, SearchStats, UndecidedCandidate,
+        Deadline, DeadlineBound, DistanceMatrix, ExactNeighbor, GedEngine, GedEngineBuilder,
+        GedQuery, GedResponse, JoinPair, JoinResult, Neighbor, RangeExactResult, SearchResult,
+        SearchStats, UndecidedCandidate, UndecidedPair,
     };
     pub use ged_core::ensemble::Gedhot;
     pub use ged_core::error::GedError;
@@ -71,7 +72,7 @@ pub mod prelude {
     };
     pub use ged_core::search::{
         bounded_exact_ged, bounded_exact_ged_with_budget, pivot_distance, BoundedSearch,
-        ExactSearchStats,
+        ExactSearchStats, JoinStats,
     };
     pub use ged_core::solver::{
         BatchRunner, GedEstimate, GedSolver, GedgwSolver, PathEstimate, SolverRegistry,

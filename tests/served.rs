@@ -162,9 +162,15 @@ fn shutdown_drains_and_answers_inflight_queries() {
     };
     let (server, mut control) = serve_in_process(&config);
     let mut rng = SmallRng::seed_from_u64(PROPERTY_SEED + 100);
-    for _ in 0..12 {
-        let n = rng.gen_range(7..10);
-        server.insert_local(random_connected(n, 2, &[3.0, 2.0, 1.0], &mut rng));
+    // The matrix query must verifiably overlap with the control
+    // connection's polling below: a 40-graph store of 14–17-node
+    // graphs keeps each matrix ~100 ms+, so three staggered clients
+    // are reliably in flight at once (a dozen small graphs answer in
+    // ~2 ms — faster than the clients are spawned — and the poll loop
+    // would never observe them together).
+    for _ in 0..40 {
+        let n = rng.gen_range(14..18);
+        server.insert_local(random_connected(n, 3, &[3.0, 2.0, 1.0], &mut rng));
     }
 
     let handles: Vec<_> = (0..CLIENTS)
@@ -403,6 +409,151 @@ fn explain_reports_plans_and_is_admission_exempt() {
         ResponseBody::Stats(ref s) => assert!(!s.adaptive),
         other => panic!("expected stats, got {other:?}"),
     }
+}
+
+/// The join ops over the wire: `self_join` answers stored-name pairs
+/// with exact distances, `join` addresses the inline query batch by
+/// position (`"q{i}"`), the candidate accounting closes to the exact
+/// pair counts, and an empty store is a typed `empty_store` error.
+#[test]
+fn joins_answer_over_the_wire() {
+    use ot_ged::graph::Label;
+    let (server, mut client) = serve_in_process(&ServerConfig::default());
+
+    // An empty store rejects both join ops with a typed error.
+    let resp = client.call(&Request::SelfJoin {
+        id: "e".to_string(),
+        tau: 1.0,
+        deadline_ms: None,
+    });
+    match resp.body {
+        ResponseBody::Error { code, .. } => assert_eq!(code, ErrorCode::EmptyStore),
+        other => panic!("expected empty_store, got {other:?}"),
+    }
+
+    // Two copies of a path, a triangle, and a star: the only pair
+    // within τ = 0 is the duplicated path.
+    let path = Graph::from_edges(vec![Label(1), Label(1)], &[(0, 1)]);
+    let tri = Graph::from_edges(
+        vec![Label(2), Label(2), Label(2)],
+        &[(0, 1), (1, 2), (0, 2)],
+    );
+    let star = Graph::from_edges(
+        vec![Label(1), Label(1), Label(1), Label(1)],
+        &[(0, 1), (0, 2), (0, 3)],
+    );
+    let p1 = server.insert_local(path.clone());
+    let p2 = server.insert_local(path.clone());
+    let t = server.insert_local(tri.clone());
+    server.insert_local(star);
+
+    let resp = client.call(&Request::SelfJoin {
+        id: "sj".to_string(),
+        tau: 0.0,
+        deadline_ms: None,
+    });
+    match resp.body {
+        ResponseBody::SelfJoin {
+            ref pairs,
+            ref undecided,
+            candidates,
+            verified,
+        } => {
+            assert_eq!(pairs.len(), 1, "only the duplicated path matches at τ = 0");
+            assert_eq!((&pairs[0].a, &pairs[0].b), (&p1, &p2));
+            assert_eq!(pairs[0].ged, 0);
+            assert!(undecided.is_empty());
+            assert_eq!(candidates, 6, "4 stored graphs make 6 unordered pairs");
+            assert!(verified <= candidates);
+        }
+        other => panic!("expected self_join, got {other:?}"),
+    }
+
+    // A two-graph inline batch against the store: positions "q0"/"q1".
+    let resp = client.call(&Request::Join {
+        id: "j".to_string(),
+        graphs: vec![path, tri],
+        tau: 0.0,
+        deadline_ms: None,
+    });
+    match resp.body {
+        ResponseBody::Join {
+            ref pairs,
+            candidates,
+            ..
+        } => {
+            let got: Vec<(String, String, u64)> = pairs
+                .iter()
+                .map(|p| (p.a.clone(), p.b.clone(), p.ged))
+                .collect();
+            assert_eq!(
+                got,
+                vec![
+                    ("q0".to_string(), p1.clone(), 0),
+                    ("q0".to_string(), p2.clone(), 0),
+                    ("q1".to_string(), t.clone(), 0),
+                ],
+                "each query matches exactly its stored copies, in order"
+            );
+            assert_eq!(candidates, 8, "2 queries × 4 stored graphs");
+        }
+        other => panic!("expected join, got {other:?}"),
+    }
+}
+
+/// A tight (but nonzero) deadline aborts a heavy store-level query
+/// **mid-execution** via the engine's cooperative deadline — the typed
+/// rejection arrives in a small fraction of the query's full runtime,
+/// which the completion-time-only check of the old serving path could
+/// never do.
+#[test]
+fn deadline_aborts_store_queries_mid_execution() {
+    let config = ServerConfig {
+        threads: Some(1),
+        ..ServerConfig::default()
+    };
+    let (server, mut client) = serve_in_process(&config);
+    let mut rng = SmallRng::seed_from_u64(PROPERTY_SEED + 500);
+    for _ in 0..32 {
+        let n = rng.gen_range(8..10);
+        server.insert_local(random_connected(n, 3, &[3.0, 2.0, 1.0], &mut rng));
+    }
+
+    // Baseline: the full self-join, no deadline. τ = 3 keeps each
+    // τ-bounded search tractable while the 496-pair matrix still
+    // takes orders of magnitude longer than an aborted plan.
+    let start = std::time::Instant::now();
+    let resp = client.call(&Request::SelfJoin {
+        id: "full".to_string(),
+        tau: 3.0,
+        deadline_ms: None,
+    });
+    let full = start.elapsed();
+    assert!(
+        matches!(resp.body, ResponseBody::SelfJoin { .. }),
+        "baseline join must succeed, got {:?}",
+        resp.body
+    );
+
+    // Deadline run: 1 ms passes admission (only 0 is rejected up
+    // front) but expires inside the plan, which must abandon the
+    // remaining verification blocks instead of finishing them.
+    let start = std::time::Instant::now();
+    let resp = client.call(&Request::SelfJoin {
+        id: "cut".to_string(),
+        tau: 3.0,
+        deadline_ms: Some(1),
+    });
+    let aborted = start.elapsed();
+    match resp.body {
+        ResponseBody::Error { code, .. } => assert_eq!(code, ErrorCode::DeadlineExceeded),
+        other => panic!("expected deadline_exceeded, got {other:?}"),
+    }
+    assert!(
+        aborted * 4 < full,
+        "cooperative abort must return in a fraction of the full runtime \
+         (aborted after {aborted:?}, full query takes {full:?})"
+    );
 }
 
 /// `snapshot` → fresh server → `load` over the wire restores every
